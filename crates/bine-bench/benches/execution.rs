@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks: executing schedules over real data with the
+//! sequential and threaded executors (the in-process substitute for running
+//! the collectives on a cluster).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bine_exec::state::Workload;
+use bine_exec::{sequential, threaded};
+use bine_sched::collectives::{allreduce, AllreduceAlg};
+
+
+/// Short measurement configuration so a full `cargo bench --workspace` stays
+/// inexpensive on a single-core CI machine.
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+fn bench_executors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce-execution");
+    for p in [16usize, 64] {
+        for alg in [AllreduceAlg::BineLarge, AllreduceAlg::RecursiveDoubling, AllreduceAlg::Ring] {
+            let sched = allreduce(p, alg);
+            let workload = Workload::for_schedule(&sched, 64);
+            group.bench_with_input(
+                BenchmarkId::new(format!("sequential-{}", sched.algorithm), p),
+                &p,
+                |b, _| b.iter(|| sequential::run(&sched, workload.initial_state(&sched))),
+            );
+        }
+    }
+    let sched = allreduce(16, AllreduceAlg::BineLarge);
+    let workload = Workload::for_schedule(&sched, 64);
+    group.bench_function("threaded-bine-large-16", |b| {
+        b.iter(|| threaded::run(&sched, workload.initial_state(&sched)))
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = short();
+    targets = bench_executors
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks: schedule generation cost for every collective
+//! (the analogue of the algorithm set-up cost an MPI library would pay).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bine_sched::{algorithms, bine_default, build, Collective};
+
+
+/// Short measurement configuration so a full `cargo bench --workspace` stays
+/// inexpensive on a single-core CI machine.
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+fn bench_schedule_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule-generation");
+    for collective in Collective::ALL {
+        for p in [64usize, 512] {
+            let name = bine_default(collective, false);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}-{}", collective.name(), name), p),
+                &p,
+                |b, &p| b.iter(|| build(collective, name, p, 0).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_bine_vs_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce-generation-by-algorithm");
+    let p = 256;
+    for alg in algorithms(Collective::Allreduce) {
+        group.bench_function(alg.name, |b| {
+            b.iter(|| build(Collective::Allreduce, alg.name, p, 0).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = short();
+    targets = bench_schedule_generation, bench_bine_vs_baselines
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks: traffic accounting and cost-model evaluation
+//! of a schedule on the topology models (the inner loop of every table and
+//! figure binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bine_net::allocation::Allocation;
+use bine_net::cost::CostModel;
+use bine_net::topology::{Dragonfly, FatTree, Torus};
+use bine_net::traffic::measure;
+use bine_net::Topology;
+use bine_sched::collectives::{allreduce, AllreduceAlg};
+
+
+/// Short measurement configuration so a full `cargo bench --workspace` stays
+/// inexpensive on a single-core CI machine.
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+fn bench_traffic_and_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traffic-and-cost");
+    let topologies: Vec<(&str, Box<dyn Topology>)> = vec![
+        ("dragonfly-lumi", Box::new(Dragonfly::lumi())),
+        ("dragonfly+-leonardo", Box::new(Dragonfly::leonardo())),
+        ("fat-tree-mn5", Box::new(FatTree::marenostrum5(1280))),
+        ("torus-8x8x8", Box::new(Torus::new(vec![8, 8, 8]))),
+    ];
+    let p = 512;
+    let sched = allreduce(p, AllreduceAlg::BineLarge);
+    let alloc = Allocation::block(p);
+    let model = CostModel::default();
+    for (name, topo) in &topologies {
+        group.bench_with_input(BenchmarkId::new("measure", name), name, |b, _| {
+            b.iter(|| measure(&sched, 1 << 20, topo.as_ref(), &alloc))
+        });
+        group.bench_with_input(BenchmarkId::new("cost-model", name), name, |b, _| {
+            b.iter(|| model.time_us(&sched, 1 << 20, topo.as_ref(), &alloc))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = short();
+    targets = bench_traffic_and_cost
+}
+criterion_main!(benches);

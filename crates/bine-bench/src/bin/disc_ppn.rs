@@ -1,0 +1,59 @@
+//! Sec. 6.1 — impact of the number of processes per node: 64 LUMI nodes with
+//! one or four ranks per node.
+//!
+//! Paper result: results are largely consistent, but some collectives see
+//! larger Bine gains with four processes per node because each node injects
+//! more traffic, which emphasises the global-link reduction (e.g. the 1 MiB
+//! reduce-scatter gain grows from 59% to 84%).
+
+use bine_bench::report::{format_bytes, render_table};
+use bine_bench::systems::{paper_vector_sizes, System, SMALL_VECTOR_THRESHOLD};
+use bine_net::allocation::Allocation;
+use bine_net::cost::CostModel;
+use bine_net::trace::JobTraceGenerator;
+use bine_sched::{bine_default, binomial_default, build, Collective};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let system = System::lumi();
+    let nodes = 64usize;
+    let model = CostModel::default();
+    let topo = system.topology(nodes);
+
+    // Same set of physical nodes for both runs.
+    let mut rng = StdRng::seed_from_u64(0x66);
+    let node_sample = JobTraceGenerator::with_occupancy(0.9)
+        .sample(topo.as_ref(), nodes, 1, &mut rng)[0]
+        .nodes
+        .clone();
+
+    println!("Sec. 6.1 — Bine vs binomial speedup on 64 LUMI nodes, 1 vs 4 processes per node\n");
+
+    let mut rows = Vec::new();
+    for collective in [Collective::Allreduce, Collective::ReduceScatter, Collective::Allgather, Collective::Broadcast] {
+        for &n in &paper_vector_sizes() {
+            if n > 64 * 1024 * 1024 {
+                continue;
+            }
+            let mut cells = vec![collective.name().to_string(), format_bytes(n)];
+            for ppn in [1usize, 4] {
+                let ranks = nodes * ppn;
+                let rank_nodes: Vec<usize> =
+                    (0..ranks).map(|r| node_sample[r / ppn]).collect();
+                let alloc = Allocation::from_nodes(rank_nodes);
+                let small = n <= SMALL_VECTOR_THRESHOLD;
+                let bine = build(collective, bine_default(collective, small), ranks, 0).unwrap();
+                let base = build(collective, binomial_default(collective, small), ranks, 0).unwrap();
+                let speedup = model.time_us(&base, n, topo.as_ref(), &alloc)
+                    / model.time_us(&bine, n, topo.as_ref(), &alloc);
+                cells.push(format!("{speedup:.2}x"));
+            }
+            rows.push(cells);
+        }
+    }
+    println!(
+        "{}",
+        render_table(&["collective", "vector", "speedup @1 ppn", "speedup @4 ppn"], &rows)
+    );
+}

@@ -1,0 +1,32 @@
+//! Eq. 2 / Sec. 2.4.1 — the ratio between the modular distance of
+//! communicating ranks in Bine and binomial trees.
+//!
+//! Paper result: δ_bine(i) / δ_binomial(i) = 2/3 (up to ±1 block), i.e. a
+//! 33% reduction in distance and hence an upper bound of 33% on the
+//! global-link traffic reduction.
+
+use bine_bench::report::render_table;
+use bine_core::distance::{delta_bine, delta_binomial, total_distance_bine, total_distance_binomial};
+
+fn main() {
+    println!("Eq. 2 — distance ratio between Bine and binomial trees\n");
+    let mut rows = Vec::new();
+    for s in 3..=16u32 {
+        let p = 1u64 << s;
+        let per_step: Vec<String> = (0..s.min(6))
+            .map(|i| format!("{:.3}", delta_bine(i, s) as f64 / delta_binomial(i, s) as f64))
+            .collect();
+        let total_ratio = total_distance_bine(s) as f64 / total_distance_binomial(s) as f64;
+        rows.push(vec![
+            p.to_string(),
+            s.to_string(),
+            per_step.join(" "),
+            format!("{total_ratio:.4}"),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["p", "steps", "ratio at steps 0..5", "total-distance ratio"], &rows)
+    );
+    println!("paper: the ratio converges to 2/3 ≈ 0.667 (Eq. 2), bounding the traffic reduction at 33%");
+}

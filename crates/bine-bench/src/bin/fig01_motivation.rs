@@ -1,0 +1,55 @@
+//! Fig. 1 — global-link traffic of a broadcast on an 8-node, 2:1
+//! oversubscribed fat tree (two nodes per leaf switch).
+//!
+//! Paper result: the distance-doubling binomial broadcast (Open MPI) forwards
+//! 6n bytes over global links, the distance-halving one (MPICH) 3n bytes.
+//! This binary recomputes both, plus the Bine tree, per step.
+
+use bine_net::allocation::Allocation;
+use bine_net::topology::FatTree;
+use bine_net::traffic::measure;
+use bine_net::Topology;
+use bine_sched::collectives::{broadcast, BroadcastAlg};
+use bine_sched::Schedule;
+
+fn per_step_global_bytes(sched: &Schedule, n: u64, topo: &dyn Topology, alloc: &Allocation) -> Vec<u64> {
+    sched
+        .steps
+        .iter()
+        .map(|step| {
+            step.messages
+                .iter()
+                .filter(|m| {
+                    !m.is_local() && topo.crosses_groups(alloc.node_of(m.src), alloc.node_of(m.dst))
+                })
+                .map(|m| m.bytes(n, sched.num_ranks))
+                .sum()
+        })
+        .collect()
+}
+
+fn main() {
+    let topo = FatTree::figure1();
+    let alloc = Allocation::block(8);
+    let n: u64 = 1000; // "n bytes" in the figure
+
+    println!("Fig. 1 — broadcast on an 8-node 2:1 oversubscribed fat tree (n = {n} bytes)");
+    println!("paper: distance-doubling = 6n, distance-halving = 3n over global links\n");
+
+    for alg in [
+        BroadcastAlg::BinomialDistanceDoubling,
+        BroadcastAlg::BinomialDistanceHalving,
+        BroadcastAlg::BineTree,
+    ] {
+        let sched = broadcast(8, 0, alg);
+        let report = measure(&sched, n, &topo, &alloc);
+        let per_step = per_step_global_bytes(&sched, n, &topo, &alloc);
+        println!(
+            "{:<32} global bytes = {:>5}  ({:.1} n)   per step: {:?}",
+            alg.name(),
+            report.global_bytes,
+            report.global_bytes as f64 / n as f64,
+            per_step
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Fig. 5 — distribution of the global-traffic reduction of Bine over
+//! binomial trees across job allocations on Leonardo and LUMI.
+//!
+//! The paper mines one/two weeks of Slurm allocations; this binary samples
+//! synthetic fragmented allocations with the same qualitative properties
+//! (block distribution over a busy machine) and estimates, for every job, the
+//! global traffic of a small-vector allreduce under Bine and binomial trees.
+//!
+//! Paper result: the reduction grows with the job size, stays below the 33%
+//! theoretical bound, and a few sub-64-node jobs see a small increase.
+
+use bine_bench::report::{render_table, BoxPlot};
+use bine_net::topology::{Dragonfly, Topology};
+use bine_net::trace::JobTraceGenerator;
+use bine_net::traffic::global_traffic_reduction;
+use bine_sched::collectives::{allreduce, AllreduceAlg};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let jobs_per_size = 60;
+    println!("Fig. 5 — global-traffic reduction of Bine vs binomial allreduce across job allocations");
+    println!("({} synthetic jobs per node count; theoretical bound = 33%)\n", jobs_per_size);
+
+    let systems: Vec<(&str, Box<dyn Topology>, Vec<usize>)> = vec![
+        ("Leonardo", Box::new(Dragonfly::leonardo()), vec![2, 4, 8, 16, 32, 64, 128, 256]),
+        ("LUMI", Box::new(Dragonfly::lumi()), vec![2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048]),
+    ];
+
+    for (name, topo, node_counts) in systems {
+        let mut rng = StdRng::seed_from_u64(5);
+        let generator = JobTraceGenerator::default();
+        let mut rows = Vec::new();
+        for &nodes in &node_counts {
+            let bine = allreduce(nodes, AllreduceAlg::BineSmall);
+            let binom = allreduce(nodes, AllreduceAlg::RecursiveDoubling);
+            let mut reductions = Vec::new();
+            for sample in generator.sample(topo.as_ref(), nodes, jobs_per_size, &mut rng) {
+                let alloc = sample.allocation();
+                let red = global_traffic_reduction(&bine, &binom, 1 << 20, topo.as_ref(), &alloc);
+                reductions.push(red * 100.0);
+            }
+            let bp = BoxPlot::of(&reductions);
+            let above_bound = reductions.iter().filter(|&&r| r > 33.4).count();
+            let negative = reductions.iter().filter(|&&r| r < 0.0).count();
+            rows.push(vec![
+                nodes.to_string(),
+                format!("{:.1}", bp.min),
+                format!("{:.1}", bp.q1),
+                format!("{:.1}", bp.median),
+                format!("{:.1}", bp.q3),
+                format!("{:.1}", bp.max),
+                negative.to_string(),
+                above_bound.to_string(),
+            ]);
+        }
+        println!(
+            "{} ({})\n{}",
+            name,
+            topo.name(),
+            render_table(
+                &["nodes", "min%", "q1%", "median%", "q3%", "max%", "#negative", "#above 33%"],
+                &rows
+            )
+        );
+    }
+}

@@ -1,0 +1,17 @@
+//! Fig. 9 — LUMI: (a) best-algorithm heatmap for allreduce across node
+//! counts and vector sizes, (b) distribution of Bine's improvement over the
+//! best state-of-the-art algorithm for all eight collectives.
+//!
+//! Paper result: Bine is the best allreduce in almost all configurations
+//! (up to 1.62×), and the best algorithm in 21–85% of configurations for the
+//! other collectives.
+
+use bine_bench::systems::System;
+use bine_bench::tables::{heatmap_table, improvement_summary};
+use bine_sched::Collective;
+
+fn main() {
+    println!("{}", heatmap_table(System::lumi(), Collective::Allreduce));
+    println!();
+    println!("{}", improvement_summary(System::lumi()));
+}

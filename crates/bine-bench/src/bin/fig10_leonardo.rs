@@ -1,0 +1,17 @@
+//! Fig. 10 — Leonardo: (a) best-algorithm heatmap for allreduce, (b)
+//! distribution of Bine's improvement over the best state-of-the-art
+//! algorithm for all eight collectives.
+//!
+//! Paper result: Bine is the best allreduce in 67% of configurations (up to
+//! 1.45×); the ring algorithm wins for very large vectors at small node
+//! counts.
+
+use bine_bench::systems::System;
+use bine_bench::tables::{heatmap_table, improvement_summary};
+use bine_sched::Collective;
+
+fn main() {
+    println!("{}", heatmap_table(System::leonardo(), Collective::Allreduce));
+    println!();
+    println!("{}", improvement_summary(System::leonardo()));
+}

@@ -1,0 +1,18 @@
+//! Fig. 11 — improvement of Bine over the best state-of-the-art algorithm on
+//! (a) MareNostrum 5 and (b) Fugaku.
+//!
+//! Paper result: on MareNostrum 5 Bine is the best algorithm in 7–86% of
+//! configurations depending on the collective (linear algorithms win at the
+//! small 4–64-node scale for large vectors); on Fugaku the torus makes every
+//! link oversubscribed and Bine's gains are the largest of the four systems.
+
+use bine_bench::systems::System;
+use bine_bench::tables::improvement_summary;
+
+fn main() {
+    println!("{}", improvement_summary(System::marenostrum5()));
+    println!();
+    println!("{}", improvement_summary(System::fugaku()));
+    println!();
+    println!("note: alltoall on Fugaku is evaluated up to 2048 nodes (see DESIGN.md).");
+}

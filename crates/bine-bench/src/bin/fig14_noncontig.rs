@@ -1,0 +1,61 @@
+//! Fig. 14 (Appendix B) — which non-contiguous-data strategy wins for the
+//! Bine allgather on LUMI, per (node count, vector size), and its gain over
+//! the standard binomial butterfly.
+//!
+//! Paper result: `permute` wins for small vectors (up to 2.27×), `send`
+//! takes over at larger node counts, `block-by-block` for large vectors at
+//! moderate scale and `two transmissions` at the largest node counts.
+
+use bine_bench::report::{format_bytes, render_table};
+use bine_bench::systems::{paper_vector_sizes, System};
+use bine_net::cost::CostModel;
+use bine_net::trace::JobTraceGenerator;
+use bine_sched::collectives::allgather::allgather_with_strategy;
+use bine_sched::collectives::{allgather, AllgatherAlg};
+use bine_sched::NonContigStrategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let system = System::lumi();
+    let node_counts = vec![8usize, 16, 32, 64, 128, 256, 512, 1024];
+    let sizes = paper_vector_sizes();
+    let model = CostModel::default();
+
+    println!("Fig. 14 — best non-contiguous-data strategy for the Bine allgather on LUMI");
+    println!("(cell = strategy letter and gain over the standard binomial butterfly;");
+    println!(" B = block-by-block, P = permute, S = send, T = two transmissions)\n");
+
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let mut row = vec![format_bytes(n)];
+        for &nodes in &node_counts {
+            let topo = system.topology(nodes);
+            let mut rng = StdRng::seed_from_u64(0xF16 ^ nodes as u64);
+            let alloc = JobTraceGenerator::with_occupancy(0.9)
+                .sample(topo.as_ref(), nodes, 1, &mut rng)[0]
+                .allocation();
+            let baseline = model.time_us(
+                &allgather(nodes, AllgatherAlg::RecursiveDoubling),
+                n,
+                topo.as_ref(),
+                &alloc,
+            );
+            let mut best: Option<(char, f64)> = None;
+            for strategy in NonContigStrategy::ALL {
+                let sched = allgather_with_strategy(nodes, strategy);
+                let t = model.time_us(&sched, n, topo.as_ref(), &alloc);
+                if best.map_or(true, |(_, bt)| t < bt) {
+                    best = Some((strategy.code(), t));
+                }
+            }
+            let (code, t) = best.unwrap();
+            row.push(format!("{code} {:.2}x", baseline / t));
+        }
+        rows.push(row);
+    }
+    let mut header: Vec<String> = vec!["Vector".to_string()];
+    header.extend(node_counts.iter().map(|n| n.to_string()));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    println!("{}", render_table(&header_refs, &rows));
+}

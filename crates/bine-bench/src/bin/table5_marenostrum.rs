@@ -1,0 +1,14 @@
+//! Table 5 — comparison with binomial trees on MareNostrum 5 (2:1
+//! oversubscribed fat tree with 160-node subtrees, 4–64 nodes).
+//!
+//! Paper result: Bine wins most configurations; gather/scatter occasionally
+//! *increase* global traffic (negative reduction) because the Open MPI
+//! distance-doubling binomial keeps its heaviest edge at distance 1.
+
+use bine_bench::systems::System;
+use bine_bench::tables::comparison_table;
+
+fn main() {
+    println!("{}", comparison_table(System::marenostrum5()));
+    println!("(baseline: Open MPI distance-doubling binomial trees and standard butterflies)");
+}

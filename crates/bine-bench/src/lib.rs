@@ -1,0 +1,26 @@
+//! # bine-bench
+//!
+//! The benchmark harness of the Bine Trees reproduction: one binary per
+//! table/figure of the paper's evaluation (see `src/bin/`), built on three
+//! shared modules:
+//!
+//! * [`systems`] — the four evaluation targets (LUMI, Leonardo,
+//!   MareNostrum 5, Fugaku) with their node counts and vector sizes,
+//! * [`runner`] — schedule construction + cost-model evaluation for every
+//!   (collective, algorithm, nodes, vector size) configuration,
+//! * [`report`] — geometric means, percentiles, box-plot summaries and table
+//!   rendering.
+//!
+//! Criterion micro-benchmarks of schedule generation, execution and traffic
+//! analysis live under `benches/`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod report;
+pub mod runner;
+pub mod systems;
+pub mod tables;
+
+pub use runner::{compare_vs_binomial, heatmap, improvement_distribution, Evaluator, HeadToHead};
+pub use systems::{paper_vector_sizes, System, SystemKind, SMALL_VECTOR_THRESHOLD};

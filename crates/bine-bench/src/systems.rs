@@ -1,0 +1,176 @@
+//! Models of the four systems used in the paper's evaluation (Table 2).
+
+use bine_net::topology::{Dragonfly, FatTree, Topology, Torus};
+
+/// Which of the paper's four systems a configuration models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// LUMI: 24-group Slingshot Dragonfly, 124 nodes per group (Sec. 5.1).
+    Lumi,
+    /// Leonardo: 23-group Dragonfly+, 180 nodes per group (Sec. 5.2).
+    Leonardo,
+    /// MareNostrum 5: 2:1 oversubscribed fat tree, 160-node subtrees (Sec. 5.3).
+    MareNostrum5,
+    /// Fugaku: 6D torus, evaluated on 3D sub-tori (Sec. 5.4).
+    Fugaku,
+}
+
+/// An evaluation target: node counts, vector sizes and a topology factory.
+#[derive(Debug, Clone)]
+pub struct System {
+    /// Display name.
+    pub name: &'static str,
+    /// Which machine this models.
+    pub kind: SystemKind,
+    /// Node counts to sweep (power-of-two, as reported in the paper).
+    pub node_counts: Vec<usize>,
+    /// Vector sizes in bytes to sweep.
+    pub vector_sizes: Vec<u64>,
+}
+
+/// The vector sizes used throughout Sec. 5: 32 B to 512 MiB.
+pub fn paper_vector_sizes() -> Vec<u64> {
+    vec![
+        32,
+        256,
+        2 * 1024,
+        16 * 1024,
+        128 * 1024,
+        1024 * 1024,
+        8 * 1024 * 1024,
+        64 * 1024 * 1024,
+        512 * 1024 * 1024,
+    ]
+}
+
+/// Vector sizes at or below this value use the small-vector algorithm
+/// variants (tree broadcast/reduce, recursive-doubling allreduce), larger
+/// ones the large-vector compositions — mirroring the switch points of
+/// production MPI libraries.
+pub const SMALL_VECTOR_THRESHOLD: u64 = 32 * 1024;
+
+impl System {
+    /// The LUMI configuration of Sec. 5.1 (16–1024 nodes).
+    pub fn lumi() -> Self {
+        Self {
+            name: "LUMI",
+            kind: SystemKind::Lumi,
+            node_counts: vec![16, 32, 64, 128, 256, 512, 1024],
+            vector_sizes: paper_vector_sizes(),
+        }
+    }
+
+    /// The Leonardo configuration of Sec. 5.2 (16–2048 nodes).
+    pub fn leonardo() -> Self {
+        Self {
+            name: "Leonardo",
+            kind: SystemKind::Leonardo,
+            node_counts: vec![16, 32, 64, 128, 256, 512, 1024, 2048],
+            vector_sizes: paper_vector_sizes(),
+        }
+    }
+
+    /// The MareNostrum 5 configuration of Sec. 5.3 (4–64 nodes).
+    pub fn marenostrum5() -> Self {
+        Self {
+            name: "MareNostrum 5",
+            kind: SystemKind::MareNostrum5,
+            node_counts: vec![4, 8, 16, 32, 64],
+            vector_sizes: paper_vector_sizes(),
+        }
+    }
+
+    /// The Fugaku configuration of Sec. 5.4: 2x2x2, 4x4x4, 8x8x8, 64x64 and
+    /// 32x256-node 3D/2D sub-tori.
+    pub fn fugaku() -> Self {
+        Self {
+            name: "Fugaku",
+            kind: SystemKind::Fugaku,
+            node_counts: vec![8, 64, 512, 4096, 8192],
+            vector_sizes: paper_vector_sizes(),
+        }
+    }
+
+    /// All four systems.
+    pub fn all() -> Vec<System> {
+        vec![Self::lumi(), Self::leonardo(), Self::marenostrum5(), Self::fugaku()]
+    }
+
+    /// The torus shape used for a Fugaku job of `nodes` nodes.
+    pub fn fugaku_dims(nodes: usize) -> Vec<usize> {
+        match nodes {
+            8 => vec![2, 2, 2],
+            64 => vec![4, 4, 4],
+            512 => vec![8, 8, 8],
+            4096 => vec![64, 64],
+            8192 => vec![32, 256],
+            _ => {
+                // Fall back to a balanced 3D factorisation for other counts.
+                let mut dims = vec![1usize; 3];
+                let mut rest = nodes;
+                let mut d = 0;
+                while rest > 1 {
+                    dims[d % 3] *= 2;
+                    rest /= 2;
+                    d += 1;
+                }
+                dims
+            }
+        }
+    }
+
+    /// Builds the topology model hosting a job of `nodes` nodes.
+    ///
+    /// For the group-based systems the topology is the full machine (the job
+    /// occupies its first `nodes` nodes under a block allocation); for the
+    /// torus the job gets its own sub-torus, as on the real machine.
+    pub fn topology(&self, nodes: usize) -> Box<dyn Topology> {
+        match self.kind {
+            SystemKind::Lumi => Box::new(Dragonfly::lumi()),
+            SystemKind::Leonardo => Box::new(Dragonfly::leonardo()),
+            SystemKind::MareNostrum5 => {
+                // The ACC partition is modelled as 8 full-bandwidth 160-node
+                // subtrees: the paper's 4–64-node jobs spanned between one
+                // and eight subtrees (Sec. 5.3.1).
+                Box::new(FatTree::marenostrum5(1280.max(nodes.next_multiple_of(160))))
+            }
+            SystemKind::Fugaku => Box::new(Torus::new(Self::fugaku_dims(nodes))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topologies_are_large_enough_for_every_node_count() {
+        for system in System::all() {
+            for &nodes in &system.node_counts {
+                let topo = system.topology(nodes);
+                assert!(
+                    topo.num_nodes() >= nodes,
+                    "{}: topology {} too small for {nodes} nodes",
+                    system.name,
+                    topo.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fugaku_dims_match_the_paper() {
+        assert_eq!(System::fugaku_dims(8), vec![2, 2, 2]);
+        assert_eq!(System::fugaku_dims(512), vec![8, 8, 8]);
+        assert_eq!(System::fugaku_dims(8192), vec![32, 256]);
+        assert_eq!(System::fugaku_dims(128).iter().product::<usize>(), 128);
+    }
+
+    #[test]
+    fn vector_sizes_span_32b_to_512mib() {
+        let sizes = paper_vector_sizes();
+        assert_eq!(sizes.first(), Some(&32));
+        assert_eq!(sizes.last(), Some(&(512 * 1024 * 1024)));
+        assert_eq!(sizes.len(), 9);
+    }
+}

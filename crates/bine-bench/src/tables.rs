@@ -1,0 +1,125 @@
+//! Shared report builders used by the per-table/per-figure binaries.
+
+use bine_sched::Collective;
+
+use crate::report::{algorithm_letter, format_bytes, geometric_mean, max, mean, render_table, BoxPlot};
+use crate::runner::{compare_vs_binomial, heatmap, improvement_distribution, Evaluator};
+use crate::systems::System;
+
+/// Builds the per-collective "Comparison with Binomial Trees" table for one
+/// system (the layout of Tables 3, 4 and 5).
+pub fn comparison_table(system: System) -> String {
+    let mut eval = Evaluator::new(system.clone());
+    let mut rows = Vec::new();
+    for collective in Collective::ALL {
+        let h2h = compare_vs_binomial(&mut eval, collective);
+        let avg_gain = (geometric_mean(&h2h.gains.iter().map(|g| 1.0 + g).collect::<Vec<_>>()) - 1.0) * 100.0;
+        let max_gain = max(&h2h.gains) * 100.0;
+        let avg_drop = (geometric_mean(&h2h.drops.iter().map(|d| 1.0 + d).collect::<Vec<_>>()) - 1.0) * 100.0;
+        let max_drop = max(&h2h.drops) * 100.0;
+        let avg_red = mean(&h2h.traffic_reductions) * 100.0;
+        let max_red = max(&h2h.traffic_reductions) * 100.0;
+        rows.push(vec![
+            collective.name().to_string(),
+            format!("{:.0}%", h2h.win_fraction() * 100.0),
+            format!("{avg_gain:.0}%/{max_gain:.0}%"),
+            format!("{:.0}%", h2h.loss_fraction() * 100.0),
+            format!("{avg_drop:.0}%/{max_drop:.0}%"),
+            format!("{avg_red:.0}%/{max_red:.0}%"),
+        ]);
+    }
+    format!(
+        "Comparison with binomial trees on {} ({} configurations per collective)\n{}",
+        system.name,
+        system.node_counts.len() * system.vector_sizes.len(),
+        render_table(
+            &["Coll.", "%Win", "Avg/Max Gain", "%Loss", "Avg/Max Drop", "Avg/Max Traffic Red."],
+            &rows,
+        )
+    )
+}
+
+/// Builds the best-algorithm heatmap for one collective on one system (the
+/// layout of Fig. 9a / Fig. 10a): rows are vector sizes, columns node counts.
+pub fn heatmap_table(system: System, collective: Collective) -> String {
+    let mut eval = Evaluator::new(system.clone());
+    let cells = heatmap(&mut eval, collective);
+    let node_counts: Vec<usize> = system.node_counts.clone();
+    let sizes: Vec<u64> = system.vector_sizes.clone();
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let mut row = vec![format_bytes(n)];
+        for &nodes in &node_counts {
+            let cell = cells.iter().find(|c| c.nodes == nodes && c.vector_bytes == n);
+            row.push(match cell {
+                None => "-".to_string(),
+                Some(c) => match c.bine_advantage {
+                    Some(adv) => format!("{adv:.2}"),
+                    None => algorithm_letter(&c.best_algorithm).to_string(),
+                },
+            });
+        }
+        rows.push(row);
+    }
+    let mut header: Vec<String> = vec!["Vector".to_string()];
+    header.extend(node_counts.iter().map(|n| n.to_string()));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    format!(
+        "Best algorithm per (vector size x node count) for {} on {}\n\
+         (number = Bine wins by that factor over the next-best algorithm;\n\
+          letter = best non-Bine algorithm: N binomial/butterfly, R ring, B Bruck, S swing, P pairwise)\n{}",
+        collective.name(),
+        system.name,
+        render_table(&header_refs, &rows)
+    )
+}
+
+/// Builds the all-collective improvement summary for one system (the layout
+/// of Fig. 9b / 10b / 11a / 11b): for each collective, the share of
+/// configurations where a Bine algorithm beats every other algorithm and the
+/// distribution of the improvement in those configurations.
+pub fn improvement_summary(system: System) -> String {
+    let mut eval = Evaluator::new(system.clone());
+    let mut rows = Vec::new();
+    for collective in Collective::ALL {
+        let (win_fraction, improvements) = improvement_distribution(&mut eval, collective);
+        let bp = BoxPlot::of(&improvements);
+        rows.push(vec![
+            collective.name().to_string(),
+            format!("{:.0}%", win_fraction * 100.0),
+            if improvements.is_empty() { "-".into() } else { format!("{:.1}%", bp.min) },
+            if improvements.is_empty() { "-".into() } else { format!("{:.1}%", bp.q1) },
+            if improvements.is_empty() { "-".into() } else { format!("{:.1}%", bp.median) },
+            if improvements.is_empty() { "-".into() } else { format!("{:.1}%", bp.q3) },
+            if improvements.is_empty() { "-".into() } else { format!("{:.1}%", bp.max) },
+        ]);
+    }
+    format!(
+        "Improvement of Bine over the best non-Bine algorithm on {}\n\
+         (%Best = share of configurations where Bine is the overall fastest;\n\
+          distribution of the improvement over those configurations)\n{}",
+        system.name,
+        render_table(&["Coll.", "%Best", "min", "q1", "median", "q3", "max"], &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_table_has_one_row_per_collective() {
+        let t = comparison_table(System::marenostrum5());
+        for c in Collective::ALL {
+            assert!(t.contains(c.name()), "missing {}", c.name());
+        }
+    }
+
+    #[test]
+    fn heatmap_table_mentions_every_node_count() {
+        let t = heatmap_table(System::marenostrum5(), Collective::Allreduce);
+        for nodes in System::marenostrum5().node_counts {
+            assert!(t.contains(&nodes.to_string()));
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! Negabinary (base −2) arithmetic and the rank encoding used by Bine trees.
+//!
+//! Bine trees (Sec. 2.3 of the paper) assign every rank a *negabinary*
+//! representation: the rank identifier is written as a sum of powers of −2
+//! instead of powers of 2. Because negabinary can encode both positive and
+//! negative integers, the encoding of a rank `r` in a collective over `p`
+//! ranks is defined as
+//!
+//! * the negabinary representation of `r` when `r ≤ m`, where `m` is the
+//!   largest non-negative integer representable with `s = log2 p` negabinary
+//!   digits (all even positions set, e.g. `0101₋₂ = 5` for `s = 3`), and
+//! * the negabinary representation of `r − p` (a negative number) otherwise.
+//!
+//! This module provides the conversions (`rank2nb` / `nb2rank` in the paper's
+//! notation) together with the low-level helpers they are built from.
+
+/// Bit mask with ones in all *odd* bit positions (`…10101010₂`).
+///
+/// Odd negabinary positions contribute negative values (powers `(−2)^1`,
+/// `(−2)^3`, …), which is what makes the mask-based conversion below work.
+const ODD_MASK: u64 = 0xAAAA_AAAA_AAAA_AAAA;
+
+/// Converts a signed integer to its negabinary bit pattern.
+///
+/// Uses the classic mask identity `nb = (n + M) ^ M` with `M` having ones in
+/// every odd position. The result is the unique base −2 representation of
+/// `n`; bit `j` of the returned value is the digit multiplying `(−2)^j`.
+///
+/// # Examples
+/// ```
+/// use bine_core::negabinary::to_negabinary;
+/// assert_eq!(to_negabinary(2), 0b110);   // 4 − 2
+/// assert_eq!(to_negabinary(-1), 0b11);   // −2 + 1
+/// assert_eq!(to_negabinary(-2), 0b10);   // −2
+/// assert_eq!(to_negabinary(0), 0);
+/// ```
+#[inline]
+pub fn to_negabinary(n: i64) -> u64 {
+    (n as u64).wrapping_add(ODD_MASK) ^ ODD_MASK
+}
+
+/// Converts a negabinary bit pattern back to the signed integer it encodes.
+///
+/// Inverse of [`to_negabinary`].
+///
+/// # Examples
+/// ```
+/// use bine_core::negabinary::from_negabinary;
+/// assert_eq!(from_negabinary(0b110), 2);
+/// assert_eq!(from_negabinary(0b11), -1);
+/// assert_eq!(from_negabinary(0b101), 5);
+/// ```
+#[inline]
+pub fn from_negabinary(nb: u64) -> i64 {
+    (nb ^ ODD_MASK).wrapping_sub(ODD_MASK) as i64
+}
+
+/// Reference (digit-by-digit) negabinary conversion.
+///
+/// Slower than [`to_negabinary`] but trivially auditable; used by the test
+/// suite to cross-check the mask-based fast path.
+pub fn to_negabinary_reference(mut n: i64) -> u64 {
+    let mut out = 0u64;
+    let mut bit = 0u32;
+    while n != 0 {
+        let mut rem = n % -2;
+        n /= -2;
+        if rem < 0 {
+            rem += 2;
+            n += 1;
+        }
+        out |= (rem as u64) << bit;
+        bit += 1;
+    }
+    out
+}
+
+/// Evaluates a negabinary pattern digit by digit (reference for tests).
+pub fn from_negabinary_reference(nb: u64) -> i64 {
+    let mut value = 0i64;
+    let mut power = 1i64;
+    for j in 0..64 {
+        if (nb >> j) & 1 == 1 {
+            value += power;
+        }
+        power = power.wrapping_mul(-2);
+    }
+    value
+}
+
+/// Number of communication steps `s = log2 p` for a power-of-two rank count.
+///
+/// # Panics
+/// Panics if `p` is zero or not a power of two.
+#[inline]
+pub fn num_steps(p: usize) -> u32 {
+    assert!(p.is_power_of_two() && p > 0, "p must be a power of two, got {p}");
+    p.trailing_zeros()
+}
+
+/// A bit mask of `k` ones (`111…1` with `k` bits), as used in Eq. (1).
+#[inline]
+pub fn ones(k: u32) -> u64 {
+    if k >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << k) - 1
+    }
+}
+
+/// The largest non-negative integer representable with `s` negabinary digits.
+///
+/// Obtained by setting every even position (`0101…01₋₂`); see Sec. 2.3.1.
+///
+/// # Examples
+/// ```
+/// use bine_core::negabinary::largest_positive;
+/// assert_eq!(largest_positive(3), 5);   // 101₋₂ = 4 + 1
+/// assert_eq!(largest_positive(6), 21);  // 010101₋₂ = 16 + 4 + 1
+/// ```
+#[inline]
+pub fn largest_positive(s: u32) -> i64 {
+    let mut m = 0i64;
+    let mut k = 0;
+    while k < s {
+        m += 1i64 << k;
+        k += 2;
+    }
+    m
+}
+
+/// `rank2nb(r, p)`: the negabinary encoding of rank `r` in a collective over
+/// `p` ranks (Sec. 2.3.1).
+///
+/// Ranks `r ≤ m` are encoded as the negabinary of `r`; ranks above `m` (the
+/// ranks "to the left of the root" on the circle) are encoded as the
+/// negabinary of `r − p`.
+///
+/// # Panics
+/// Panics if `p` is not a power of two or `r ≥ p`.
+///
+/// # Examples
+/// ```
+/// use bine_core::negabinary::rank2nb;
+/// assert_eq!(rank2nb(2, 8), 0b110);
+/// assert_eq!(rank2nb(6, 8), 0b010); // encoded as 6 − 8 = −2
+/// assert_eq!(rank2nb(8, 16), 0b1000); // encoded as 8 − 16 = −8
+/// ```
+#[inline]
+pub fn rank2nb(r: usize, p: usize) -> u64 {
+    assert!(r < p, "rank {r} out of range for p = {p}");
+    let s = num_steps(p);
+    let m = largest_positive(s);
+    let nb = if (r as i64) <= m {
+        to_negabinary(r as i64)
+    } else {
+        to_negabinary(r as i64 - p as i64)
+    };
+    debug_assert_eq!(nb & !ones(s), 0, "encoding of {r} exceeds {s} digits");
+    nb
+}
+
+/// `nb2rank(nb, p)`: the rank whose `s`-digit negabinary encoding is `nb`.
+///
+/// Inverse of [`rank2nb`]: the pattern is evaluated in base −2 and reduced
+/// modulo `p`.
+///
+/// # Examples
+/// ```
+/// use bine_core::negabinary::{nb2rank, rank2nb};
+/// for r in 0..16 {
+///     assert_eq!(nb2rank(rank2nb(r, 16), 16), r);
+/// }
+/// ```
+#[inline]
+pub fn nb2rank(nb: u64, p: usize) -> usize {
+    let v = from_negabinary(nb);
+    v.rem_euclid(p as i64) as usize
+}
+
+/// Number of consecutive least-significant digits of `nb` that are equal to
+/// each other, considering `s` digits (the quantity `u` of Sec. 2.3.2).
+///
+/// # Examples
+/// ```
+/// use bine_core::negabinary::trailing_equal_bits;
+/// assert_eq!(trailing_equal_bits(0b1000, 4), 3);
+/// assert_eq!(trailing_equal_bits(0b1011, 4), 2);
+/// assert_eq!(trailing_equal_bits(0b1111, 4), 4);
+/// assert_eq!(trailing_equal_bits(0b0000, 4), 4);
+/// ```
+#[inline]
+pub fn trailing_equal_bits(nb: u64, s: u32) -> u32 {
+    let first = nb & 1;
+    let mut u = 0;
+    while u < s && (nb >> u) & 1 == first {
+        u += 1;
+    }
+    u
+}
+
+/// The value `Σ_{j=0}^{k-1} (−2)^j = (1 − (−2)^k) / 3`.
+///
+/// This is the (signed) distance between communicating ranks when their
+/// negabinary representations differ in the `k` least-significant digits
+/// (Sec. 2.4.1, Eq. 3–5).
+///
+/// # Examples
+/// ```
+/// use bine_core::negabinary::alternating_sum;
+/// assert_eq!(alternating_sum(0), 0);
+/// assert_eq!(alternating_sum(1), 1);      // 1
+/// assert_eq!(alternating_sum(2), -1);     // 1 − 2
+/// assert_eq!(alternating_sum(3), 3);      // 1 − 2 + 4
+/// assert_eq!(alternating_sum(4), -5);     // 1 − 2 + 4 − 8
+/// ```
+#[inline]
+pub fn alternating_sum(k: u32) -> i64 {
+    // (1 - (-2)^k) / 3, computed without overflow for k ≤ 62.
+    assert!(k <= 62, "alternating_sum only supported up to k = 62");
+    let pow = (-2i64).pow(k);
+    (1 - pow) / 3
+}
+
+/// Position of the highest set bit of `x`.
+///
+/// # Panics
+/// Panics if `x == 0`.
+#[inline]
+pub fn highest_set_bit(x: u64) -> u32 {
+    assert!(x != 0, "highest_set_bit(0) is undefined");
+    63 - x.leading_zeros()
+}
+
+/// Bit-reversal of the lowest `s` bits of `x` (used by the `permute`
+/// non-contiguous-data strategy of Sec. 4.3.1).
+///
+/// # Examples
+/// ```
+/// use bine_core::negabinary::bit_reverse;
+/// assert_eq!(bit_reverse(0b001, 3), 0b100);
+/// assert_eq!(bit_reverse(0b011, 3), 0b110);
+/// assert_eq!(bit_reverse(0b101, 3), 0b101);
+/// ```
+#[inline]
+pub fn bit_reverse(x: u64, s: u32) -> u64 {
+    let mut out = 0u64;
+    for j in 0..s {
+        if (x >> j) & 1 == 1 {
+            out |= 1 << (s - 1 - j);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_conversion_matches_reference_small_range() {
+        for n in -10_000i64..10_000 {
+            assert_eq!(to_negabinary(n), to_negabinary_reference(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn from_negabinary_matches_reference() {
+        for nb in 0u64..65_536 {
+            assert_eq!(from_negabinary(nb), from_negabinary_reference(nb), "nb = {nb:b}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_signed() {
+        for n in -100_000i64..100_000 {
+            assert_eq!(from_negabinary(to_negabinary(n)), n);
+        }
+    }
+
+    #[test]
+    fn paper_examples() {
+        // Sec. 2.3.1: 2 = 110₋₂, 011₋₂ = −1, m = 010101₋₂ = 21 on six digits.
+        assert_eq!(to_negabinary(2), 0b110);
+        assert_eq!(from_negabinary(0b011), -1);
+        assert_eq!(largest_positive(6), 21);
+        // Fig. 3 E: m = 101₋₂ = 5 for an 8-node tree.
+        assert_eq!(largest_positive(3), 5);
+        // Fig. 3 F/G: rank2nb(2, 8) = 110, rank2nb(6, 8) = 010.
+        assert_eq!(rank2nb(2, 8), 0b110);
+        assert_eq!(rank2nb(6, 8), 0b010);
+        // Fig. 4 A: rank2nb(8, 16) = 1000 and it joins at step 4 − 3 = 1.
+        assert_eq!(rank2nb(8, 16), 0b1000);
+        assert_eq!(trailing_equal_bits(rank2nb(8, 16), 4), 3);
+    }
+
+    #[test]
+    fn rank_encoding_is_bijective() {
+        for s in 1..=12 {
+            let p = 1usize << s;
+            let mut seen = vec![false; p];
+            for r in 0..p {
+                let nb = rank2nb(r, p);
+                assert!(nb < (1 << s) as u64, "encoding of {r} uses more than {s} digits");
+                let back = nb2rank(nb, p);
+                assert_eq!(back, r);
+                assert!(!seen[back]);
+                seen[back] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn largest_positive_is_max_over_s_digits() {
+        for s in 1..=16u32 {
+            let m = largest_positive(s);
+            let max = (0u64..(1 << s)).map(from_negabinary).max().unwrap();
+            assert_eq!(m, max);
+        }
+    }
+
+    #[test]
+    fn alternating_sum_matches_direct_evaluation() {
+        for k in 0..=20u32 {
+            let direct: i64 = (0..k).map(|j| (-2i64).pow(j)).sum();
+            assert_eq!(alternating_sum(k), direct);
+        }
+    }
+
+    #[test]
+    fn ones_and_bits() {
+        assert_eq!(ones(0), 0);
+        assert_eq!(ones(3), 0b111);
+        assert_eq!(highest_set_bit(0b1000), 3);
+        assert_eq!(highest_set_bit(1), 0);
+    }
+
+    #[test]
+    fn bit_reverse_is_involution() {
+        for s in 1..=10u32 {
+            for x in 0u64..(1 << s) {
+                assert_eq!(bit_reverse(bit_reverse(x, s), s), x);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn num_steps_rejects_non_power_of_two() {
+        num_steps(12);
+    }
+}

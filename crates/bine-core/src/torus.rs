@@ -1,0 +1,297 @@
+//! Torus-optimized Bine construction (Appendix D).
+//!
+//! On a torus the flat rank space does not reflect physical proximity, so the
+//! paper applies the Bine construction dimension by dimension: ranks are
+//! treated as coordinates, and at every step communication happens along a
+//! single dimension. With multiple NICs per node (e.g. six TNIs on Fugaku)
+//! the vector is additionally split into `2·D` parts, each processed with a
+//! rotated dimension order and mirrored direction so that all ports are busy
+//! at once.
+
+use crate::butterfly::{Butterfly, ButterflyKind};
+
+/// The shape of a multi-dimensional torus (e.g. `[4, 4]` for a 4×4 torus).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TorusShape {
+    dims: Vec<usize>,
+}
+
+impl TorusShape {
+    /// Creates a torus shape. Every dimension must be at least 1.
+    pub fn new(dims: Vec<usize>) -> Self {
+        assert!(!dims.is_empty(), "a torus needs at least one dimension");
+        assert!(dims.iter().all(|&d| d >= 1), "dimensions must be positive");
+        Self { dims }
+    }
+
+    /// The dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions `D`.
+    pub fn num_dims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of ranks (product of the dimension sizes).
+    pub fn num_ranks(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Converts a linear rank to torus coordinates (row-major: the last
+    /// dimension varies fastest).
+    pub fn coords(&self, rank: usize) -> Vec<usize> {
+        assert!(rank < self.num_ranks());
+        let mut rest = rank;
+        let mut out = vec![0; self.dims.len()];
+        for d in (0..self.dims.len()).rev() {
+            out[d] = rest % self.dims[d];
+            rest /= self.dims[d];
+        }
+        out
+    }
+
+    /// Converts torus coordinates to a linear rank.
+    pub fn rank(&self, coords: &[usize]) -> usize {
+        assert_eq!(coords.len(), self.dims.len());
+        let mut r = 0;
+        for (d, &c) in coords.iter().enumerate() {
+            assert!(c < self.dims[d], "coordinate {c} out of range in dim {d}");
+            r = r * self.dims[d] + c;
+        }
+        r
+    }
+
+    /// Minimal hop distance between two ranks on the torus (sum of the
+    /// per-dimension wrap-around distances).
+    pub fn hop_distance(&self, a: usize, b: usize) -> usize {
+        let ca = self.coords(a);
+        let cb = self.coords(b);
+        ca.iter()
+            .zip(cb.iter())
+            .zip(self.dims.iter())
+            .map(|((&x, &y), &k)| {
+                let d = (x + k - y) % k;
+                d.min(k - d)
+            })
+            .sum()
+    }
+
+    /// True when every dimension size is a power of two (required by the
+    /// torus-optimized butterfly construction used here).
+    pub fn is_power_of_two(&self) -> bool {
+        self.dims.iter().all(|d| d.is_power_of_two())
+    }
+}
+
+/// A butterfly pattern over a torus built dimension by dimension
+/// (Appendix D): at every step, the two communicating ranks differ in exactly
+/// one coordinate, chosen according to a per-port dimension order.
+#[derive(Debug, Clone)]
+pub struct TorusButterfly {
+    shape: TorusShape,
+    kind: ButterflyKind,
+    /// Order in which dimensions are processed.
+    dim_order: Vec<usize>,
+    /// Whether the even/odd roles are mirrored (reverses travel direction).
+    mirrored: bool,
+    /// Per-dimension 1-D butterflies, indexed by dimension (not order).
+    per_dim: Vec<Butterfly>,
+    /// step -> (dimension, step within that dimension)
+    step_map: Vec<(usize, u32)>,
+}
+
+impl TorusButterfly {
+    /// Creates a torus butterfly processing dimensions in their natural order.
+    pub fn new(shape: TorusShape, kind: ButterflyKind) -> Self {
+        let order: Vec<usize> = (0..shape.num_dims()).collect();
+        Self::with_order(shape, kind, order, false)
+    }
+
+    /// Creates a torus butterfly with an explicit dimension order and
+    /// optional mirroring, as used for multi-port execution.
+    pub fn with_order(
+        shape: TorusShape,
+        kind: ButterflyKind,
+        dim_order: Vec<usize>,
+        mirrored: bool,
+    ) -> Self {
+        assert!(shape.is_power_of_two(), "torus-optimized Bine requires power-of-two dimensions");
+        assert_eq!(dim_order.len(), shape.num_dims());
+        let per_dim: Vec<Butterfly> =
+            shape.dims().iter().map(|&k| Butterfly::new(kind, k.max(1))).collect();
+        let mut step_map = Vec::new();
+        for &d in &dim_order {
+            for j in 0..per_dim[d].num_steps() {
+                step_map.push((d, j));
+            }
+        }
+        Self { shape, kind, dim_order, mirrored, per_dim, step_map }
+    }
+
+    /// The `port`-th of `2·D` port schedules (Appendix D.4): the dimension
+    /// order is rotated by `port` and the direction mirrored for the second
+    /// half of the ports.
+    pub fn for_port(shape: TorusShape, kind: ButterflyKind, port: usize) -> Self {
+        let d = shape.num_dims();
+        assert!(port < 2 * d, "port {port} out of range for a {d}-dimensional torus");
+        let rot = port % d;
+        let order: Vec<usize> = (0..d).map(|i| (i + rot) % d).collect();
+        Self::with_order(shape, kind, order, port >= d)
+    }
+
+    /// The torus shape of this butterfly.
+    pub fn shape(&self) -> &TorusShape {
+        &self.shape
+    }
+
+    /// The underlying 1-D construction rule.
+    pub fn kind(&self) -> ButterflyKind {
+        self.kind
+    }
+
+    /// The dimension order used by this schedule.
+    pub fn dim_order(&self) -> &[usize] {
+        &self.dim_order
+    }
+
+    /// Total number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.shape.num_ranks()
+    }
+
+    /// Total number of steps (`Σ_d log2 dims[d]`).
+    pub fn num_steps(&self) -> u32 {
+        self.step_map.len() as u32
+    }
+
+    /// The dimension along which communication happens at `step`.
+    pub fn step_dimension(&self, step: u32) -> usize {
+        self.step_map[step as usize].0
+    }
+
+    /// The peer of rank `r` at `step`; the two ranks differ only in the
+    /// coordinate of [`Self::step_dimension`].
+    pub fn partner(&self, r: usize, step: u32) -> usize {
+        let (dim, sub) = self.step_map[step as usize];
+        let mut coords = self.shape.coords(r);
+        let c = coords[dim];
+        let bf = &self.per_dim[dim];
+        let c = if self.mirrored {
+            // Mirror the 1-D pattern: run it on the reflected coordinate.
+            let k = self.shape.dims()[dim];
+            (k - bf.partner((k - c) % k, sub)) % k
+        } else {
+            bf.partner(c, sub)
+        };
+        coords[dim] = c;
+        self.shape.rank(&coords)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn coordinate_roundtrip() {
+        let shape = TorusShape::new(vec![4, 8, 2]);
+        for r in 0..shape.num_ranks() {
+            assert_eq!(shape.rank(&shape.coords(r)), r);
+        }
+        assert_eq!(shape.coords(0), vec![0, 0, 0]);
+        assert_eq!(shape.coords(shape.num_ranks() - 1), vec![3, 7, 1]);
+    }
+
+    #[test]
+    fn hop_distance_wraps_around() {
+        let shape = TorusShape::new(vec![4, 4]);
+        // (0,0) to (3,0) is one hop thanks to the wrap-around link.
+        assert_eq!(shape.hop_distance(0, shape.rank(&[3, 0])), 1);
+        assert_eq!(shape.hop_distance(0, shape.rank(&[2, 2])), 4);
+        assert_eq!(shape.hop_distance(5, 5), 0);
+    }
+
+    fn check_full_dissemination(bf: &TorusButterfly) {
+        let p = bf.num_ranks();
+        let mut have: Vec<HashSet<usize>> = (0..p).map(|r| HashSet::from([r])).collect();
+        for step in 0..bf.num_steps() {
+            let snap = have.clone();
+            for r in 0..p {
+                let q = bf.partner(r, step);
+                assert_eq!(bf.partner(q, step), r, "involution violated at step {step}");
+                have[r].extend(snap[q].iter().copied());
+            }
+        }
+        for set in &have {
+            assert_eq!(set.len(), p);
+        }
+    }
+
+    #[test]
+    fn torus_butterfly_disseminates_fully() {
+        for kind in [ButterflyKind::BineDistanceDoubling, ButterflyKind::RecursiveDoubling] {
+            for dims in [vec![2, 2, 2], vec![4, 4], vec![8, 4, 2], vec![16]] {
+                let bf = TorusButterfly::new(TorusShape::new(dims), kind);
+                check_full_dissemination(&bf);
+            }
+        }
+    }
+
+    #[test]
+    fn every_step_moves_along_one_dimension() {
+        let shape = TorusShape::new(vec![4, 4, 4]);
+        let bf = TorusButterfly::new(shape.clone(), ButterflyKind::BineDistanceDoubling);
+        for step in 0..bf.num_steps() {
+            let dim = bf.step_dimension(step);
+            for r in 0..shape.num_ranks() {
+                let q = bf.partner(r, step);
+                let cr = shape.coords(r);
+                let cq = shape.coords(q);
+                for d in 0..shape.num_dims() {
+                    if d == dim {
+                        assert_ne!(cr[d], cq[d]);
+                    } else {
+                        assert_eq!(cr[d], cq[d], "step {step} moved along dim {d} too");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ports_use_distinct_first_dimensions() {
+        let shape = TorusShape::new(vec![4, 4, 4]);
+        let mut firsts = HashSet::new();
+        for port in 0..6 {
+            let bf = TorusButterfly::for_port(shape.clone(), ButterflyKind::BineDistanceDoubling, port);
+            check_full_dissemination(&bf);
+            firsts.insert((bf.step_dimension(0), port >= 3));
+        }
+        // 2·D distinct (dimension, direction) combinations for the first step.
+        assert_eq!(firsts.len(), 6);
+    }
+
+    #[test]
+    fn torus_optimized_reduces_hops_vs_flat_bine() {
+        // Appendix D: on a 4×4 torus the flat Bine tree communicates with
+        // ranks that are several hops away, while the torus-optimized variant
+        // always talks to single-dimension neighbours at bounded distance.
+        let shape = TorusShape::new(vec![4, 4]);
+        let p = shape.num_ranks();
+        let flat = Butterfly::new(ButterflyKind::BineDistanceDoubling, p);
+        let torus = TorusButterfly::new(shape.clone(), ButterflyKind::BineDistanceDoubling);
+        let hops = |pairs: Vec<(usize, usize)>| -> usize {
+            pairs.iter().map(|&(a, b)| shape.hop_distance(a, b)).sum()
+        };
+        let flat_hops: usize = (0..flat.num_steps())
+            .map(|s| hops((0..p).map(|r| (r, flat.partner(r, s))).collect()))
+            .sum();
+        let torus_hops: usize = (0..torus.num_steps())
+            .map(|s| hops((0..p).map(|r| (r, torus.partner(r, s))).collect()))
+            .sum();
+        assert!(torus_hops < flat_hops, "torus {torus_hops} !< flat {flat_hops}");
+    }
+}

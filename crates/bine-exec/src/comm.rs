@@ -1,0 +1,317 @@
+//! A high-level, MPI-like facade over the schedule generators and the
+//! multi-threaded executor.
+//!
+//! [`Cluster`] is the entry point a downstream user would adopt: it simulates
+//! `p` ranks (one thread per rank) and exposes the eight collectives over
+//! plain `Vec<f64>` buffers, with the algorithm selectable per call. The
+//! quickstart example and the integration tests are written against this API.
+
+use bine_sched::collectives::{
+    allgather as allgather_sched, allreduce as allreduce_sched, alltoall as alltoall_sched,
+    broadcast as broadcast_sched, gather as gather_sched, reduce as reduce_sched,
+    reduce_scatter as reduce_scatter_sched, scatter as scatter_sched, AllgatherAlg, AllreduceAlg,
+    AlltoallAlg, BroadcastAlg, GatherAlg, ReduceAlg, ReduceScatterAlg, ScatterAlg,
+};
+use bine_sched::{BlockId, Schedule};
+
+use crate::state::BlockStore;
+use crate::threaded;
+
+/// A simulated cluster of `p` ranks executing collectives over real data.
+///
+/// `p` must be a power of two — the same restriction the paper's evaluation
+/// uses ("we report results only for power-of-two node counts"); arbitrary
+/// rank counts at the schedule level are handled by the benchmark harness via
+/// power-of-two folding.
+#[derive(Debug, Clone, Copy)]
+pub struct Cluster {
+    num_ranks: usize,
+}
+
+impl Cluster {
+    /// Creates a cluster of `num_ranks` simulated ranks.
+    ///
+    /// # Panics
+    /// Panics if `num_ranks` is not a power of two.
+    pub fn new(num_ranks: usize) -> Self {
+        assert!(
+            num_ranks.is_power_of_two(),
+            "Cluster currently requires a power-of-two rank count, got {num_ranks}"
+        );
+        Self { num_ranks }
+    }
+
+    /// Number of simulated ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.num_ranks
+    }
+
+    fn check_inputs(&self, inputs: &[Vec<f64>]) -> usize {
+        assert_eq!(inputs.len(), self.num_ranks, "one input buffer per rank required");
+        let len = inputs[0].len();
+        assert!(inputs.iter().all(|v| v.len() == len), "all input buffers must have equal length");
+        len
+    }
+
+    /// Splits a vector into `p` equal segments.
+    fn segments(&self, v: &[f64]) -> Vec<Vec<f64>> {
+        assert_eq!(
+            v.len() % self.num_ranks,
+            0,
+            "vector length {} must be divisible by the rank count {}",
+            v.len(),
+            self.num_ranks
+        );
+        let seg = v.len() / self.num_ranks;
+        (0..self.num_ranks).map(|i| v[i * seg..(i + 1) * seg].to_vec()).collect()
+    }
+
+    fn run(&self, schedule: &Schedule, initial: Vec<BlockStore>) -> Vec<BlockStore> {
+        threaded::run(schedule, initial)
+    }
+
+    fn extract_vector(&self, store: &BlockStore, len: usize) -> Vec<f64> {
+        if let Some(full) = store.get(&BlockId::Full) {
+            return full.clone();
+        }
+        let seg = len / self.num_ranks;
+        let mut out = vec![0.0; len];
+        for i in 0..self.num_ranks {
+            let block = store
+                .get(&BlockId::Segment(i as u32))
+                .unwrap_or_else(|| panic!("rank state is missing segment {i}"));
+            out[i * seg..(i + 1) * seg].copy_from_slice(block);
+        }
+        out
+    }
+
+    /// Allreduce: returns, for every rank, the elementwise sum of all ranks'
+    /// inputs. For segment-based algorithms the vector length must be a
+    /// multiple of the rank count.
+    pub fn allreduce(&self, inputs: &[Vec<f64>], alg: AllreduceAlg) -> Vec<Vec<f64>> {
+        let len = self.check_inputs(inputs);
+        let sched = allreduce_sched(self.num_ranks, alg);
+        let uses_segments = matches!(
+            alg,
+            AllreduceAlg::BineLarge | AllreduceAlg::Rabenseifner | AllreduceAlg::Ring | AllreduceAlg::Swing
+        );
+        let mut init: Vec<BlockStore> = Vec::with_capacity(self.num_ranks);
+        for input in inputs {
+            let mut store = BlockStore::new();
+            if uses_segments {
+                for (i, seg) in self.segments(input).into_iter().enumerate() {
+                    store.insert(BlockId::Segment(i as u32), seg);
+                }
+            } else {
+                store.insert(BlockId::Full, input.clone());
+            }
+            init.push(store);
+        }
+        self.run(&sched, init).iter().map(|s| self.extract_vector(s, len)).collect()
+    }
+
+    /// Broadcast: every rank receives a copy of `data` from `root`.
+    pub fn broadcast(&self, data: &[f64], root: usize, alg: BroadcastAlg) -> Vec<Vec<f64>> {
+        let sched = broadcast_sched(self.num_ranks, root, alg);
+        let uses_segments = matches!(
+            alg,
+            BroadcastAlg::BineScatterAllgather | BroadcastAlg::ScatterAllgather
+        );
+        let mut init: Vec<BlockStore> = (0..self.num_ranks).map(|_| BlockStore::new()).collect();
+        if uses_segments {
+            for (i, seg) in self.segments(data).into_iter().enumerate() {
+                init[root].insert(BlockId::Segment(i as u32), seg);
+            }
+        } else {
+            init[root].insert(BlockId::Full, data.to_vec());
+        }
+        self.run(&sched, init).iter().map(|s| self.extract_vector(s, data.len())).collect()
+    }
+
+    /// Reduce: returns the elementwise sum of all inputs, delivered at `root`.
+    pub fn reduce(&self, inputs: &[Vec<f64>], root: usize, alg: ReduceAlg) -> Vec<f64> {
+        let len = self.check_inputs(inputs);
+        let sched = reduce_sched(self.num_ranks, root, alg);
+        let uses_segments = matches!(alg, ReduceAlg::BineReduceScatterGather | ReduceAlg::ReduceScatterGather);
+        let mut init: Vec<BlockStore> = Vec::with_capacity(self.num_ranks);
+        for input in inputs {
+            let mut store = BlockStore::new();
+            if uses_segments {
+                for (i, seg) in self.segments(input).into_iter().enumerate() {
+                    store.insert(BlockId::Segment(i as u32), seg);
+                }
+            } else {
+                store.insert(BlockId::Full, input.clone());
+            }
+            init.push(store);
+        }
+        let finals = self.run(&sched, init);
+        self.extract_vector(&finals[root], len)
+    }
+
+    /// Allgather: every rank receives the concatenation of all ranks'
+    /// contributions (in rank order).
+    pub fn allgather(&self, inputs: &[Vec<f64>], alg: AllgatherAlg) -> Vec<Vec<f64>> {
+        let seg_len = self.check_inputs(inputs);
+        let sched = allgather_sched(self.num_ranks, alg);
+        let init: Vec<BlockStore> = inputs
+            .iter()
+            .enumerate()
+            .map(|(r, v)| {
+                let mut store = BlockStore::new();
+                store.insert(BlockId::Segment(r as u32), v.clone());
+                store
+            })
+            .collect();
+        self.run(&sched, init)
+            .iter()
+            .map(|s| self.extract_vector(s, seg_len * self.num_ranks))
+            .collect()
+    }
+
+    /// Reduce-scatter: rank `r` receives segment `r` of the elementwise sum
+    /// of all inputs.
+    pub fn reduce_scatter(&self, inputs: &[Vec<f64>], alg: ReduceScatterAlg) -> Vec<Vec<f64>> {
+        self.check_inputs(inputs);
+        let sched = reduce_scatter_sched(self.num_ranks, alg);
+        let init: Vec<BlockStore> = inputs
+            .iter()
+            .map(|v| {
+                let mut store = BlockStore::new();
+                for (i, seg) in self.segments(v).into_iter().enumerate() {
+                    store.insert(BlockId::Segment(i as u32), seg);
+                }
+                store
+            })
+            .collect();
+        self.run(&sched, init)
+            .iter()
+            .enumerate()
+            .map(|(r, s)| {
+                s.get(&BlockId::Segment(r as u32))
+                    .expect("reduce-scatter result segment missing")
+                    .clone()
+            })
+            .collect()
+    }
+
+    /// Gather: `root` receives the concatenation of all ranks' contributions.
+    pub fn gather(&self, inputs: &[Vec<f64>], root: usize, alg: GatherAlg) -> Vec<f64> {
+        let seg_len = self.check_inputs(inputs);
+        let sched = gather_sched(self.num_ranks, root, alg);
+        let init: Vec<BlockStore> = inputs
+            .iter()
+            .enumerate()
+            .map(|(r, v)| {
+                let mut store = BlockStore::new();
+                store.insert(BlockId::Segment(r as u32), v.clone());
+                store
+            })
+            .collect();
+        let finals = self.run(&sched, init);
+        self.extract_vector(&finals[root], seg_len * self.num_ranks)
+    }
+
+    /// Scatter: rank `r` receives segment `r` of the root's vector.
+    pub fn scatter(&self, data: &[f64], root: usize, alg: ScatterAlg) -> Vec<Vec<f64>> {
+        let sched = scatter_sched(self.num_ranks, root, alg);
+        let mut init: Vec<BlockStore> = (0..self.num_ranks).map(|_| BlockStore::new()).collect();
+        for (i, seg) in self.segments(data).into_iter().enumerate() {
+            init[root].insert(BlockId::Segment(i as u32), seg);
+        }
+        self.run(&sched, init)
+            .iter()
+            .enumerate()
+            .map(|(r, s)| {
+                s.get(&BlockId::Segment(r as u32)).expect("scatter result segment missing").clone()
+            })
+            .collect()
+    }
+
+    /// Alltoall: `inputs[r][d]` is the block rank `r` sends to rank `d`;
+    /// the result `out[r][o]` is the block rank `r` received from rank `o`.
+    pub fn alltoall(&self, inputs: &[Vec<Vec<f64>>], alg: AlltoallAlg) -> Vec<Vec<Vec<f64>>> {
+        assert_eq!(inputs.len(), self.num_ranks);
+        assert!(inputs.iter().all(|v| v.len() == self.num_ranks));
+        let sched = alltoall_sched(self.num_ranks, alg);
+        let init: Vec<BlockStore> = inputs
+            .iter()
+            .enumerate()
+            .map(|(r, blocks)| {
+                let mut store = BlockStore::new();
+                for (d, data) in blocks.iter().enumerate() {
+                    store.insert(
+                        BlockId::Pairwise { origin: r as u32, dest: d as u32 },
+                        data.clone(),
+                    );
+                }
+                store
+            })
+            .collect();
+        self.run(&sched, init)
+            .iter()
+            .enumerate()
+            .map(|(r, s)| {
+                (0..self.num_ranks)
+                    .map(|o| {
+                        s.get(&BlockId::Pairwise { origin: o as u32, dest: r as u32 })
+                            .expect("alltoall result block missing")
+                            .clone()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_allreduce_sums_across_ranks() {
+        let cluster = Cluster::new(8);
+        let inputs: Vec<Vec<f64>> =
+            (0..8).map(|r| (0..16).map(|j| (r * 16 + j) as f64).collect()).collect();
+        let expected: Vec<f64> =
+            (0..16).map(|j| (0..8).map(|r| (r * 16 + j) as f64).sum()).collect();
+        for alg in [AllreduceAlg::BineSmall, AllreduceAlg::BineLarge, AllreduceAlg::Ring] {
+            let out = cluster.allreduce(&inputs, alg);
+            for r in 0..8 {
+                assert_eq!(out[r], expected, "{alg:?} rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_broadcast_copies_the_root_buffer() {
+        let cluster = Cluster::new(4);
+        let data: Vec<f64> = (0..8).map(|x| x as f64 * 1.5).collect();
+        for alg in [BroadcastAlg::BineTree, BroadcastAlg::BineScatterAllgather] {
+            let out = cluster.broadcast(&data, 2, alg);
+            for r in 0..4 {
+                assert_eq!(out[r], data, "{alg:?} rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_alltoall_transposes_blocks() {
+        let cluster = Cluster::new(4);
+        let inputs: Vec<Vec<Vec<f64>>> = (0..4)
+            .map(|r| (0..4).map(|d| vec![(r * 10 + d) as f64]).collect())
+            .collect();
+        let out = cluster.alltoall(&inputs, AlltoallAlg::Bine);
+        for r in 0..4 {
+            for o in 0..4 {
+                assert_eq!(out[r][o], vec![(o * 10 + r) as f64]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn cluster_rejects_non_power_of_two() {
+        Cluster::new(12);
+    }
+}

@@ -1,0 +1,38 @@
+//! # bine-exec
+//!
+//! Executors that run the communication schedules of `bine-sched` over real
+//! floating-point data, standing in for the MPI processes of the paper's
+//! evaluation:
+//!
+//! * [`sequential`] — a deterministic, single-threaded reference interpreter,
+//! * [`threaded`] — one OS thread per simulated rank, exchanging payloads
+//!   over `crossbeam` channels with bulk-synchronous steps,
+//! * [`verify`] — golden-result checks of the MPI post-condition of every
+//!   collective,
+//! * [`comm`] — the [`comm::Cluster`] facade: an MPI-like API over plain
+//!   `Vec<f64>` buffers.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use bine_exec::comm::Cluster;
+//! use bine_sched::collectives::AllreduceAlg;
+//!
+//! let cluster = Cluster::new(8);
+//! let inputs: Vec<Vec<f64>> = (0..8).map(|r| vec![r as f64; 16]).collect();
+//! let result = cluster.allreduce(&inputs, AllreduceAlg::BineLarge);
+//! assert_eq!(result[0], vec![28.0; 16]); // 0 + 1 + ... + 7
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod comm;
+pub mod sequential;
+pub mod state;
+pub mod threaded;
+pub mod verify;
+
+pub use comm::Cluster;
+pub use state::{BlockStore, Workload};
+pub use verify::{run_and_verify, verify, VerifyResult};

@@ -1,0 +1,76 @@
+//! Deterministic single-threaded schedule interpreter.
+//!
+//! Steps are executed synchronously: within a step every message reads the
+//! sender's state *as it was at the beginning of the step*, mirroring the
+//! semantics of a bulk-synchronous message-passing round. This interpreter is
+//! the reference implementation against which the multi-threaded executor is
+//! checked.
+
+use bine_sched::{Schedule, TransferKind};
+
+use crate::state::BlockStore;
+
+/// Executes `schedule` starting from `initial` per-rank states and returns
+/// the final per-rank states.
+///
+/// # Panics
+/// Panics if a message references a block its sender does not hold — that is
+/// always a bug in the schedule generator, not a data error.
+pub fn run(schedule: &Schedule, initial: Vec<BlockStore>) -> Vec<BlockStore> {
+    assert_eq!(
+        initial.len(),
+        schedule.num_ranks,
+        "initial state must have one store per rank"
+    );
+    let mut states = initial;
+    for (step_idx, step) in schedule.steps.iter().enumerate() {
+        // Snapshot the pre-step state so that all messages of a step are
+        // logically simultaneous.
+        let snapshot = states.clone();
+        for m in &step.messages {
+            for block in &m.blocks {
+                let value = snapshot[m.src].get(block).unwrap_or_else(|| {
+                    panic!(
+                        "step {step_idx}: rank {} sends block {block:?} it does not hold ({})",
+                        m.src, schedule.algorithm
+                    )
+                });
+                match m.kind {
+                    TransferKind::Copy => states[m.dst].insert(*block, value.clone()),
+                    TransferKind::Reduce => states[m.dst].reduce(*block, value),
+                }
+            }
+        }
+    }
+    states
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::Workload;
+    use bine_sched::collectives::{broadcast, BroadcastAlg};
+    use bine_sched::BlockId;
+
+    #[test]
+    fn broadcast_tree_delivers_the_root_vector() {
+        let p = 16;
+        let sched = broadcast(p, 2, BroadcastAlg::BineTree);
+        let w = Workload::for_schedule(&sched, 4);
+        let finals = run(&sched, w.initial_state(&sched));
+        let expected = w.full_vector(2);
+        for (r, state) in finals.iter().enumerate() {
+            assert_eq!(state.get(&BlockId::Full), Some(&expected), "rank {r}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold")]
+    fn missing_blocks_are_detected() {
+        let p = 8;
+        let sched = broadcast(p, 0, BroadcastAlg::BineTree);
+        // Start from an empty state: the root has nothing to send.
+        let empty = (0..p).map(|_| BlockStore::new()).collect();
+        run(&sched, empty);
+    }
+}

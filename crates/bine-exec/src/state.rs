@@ -1,0 +1,246 @@
+//! Per-rank data state and deterministic workloads.
+//!
+//! The executors in this crate interpret a [`bine_sched::Schedule`] over real
+//! floating-point data: every rank owns a [`BlockStore`] mapping block
+//! identifiers to value vectors, messages move (or reduce) those vectors, and
+//! the final states are checked against analytically computed expectations.
+//! This is the substitute for running the collectives on a real MPI cluster:
+//! the data semantics of every algorithm are exercised end to end.
+
+use std::collections::HashMap;
+
+use bine_sched::{BlockId, Collective, Schedule};
+
+/// The data a single rank holds: a map from block identifiers to vectors of
+/// values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BlockStore {
+    blocks: HashMap<BlockId, Vec<f64>>,
+}
+
+impl BlockStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the value of a block, if held.
+    pub fn get(&self, id: &BlockId) -> Option<&Vec<f64>> {
+        self.blocks.get(id)
+    }
+
+    /// Stores (or overwrites) a block.
+    pub fn insert(&mut self, id: BlockId, value: Vec<f64>) {
+        self.blocks.insert(id, value);
+    }
+
+    /// Reduces `value` elementwise into the stored block, inserting it if the
+    /// block is not present yet.
+    pub fn reduce(&mut self, id: BlockId, value: &[f64]) {
+        match self.blocks.get_mut(&id) {
+            Some(existing) => {
+                assert_eq!(existing.len(), value.len(), "block length mismatch for {id:?}");
+                for (a, b) in existing.iter_mut().zip(value) {
+                    *a += b;
+                }
+            }
+            None => {
+                self.blocks.insert(id, value.to_vec());
+            }
+        }
+    }
+
+    /// Number of blocks held.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Iterates over the held blocks.
+    pub fn iter(&self) -> impl Iterator<Item = (&BlockId, &Vec<f64>)> {
+        self.blocks.iter()
+    }
+}
+
+/// A deterministic workload for one collective invocation: defines every
+/// rank's input data and the expected outputs.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Number of ranks.
+    pub num_ranks: usize,
+    /// Elements per block (`Segment`/`Pairwise` blocks have this many
+    /// elements; `Full` blocks have `num_ranks` times as many).
+    pub elems_per_block: usize,
+    /// The collective being executed.
+    pub collective: Collective,
+    /// The root rank for rooted collectives.
+    pub root: usize,
+}
+
+impl Workload {
+    /// Creates a workload description.
+    pub fn new(num_ranks: usize, elems_per_block: usize, collective: Collective, root: usize) -> Self {
+        assert!(elems_per_block >= 1);
+        Self { num_ranks, elems_per_block, collective, root }
+    }
+
+    /// Creates the workload matching a schedule.
+    pub fn for_schedule(schedule: &Schedule, elems_per_block: usize) -> Self {
+        Self::new(schedule.num_ranks, elems_per_block, schedule.collective, schedule.root)
+    }
+
+    /// The deterministic contribution of `rank` for element `j` of the
+    /// logical vector (used by reduction collectives and broadcast).
+    pub fn contribution(&self, rank: usize, j: usize) -> f64 {
+        (rank as f64 + 1.0) * 0.5 + (j as f64) * 0.125 + ((rank * 31 + j * 7) % 13) as f64
+    }
+
+    /// The deterministic content of the alltoall block sent by `origin` to
+    /// `dest`, element `j`.
+    pub fn pairwise_value(&self, origin: usize, dest: usize, j: usize) -> f64 {
+        origin as f64 * 1000.0 + dest as f64 + j as f64 * 0.25
+    }
+
+    /// Length of the logical vector (`p` blocks of `elems_per_block`).
+    pub fn vector_len(&self) -> usize {
+        self.num_ranks * self.elems_per_block
+    }
+
+    /// The full input vector of `rank`.
+    pub fn full_vector(&self, rank: usize) -> Vec<f64> {
+        (0..self.vector_len()).map(|j| self.contribution(rank, j)).collect()
+    }
+
+    /// Segment `i` of the input vector of `rank`.
+    pub fn segment(&self, rank: usize, i: usize) -> Vec<f64> {
+        let start = i * self.elems_per_block;
+        (start..start + self.elems_per_block).map(|j| self.contribution(rank, j)).collect()
+    }
+
+    /// The elementwise sum of all ranks' contributions for element `j`.
+    pub fn reduced(&self, j: usize) -> f64 {
+        (0..self.num_ranks).map(|r| self.contribution(r, j)).sum()
+    }
+
+    /// Builds the initial per-rank block stores required by `schedule`.
+    ///
+    /// Only the block granularities actually referenced by the schedule are
+    /// materialised (e.g. a tree broadcast uses `Full` blocks, a
+    /// scatter+allgather broadcast uses `Segment` blocks).
+    pub fn initial_state(&self, schedule: &Schedule) -> Vec<BlockStore> {
+        let p = self.num_ranks;
+        let uses_full = schedule
+            .messages()
+            .any(|(_, m)| m.blocks.iter().any(|b| matches!(b, BlockId::Full)));
+        let uses_segments = schedule
+            .messages()
+            .any(|(_, m)| m.blocks.iter().any(|b| matches!(b, BlockId::Segment(_))));
+        let mut states: Vec<BlockStore> = (0..p).map(|_| BlockStore::new()).collect();
+        match self.collective {
+            Collective::Broadcast => {
+                if uses_full || !uses_segments {
+                    states[self.root].insert(BlockId::Full, self.full_vector(self.root));
+                }
+                if uses_segments {
+                    for i in 0..p {
+                        states[self.root]
+                            .insert(BlockId::Segment(i as u32), self.segment(self.root, i));
+                    }
+                }
+            }
+            Collective::Reduce | Collective::Allreduce => {
+                for r in 0..p {
+                    if uses_full || !uses_segments {
+                        states[r].insert(BlockId::Full, self.full_vector(r));
+                    }
+                    if uses_segments {
+                        for i in 0..p {
+                            states[r].insert(BlockId::Segment(i as u32), self.segment(r, i));
+                        }
+                    }
+                }
+            }
+            Collective::ReduceScatter => {
+                for r in 0..p {
+                    for i in 0..p {
+                        states[r].insert(BlockId::Segment(i as u32), self.segment(r, i));
+                    }
+                }
+            }
+            Collective::Gather | Collective::Allgather => {
+                for r in 0..p {
+                    // Each rank contributes its own data for the slot that
+                    // belongs to it in the gathered vector.
+                    states[r].insert(BlockId::Segment(r as u32), self.segment(r, r));
+                }
+            }
+            Collective::Scatter => {
+                for i in 0..p {
+                    states[self.root].insert(BlockId::Segment(i as u32), self.segment(self.root, i));
+                }
+            }
+            Collective::Alltoall => {
+                for r in 0..p {
+                    for d in 0..p {
+                        let data: Vec<f64> = (0..self.elems_per_block)
+                            .map(|j| self.pairwise_value(r, d, j))
+                            .collect();
+                        states[r].insert(BlockId::Pairwise { origin: r as u32, dest: d as u32 }, data);
+                    }
+                }
+            }
+        }
+        states
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bine_sched::collectives::{allreduce, broadcast, AllreduceAlg, BroadcastAlg};
+
+    #[test]
+    fn block_store_reduce_adds_elementwise() {
+        let mut s = BlockStore::new();
+        s.insert(BlockId::Full, vec![1.0, 2.0]);
+        s.reduce(BlockId::Full, &[0.5, 0.5]);
+        assert_eq!(s.get(&BlockId::Full).unwrap(), &vec![1.5, 2.5]);
+        s.reduce(BlockId::Segment(0), &[1.0]);
+        assert_eq!(s.get(&BlockId::Segment(0)).unwrap(), &vec![1.0]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn initial_state_matches_block_granularity_of_the_schedule() {
+        let p = 8;
+        let tree = broadcast(p, 0, BroadcastAlg::BineTree);
+        let w = Workload::for_schedule(&tree, 4);
+        let init = w.initial_state(&tree);
+        assert!(init[0].get(&BlockId::Full).is_some());
+        assert!(init[1].is_empty());
+
+        let sag = broadcast(p, 0, BroadcastAlg::BineScatterAllgather);
+        let init = Workload::for_schedule(&sag, 4).initial_state(&sag);
+        assert!(init[0].get(&BlockId::Segment(3)).is_some());
+
+        let small = allreduce(p, AllreduceAlg::BineSmall);
+        let init = Workload::for_schedule(&small, 4).initial_state(&small);
+        assert_eq!(init[5].len(), 1);
+        let large = allreduce(p, AllreduceAlg::BineLarge);
+        let init = Workload::for_schedule(&large, 4).initial_state(&large);
+        assert_eq!(init[5].len(), p);
+    }
+
+    #[test]
+    fn workload_values_are_deterministic() {
+        let w = Workload::new(4, 2, Collective::Allreduce, 0);
+        assert_eq!(w.contribution(1, 3), w.contribution(1, 3));
+        assert_eq!(w.reduced(0), (0..4).map(|r| w.contribution(r, 0)).sum::<f64>());
+        assert_eq!(w.full_vector(2).len(), 8);
+        assert_eq!(w.segment(2, 3), w.full_vector(2)[6..8].to_vec());
+    }
+}

@@ -1,0 +1,202 @@
+//! Golden-result verification for every collective.
+//!
+//! Given a [`Workload`] and the final per-rank [`BlockStore`]s produced by an
+//! executor, these checks assert the MPI-level post-condition of the
+//! collective (e.g. "after an allreduce every rank holds the elementwise sum
+//! of all contributions"). Numeric comparison catches both missing and
+//! duplicated contributions, which is how schedule-generator bugs would show
+//! up.
+
+use bine_sched::{BlockId, Collective};
+
+use crate::state::{BlockStore, Workload};
+
+/// Maximum tolerated absolute error. Inputs are small integers plus simple
+/// fractions, so reductions are exact in f64; any deviation is a real bug.
+const TOLERANCE: f64 = 1e-9;
+
+/// Outcome of a verification.
+pub type VerifyResult = Result<(), String>;
+
+fn expect_block(
+    store: &BlockStore,
+    rank: usize,
+    id: BlockId,
+    expected: &[f64],
+    what: &str,
+) -> VerifyResult {
+    let got = store
+        .get(&id)
+        .ok_or_else(|| format!("rank {rank}: missing {what} block {id:?}"))?;
+    if got.len() != expected.len() {
+        return Err(format!(
+            "rank {rank}: {what} block {id:?} has length {} instead of {}",
+            got.len(),
+            expected.len()
+        ));
+    }
+    for (j, (a, b)) in got.iter().zip(expected).enumerate() {
+        if (a - b).abs() > TOLERANCE {
+            return Err(format!(
+                "rank {rank}: {what} block {id:?} element {j} is {a}, expected {b}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Whether the rank is expected to expose its result as one `Full` block or
+/// as `p` `Segment` blocks; decided by what it actually holds so both
+/// small-vector and large-vector algorithm families verify naturally.
+fn holds_full(store: &BlockStore) -> bool {
+    store.get(&BlockId::Full).is_some()
+}
+
+/// Verifies the final states of `collective` for `workload`.
+pub fn verify(workload: &Workload, finals: &[BlockStore]) -> VerifyResult {
+    let p = workload.num_ranks;
+    if finals.len() != p {
+        return Err(format!("expected {p} rank states, got {}", finals.len()));
+    }
+    match workload.collective {
+        Collective::Broadcast => {
+            let root_vec = workload.full_vector(workload.root);
+            for (r, store) in finals.iter().enumerate() {
+                if holds_full(store) {
+                    expect_block(store, r, BlockId::Full, &root_vec, "broadcast")?;
+                } else {
+                    for i in 0..p {
+                        let seg = workload.segment(workload.root, i);
+                        expect_block(store, r, BlockId::Segment(i as u32), &seg, "broadcast")?;
+                    }
+                }
+            }
+            Ok(())
+        }
+        Collective::Reduce => {
+            let store = &finals[workload.root];
+            if holds_full(store) && store.get(&BlockId::Segment(0)).is_none() {
+                let expected: Vec<f64> =
+                    (0..workload.vector_len()).map(|j| workload.reduced(j)).collect();
+                expect_block(store, workload.root, BlockId::Full, &expected, "reduce")
+            } else {
+                for i in 0..p {
+                    let expected: Vec<f64> = (0..workload.elems_per_block)
+                        .map(|k| workload.reduced(i * workload.elems_per_block + k))
+                        .collect();
+                    expect_block(store, workload.root, BlockId::Segment(i as u32), &expected, "reduce")?;
+                }
+                Ok(())
+            }
+        }
+        Collective::Allreduce => {
+            for (r, store) in finals.iter().enumerate() {
+                if holds_full(store) && store.get(&BlockId::Segment(0)).is_none() {
+                    let expected: Vec<f64> =
+                        (0..workload.vector_len()).map(|j| workload.reduced(j)).collect();
+                    expect_block(store, r, BlockId::Full, &expected, "allreduce")?;
+                } else {
+                    for i in 0..p {
+                        let expected: Vec<f64> = (0..workload.elems_per_block)
+                            .map(|k| workload.reduced(i * workload.elems_per_block + k))
+                            .collect();
+                        expect_block(store, r, BlockId::Segment(i as u32), &expected, "allreduce")?;
+                    }
+                }
+            }
+            Ok(())
+        }
+        Collective::ReduceScatter => {
+            for (r, store) in finals.iter().enumerate() {
+                let expected: Vec<f64> = (0..workload.elems_per_block)
+                    .map(|k| workload.reduced(r * workload.elems_per_block + k))
+                    .collect();
+                expect_block(store, r, BlockId::Segment(r as u32), &expected, "reduce-scatter")?;
+            }
+            Ok(())
+        }
+        Collective::Gather => {
+            let store = &finals[workload.root];
+            for i in 0..p {
+                let expected = workload.segment(i, i);
+                expect_block(store, workload.root, BlockId::Segment(i as u32), &expected, "gather")?;
+            }
+            Ok(())
+        }
+        Collective::Allgather => {
+            for (r, store) in finals.iter().enumerate() {
+                for i in 0..p {
+                    let expected = workload.segment(i, i);
+                    expect_block(store, r, BlockId::Segment(i as u32), &expected, "allgather")?;
+                }
+            }
+            Ok(())
+        }
+        Collective::Scatter => {
+            for (r, store) in finals.iter().enumerate() {
+                let expected = workload.segment(workload.root, r);
+                expect_block(store, r, BlockId::Segment(r as u32), &expected, "scatter")?;
+            }
+            Ok(())
+        }
+        Collective::Alltoall => {
+            for (r, store) in finals.iter().enumerate() {
+                for o in 0..p {
+                    let expected: Vec<f64> = (0..workload.elems_per_block)
+                        .map(|j| workload.pairwise_value(o, r, j))
+                        .collect();
+                    expect_block(
+                        store,
+                        r,
+                        BlockId::Pairwise { origin: o as u32, dest: r as u32 },
+                        &expected,
+                        "alltoall",
+                    )?;
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Convenience helper: builds the workload for a schedule, runs it on the
+/// sequential executor and verifies the result.
+pub fn run_and_verify(schedule: &bine_sched::Schedule, elems_per_block: usize) -> VerifyResult {
+    let workload = Workload::for_schedule(schedule, elems_per_block);
+    let finals = crate::sequential::run(schedule, workload.initial_state(schedule));
+    verify(&workload, &finals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bine_sched::collectives::{allreduce, AllreduceAlg};
+
+    #[test]
+    fn verification_passes_for_a_correct_schedule() {
+        let sched = allreduce(8, AllreduceAlg::BineSmall);
+        assert!(run_and_verify(&sched, 2).is_ok());
+    }
+
+    #[test]
+    fn verification_detects_corrupted_results() {
+        let sched = allreduce(8, AllreduceAlg::BineSmall);
+        let w = Workload::for_schedule(&sched, 2);
+        let mut finals = crate::sequential::run(&sched, w.initial_state(&sched));
+        // Corrupt one element on one rank.
+        let mut v = finals[3].get(&BlockId::Full).unwrap().clone();
+        v[0] += 1.0;
+        finals[3].insert(BlockId::Full, v);
+        let err = verify(&w, &finals).unwrap_err();
+        assert!(err.contains("rank 3"), "{err}");
+    }
+
+    #[test]
+    fn verification_detects_missing_blocks() {
+        let sched = allreduce(8, AllreduceAlg::BineLarge);
+        let w = Workload::for_schedule(&sched, 2);
+        let mut finals = crate::sequential::run(&sched, w.initial_state(&sched));
+        finals[0] = BlockStore::new();
+        assert!(verify(&w, &finals).is_err());
+    }
+}

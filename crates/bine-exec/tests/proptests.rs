@@ -1,0 +1,50 @@
+//! Property-based end-to-end tests: random collective, algorithm, rank count
+//! and root — the executed result must always satisfy the collective's
+//! post-condition.
+
+use bine_exec::state::Workload;
+use bine_exec::{sequential, verify};
+use bine_sched::{algorithms, build, Collective};
+use proptest::prelude::*;
+
+fn any_collective() -> impl Strategy<Value = Collective> {
+    prop::sample::select(Collective::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_algorithm_instances_verify(
+        collective in any_collective(),
+        s in 1u32..=7,
+        alg_seed in 0usize..100,
+        root_seed in 0usize..1000,
+        elems in 1usize..4,
+    ) {
+        let p = 1usize << s;
+        let algs = algorithms(collective);
+        let alg = &algs[alg_seed % algs.len()];
+        let root = root_seed % p;
+        let sched = build(collective, alg.name, p, root).expect(alg.name);
+        prop_assert!(sched.validate().is_ok());
+        let workload = Workload::for_schedule(&sched, elems);
+        let finals = sequential::run(&sched, workload.initial_state(&sched));
+        if let Err(e) = verify::verify(&workload, &finals) {
+            return Err(TestCaseError::fail(format!("{:?}/{}: {e}", collective, alg.name)));
+        }
+    }
+
+    #[test]
+    fn schedules_never_exceed_one_send_and_receive_per_rank_per_step(
+        collective in any_collective(),
+        s in 1u32..=6,
+        alg_seed in 0usize..100,
+    ) {
+        let p = 1usize << s;
+        let algs = algorithms(collective);
+        let alg = &algs[alg_seed % algs.len()];
+        let sched = build(collective, alg.name, p, 0).expect(alg.name);
+        prop_assert!(sched.validate().is_ok(), "{}", alg.name);
+    }
+}

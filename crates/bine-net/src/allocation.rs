@@ -1,0 +1,141 @@
+//! Rank-to-node allocations.
+//!
+//! The paper stresses that the scheduler's process-to-node allocation is not
+//! known in advance and is rarely an even split across groups (Sec. 1). This
+//! module provides the allocation models used by the experiments: contiguous
+//! block allocations (Slurm's default), allocations with several processes
+//! per node, and fragmented allocations sampled from a partially occupied
+//! machine (see [`crate::trace`]).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::topology::{NodeId, Topology};
+
+/// A mapping from rank identifiers to compute nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allocation {
+    rank_to_node: Vec<NodeId>,
+}
+
+impl Allocation {
+    /// Creates an allocation from an explicit rank→node table.
+    pub fn new(rank_to_node: Vec<NodeId>) -> Self {
+        assert!(!rank_to_node.is_empty(), "an allocation needs at least one rank");
+        Self { rank_to_node }
+    }
+
+    /// Contiguous block allocation with one process per node: rank `r` runs
+    /// on node `r`. This models Slurm's default `block` distribution on an
+    /// empty machine and is the placement assumed by Fig. 1.
+    pub fn block(num_ranks: usize) -> Self {
+        Self::new((0..num_ranks).collect())
+    }
+
+    /// Contiguous block allocation with `ppn` processes per node: ranks
+    /// `[r·ppn, (r+1)·ppn)` run on node `r` (Sec. 6.1).
+    pub fn block_with_ppn(num_ranks: usize, ppn: usize) -> Self {
+        assert!(ppn >= 1);
+        Self::new((0..num_ranks).map(|r| r / ppn).collect())
+    }
+
+    /// Allocation over an explicit, already-chosen node list (one rank per
+    /// listed node, in order). This is how trace-sampled allocations are fed
+    /// in: the node list is sorted by hostname, as recommended in Sec. 2.2.
+    pub fn from_nodes(nodes: Vec<NodeId>) -> Self {
+        Self::new(nodes)
+    }
+
+    /// Random allocation of `num_ranks` distinct nodes of `topo`.
+    pub fn random<R: Rng>(num_ranks: usize, topo: &dyn Topology, rng: &mut R) -> Self {
+        assert!(num_ranks <= topo.num_nodes());
+        let mut nodes: Vec<NodeId> = (0..topo.num_nodes()).collect();
+        nodes.shuffle(rng);
+        nodes.truncate(num_ranks);
+        // Sort by hostname (node id), matching the rank reordering the paper
+        // applies when the allocation is not already linear.
+        nodes.sort_unstable();
+        Self::new(nodes)
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.rank_to_node.len()
+    }
+
+    /// Node hosting `rank`.
+    pub fn node_of(&self, rank: usize) -> NodeId {
+        self.rank_to_node[rank]
+    }
+
+    /// The underlying rank→node table.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.rank_to_node
+    }
+
+    /// Number of distinct groups of `topo` spanned by this allocation.
+    pub fn groups_spanned(&self, topo: &dyn Topology) -> usize {
+        let mut groups: Vec<usize> =
+            self.rank_to_node.iter().map(|&n| topo.group_of(n)).collect();
+        groups.sort_unstable();
+        groups.dedup();
+        groups.len()
+    }
+
+    /// Number of ranks placed in each group of `topo`.
+    pub fn ranks_per_group(&self, topo: &dyn Topology) -> Vec<usize> {
+        let mut counts = vec![0usize; topo.num_groups()];
+        for &n in &self.rank_to_node {
+            counts[topo.group_of(n)] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Dragonfly;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn block_allocation_is_identity() {
+        let a = Allocation::block(16);
+        for r in 0..16 {
+            assert_eq!(a.node_of(r), r);
+        }
+    }
+
+    #[test]
+    fn ppn_allocation_packs_ranks() {
+        let a = Allocation::block_with_ppn(16, 4);
+        assert_eq!(a.node_of(0), 0);
+        assert_eq!(a.node_of(3), 0);
+        assert_eq!(a.node_of(4), 1);
+        assert_eq!(a.node_of(15), 3);
+    }
+
+    #[test]
+    fn groups_spanned_counts_distinct_groups() {
+        let topo = Dragonfly::lumi();
+        let a = Allocation::block(300); // 124 nodes per group -> 3 groups
+        assert_eq!(a.groups_spanned(&topo), 3);
+        let per_group = a.ranks_per_group(&topo);
+        assert_eq!(per_group[0], 124);
+        assert_eq!(per_group[1], 124);
+        assert_eq!(per_group[2], 52);
+    }
+
+    #[test]
+    fn random_allocation_has_distinct_sorted_nodes() {
+        let topo = Dragonfly::lumi();
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Allocation::random(256, &topo, &mut rng);
+        assert_eq!(a.num_ranks(), 256);
+        let mut nodes = a.nodes().to_vec();
+        assert!(nodes.windows(2).all(|w| w[0] < w[1]));
+        nodes.dedup();
+        assert_eq!(nodes.len(), 256);
+    }
+}

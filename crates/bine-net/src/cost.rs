@@ -1,0 +1,221 @@
+//! A synchronous alpha–beta–congestion cost model.
+//!
+//! The paper measures wall-clock time on four production systems; this
+//! reproduction substitutes a cost model that charges exactly the effects the
+//! paper attributes performance differences to:
+//!
+//! * **latency (alpha)** per message, higher over global links;
+//! * **serialisation (beta)**: the bytes offered to each link divided by the
+//!   link bandwidth — so several messages sharing an oversubscribed global
+//!   link within a step slow each other down (the Fig. 1 effect);
+//! * **non-contiguity overhead**: a per-extra-segment charge modelling
+//!   datatype packing / multiple sends (Sec. 4.3.1, Appendix B);
+//! * **local work**: memory-copy time for buffer permutations and a
+//!   reduction term proportional to the bytes each rank has to combine.
+//!
+//! Absolute numbers are not meant to match the paper's machines; the *shape*
+//! of comparisons (who wins where, where crossovers sit) is.
+
+use bine_sched::{Schedule, TransferKind};
+
+use crate::allocation::Allocation;
+use crate::topology::Topology;
+
+/// Bytes per microsecond for one GiB/s.
+const GIB_PER_US: f64 = 1024.0 * 1024.0 * 1024.0 / 1e6;
+
+/// Tunable parameters of the cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Fixed per-message software/NIC overhead in microseconds.
+    pub alpha_us: f64,
+    /// Additional per-message overhead for every memory segment beyond the
+    /// first (non-contiguous sends, Sec. 4.3.1).
+    pub segment_overhead_us: f64,
+    /// Local memory-copy bandwidth (GiB/s), used for local permutation steps.
+    pub copy_bandwidth_gib_s: f64,
+    /// Local reduction bandwidth (GiB/s): bytes a rank can combine per unit
+    /// time when applying a reduction operator to received data.
+    pub reduce_bandwidth_gib_s: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            alpha_us: 1.3,
+            segment_overhead_us: 0.35,
+            copy_bandwidth_gib_s: 28.0,
+            reduce_bandwidth_gib_s: 20.0,
+        }
+    }
+}
+
+/// Breakdown of the modelled execution time of one schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostBreakdown {
+    /// Total modelled time in microseconds.
+    pub total_us: f64,
+    /// Portion attributed to per-message latency and segment overheads.
+    pub latency_us: f64,
+    /// Portion attributed to link serialisation (bandwidth/congestion).
+    pub bandwidth_us: f64,
+    /// Portion attributed to local copies and reductions.
+    pub compute_us: f64,
+}
+
+impl CostModel {
+    /// Estimates the execution time of `schedule` with `n`-byte vectors on
+    /// `topo` under `alloc`. Steps are synchronous: a step finishes when its
+    /// slowest rank/link finishes; the schedule time is the sum of its steps.
+    pub fn estimate(
+        &self,
+        schedule: &Schedule,
+        n: u64,
+        topo: &dyn Topology,
+        alloc: &Allocation,
+    ) -> CostBreakdown {
+        assert!(alloc.num_ranks() >= schedule.num_ranks);
+        let p = schedule.num_ranks;
+        let mut out = CostBreakdown::default();
+        let mut link_bytes = vec![0u64; topo.num_links()];
+        let mut link_msgs = vec![0u32; topo.num_links()];
+        let mut touched: Vec<usize> = Vec::new();
+
+        for step in &schedule.steps {
+            if step.messages.is_empty() {
+                continue;
+            }
+            let mut max_latency = 0.0f64;
+            let mut max_local = 0.0f64;
+            let mut max_reduce = 0.0f64;
+            for l in touched.drain(..) {
+                link_bytes[l] = 0;
+                link_msgs[l] = 0;
+            }
+
+            for m in &step.messages {
+                let bytes = m.bytes(n, p) as f64;
+                if m.is_local() {
+                    max_local =
+                        max_local.max(bytes / (self.copy_bandwidth_gib_s * GIB_PER_US));
+                    continue;
+                }
+                let (src, dst) = (alloc.node_of(m.src), alloc.node_of(m.dst));
+                let mut path_latency = self.alpha_us
+                    + self.segment_overhead_us * (m.segments.saturating_sub(1)) as f64;
+                for link in topo.route(src, dst) {
+                    path_latency += topo.link(link).latency_us;
+                    if link_msgs[link] == 0 {
+                        touched.push(link);
+                    }
+                    link_bytes[link] += m.bytes(n, p);
+                    link_msgs[link] += 1;
+                }
+                max_latency = max_latency.max(path_latency);
+                if m.kind == TransferKind::Reduce {
+                    max_reduce =
+                        max_reduce.max(bytes / (self.reduce_bandwidth_gib_s * GIB_PER_US));
+                }
+            }
+
+            // Serialisation on shared links: a link traversed by several
+            // messages in the same step delivers them one after the other,
+            // which both divides the effective bandwidth (the byte term
+            // below) and queues the message headers (the latency term here).
+            // This is the "limited number of concurrent communications" of
+            // oversubscribed global links that Sec. 1 describes.
+            let mut max_link_time = 0.0f64;
+            let mut max_queueing = 0.0f64;
+            for &l in &touched {
+                let info = topo.link(l);
+                let t = link_bytes[l] as f64 / (info.bandwidth_gib_s * GIB_PER_US);
+                max_link_time = max_link_time.max(t);
+                let q = (link_msgs[l].saturating_sub(1)) as f64 * info.latency_us;
+                max_queueing = max_queueing.max(q);
+            }
+            let max_latency = max_latency + max_queueing;
+
+            let step_bandwidth = max_link_time.max(max_local);
+            out.latency_us += max_latency;
+            out.bandwidth_us += step_bandwidth;
+            out.compute_us += max_reduce;
+            out.total_us += max_latency + step_bandwidth + max_reduce;
+        }
+        out
+    }
+
+    /// Shorthand returning only the total modelled time in microseconds.
+    pub fn time_us(
+        &self,
+        schedule: &Schedule,
+        n: u64,
+        topo: &dyn Topology,
+        alloc: &Allocation,
+    ) -> f64 {
+        self.estimate(schedule, n, topo, alloc).total_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{Dragonfly, FatTree};
+    use bine_sched::collectives::{allreduce, broadcast, AllreduceAlg, BroadcastAlg};
+
+    #[test]
+    fn distance_halving_broadcast_is_faster_on_oversubscribed_fat_tree() {
+        // The Fig. 1 motivation: fewer bytes on the shared uplinks means a
+        // lower modelled runtime for the distance-halving variant.
+        let topo = FatTree::figure1();
+        let alloc = Allocation::block(8);
+        let model = CostModel::default();
+        let n = 8 << 20;
+        let dd = broadcast(8, 0, BroadcastAlg::BinomialDistanceDoubling);
+        let dh = broadcast(8, 0, BroadcastAlg::BinomialDistanceHalving);
+        assert!(
+            model.time_us(&dh, n, &topo, &alloc) < model.time_us(&dd, n, &topo, &alloc),
+            "distance halving should win on the Fig. 1 example"
+        );
+    }
+
+    #[test]
+    fn latency_dominates_small_vectors_and_bandwidth_dominates_large_ones() {
+        let topo = Dragonfly::lumi();
+        let alloc = Allocation::block(256);
+        let model = CostModel::default();
+        let sched = allreduce(256, AllreduceAlg::BineLarge);
+        let small = model.estimate(&sched, 256, &topo, &alloc);
+        let large = model.estimate(&sched, 256 << 20, &topo, &alloc);
+        assert!(small.latency_us > small.bandwidth_us);
+        assert!(large.bandwidth_us > large.latency_us);
+    }
+
+    #[test]
+    fn ring_beats_logarithmic_algorithms_only_for_large_vectors_at_small_scale() {
+        // Sec. 5.2.2: the ring allreduce is usually more effective only for
+        // large vectors at small node counts.
+        let topo = Dragonfly::lumi();
+        let model = CostModel::default();
+        let p = 16;
+        let alloc = Allocation::block(p);
+        let ring = allreduce(p, AllreduceAlg::Ring);
+        let bine_small = allreduce(p, AllreduceAlg::BineSmall);
+        // Small vector: the ring's p-1 latency-bound steps lose badly.
+        assert!(
+            model.time_us(&bine_small, 256, &topo, &alloc)
+                < model.time_us(&ring, 256, &topo, &alloc)
+        );
+    }
+
+    #[test]
+    fn more_steps_cost_more_latency() {
+        let topo = Dragonfly::lumi();
+        let alloc = Allocation::block(64);
+        let model = CostModel::default();
+        let rd = allreduce(64, AllreduceAlg::RecursiveDoubling);
+        let ring = allreduce(64, AllreduceAlg::Ring);
+        let rd_cost = model.estimate(&rd, 64, &topo, &alloc);
+        let ring_cost = model.estimate(&ring, 64, &topo, &alloc);
+        assert!(ring_cost.latency_us > rd_cost.latency_us);
+    }
+}

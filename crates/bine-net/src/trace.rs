@@ -1,0 +1,160 @@
+//! Synthetic job-allocation traces.
+//!
+//! Sec. 2.4.2 analyses one to two weeks of real Slurm allocation data from
+//! Leonardo and LUMI. That data is not publicly available, so this module
+//! generates allocations with the same qualitative properties: the scheduler
+//! hands a job the lowest-numbered free nodes (Slurm `block` distribution),
+//! but because the machine is busy the free nodes are fragmented across
+//! Dragonfly/Dragonfly+ groups, and the per-group rank counts are uneven.
+
+use rand::Rng;
+
+use crate::allocation::Allocation;
+use crate::topology::{NodeId, Topology};
+
+/// Generator of fragmented job allocations on a group-based machine.
+#[derive(Debug, Clone)]
+pub struct JobTraceGenerator {
+    /// Fraction of the machine already occupied by other jobs (0.0–0.95).
+    pub occupancy: f64,
+    /// Probability that an occupied node frees up between consecutive
+    /// samples, controlling how correlated successive allocations are.
+    pub churn: f64,
+}
+
+impl Default for JobTraceGenerator {
+    fn default() -> Self {
+        Self { occupancy: 0.55, churn: 0.3 }
+    }
+}
+
+/// One sampled job allocation.
+#[derive(Debug, Clone)]
+pub struct JobSample {
+    /// The nodes handed to the job, sorted by node id (hostname order).
+    pub nodes: Vec<NodeId>,
+}
+
+impl JobSample {
+    /// The allocation (one rank per node, ranks sorted by hostname).
+    pub fn allocation(&self) -> Allocation {
+        Allocation::from_nodes(self.nodes.clone())
+    }
+}
+
+impl JobTraceGenerator {
+    /// Creates a generator with a given machine occupancy.
+    pub fn with_occupancy(occupancy: f64) -> Self {
+        assert!((0.0..=0.95).contains(&occupancy), "occupancy out of range");
+        Self { occupancy, ..Self::default() }
+    }
+
+    /// Samples `count` allocations of `job_nodes` nodes each on `topo`.
+    ///
+    /// Every sample re-draws the busy set (partially correlated through the
+    /// churn parameter), marks the requested number of nodes free if the
+    /// machine is too full, and then assigns the lowest-numbered free nodes
+    /// to the job.
+    pub fn sample<R: Rng>(
+        &self,
+        topo: &dyn Topology,
+        job_nodes: usize,
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<JobSample> {
+        let n = topo.num_nodes();
+        assert!(job_nodes >= 1 && job_nodes <= n, "job of {job_nodes} nodes on {n}-node machine");
+        let mut busy = vec![false; n];
+        for b in busy.iter_mut() {
+            *b = rng.gen_bool(self.occupancy);
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            // Churn: occupied nodes free up, free nodes get taken.
+            for b in busy.iter_mut() {
+                if rng.gen_bool(self.churn) {
+                    *b = rng.gen_bool(self.occupancy);
+                }
+            }
+            // Make sure the job fits by freeing random nodes if needed.
+            let mut free: usize = busy.iter().filter(|&&b| !b).count();
+            while free < job_nodes {
+                let candidate = rng.gen_range(0..n);
+                if busy[candidate] {
+                    busy[candidate] = false;
+                    free += 1;
+                }
+            }
+            // Slurm block distribution: lowest-numbered free nodes first.
+            let nodes: Vec<NodeId> =
+                (0..n).filter(|&i| !busy[i]).take(job_nodes).collect();
+            // The job now occupies those nodes.
+            for &i in &nodes {
+                busy[i] = true;
+            }
+            out.push(JobSample { nodes });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Dragonfly;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_have_the_requested_size_and_are_sorted() {
+        let topo = Dragonfly::lumi();
+        let gen = JobTraceGenerator::default();
+        let mut rng = StdRng::seed_from_u64(42);
+        for sample in gen.sample(&topo, 256, 20, &mut rng) {
+            assert_eq!(sample.nodes.len(), 256);
+            assert!(sample.nodes.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn fragmented_allocations_span_more_groups_than_packed_ones() {
+        let topo = Dragonfly::lumi();
+        let mut rng = StdRng::seed_from_u64(1);
+        let fragmented = JobTraceGenerator::with_occupancy(0.7);
+        let samples = fragmented.sample(&topo, 256, 10, &mut rng);
+        let avg_groups: f64 = samples
+            .iter()
+            .map(|s| s.allocation().groups_spanned(&topo) as f64)
+            .sum::<f64>()
+            / samples.len() as f64;
+        // A perfectly packed 256-node job needs ⌈256 / 124⌉ = 3 groups; a
+        // fragmented one uses clearly more.
+        assert!(avg_groups > 4.0, "avg groups {avg_groups}");
+    }
+
+    #[test]
+    fn zero_occupancy_gives_packed_blocks() {
+        let topo = Dragonfly::lumi();
+        let gen = JobTraceGenerator { occupancy: 0.0, churn: 0.0 };
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples = gen.sample(&topo, 124, 1, &mut rng);
+        assert_eq!(samples[0].allocation().groups_spanned(&topo), 1);
+    }
+
+    #[test]
+    fn per_group_rank_counts_are_uneven() {
+        // Sec. 1: allocations rarely give the same number of ranks per group.
+        let topo = Dragonfly::lumi();
+        let gen = JobTraceGenerator::default();
+        let mut rng = StdRng::seed_from_u64(11);
+        let sample = &gen.sample(&topo, 512, 1, &mut rng)[0];
+        let counts: Vec<usize> = sample
+            .allocation()
+            .ranks_per_group(&topo)
+            .into_iter()
+            .filter(|&c| c > 0)
+            .collect();
+        let all_equal = counts.windows(2).all(|w| w[0] == w[1]);
+        assert!(!all_equal, "expected uneven per-group counts, got {counts:?}");
+    }
+}

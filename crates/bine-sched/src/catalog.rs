@@ -1,0 +1,203 @@
+//! A string-keyed catalog of every (collective, algorithm) pair, used by the
+//! benchmark harness and the examples to enumerate and build schedules
+//! without hard-coding enum variants.
+
+use crate::collectives::{
+    allgather, allreduce, alltoall, broadcast, gather, reduce, reduce_scatter, scatter,
+    AllgatherAlg, AllreduceAlg, AlltoallAlg, BroadcastAlg, GatherAlg, ReduceAlg, ReduceScatterAlg,
+    ScatterAlg,
+};
+use crate::noncontig::NonContigStrategy;
+use crate::schedule::{Collective, Schedule};
+
+/// A named algorithm for a given collective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AlgorithmId {
+    /// The collective the algorithm implements.
+    pub collective: Collective,
+    /// The algorithm name (matches the per-collective enum names).
+    pub name: &'static str,
+    /// Whether this is one of the paper's Bine algorithms.
+    pub is_bine: bool,
+    /// Whether this algorithm plays the role of the *binomial-tree /
+    /// butterfly baseline* in the paper's head-to-head tables (Tables 3–5).
+    pub is_binomial_baseline: bool,
+}
+
+/// Lists every algorithm available for `collective`.
+pub fn algorithms(collective: Collective) -> Vec<AlgorithmId> {
+    let mk = |name, is_bine, is_binomial_baseline| AlgorithmId {
+        collective,
+        name,
+        is_bine,
+        is_binomial_baseline,
+    };
+    match collective {
+        Collective::Broadcast => BroadcastAlg::ALL
+            .iter()
+            .map(|a| {
+                mk(a.name(), a.is_bine(), matches!(a, BroadcastAlg::BinomialDistanceDoubling))
+            })
+            .collect(),
+        Collective::Reduce => ReduceAlg::ALL
+            .iter()
+            .map(|a| mk(a.name(), a.is_bine(), matches!(a, ReduceAlg::BinomialDistanceDoubling)))
+            .collect(),
+        Collective::Gather => GatherAlg::ALL
+            .iter()
+            .map(|a| mk(a.name(), a.is_bine(), matches!(a, GatherAlg::BinomialDistanceDoubling)))
+            .collect(),
+        Collective::Scatter => ScatterAlg::ALL
+            .iter()
+            .map(|a| mk(a.name(), a.is_bine(), matches!(a, ScatterAlg::BinomialDistanceDoubling)))
+            .collect(),
+        Collective::Allgather => AllgatherAlg::ALL
+            .iter()
+            .map(|a| mk(a.name(), a.is_bine(), matches!(a, AllgatherAlg::RecursiveDoubling)))
+            .collect(),
+        Collective::ReduceScatter => ReduceScatterAlg::ALL
+            .iter()
+            .map(|a| {
+                mk(a.name(), a.is_bine(), matches!(a, ReduceScatterAlg::RecursiveHalving))
+            })
+            .collect(),
+        Collective::Allreduce => AllreduceAlg::ALL
+            .iter()
+            .map(|a| mk(a.name(), a.is_bine(), matches!(a, AllreduceAlg::RecursiveDoubling)))
+            .collect(),
+        Collective::Alltoall => AlltoallAlg::ALL
+            .iter()
+            .map(|a| mk(a.name(), a.is_bine(), matches!(a, AlltoallAlg::Bruck)))
+            .collect(),
+    }
+}
+
+/// Builds the schedule for a named algorithm.
+///
+/// `root` is used only by the rooted collectives. Returns `None` if the name
+/// is unknown for that collective.
+pub fn build(collective: Collective, name: &str, p: usize, root: usize) -> Option<Schedule> {
+    let sched = match collective {
+        Collective::Broadcast => {
+            let alg = BroadcastAlg::ALL.into_iter().find(|a| a.name() == name)?;
+            broadcast(p, root, alg)
+        }
+        Collective::Reduce => {
+            let alg = ReduceAlg::ALL.into_iter().find(|a| a.name() == name)?;
+            reduce(p, root, alg)
+        }
+        Collective::Gather => {
+            let alg = GatherAlg::ALL.into_iter().find(|a| a.name() == name)?;
+            gather(p, root, alg)
+        }
+        Collective::Scatter => {
+            let alg = ScatterAlg::ALL.into_iter().find(|a| a.name() == name)?;
+            scatter(p, root, alg)
+        }
+        Collective::Allgather => {
+            let alg = AllgatherAlg::ALL.into_iter().find(|a| a.name() == name)?;
+            allgather(p, alg)
+        }
+        Collective::ReduceScatter => {
+            let alg = rs_by_name(name)?;
+            reduce_scatter(p, alg)
+        }
+        Collective::Allreduce => {
+            let alg = AllreduceAlg::ALL.into_iter().find(|a| a.name() == name)?;
+            allreduce(p, alg)
+        }
+        Collective::Alltoall => {
+            let alg = AlltoallAlg::ALL.into_iter().find(|a| a.name() == name)?;
+            alltoall(p, alg)
+        }
+    };
+    Some(sched)
+}
+
+fn rs_by_name(name: &str) -> Option<ReduceScatterAlg> {
+    if let Some(alg) = ReduceScatterAlg::ALL.into_iter().find(|a| a.name() == name) {
+        return Some(alg);
+    }
+    NonContigStrategy::ALL
+        .into_iter()
+        .map(ReduceScatterAlg::Bine)
+        .find(|a| a.name() == name)
+}
+
+/// The algorithm the paper treats as "the Bine algorithm" for a collective
+/// and a given vector size (`small` switches between the small- and
+/// large-vector variants where applicable).
+pub fn bine_default(collective: Collective, small_vector: bool) -> &'static str {
+    match (collective, small_vector) {
+        (Collective::Broadcast, true) => "bine-tree",
+        (Collective::Broadcast, false) => "bine-scatter-allgather",
+        (Collective::Reduce, true) => "bine-tree",
+        (Collective::Reduce, false) => "bine-rs-gather",
+        (Collective::Gather, _) | (Collective::Scatter, _) => "bine",
+        (Collective::Allgather, _) => "bine",
+        (Collective::ReduceScatter, _) => "bine-permute",
+        (Collective::Allreduce, true) => "bine-small",
+        (Collective::Allreduce, false) => "bine-large",
+        (Collective::Alltoall, _) => "bine",
+    }
+}
+
+/// The binomial-tree / butterfly baseline the paper compares against in
+/// Tables 3–5 for a collective and vector-size regime.
+pub fn binomial_default(collective: Collective, small_vector: bool) -> &'static str {
+    match (collective, small_vector) {
+        (Collective::Broadcast, true) => "binomial-dd",
+        (Collective::Broadcast, false) => "scatter-allgather",
+        (Collective::Reduce, true) => "binomial-dd",
+        (Collective::Reduce, false) => "rs-gather",
+        (Collective::Gather, _) | (Collective::Scatter, _) => "binomial-dd",
+        (Collective::Allgather, _) => "recursive-doubling",
+        (Collective::ReduceScatter, _) => "recursive-halving",
+        (Collective::Allreduce, true) => "recursive-doubling",
+        (Collective::Allreduce, false) => "rabenseifner",
+        (Collective::Alltoall, _) => "bruck",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_algorithm_builds() {
+        for collective in Collective::ALL {
+            let algs = algorithms(collective);
+            assert!(!algs.is_empty());
+            for alg in algs {
+                let sched = build(collective, alg.name, 32, 3).expect(alg.name);
+                assert_eq!(sched.collective, collective);
+                assert!(sched.validate().is_ok(), "{}", alg.name);
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_one_binomial_baseline_per_collective() {
+        for collective in Collective::ALL {
+            let n = algorithms(collective).iter().filter(|a| a.is_binomial_baseline).count();
+            assert_eq!(n, 1, "{collective:?}");
+        }
+    }
+
+    #[test]
+    fn defaults_resolve_to_real_algorithms() {
+        for collective in Collective::ALL {
+            for small in [true, false] {
+                assert!(build(collective, bine_default(collective, small), 16, 0).is_some());
+                assert!(build(collective, binomial_default(collective, small), 16, 0).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_variants_are_reachable_by_name() {
+        for name in ["bine-block-by-block", "bine-send", "bine-two-transmissions"] {
+            assert!(build(Collective::ReduceScatter, name, 16, 0).is_some(), "{name}");
+        }
+    }
+}

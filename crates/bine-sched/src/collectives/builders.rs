@@ -1,0 +1,587 @@
+//! Generic schedule builders parameterised by a tree or butterfly pattern.
+//!
+//! Every collective of the paper is obtained by instantiating one of these
+//! builders with either a Bine pattern or a baseline pattern (binomial tree,
+//! recursive doubling/halving, ring, Bruck, …). Keeping the builders generic
+//! guarantees that Bine and baseline schedules share exactly the same data
+//! semantics and differ only in *who talks to whom* — which is precisely the
+//! paper's claim.
+
+use bine_core::block::nu_bit_reversal_permutation;
+use bine_core::butterfly::Butterfly;
+use bine_core::tree::CommTree;
+
+use crate::noncontig::NonContigStrategy;
+use crate::schedule::{BlockId, Collective, Message, Schedule, Step, TransferKind};
+
+/// Broadcast of the whole vector down a tree: at every tree step each active
+/// rank forwards the full vector to the child joining at that step.
+pub fn tree_broadcast(tree: &dyn CommTree, algorithm: &str) -> Schedule {
+    let p = tree.num_ranks();
+    let mut sched = Schedule::new(p, Collective::Broadcast, algorithm, tree.root());
+    for step in 0..tree.num_steps() {
+        let mut st = Step::new();
+        for r in 0..p {
+            if step >= tree.first_send_step(r) && is_active(tree, r, step) {
+                if let Some(c) = tree.partner(r, step) {
+                    st.push(Message::new(r, c, vec![BlockId::Full], TransferKind::Copy, p));
+                }
+            }
+        }
+        sched.push_step(st);
+    }
+    sched
+}
+
+/// Reduction of the whole vector up a tree: the mirror image of
+/// [`tree_broadcast`], with children sending their partial reductions to
+/// their parents in reverse step order.
+pub fn tree_reduce(tree: &dyn CommTree, algorithm: &str) -> Schedule {
+    let p = tree.num_ranks();
+    let s = tree.num_steps();
+    let mut sched = Schedule::new(p, Collective::Reduce, algorithm, tree.root());
+    for gather_step in 0..s {
+        let tree_step = s - 1 - gather_step;
+        let mut st = Step::new();
+        for r in 0..p {
+            if tree.recv_step(r) == Some(tree_step) {
+                let parent = tree.parent(r).expect("non-root rank has a parent");
+                st.push(Message::new(r, parent, vec![BlockId::Full], TransferKind::Reduce, p));
+            }
+        }
+        sched.push_step(st);
+    }
+    sched
+}
+
+/// Gather up a tree: each rank, when its turn comes (reverse tree order),
+/// sends the blocks of its whole subtree to its parent.
+pub fn tree_gather(tree: &dyn CommTree, algorithm: &str) -> Schedule {
+    let p = tree.num_ranks();
+    let s = tree.num_steps();
+    let mut sched = Schedule::new(p, Collective::Gather, algorithm, tree.root());
+    for gather_step in 0..s {
+        let tree_step = s - 1 - gather_step;
+        let mut st = Step::new();
+        for r in 0..p {
+            if tree.recv_step(r) == Some(tree_step) {
+                let parent = tree.parent(r).expect("non-root rank has a parent");
+                let blocks: Vec<BlockId> =
+                    tree.subtree(r).into_iter().map(|b| BlockId::Segment(b as u32)).collect();
+                st.push(Message::new(r, parent, blocks, TransferKind::Copy, p));
+            }
+        }
+        sched.push_step(st);
+    }
+    sched
+}
+
+/// Scatter down a tree: each rank, when forwarding, sends the child the
+/// blocks of the child's subtree (Sec. 4.2).
+pub fn tree_scatter(tree: &dyn CommTree, algorithm: &str) -> Schedule {
+    let p = tree.num_ranks();
+    let mut sched = Schedule::new(p, Collective::Scatter, algorithm, tree.root());
+    for step in 0..tree.num_steps() {
+        let mut st = Step::new();
+        for r in 0..p {
+            if step >= tree.first_send_step(r) && is_active(tree, r, step) {
+                if let Some(c) = tree.partner(r, step) {
+                    let blocks: Vec<BlockId> =
+                        tree.subtree(c).into_iter().map(|b| BlockId::Segment(b as u32)).collect();
+                    st.push(Message::new(r, c, blocks, TransferKind::Copy, p));
+                }
+            }
+        }
+        sched.push_step(st);
+    }
+    sched
+}
+
+/// Whether rank `r` already holds the data at `step` (i.e. it is the root or
+/// it received the data at an earlier step).
+fn is_active(tree: &dyn CommTree, r: usize, step: u32) -> bool {
+    match tree.recv_step(r) {
+        None => true,
+        Some(i) => step > i,
+    }
+}
+
+/// Allgather over a butterfly: at every step each rank sends everything it
+/// currently holds to its partner, so holdings double until every rank has
+/// the whole vector.
+pub fn butterfly_allgather(bf: &Butterfly, algorithm: &str) -> Schedule {
+    let p = bf.num_ranks();
+    let mut sched = Schedule::new(p, Collective::Allgather, algorithm, 0);
+    let mut have: Vec<Vec<u32>> = (0..p).map(|r| vec![r as u32]).collect();
+    for step in 0..bf.num_steps() {
+        let mut st = Step::new();
+        let snapshot = have.clone();
+        for r in 0..p {
+            let q = bf.partner(r, step);
+            let blocks: Vec<BlockId> =
+                snapshot[r].iter().map(|&b| BlockId::Segment(b)).collect();
+            st.push(Message::new(r, q, blocks, TransferKind::Copy, p));
+            have[q].extend(snapshot[r].iter().copied());
+        }
+        for set in &mut have {
+            set.sort_unstable();
+            set.dedup();
+        }
+        sched.push_step(st);
+    }
+    sched
+}
+
+/// Reduce-scatter over a butterfly with vector halving: at step `i` each rank
+/// sends its partner the blocks the partner is responsible for from step `i`
+/// on, and keeps its own responsibility set (Sec. 4.3).
+///
+/// The `strategy` controls how non-contiguous block sets are handled
+/// (Sec. 4.3.1); it affects the segment counts and any extra local-permute or
+/// reorder steps, but never the logical block routing.
+pub fn butterfly_reduce_scatter(
+    bf: &Butterfly,
+    strategy: NonContigStrategy,
+    algorithm: &str,
+) -> Schedule {
+    let p = bf.num_ranks();
+    let s = bf.num_steps();
+    let mut sched = Schedule::new(p, Collective::ReduceScatter, algorithm, 0);
+    if s == 0 {
+        return sched;
+    }
+
+    // Optional up-front local permutation pass (Permute strategy).
+    if strategy == NonContigStrategy::Permute {
+        let mut st = Step::new();
+        for r in 0..p {
+            let blocks: Vec<BlockId> = (0..p as u32).map(BlockId::Segment).collect();
+            st.push(Message::with_segments(r, r, blocks, TransferKind::Copy, 1));
+        }
+        sched.push_step(st);
+    }
+
+    let resp = bf.responsibilities();
+    for step in 0..s {
+        let mut st = Step::new();
+        for r in 0..p {
+            let q = bf.partner(r, step);
+            let blocks: Vec<BlockId> =
+                resp[step as usize][q].iter().map(|&b| BlockId::Segment(b)).collect();
+            let msg = match strategy {
+                NonContigStrategy::BlockByBlock => {
+                    let n_blocks = blocks.len() as u32;
+                    Message::with_segments(r, q, blocks, TransferKind::Reduce, n_blocks)
+                }
+                NonContigStrategy::Permute | NonContigStrategy::Send => {
+                    // Buffer is (virtually) permuted: one contiguous range.
+                    Message::with_segments(r, q, blocks, TransferKind::Reduce, 1)
+                }
+                NonContigStrategy::TwoTransmissions => {
+                    // Natural layout: at most two contiguous pieces for
+                    // distance-halving patterns, measured from the indices.
+                    Message::new(r, q, blocks, TransferKind::Reduce, p)
+                }
+            };
+            st.push(msg);
+        }
+        sched.push_step(st);
+    }
+
+    // The Send strategy pays one extra exchange at the end to move every
+    // block back to its true owner (unless a following collective undoes the
+    // permutation implicitly — composition helpers drop this step).
+    if strategy == NonContigStrategy::Send {
+        let perm = nu_bit_reversal_permutation(p);
+        let mut st = Step::new();
+        for r in 0..p {
+            let q = perm[r];
+            if q != r {
+                st.push(Message::with_segments(
+                    r,
+                    q,
+                    vec![BlockId::Segment(r as u32)],
+                    TransferKind::Copy,
+                    1,
+                ));
+            }
+        }
+        if !st.is_empty() {
+            sched.push_step(st);
+        }
+    }
+    sched
+}
+
+/// Reduce-scatter for use inside a composed collective (allreduce, reduce,
+/// …): identical to the `Permute` strategy but without the local permute
+/// pass, because the following phase implicitly restores the block order
+/// (Sec. 4.3.1, "Send").
+pub fn butterfly_reduce_scatter_composed(bf: &Butterfly, algorithm: &str) -> Schedule {
+    let mut sched = butterfly_reduce_scatter(bf, NonContigStrategy::Permute, algorithm);
+    if !sched.steps.is_empty() {
+        sched.steps.remove(0);
+    }
+    sched
+}
+
+/// Forces every network message of a schedule to be treated as a single
+/// contiguous transmission (used when a permutation — explicit or implicit —
+/// guarantees contiguity).
+pub fn force_contiguous(mut sched: Schedule) -> Schedule {
+    for step in &mut sched.steps {
+        for m in &mut step.messages {
+            if !m.is_local() {
+                m.segments = 1;
+            }
+        }
+    }
+    sched
+}
+
+/// Marks every network message of a schedule as maximally non-contiguous
+/// (one memory segment per block), modelling algorithms such as Swing that
+/// exchange the right blocks in a scattered layout (Sec. 4.4).
+pub fn mark_noncontiguous(mut sched: Schedule) -> Schedule {
+    for step in &mut sched.steps {
+        for m in &mut step.messages {
+            if !m.is_local() {
+                m.segments = m.blocks.len() as u32;
+            }
+        }
+    }
+    sched
+}
+
+/// Allgather whose transmissions are kept contiguous by a block permutation:
+/// the network messages are single contiguous ranges and, when `standalone`
+/// is true, a final local pass restores the natural block order
+/// (the allgather counterpart of the `permute` strategy, Sec. 4.3.1).
+pub fn butterfly_allgather_permute(bf: &Butterfly, standalone: bool, algorithm: &str) -> Schedule {
+    let p = bf.num_ranks();
+    let mut sched = force_contiguous(butterfly_allgather(bf, algorithm));
+    if standalone && p > 1 {
+        let mut st = Step::new();
+        for r in 0..p {
+            let blocks: Vec<BlockId> = (0..p as u32).map(BlockId::Segment).collect();
+            st.push(Message::with_segments(r, r, blocks, TransferKind::Copy, 1));
+        }
+        sched.push_step(st);
+    }
+    sched
+}
+
+/// Small-vector allreduce over a butterfly (recursive doubling style): the
+/// whole vector is exchanged and reduced at every step.
+pub fn butterfly_allreduce_small(bf: &Butterfly, algorithm: &str) -> Schedule {
+    let p = bf.num_ranks();
+    let mut sched = Schedule::new(p, Collective::Allreduce, algorithm, 0);
+    for step in 0..bf.num_steps() {
+        let mut st = Step::new();
+        for r in 0..p {
+            let q = bf.partner(r, step);
+            st.push(Message::new(r, q, vec![BlockId::Full], TransferKind::Reduce, p));
+        }
+        sched.push_step(st);
+    }
+    sched
+}
+
+/// Alltoall over a butterfly: at every step each rank forwards to its partner
+/// all held blocks whose *destination* lies in the partner's responsibility
+/// set, exactly like a reduce-scatter on destinations (Sec. 4.4).
+pub fn butterfly_alltoall(bf: &Butterfly, algorithm: &str) -> Schedule {
+    let p = bf.num_ranks();
+    let s = bf.num_steps();
+    let mut sched = Schedule::new(p, Collective::Alltoall, algorithm, 0);
+    if s == 0 {
+        return sched;
+    }
+    let resp = bf.responsibilities();
+    // held[r] = blocks (origin, dest) currently stored on rank r.
+    let mut held: Vec<Vec<(u32, u32)>> =
+        (0..p).map(|r| (0..p as u32).map(|d| (r as u32, d)).collect()).collect();
+    for step in 0..s {
+        let mut st = Step::new();
+        let snapshot = held.clone();
+        for r in 0..p {
+            let q = bf.partner(r, step);
+            let dest_set = &resp[step as usize][q];
+            let moving: Vec<(u32, u32)> = snapshot[r]
+                .iter()
+                .copied()
+                .filter(|&(_, d)| dest_set.binary_search(&d).is_ok())
+                .collect();
+            if moving.is_empty() {
+                continue;
+            }
+            let blocks: Vec<BlockId> =
+                moving.iter().map(|&(o, d)| BlockId::Pairwise { origin: o, dest: d }).collect();
+            st.push(Message::new(r, q, blocks, TransferKind::Copy, p));
+            held[r].retain(|b| !moving.contains(b));
+            held[q].extend(moving.iter().copied());
+        }
+        sched.push_step(st);
+    }
+    sched
+}
+
+/// Bruck's logarithmic alltoall: at step `k` every rank forwards to the rank
+/// `2^k` positions ahead all blocks whose remaining destination offset has
+/// bit `k` set.
+pub fn bruck_alltoall(p: usize, algorithm: &str) -> Schedule {
+    let mut sched = Schedule::new(p, Collective::Alltoall, algorithm, 0);
+    let steps = (usize::BITS - (p - 1).leading_zeros()) as usize;
+    let mut held: Vec<Vec<(u32, u32)>> =
+        (0..p).map(|r| (0..p as u32).map(|d| (r as u32, d)).collect()).collect();
+    for k in 0..steps {
+        let mut st = Step::new();
+        let snapshot = held.clone();
+        for r in 0..p {
+            let q = (r + (1 << k)) % p;
+            let moving: Vec<(u32, u32)> = snapshot[r]
+                .iter()
+                .copied()
+                .filter(|&(_, d)| ((d as usize + p - r) % p) >> k & 1 == 1)
+                .collect();
+            if moving.is_empty() {
+                continue;
+            }
+            let blocks: Vec<BlockId> =
+                moving.iter().map(|&(o, d)| BlockId::Pairwise { origin: o, dest: d }).collect();
+            st.push(Message::new(r, q, blocks, TransferKind::Copy, p));
+            held[r].retain(|b| !moving.contains(b));
+            held[q].extend(moving.iter().copied());
+        }
+        sched.push_step(st);
+    }
+    sched
+}
+
+/// Linear (pairwise shifted) alltoall: `p − 1` steps, at step `k` every rank
+/// sends one block directly to the rank `k` positions ahead.
+pub fn pairwise_alltoall(p: usize, algorithm: &str) -> Schedule {
+    let mut sched = Schedule::new(p, Collective::Alltoall, algorithm, 0);
+    for k in 1..p {
+        let mut st = Step::new();
+        for r in 0..p {
+            let q = (r + k) % p;
+            st.push(Message::new(
+                r,
+                q,
+                vec![BlockId::Pairwise { origin: r as u32, dest: q as u32 }],
+                TransferKind::Copy,
+                p,
+            ));
+        }
+        sched.push_step(st);
+    }
+    sched
+}
+
+/// Ring reduce-scatter: `p − 1` steps around the ring; at step `t` rank `r`
+/// forwards the partially-reduced segment `(r − t − 1) mod p` to its right
+/// neighbour. Rank `r` ends up owning segment `r`.
+pub fn ring_reduce_scatter(p: usize, algorithm: &str) -> Schedule {
+    let mut sched = Schedule::new(p, Collective::ReduceScatter, algorithm, 0);
+    for t in 0..p.saturating_sub(1) {
+        let mut st = Step::new();
+        for r in 0..p {
+            let seg = ((r + 2 * p) - t - 1) % p;
+            st.push(Message::new(
+                r,
+                (r + 1) % p,
+                vec![BlockId::Segment(seg as u32)],
+                TransferKind::Reduce,
+                p,
+            ));
+        }
+        sched.push_step(st);
+    }
+    sched
+}
+
+/// Ring allgather: `p − 1` steps around the ring; at step `t` rank `r`
+/// forwards segment `(r − t) mod p` to its right neighbour.
+pub fn ring_allgather(p: usize, algorithm: &str) -> Schedule {
+    let mut sched = Schedule::new(p, Collective::Allgather, algorithm, 0);
+    for t in 0..p.saturating_sub(1) {
+        let mut st = Step::new();
+        for r in 0..p {
+            let seg = ((r + p) - t) % p;
+            st.push(Message::new(
+                r,
+                (r + 1) % p,
+                vec![BlockId::Segment(seg as u32)],
+                TransferKind::Copy,
+                p,
+            ));
+        }
+        sched.push_step(st);
+    }
+    sched
+}
+
+/// Composes two schedules into a new one for `collective`, concatenating the
+/// steps (e.g. reduce-scatter + allgather = allreduce).
+pub fn compose(
+    collective: Collective,
+    algorithm: &str,
+    root: usize,
+    first: Schedule,
+    second: Schedule,
+) -> Schedule {
+    assert_eq!(first.num_ranks, second.num_ranks);
+    let mut sched = Schedule::new(first.num_ranks, collective, algorithm, root);
+    sched.extend_with(first);
+    sched.extend_with(second);
+    sched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bine_core::butterfly::ButterflyKind;
+    use bine_core::tree::{build_tree, TreeKind};
+    use std::collections::HashSet;
+
+    #[test]
+    fn tree_broadcast_has_p_minus_1_messages() {
+        for &kind in &TreeKind::ALL {
+            let tree = build_tree(kind, 64, 5);
+            let sched = tree_broadcast(tree.as_ref(), kind.name());
+            assert_eq!(sched.messages().count(), 63);
+            assert!(sched.validate().is_ok());
+            // Every rank except the root receives exactly once.
+            let mut recv = vec![0usize; 64];
+            for (_, m) in sched.messages() {
+                recv[m.dst] += 1;
+            }
+            assert_eq!(recv[5], 0);
+            assert!(recv.iter().enumerate().all(|(r, &c)| r == 5 || c == 1));
+        }
+    }
+
+    #[test]
+    fn tree_gather_and_scatter_move_whole_subtrees() {
+        let tree = build_tree(TreeKind::BineDistanceHalving, 32, 0);
+        let gather = tree_gather(tree.as_ref(), "bine");
+        let scatter = tree_scatter(tree.as_ref(), "bine");
+        assert!(gather.validate().is_ok());
+        assert!(scatter.validate().is_ok());
+        // Total blocks moved: each rank's block crosses one edge per tree
+        // level on its path to/from the root.
+        let gather_blocks: usize = gather.messages().map(|(_, m)| m.blocks.len()).sum();
+        let scatter_blocks: usize = scatter.messages().map(|(_, m)| m.blocks.len()).sum();
+        assert_eq!(gather_blocks, scatter_blocks);
+        // The root never sends in a gather and never receives in a scatter.
+        assert!(gather.messages().all(|(_, m)| m.src != 0 || m.is_local()));
+        assert!(scatter.messages().all(|(_, m)| m.dst != 0 || m.is_local()));
+    }
+
+    #[test]
+    fn butterfly_allgather_reaches_everyone() {
+        for &kind in &ButterflyKind::ALL {
+            let bf = Butterfly::new(kind, 32);
+            let sched = butterfly_allgather(&bf, kind.name());
+            assert!(sched.validate().is_ok());
+            // Simulate holdings to confirm the schedule is self-consistent.
+            let mut have: Vec<HashSet<u32>> = (0..32).map(|r| HashSet::from([r as u32])).collect();
+            for step in &sched.steps {
+                let snap = have.clone();
+                for m in &step.messages {
+                    for b in &m.blocks {
+                        if let BlockId::Segment(i) = b {
+                            assert!(snap[m.src].contains(i), "rank {} sent a block it does not hold", m.src);
+                            have[m.dst].insert(*i);
+                        }
+                    }
+                }
+            }
+            assert!(have.iter().all(|s| s.len() == 32));
+        }
+    }
+
+    #[test]
+    fn butterfly_reduce_scatter_sends_the_right_volume() {
+        // Every rank sends n(p−1)/p bytes in total (Sec. 4.3).
+        let p = 64;
+        let n = 64 * 1024u64;
+        for strategy in [NonContigStrategy::Permute, NonContigStrategy::BlockByBlock] {
+            let bf = Butterfly::new(ButterflyKind::BineDistanceDoubling, p);
+            let sched = butterfly_reduce_scatter(&bf, strategy, "bine");
+            let mut sent = vec![0u64; p];
+            for (_, m) in sched.messages() {
+                if !m.is_local() {
+                    sent[m.src] += m.bytes(n, p);
+                }
+            }
+            for &b in &sent {
+                assert_eq!(b, n * (p as u64 - 1) / p as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn send_strategy_adds_final_exchange() {
+        let bf = Butterfly::new(ButterflyKind::BineDistanceDoubling, 16);
+        let permute = butterfly_reduce_scatter(&bf, NonContigStrategy::Permute, "bine");
+        let send = butterfly_reduce_scatter(&bf, NonContigStrategy::Send, "bine");
+        // Permute: one extra local step at the front. Send: one extra network
+        // step at the back.
+        assert_eq!(permute.num_steps(), send.num_steps());
+        assert!(permute.steps[0].messages.iter().all(|m| m.is_local()));
+        assert!(send.steps.last().unwrap().messages.iter().all(|m| !m.is_local()));
+    }
+
+    #[test]
+    fn alltoall_algorithms_route_every_block_to_its_destination() {
+        let p = 16;
+        let schedules = vec![
+            butterfly_alltoall(&Butterfly::new(ButterflyKind::BineDistanceHalving, p), "bine"),
+            bruck_alltoall(p, "bruck"),
+            pairwise_alltoall(p, "pairwise"),
+        ];
+        for sched in schedules {
+            assert!(sched.validate().is_ok(), "{}", sched.algorithm);
+            // Simulate block movement.
+            let mut held: Vec<HashSet<(u32, u32)>> = (0..p)
+                .map(|r| (0..p as u32).map(|d| (r as u32, d)).collect())
+                .collect();
+            for step in &sched.steps {
+                let snap = held.clone();
+                for m in &step.messages {
+                    for b in &m.blocks {
+                        if let BlockId::Pairwise { origin, dest } = b {
+                            assert!(
+                                snap[m.src].contains(&(*origin, *dest)),
+                                "{}: rank {} forwarded a block it does not hold",
+                                sched.algorithm,
+                                m.src
+                            );
+                            held[m.src].remove(&(*origin, *dest));
+                            held[m.dst].insert((*origin, *dest));
+                        }
+                    }
+                }
+            }
+            for (r, set) in held.iter().enumerate() {
+                assert_eq!(set.len(), p, "{}: rank {r}", sched.algorithm);
+                assert!(
+                    set.iter().all(|&(_, d)| d as usize == r),
+                    "{}: rank {r} holds foreign blocks",
+                    sched.algorithm
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ring_schedules_have_linear_step_counts() {
+        let p = 12;
+        assert_eq!(ring_reduce_scatter(p, "ring").num_steps(), p - 1);
+        assert_eq!(ring_allgather(p, "ring").num_steps(), p - 1);
+        assert!(ring_reduce_scatter(p, "ring").validate().is_ok());
+        assert!(ring_allgather(p, "ring").validate().is_ok());
+    }
+}

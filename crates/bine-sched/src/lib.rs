@@ -1,0 +1,41 @@
+//! # bine-sched
+//!
+//! Communication schedules for the eight collectives of the Bine Trees paper
+//! (allgather, allreduce, reduce-scatter, alltoall, broadcast, gather,
+//! reduce, scatter), each available both in its Bine variant (Sec. 4) and in
+//! the baseline variants the paper compares against (binomial trees,
+//! recursive doubling/halving, ring, Bruck, Swing).
+//!
+//! A [`schedule::Schedule`] is an explicit, step-by-step list of
+//! point-to-point messages with block-level data semantics. The same
+//! schedule object is
+//!
+//! * executed over real data by `bine-exec` (correctness),
+//! * mapped onto Dragonfly / Dragonfly+ / fat-tree / torus models by
+//!   `bine-net` (global-link traffic and modelled runtime).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use bine_sched::collectives::{allreduce, AllreduceAlg};
+//!
+//! let p = 64;
+//! let bine = allreduce(p, AllreduceAlg::BineLarge);
+//! let rd = allreduce(p, AllreduceAlg::RecursiveDoubling);
+//! // Both are logarithmic, but the large-vector algorithm moves far fewer
+//! // bytes per rank.
+//! let n = 1 << 20;
+//! assert!(bine.max_bytes_sent_by_rank(n) < rd.max_bytes_sent_by_rank(n));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod catalog;
+pub mod collectives;
+pub mod noncontig;
+pub mod schedule;
+
+pub use catalog::{algorithms, bine_default, binomial_default, build, AlgorithmId};
+pub use noncontig::NonContigStrategy;
+pub use schedule::{BlockId, Collective, Message, Schedule, Step, TransferKind};

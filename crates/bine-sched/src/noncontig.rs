@@ -1,0 +1,71 @@
+//! Strategies for transmitting the non-contiguous data blocks that arise in
+//! distance-doubling Bine collectives (Sec. 4.3.1, Appendix B).
+//!
+//! Distance-doubling Bine subtrees are not contiguous in the rank space, so a
+//! reduce-scatter (or the scatter phase of a large-vector collective) must
+//! either pay per-segment overhead, reorganise the buffer, or change the
+//! communication pattern. The paper evaluates four options, all of which are
+//! modelled by the schedule generators in this crate.
+
+/// How a schedule deals with non-contiguous block sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NonContigStrategy {
+    /// Transmit each block independently. High per-message overhead for
+    /// small vectors, but maximal overlap opportunities.
+    BlockByBlock,
+    /// Permute the buffer up front (block `i` → position `reverse(ν(i))`) so
+    /// that every transmission is a single contiguous range. Costs one local
+    /// pass over the vector.
+    #[default]
+    Permute,
+    /// Send contiguous ranges *as if* the permutation had been applied and
+    /// fix up ownership with one extra communication step at the end (or let
+    /// a following collective undo the permutation implicitly).
+    Send,
+    /// Use a distance-halving rather than distance-doubling butterfly, which
+    /// keeps blocks circularly contiguous (at most two linear segments) at
+    /// the price of more traffic on global links.
+    TwoTransmissions,
+}
+
+impl NonContigStrategy {
+    /// All four strategies, in the order used by Fig. 14.
+    pub const ALL: [NonContigStrategy; 4] = [
+        NonContigStrategy::BlockByBlock,
+        NonContigStrategy::Permute,
+        NonContigStrategy::Send,
+        NonContigStrategy::TwoTransmissions,
+    ];
+
+    /// One-letter code used in Fig. 14 (B, P, S, T).
+    pub fn code(&self) -> char {
+        match self {
+            NonContigStrategy::BlockByBlock => 'B',
+            NonContigStrategy::Permute => 'P',
+            NonContigStrategy::Send => 'S',
+            NonContigStrategy::TwoTransmissions => 'T',
+        }
+    }
+
+    /// Full name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NonContigStrategy::BlockByBlock => "block-by-block",
+            NonContigStrategy::Permute => "permute",
+            NonContigStrategy::Send => "send",
+            NonContigStrategy::TwoTransmissions => "two-transmissions",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique() {
+        let codes: std::collections::HashSet<char> =
+            NonContigStrategy::ALL.iter().map(|s| s.code()).collect();
+        assert_eq!(codes.len(), 4);
+    }
+}

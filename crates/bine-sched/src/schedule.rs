@@ -1,0 +1,372 @@
+//! The communication-schedule model.
+//!
+//! A [`Schedule`] is the step-by-step description of a collective operation:
+//! which rank sends which data blocks to which rank at every synchronous
+//! step, and whether the receiver copies or reduces the payload. Schedules
+//! are produced by the generators in [`crate::collectives`], executed over
+//! real data by `bine-exec`, and mapped onto network models by `bine-net`.
+//!
+//! Keeping the schedule explicit — rather than hiding it inside an MPI
+//! library — is what lets this reproduction count global-link traffic and
+//! model runtime for every algorithm on every topology with a single code
+//! path.
+
+use bine_core::block::linear_segments;
+
+/// A rank identifier.
+pub type Rank = usize;
+
+/// The collective operation a schedule implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Collective {
+    /// MPI_Bcast: the root's vector ends up on every rank.
+    Broadcast,
+    /// MPI_Reduce: the elementwise reduction of all vectors ends up on the root.
+    Reduce,
+    /// MPI_Gather: block `r` of every rank `r` ends up on the root.
+    Gather,
+    /// MPI_Scatter: the root's block `r` ends up on rank `r`.
+    Scatter,
+    /// MPI_Allgather: block `r` of every rank ends up on every rank.
+    Allgather,
+    /// MPI_Reduce_scatter: rank `r` ends up with the reduction of block `r`.
+    ReduceScatter,
+    /// MPI_Allreduce: every rank ends up with the reduction of all vectors.
+    Allreduce,
+    /// MPI_Alltoall: rank `r` ends up with block `(i, r)` from every rank `i`.
+    Alltoall,
+}
+
+impl Collective {
+    /// All eight collectives implemented in this crate.
+    pub const ALL: [Collective; 8] = [
+        Collective::Broadcast,
+        Collective::Reduce,
+        Collective::Gather,
+        Collective::Scatter,
+        Collective::Allgather,
+        Collective::ReduceScatter,
+        Collective::Allreduce,
+        Collective::Alltoall,
+    ];
+
+    /// Lower-case name as used by the benchmark harness.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Collective::Broadcast => "bcast",
+            Collective::Reduce => "reduce",
+            Collective::Gather => "gather",
+            Collective::Scatter => "scatter",
+            Collective::Allgather => "allgather",
+            Collective::ReduceScatter => "reduce-scatter",
+            Collective::Allreduce => "allreduce",
+            Collective::Alltoall => "alltoall",
+        }
+    }
+
+    /// Whether the collective has a root rank.
+    pub fn is_rooted(&self) -> bool {
+        matches!(
+            self,
+            Collective::Broadcast | Collective::Reduce | Collective::Gather | Collective::Scatter
+        )
+    }
+}
+
+/// Identifies a unit of data carried by a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BlockId {
+    /// The whole vector (`n` bytes). Used by broadcast, reduce and the
+    /// small-vector (recursive-doubling) allreduce.
+    Full,
+    /// The `i`-th of `p` equal segments of the vector (`n / p` bytes).
+    Segment(u32),
+    /// The alltoall block travelling from rank `origin` to rank `dest`
+    /// (`n / p` bytes, where `n` is the per-rank send buffer).
+    Pairwise {
+        /// Rank whose send buffer the block comes from.
+        origin: u32,
+        /// Rank whose receive buffer the block must end up in.
+        dest: u32,
+    },
+}
+
+impl BlockId {
+    /// Size of this block in bytes for a collective over `p` ranks operating
+    /// on vectors of `n` bytes.
+    pub fn bytes(&self, n: u64, p: usize) -> u64 {
+        match self {
+            BlockId::Full => n,
+            BlockId::Segment(_) | BlockId::Pairwise { .. } => (n / p as u64).max(1),
+        }
+    }
+}
+
+/// What the receiver does with an incoming payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransferKind {
+    /// Store the received blocks (broadcast/gather/scatter/allgather/alltoall).
+    Copy,
+    /// Combine the received blocks elementwise with the local partial result
+    /// (reduce/reduce-scatter/allreduce).
+    Reduce,
+}
+
+/// A point-to-point transfer within one step of a schedule.
+///
+/// A message with `src == dst` models a local buffer reorganisation (e.g.
+/// the block permutation of the `permute` strategy); it moves no bytes over
+/// the network but is charged a memory-copy cost by the cost model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Sending rank.
+    pub src: Rank,
+    /// Receiving rank.
+    pub dst: Rank,
+    /// Blocks carried by the message.
+    pub blocks: Vec<BlockId>,
+    /// Copy or reduce semantics at the receiver.
+    pub kind: TransferKind,
+    /// Number of contiguous memory regions the sender must touch to build
+    /// this message (1 = a single contiguous send). Used by the cost model
+    /// to charge the overhead the paper discusses in Sec. 4.3.1.
+    pub segments: u32,
+}
+
+impl Message {
+    /// Creates a message, computing the contiguous-segment count from the
+    /// block indices (segments are assumed to be laid out in index order).
+    pub fn new(src: Rank, dst: Rank, blocks: Vec<BlockId>, kind: TransferKind, p: usize) -> Self {
+        let segs = contiguity_of(&blocks, p);
+        Self { src, dst, blocks, kind, segments: segs }
+    }
+
+    /// Creates a message with an explicitly provided segment count (used by
+    /// the non-contiguous-data strategies that reorganise the buffer).
+    pub fn with_segments(
+        src: Rank,
+        dst: Rank,
+        blocks: Vec<BlockId>,
+        kind: TransferKind,
+        segments: u32,
+    ) -> Self {
+        Self { src, dst, blocks, kind, segments }
+    }
+
+    /// Total payload bytes for vector size `n` over `p` ranks.
+    pub fn bytes(&self, n: u64, p: usize) -> u64 {
+        self.blocks.iter().map(|b| b.bytes(n, p)).sum()
+    }
+
+    /// Whether this message is a local (intra-rank) buffer move.
+    pub fn is_local(&self) -> bool {
+        self.src == self.dst
+    }
+}
+
+/// Number of contiguous memory regions spanned by a set of blocks, assuming
+/// blocks are laid out in index order in the buffer.
+pub fn contiguity_of(blocks: &[BlockId], p: usize) -> u32 {
+    let mut idx: Vec<u32> = blocks
+        .iter()
+        .filter_map(|b| match b {
+            BlockId::Segment(i) => Some(*i),
+            BlockId::Pairwise { dest, .. } => Some(*dest),
+            BlockId::Full => None,
+        })
+        .collect();
+    if idx.is_empty() {
+        return 1;
+    }
+    idx.sort_unstable();
+    idx.dedup();
+    linear_segments(&idx, p) as u32
+}
+
+/// One synchronous step of a schedule: all messages in a step are considered
+/// to be in flight at the same time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Step {
+    /// The messages exchanged in this step.
+    pub messages: Vec<Message>,
+}
+
+impl Step {
+    /// Creates an empty step.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a message to the step.
+    pub fn push(&mut self, m: Message) {
+        self.messages.push(m);
+    }
+
+    /// Whether the step contains no messages.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+}
+
+/// A complete communication schedule for one collective invocation.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Number of participating ranks.
+    pub num_ranks: usize,
+    /// The collective this schedule implements.
+    pub collective: Collective,
+    /// Human-readable algorithm name (e.g. `"bine-dh-tree"`).
+    pub algorithm: String,
+    /// Root rank for rooted collectives, 0 otherwise.
+    pub root: Rank,
+    /// The synchronous steps, in execution order.
+    pub steps: Vec<Step>,
+}
+
+impl Schedule {
+    /// Creates an empty schedule.
+    pub fn new(
+        num_ranks: usize,
+        collective: Collective,
+        algorithm: impl Into<String>,
+        root: Rank,
+    ) -> Self {
+        Self { num_ranks, collective, algorithm: algorithm.into(), root, steps: Vec::new() }
+    }
+
+    /// Appends a step.
+    pub fn push_step(&mut self, step: Step) {
+        self.steps.push(step);
+    }
+
+    /// Number of steps.
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Iterates over every message of every step, annotated with its step
+    /// index.
+    pub fn messages(&self) -> impl Iterator<Item = (usize, &Message)> {
+        self.steps
+            .iter()
+            .enumerate()
+            .flat_map(|(i, s)| s.messages.iter().map(move |m| (i, m)))
+    }
+
+    /// Total bytes moved over the network (local messages excluded) for
+    /// vector size `n`.
+    pub fn total_network_bytes(&self, n: u64) -> u64 {
+        self.messages()
+            .filter(|(_, m)| !m.is_local())
+            .map(|(_, m)| m.bytes(n, self.num_ranks))
+            .sum()
+    }
+
+    /// Largest number of bytes any single rank sends over the whole schedule
+    /// (a proxy for the per-rank bandwidth term of the alpha–beta model).
+    pub fn max_bytes_sent_by_rank(&self, n: u64) -> u64 {
+        let mut per_rank = vec![0u64; self.num_ranks];
+        for (_, m) in self.messages() {
+            if !m.is_local() {
+                per_rank[m.src] += m.bytes(n, self.num_ranks);
+            }
+        }
+        per_rank.into_iter().max().unwrap_or(0)
+    }
+
+    /// Largest number of bytes any single rank receives over the whole
+    /// schedule (the bottleneck for reduction-heavy collectives, where every
+    /// received byte must also be combined locally).
+    pub fn max_bytes_received_by_rank(&self, n: u64) -> u64 {
+        let mut per_rank = vec![0u64; self.num_ranks];
+        for (_, m) in self.messages() {
+            if !m.is_local() {
+                per_rank[m.dst] += m.bytes(n, self.num_ranks);
+            }
+        }
+        per_rank.into_iter().max().unwrap_or(0)
+    }
+
+    /// Appends all steps of another schedule (used to compose e.g.
+    /// reduce-scatter + allgather into an allreduce).
+    pub fn extend_with(&mut self, other: Schedule) {
+        self.steps.extend(other.steps);
+    }
+
+    /// Basic structural validation: ranks in range, no rank appears as the
+    /// source or destination of two different network messages within the
+    /// same step (single-ported model), and no empty messages.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, step) in self.steps.iter().enumerate() {
+            let mut sending = vec![false; self.num_ranks];
+            let mut receiving = vec![false; self.num_ranks];
+            for m in &step.messages {
+                if m.src >= self.num_ranks || m.dst >= self.num_ranks {
+                    return Err(format!("step {i}: rank out of range in {m:?}"));
+                }
+                if m.blocks.is_empty() {
+                    return Err(format!("step {i}: empty message {m:?}"));
+                }
+                if m.is_local() {
+                    continue;
+                }
+                if sending[m.src] {
+                    return Err(format!("step {i}: rank {} sends twice", m.src));
+                }
+                if receiving[m.dst] {
+                    return Err(format!("step {i}: rank {} receives twice", m.dst));
+                }
+                sending[m.src] = true;
+                receiving[m.dst] = true;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_sizes() {
+        assert_eq!(BlockId::Full.bytes(1024, 8), 1024);
+        assert_eq!(BlockId::Segment(3).bytes(1024, 8), 128);
+        assert_eq!(BlockId::Pairwise { origin: 0, dest: 1 }.bytes(1024, 8), 128);
+        // Tiny vectors never round down to zero bytes.
+        assert_eq!(BlockId::Segment(0).bytes(4, 8), 1);
+    }
+
+    #[test]
+    fn contiguity() {
+        let p = 8;
+        let seg = |i| BlockId::Segment(i);
+        assert_eq!(contiguity_of(&[seg(0), seg(1), seg(2)], p), 1);
+        assert_eq!(contiguity_of(&[seg(0), seg(2), seg(4)], p), 3);
+        assert_eq!(contiguity_of(&[seg(6), seg(7), seg(0)], p), 2); // no wrap in memory
+        assert_eq!(contiguity_of(&[BlockId::Full], p), 1);
+    }
+
+    #[test]
+    fn validation_catches_double_send() {
+        let mut sched = Schedule::new(4, Collective::Broadcast, "test", 0);
+        let mut step = Step::new();
+        step.push(Message::new(0, 1, vec![BlockId::Full], TransferKind::Copy, 4));
+        step.push(Message::new(0, 2, vec![BlockId::Full], TransferKind::Copy, 4));
+        sched.push_step(step);
+        assert!(sched.validate().is_err());
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut sched = Schedule::new(4, Collective::Allgather, "test", 0);
+        let mut step = Step::new();
+        step.push(Message::new(0, 1, vec![BlockId::Segment(0)], TransferKind::Copy, 4));
+        step.push(Message::new(2, 3, vec![BlockId::Segment(2), BlockId::Segment(3)], TransferKind::Copy, 4));
+        step.push(Message::new(1, 1, vec![BlockId::Segment(1)], TransferKind::Copy, 4)); // local
+        sched.push_step(step);
+        assert_eq!(sched.total_network_bytes(400), 100 + 200);
+        assert_eq!(sched.max_bytes_sent_by_rank(400), 200);
+        assert!(sched.validate().is_ok());
+    }
+}

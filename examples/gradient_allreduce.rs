@@ -1,0 +1,64 @@
+//! Data-parallel training scenario: gradient allreduce across many nodes of
+//! a Dragonfly+ machine (the Leonardo model), the workload that motivates
+//! large-vector allreduce optimisation in the paper's introduction.
+//!
+//! The example (1) verifies numerically that the Bine allreduce produces the
+//! same averaged gradients as a ring allreduce, and (2) sweeps the gradient
+//! bucket size to show where each algorithm family wins on the modelled
+//! network — the crossover structure of Fig. 10a.
+//!
+//! Run with: `cargo run --release --example gradient_allreduce`
+
+use bine_exec::comm::Cluster;
+use bine_net::allocation::Allocation;
+use bine_net::cost::CostModel;
+use bine_net::trace::JobTraceGenerator;
+use bine_net::Topology;
+use bine_sched::collectives::{allreduce, AllreduceAlg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // --- 1. Numerical check on a small simulated cluster. ------------------
+    let workers = 16;
+    let params = 4096;
+    let cluster = Cluster::new(workers);
+    let mut rng = StdRng::seed_from_u64(7);
+    let gradients: Vec<Vec<f64>> =
+        (0..workers).map(|_| (0..params).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+
+    let bine = cluster.allreduce(&gradients, AllreduceAlg::BineLarge);
+    let ring = cluster.allreduce(&gradients, AllreduceAlg::Ring);
+    let max_diff = bine[0]
+        .iter()
+        .zip(&ring[0])
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    println!("bine vs ring gradient allreduce: max |difference| = {max_diff:.3e}");
+    assert!(max_diff < 1e-9);
+
+    // --- 2. Modelled time on 512 Leonardo nodes, sweeping bucket size. ------
+    let nodes = 512;
+    let topo = bine_net::topology::Dragonfly::leonardo();
+    let mut rng = StdRng::seed_from_u64(11);
+    let alloc: Allocation =
+        JobTraceGenerator::default().sample(&topo, nodes, 1, &mut rng)[0].allocation();
+    let model = CostModel::default();
+
+    println!("\nmodelled allreduce time on {} ({} nodes):", topo.name(), nodes);
+    println!("{:>12}  {:>12} {:>12} {:>12} {:>12}", "bucket", "bine", "rec-doubling", "rabenseifner", "ring");
+    for bucket in [64 * 1024u64, 1 << 20, 16 << 20, 256 << 20] {
+        let t = |alg: AllreduceAlg| {
+            let sched = allreduce(nodes, alg);
+            model.time_us(&sched, bucket, &topo, &alloc)
+        };
+        println!(
+            "{:>9} KiB  {:>10.0}us {:>10.0}us {:>10.0}us {:>10.0}us",
+            bucket / 1024,
+            t(AllreduceAlg::BineLarge),
+            t(AllreduceAlg::RecursiveDoubling),
+            t(AllreduceAlg::Rabenseifner),
+            t(AllreduceAlg::Ring),
+        );
+    }
+}

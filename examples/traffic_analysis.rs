@@ -1,0 +1,53 @@
+//! Traffic analysis of a fragmented job allocation: how many bytes each
+//! collective pushes over the global links of a Dragonfly machine, with the
+//! Bine algorithm versus the binomial-tree/butterfly baseline.
+//!
+//! This is the per-job analysis behind Fig. 5 and the "Traffic Red." columns
+//! of Tables 3–5, exposed as a small reusable tool.
+//!
+//! Run with: `cargo run --release --example traffic_analysis`
+
+use bine_net::topology::{Dragonfly, Topology};
+use bine_net::trace::JobTraceGenerator;
+use bine_net::traffic::measure;
+use bine_sched::{bine_default, binomial_default, build, Collective};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let topo = Dragonfly::lumi();
+    let nodes = 256;
+    let n = 8 << 20; // 8 MiB vectors
+
+    // A fragmented allocation, as a real scheduler would hand out.
+    let mut rng = StdRng::seed_from_u64(2024);
+    let sample = &JobTraceGenerator::with_occupancy(0.8).sample(&topo, nodes, 1, &mut rng)[0];
+    let alloc = sample.allocation();
+    println!(
+        "job of {nodes} nodes on {}: spans {} of {} groups",
+        topo.name(),
+        alloc.groups_spanned(&topo),
+        topo.num_groups()
+    );
+    println!("vector size: {} MiB\n", n >> 20);
+
+    println!(
+        "{:<16} {:>14} {:>14} {:>14} {:>10}",
+        "collective", "bine global", "baseline global", "total bytes", "reduction"
+    );
+    for collective in Collective::ALL {
+        let bine = build(collective, bine_default(collective, false), nodes, 0).unwrap();
+        let base = build(collective, binomial_default(collective, false), nodes, 0).unwrap();
+        let bine_report = measure(&bine, n, &topo, &alloc);
+        let base_report = measure(&base, n, &topo, &alloc);
+        let reduction = 1.0 - bine_report.global_bytes as f64 / base_report.global_bytes.max(1) as f64;
+        println!(
+            "{:<16} {:>14} {:>14} {:>14} {:>9.1}%",
+            collective.name(),
+            bine_report.global_bytes,
+            base_report.global_bytes,
+            bine_report.total_bytes,
+            reduction * 100.0
+        );
+    }
+}
