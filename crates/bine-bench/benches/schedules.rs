@@ -5,7 +5,6 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use bine_sched::{algorithms, bine_default, build, Collective};
 
-
 /// Short measurement configuration so a full `cargo bench --workspace` stays
 /// inexpensive on a single-core CI machine.
 fn short() -> Criterion {
@@ -41,7 +40,7 @@ fn bench_bine_vs_baselines(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = short();
     targets = bench_schedule_generation, bench_bine_vs_baselines

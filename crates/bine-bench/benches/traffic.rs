@@ -11,7 +11,6 @@ use bine_net::traffic::measure;
 use bine_net::Topology;
 use bine_sched::collectives::{allreduce, AllreduceAlg};
 
-
 /// Short measurement configuration so a full `cargo bench --workspace` stays
 /// inexpensive on a single-core CI machine.
 fn short() -> Criterion {
@@ -44,7 +43,7 @@ fn bench_traffic_and_cost(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = short();
     targets = bench_traffic_and_cost

@@ -1,0 +1,128 @@
+//! Records the execution-benchmark trajectory as `BENCH_exec.json`.
+//!
+//! Measures ns/op of the four executors on the BineLarge allreduce at
+//! p ∈ {64, 256, 1024} (the same configurations as `benches/execution.rs`)
+//! and writes a flat JSON report, so future PRs can diff the perf
+//! trajectory of the data plane without parsing criterion output.
+//!
+//! Usage: `cargo run --release -p bine-bench --bin bench_exec [out.json]`
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use bine_exec::state::Workload;
+use bine_exec::{compiled, sequential, ExecutorPool};
+use bine_sched::collectives::{allreduce, AllreduceAlg};
+use bine_sched::Schedule;
+
+/// Median ns/op of `body`, sampled until ~`budget_ms` is spent (at least 3
+/// samples).
+fn measure(budget_ms: u64, mut body: impl FnMut()) -> f64 {
+    // One calibration run.
+    let start = Instant::now();
+    body();
+    let est_ns = start.elapsed().as_nanos().max(1) as f64;
+    let budget_ns = (budget_ms as f64) * 1e6;
+    let samples = ((budget_ns / est_ns) as usize).clamp(3, 50);
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        body();
+        times.push(start.elapsed().as_nanos() as f64);
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+struct Record {
+    name: String,
+    ns_per_op: f64,
+}
+
+fn bench_all_executors(records: &mut Vec<Record>, sched: &Schedule, p: usize) {
+    let workload = Workload::for_schedule(sched, bine_bench::exec_bench_elems(p));
+    // Built once; per-iteration clones are refcount bumps, so the timings
+    // below measure execution, not input construction.
+    let initial = workload.initial_state(sched);
+    let compiled_sched = Arc::new(sched.compile());
+    let pool = ExecutorPool::global();
+    let record = |records: &mut Vec<Record>, executor: &str, ns: f64| {
+        let name = format!("allreduce-bine-large/{executor}/{p}");
+        println!("{name:<48} {ns:>14.0} ns/op");
+        records.push(Record {
+            name,
+            ns_per_op: ns,
+        });
+    };
+    let ns = measure(700, || {
+        sequential::run_reference(sched, initial.clone());
+    });
+    record(records, "reference", ns);
+    let ns = measure(700, || {
+        sequential::run(sched, initial.clone());
+    });
+    record(records, "sequential", ns);
+    let ns = measure(700, || {
+        compiled::run(&compiled_sched, initial.clone());
+    });
+    record(records, "compiled", ns);
+    let ns = measure(700, || {
+        pool.run(&compiled_sched, initial.clone());
+    });
+    record(records, "pool", ns);
+    // Compilation cost, paid once per schedule.
+    let ns = measure(300, || {
+        sched.compile();
+    });
+    let name = format!("allreduce-bine-large/compile/{p}");
+    println!("{name:<48} {ns:>14.0} ns/op");
+    records.push(Record {
+        name,
+        ns_per_op: ns,
+    });
+}
+
+fn lookup(records: &[Record], name: &str) -> f64 {
+    records
+        .iter()
+        .find(|r| r.name == name)
+        .map(|r| r.ns_per_op)
+        .expect(name)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_exec.json".to_string());
+    let mut records = Vec::new();
+    for p in [64usize, 256, 1024] {
+        let sched = allreduce(p, AllreduceAlg::BineLarge);
+        bench_all_executors(&mut records, &sched, p);
+    }
+    // The acceptance headline: compiled vs the seed interpreter at p = 256.
+    let speedup_256 = lookup(&records, "allreduce-bine-large/reference/256")
+        / lookup(&records, "allreduce-bine-large/compiled/256");
+
+    let mut json = String::from("{\n  \"benches\": {\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        let _ = writeln!(json, "    \"{}\": {:.1}{comma}", r.name, r.ns_per_op);
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(
+        json,
+        "  \"speedup_compiled_vs_reference_p256\": {speedup_256:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"pool_workers\": {},",
+        ExecutorPool::global().num_workers()
+    );
+    let _ = writeln!(json, "  \"unit\": \"ns/op (median)\"");
+    json.push('}');
+    json.push('\n');
+    std::fs::write(&out_path, &json).expect("failed to write the report");
+    println!("\nspeedup compiled vs reference @p=256: {speedup_256:.2}x");
+    println!("wrote {out_path}");
+}

@@ -23,15 +23,20 @@ fn main() {
 
     // Same set of physical nodes for both runs.
     let mut rng = StdRng::seed_from_u64(0x66);
-    let node_sample = JobTraceGenerator::with_occupancy(0.9)
-        .sample(topo.as_ref(), nodes, 1, &mut rng)[0]
-        .nodes
-        .clone();
+    let node_sample =
+        JobTraceGenerator::with_occupancy(0.9).sample(topo.as_ref(), nodes, 1, &mut rng)[0]
+            .nodes
+            .clone();
 
     println!("Sec. 6.1 — Bine vs binomial speedup on 64 LUMI nodes, 1 vs 4 processes per node\n");
 
     let mut rows = Vec::new();
-    for collective in [Collective::Allreduce, Collective::ReduceScatter, Collective::Allgather, Collective::Broadcast] {
+    for collective in [
+        Collective::Allreduce,
+        Collective::ReduceScatter,
+        Collective::Allgather,
+        Collective::Broadcast,
+    ] {
         for &n in &paper_vector_sizes() {
             if n > 64 * 1024 * 1024 {
                 continue;
@@ -39,12 +44,12 @@ fn main() {
             let mut cells = vec![collective.name().to_string(), format_bytes(n)];
             for ppn in [1usize, 4] {
                 let ranks = nodes * ppn;
-                let rank_nodes: Vec<usize> =
-                    (0..ranks).map(|r| node_sample[r / ppn]).collect();
+                let rank_nodes: Vec<usize> = (0..ranks).map(|r| node_sample[r / ppn]).collect();
                 let alloc = Allocation::from_nodes(rank_nodes);
                 let small = n <= SMALL_VECTOR_THRESHOLD;
                 let bine = build(collective, bine_default(collective, small), ranks, 0).unwrap();
-                let base = build(collective, binomial_default(collective, small), ranks, 0).unwrap();
+                let base =
+                    build(collective, binomial_default(collective, small), ranks, 0).unwrap();
                 let speedup = model.time_us(&base, n, topo.as_ref(), &alloc)
                     / model.time_us(&bine, n, topo.as_ref(), &alloc);
                 cells.push(format!("{speedup:.2}x"));
@@ -54,6 +59,9 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["collective", "vector", "speedup @1 ppn", "speedup @4 ppn"], &rows)
+        render_table(
+            &["collective", "vector", "speedup @1 ppn", "speedup @4 ppn"],
+            &rows
+        )
     );
 }

@@ -6,7 +6,9 @@
 //! global-link traffic reduction.
 
 use bine_bench::report::render_table;
-use bine_core::distance::{delta_bine, delta_binomial, total_distance_bine, total_distance_binomial};
+use bine_core::distance::{
+    delta_bine, delta_binomial, total_distance_bine, total_distance_binomial,
+};
 
 fn main() {
     println!("Eq. 2 — distance ratio between Bine and binomial trees\n");
@@ -14,7 +16,12 @@ fn main() {
     for s in 3..=16u32 {
         let p = 1u64 << s;
         let per_step: Vec<String> = (0..s.min(6))
-            .map(|i| format!("{:.3}", delta_bine(i, s) as f64 / delta_binomial(i, s) as f64))
+            .map(|i| {
+                format!(
+                    "{:.3}",
+                    delta_bine(i, s) as f64 / delta_binomial(i, s) as f64
+                )
+            })
             .collect();
         let total_ratio = total_distance_bine(s) as f64 / total_distance_binomial(s) as f64;
         rows.push(vec![
@@ -26,7 +33,12 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["p", "steps", "ratio at steps 0..5", "total-distance ratio"], &rows)
+        render_table(
+            &["p", "steps", "ratio at steps 0..5", "total-distance ratio"],
+            &rows
+        )
     );
-    println!("paper: the ratio converges to 2/3 ≈ 0.667 (Eq. 2), bounding the traffic reduction at 33%");
+    println!(
+        "paper: the ratio converges to 2/3 ≈ 0.667 (Eq. 2), bounding the traffic reduction at 33%"
+    );
 }

@@ -12,7 +12,12 @@ use bine_net::Topology;
 use bine_sched::collectives::{broadcast, BroadcastAlg};
 use bine_sched::Schedule;
 
-fn per_step_global_bytes(sched: &Schedule, n: u64, topo: &dyn Topology, alloc: &Allocation) -> Vec<u64> {
+fn per_step_global_bytes(
+    sched: &Schedule,
+    n: u64,
+    topo: &dyn Topology,
+    alloc: &Allocation,
+) -> Vec<u64> {
     sched
         .steps
         .iter()

@@ -19,12 +19,25 @@ use rand::SeedableRng;
 
 fn main() {
     let jobs_per_size = 60;
-    println!("Fig. 5 — global-traffic reduction of Bine vs binomial allreduce across job allocations");
-    println!("({} synthetic jobs per node count; theoretical bound = 33%)\n", jobs_per_size);
+    println!(
+        "Fig. 5 — global-traffic reduction of Bine vs binomial allreduce across job allocations"
+    );
+    println!(
+        "({} synthetic jobs per node count; theoretical bound = 33%)\n",
+        jobs_per_size
+    );
 
     let systems: Vec<(&str, Box<dyn Topology>, Vec<usize>)> = vec![
-        ("Leonardo", Box::new(Dragonfly::leonardo()), vec![2, 4, 8, 16, 32, 64, 128, 256]),
-        ("LUMI", Box::new(Dragonfly::lumi()), vec![2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048]),
+        (
+            "Leonardo",
+            Box::new(Dragonfly::leonardo()),
+            vec![2, 4, 8, 16, 32, 64, 128, 256],
+        ),
+        (
+            "LUMI",
+            Box::new(Dragonfly::lumi()),
+            vec![2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048],
+        ),
     ];
 
     for (name, topo, node_counts) in systems {
@@ -59,7 +72,16 @@ fn main() {
             name,
             topo.name(),
             render_table(
-                &["nodes", "min%", "q1%", "median%", "q3%", "max%", "#negative", "#above 33%"],
+                &[
+                    "nodes",
+                    "min%",
+                    "q1%",
+                    "median%",
+                    "q3%",
+                    "max%",
+                    "#negative",
+                    "#above 33%"
+                ],
                 &rows
             )
         );

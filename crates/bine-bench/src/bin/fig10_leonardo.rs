@@ -11,7 +11,10 @@ use bine_bench::tables::{heatmap_table, improvement_summary};
 use bine_sched::Collective;
 
 fn main() {
-    println!("{}", heatmap_table(System::leonardo(), Collective::Allreduce));
+    println!(
+        "{}",
+        heatmap_table(System::leonardo(), Collective::Allreduce)
+    );
     println!();
     println!("{}", improvement_summary(System::leonardo()));
 }

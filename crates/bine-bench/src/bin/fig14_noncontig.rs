@@ -32,9 +32,9 @@ fn main() {
         for &nodes in &node_counts {
             let topo = system.topology(nodes);
             let mut rng = StdRng::seed_from_u64(0xF16 ^ nodes as u64);
-            let alloc = JobTraceGenerator::with_occupancy(0.9)
-                .sample(topo.as_ref(), nodes, 1, &mut rng)[0]
-                .allocation();
+            let alloc =
+                JobTraceGenerator::with_occupancy(0.9).sample(topo.as_ref(), nodes, 1, &mut rng)[0]
+                    .allocation();
             let baseline = model.time_us(
                 &allgather(nodes, AllgatherAlg::RecursiveDoubling),
                 n,
@@ -45,7 +45,7 @@ fn main() {
             for strategy in NonContigStrategy::ALL {
                 let sched = allgather_with_strategy(nodes, strategy);
                 let t = model.time_us(&sched, n, topo.as_ref(), &alloc);
-                if best.map_or(true, |(_, bt)| t < bt) {
+                if best.is_none_or(|(_, bt)| t < bt) {
                     best = Some((strategy.code(), t));
                 }
             }

@@ -24,3 +24,15 @@ pub mod tables;
 
 pub use runner::{compare_vs_binomial, heatmap, improvement_distribution, Evaluator, HeadToHead};
 pub use systems::{paper_vector_sizes, System, SystemKind, SMALL_VECTOR_THRESHOLD};
+
+/// Elements per block used by the execution benchmarks at a given rank
+/// count, shared by `benches/execution.rs` and the `bench_exec` recorder so
+/// their ns/op stay comparable. Scaled down at the largest sizes because the
+/// seed reference interpreter's per-step snapshot is O(ranks × elements).
+pub fn exec_bench_elems(p: usize) -> usize {
+    match p {
+        0..=64 => 64,
+        65..=256 => 16,
+        _ => 1,
+    }
+}

@@ -93,7 +93,12 @@ impl System {
 
     /// All four systems.
     pub fn all() -> Vec<System> {
-        vec![Self::lumi(), Self::leonardo(), Self::marenostrum5(), Self::fugaku()]
+        vec![
+            Self::lumi(),
+            Self::leonardo(),
+            Self::marenostrum5(),
+            Self::fugaku(),
+        ]
     }
 
     /// The torus shape used for a Fugaku job of `nodes` nodes.

@@ -2,7 +2,9 @@
 
 use bine_sched::Collective;
 
-use crate::report::{algorithm_letter, format_bytes, geometric_mean, max, mean, render_table, BoxPlot};
+use crate::report::{
+    algorithm_letter, format_bytes, geometric_mean, max, mean, render_table, BoxPlot,
+};
 use crate::runner::{compare_vs_binomial, heatmap, improvement_distribution, Evaluator};
 use crate::systems::System;
 
@@ -13,9 +15,11 @@ pub fn comparison_table(system: System) -> String {
     let mut rows = Vec::new();
     for collective in Collective::ALL {
         let h2h = compare_vs_binomial(&mut eval, collective);
-        let avg_gain = (geometric_mean(&h2h.gains.iter().map(|g| 1.0 + g).collect::<Vec<_>>()) - 1.0) * 100.0;
+        let avg_gain =
+            (geometric_mean(&h2h.gains.iter().map(|g| 1.0 + g).collect::<Vec<_>>()) - 1.0) * 100.0;
         let max_gain = max(&h2h.gains) * 100.0;
-        let avg_drop = (geometric_mean(&h2h.drops.iter().map(|d| 1.0 + d).collect::<Vec<_>>()) - 1.0) * 100.0;
+        let avg_drop =
+            (geometric_mean(&h2h.drops.iter().map(|d| 1.0 + d).collect::<Vec<_>>()) - 1.0) * 100.0;
         let max_drop = max(&h2h.drops) * 100.0;
         let avg_red = mean(&h2h.traffic_reductions) * 100.0;
         let max_red = max(&h2h.traffic_reductions) * 100.0;
@@ -33,7 +37,14 @@ pub fn comparison_table(system: System) -> String {
         system.name,
         system.node_counts.len() * system.vector_sizes.len(),
         render_table(
-            &["Coll.", "%Win", "Avg/Max Gain", "%Loss", "Avg/Max Drop", "Avg/Max Traffic Red."],
+            &[
+                "Coll.",
+                "%Win",
+                "Avg/Max Gain",
+                "%Loss",
+                "Avg/Max Drop",
+                "Avg/Max Traffic Red."
+            ],
             &rows,
         )
     )
@@ -50,7 +61,9 @@ pub fn heatmap_table(system: System, collective: Collective) -> String {
     for &n in &sizes {
         let mut row = vec![format_bytes(n)];
         for &nodes in &node_counts {
-            let cell = cells.iter().find(|c| c.nodes == nodes && c.vector_bytes == n);
+            let cell = cells
+                .iter()
+                .find(|c| c.nodes == nodes && c.vector_bytes == n);
             row.push(match cell {
                 None => "-".to_string(),
                 Some(c) => match c.bine_advantage {
@@ -87,11 +100,31 @@ pub fn improvement_summary(system: System) -> String {
         rows.push(vec![
             collective.name().to_string(),
             format!("{:.0}%", win_fraction * 100.0),
-            if improvements.is_empty() { "-".into() } else { format!("{:.1}%", bp.min) },
-            if improvements.is_empty() { "-".into() } else { format!("{:.1}%", bp.q1) },
-            if improvements.is_empty() { "-".into() } else { format!("{:.1}%", bp.median) },
-            if improvements.is_empty() { "-".into() } else { format!("{:.1}%", bp.q3) },
-            if improvements.is_empty() { "-".into() } else { format!("{:.1}%", bp.max) },
+            if improvements.is_empty() {
+                "-".into()
+            } else {
+                format!("{:.1}%", bp.min)
+            },
+            if improvements.is_empty() {
+                "-".into()
+            } else {
+                format!("{:.1}%", bp.q1)
+            },
+            if improvements.is_empty() {
+                "-".into()
+            } else {
+                format!("{:.1}%", bp.median)
+            },
+            if improvements.is_empty() {
+                "-".into()
+            } else {
+                format!("{:.1}%", bp.q3)
+            },
+            if improvements.is_empty() {
+                "-".into()
+            } else {
+                format!("{:.1}%", bp.max)
+            },
         ]);
     }
     format!(
@@ -99,7 +132,10 @@ pub fn improvement_summary(system: System) -> String {
          (%Best = share of configurations where Bine is the overall fastest;\n\
           distribution of the improvement over those configurations)\n{}",
         system.name,
-        render_table(&["Coll.", "%Best", "min", "q1", "median", "q3", "max"], &rows)
+        render_table(
+            &["Coll.", "%Best", "min", "q1", "median", "q3", "max"],
+            &rows
+        )
     )
 }
 

@@ -126,7 +126,10 @@ pub fn nu_bit_reversal_permutation(p: usize) -> Vec<usize> {
 pub fn inverse_permutation(perm: &[usize]) -> Vec<usize> {
     let mut inv = vec![usize::MAX; perm.len()];
     for (i, &d) in perm.iter().enumerate() {
-        assert!(inv[d] == usize::MAX, "not a permutation: position {d} hit twice");
+        assert!(
+            inv[d] == usize::MAX,
+            "not a permutation: position {d} hit twice"
+        );
         inv[d] = i;
     }
     inv
@@ -174,7 +177,10 @@ mod tests {
         // Fig. 8: for p = 8 the destination positions reverse(ν(i)) are
         // 000 100 110 001 011 111 101 010.
         let perm = nu_bit_reversal_permutation(8);
-        assert_eq!(perm, vec![0b000, 0b100, 0b110, 0b001, 0b011, 0b111, 0b101, 0b010]);
+        assert_eq!(
+            perm,
+            vec![0b000, 0b100, 0b110, 0b001, 0b011, 0b111, 0b101, 0b010]
+        );
         // After permuting, the blocks rank 0 sends at step 0 of the
         // reduce-scatter (blocks 1, 2, 5, 6) occupy positions 4–7.
         let mut positions: Vec<usize> = [1, 2, 5, 6].iter().map(|&b| perm[b]).collect();
@@ -204,11 +210,13 @@ mod tests {
             let bf = Butterfly::new(ButterflyKind::BineDistanceDoubling, p);
             let resp = bf.responsibilities();
             let perm = nu_bit_reversal_permutation(p);
-            for step in 0..s as usize {
+            for (step, step_resp) in resp.iter().enumerate().take(s as usize) {
                 for r in 0..p {
                     let q = bf.partner(r, step as u32);
-                    let sent: Vec<u32> =
-                        resp[step][q].iter().map(|&b| perm[b as usize] as u32).collect();
+                    let sent: Vec<u32> = step_resp[q]
+                        .iter()
+                        .map(|&b| perm[b as usize] as u32)
+                        .collect();
                     assert_eq!(
                         linear_segments(&sent, p),
                         1,

@@ -97,13 +97,21 @@ impl Butterfly {
             ButterflyKind::BineDistanceHalving => {
                 // Eq. 4: the signed distance is Σ_{k=0}^{s−i−1} (−2)^k.
                 let d = alternating_sum(self.s - step);
-                let q = if r % 2 == 0 { r as i64 + d } else { r as i64 - d };
+                let q = if r.is_multiple_of(2) {
+                    r as i64 + d
+                } else {
+                    r as i64 - d
+                };
                 q.rem_euclid(p) as usize
             }
             ButterflyKind::BineDistanceDoubling => {
                 // Eq. 5: the signed distance is Σ_{k=0}^{j} (−2)^k.
                 let d = alternating_sum(step + 1);
-                let q = if r % 2 == 0 { r as i64 + d } else { r as i64 - d };
+                let q = if r.is_multiple_of(2) {
+                    r as i64 + d
+                } else {
+                    r as i64 - d
+                };
                 q.rem_euclid(p) as usize
             }
         }
@@ -156,8 +164,7 @@ impl Butterfly {
             after[step] = (0..p)
                 .map(|r| {
                     let q = self.partner(r, (step + 1) as u32);
-                    let mut set: Vec<u32> =
-                        next[r].iter().chain(next[q].iter()).copied().collect();
+                    let mut set: Vec<u32> = next[r].iter().chain(next[q].iter()).copied().collect();
                     set.sort_unstable();
                     set
                 })
@@ -191,9 +198,9 @@ mod tests {
         let mut have: Vec<HashSet<usize>> = (0..p).map(|r| HashSet::from([r])).collect();
         for step in 0..s {
             let snapshot = have.clone();
-            for r in 0..p {
+            for (r, set) in have.iter_mut().enumerate() {
                 let q = bf.partner(r, step);
-                have[r].extend(snapshot[q].iter().copied());
+                set.extend(snapshot[q].iter().copied());
             }
         }
         for (r, set) in have.iter().enumerate() {
@@ -213,7 +220,10 @@ mod tests {
 
     #[test]
     fn bine_butterflies_pair_even_with_odd() {
-        for &kind in &[ButterflyKind::BineDistanceHalving, ButterflyKind::BineDistanceDoubling] {
+        for &kind in &[
+            ButterflyKind::BineDistanceHalving,
+            ButterflyKind::BineDistanceDoubling,
+        ] {
             let bf = Butterfly::new(kind, 64);
             for step in 0..bf.num_steps() {
                 for r in (0..64).step_by(2) {
@@ -273,16 +283,16 @@ mod tests {
             let bf = Butterfly::new(kind, p);
             let resp = bf.responsibilities();
             // After the last step each rank owns exactly its own block.
-            for r in 0..p {
-                assert_eq!(resp[bf.num_steps() as usize - 1][r], vec![r as u32]);
+            for (r, owned) in resp[bf.num_steps() as usize - 1].iter().enumerate() {
+                assert_eq!(owned, &vec![r as u32]);
             }
             // Before the first exchange, the blocks a pair is jointly
             // responsible for partition into the two halves they keep.
-            for step in 0..bf.num_steps() as usize {
+            for (step, step_resp) in resp.iter().enumerate() {
                 for r in 0..p {
                     let q = bf.partner(r, step as u32);
-                    let mine: HashSet<u32> = resp[step][r].iter().copied().collect();
-                    let theirs: HashSet<u32> = resp[step][q].iter().copied().collect();
+                    let mine: HashSet<u32> = step_resp[r].iter().copied().collect();
+                    let theirs: HashSet<u32> = step_resp[q].iter().copied().collect();
                     assert!(mine.is_disjoint(&theirs), "step {step} rank {r}");
                 }
             }

@@ -91,7 +91,10 @@ mod tests {
             vec![8, 4, 2, 1]
         );
         // Bine distances |1−2+4−8| = 5, |1−2+4| = 3, |1−2| = 1, |1| = 1.
-        assert_eq!((0..4).map(|i| delta_bine(i, 4)).collect::<Vec<_>>(), vec![5, 3, 1, 1]);
+        assert_eq!(
+            (0..4).map(|i| delta_bine(i, 4)).collect::<Vec<_>>(),
+            vec![5, 3, 1, 1]
+        );
     }
 
     #[test]
@@ -99,8 +102,10 @@ mod tests {
         // Eq. 2: δ_bine / δ_binomial ≈ 2/3, exact in the limit of large s − i.
         for s in 4..=30u32 {
             let ratio = distance_ratio(0, s);
-            assert!((ratio - 2.0 / 3.0).abs() < 0.7 / (1 << (s - 1)) as f64 + 1e-12,
-                "s = {s}, ratio = {ratio}");
+            assert!(
+                (ratio - 2.0 / 3.0).abs() < 0.7 / (1 << (s - 1)) as f64 + 1e-12,
+                "s = {s}, ratio = {ratio}"
+            );
         }
         // The early steps of small trees deviate by at most ±1 block.
         for s in 1..=20u32 {
@@ -114,7 +119,10 @@ mod tests {
     #[test]
     fn bine_total_distance_is_lower() {
         for s in 3..=20u32 {
-            assert!(total_distance_bine(s) < total_distance_binomial(s), "s = {s}");
+            assert!(
+                total_distance_bine(s) < total_distance_binomial(s),
+                "s = {s}"
+            );
         }
     }
 }

@@ -94,7 +94,10 @@ pub fn from_negabinary_reference(nb: u64) -> i64 {
 /// Panics if `p` is zero or not a power of two.
 #[inline]
 pub fn num_steps(p: usize) -> u32 {
-    assert!(p.is_power_of_two() && p > 0, "p must be a power of two, got {p}");
+    assert!(
+        p.is_power_of_two() && p > 0,
+        "p must be a power of two, got {p}"
+    );
     p.trailing_zeros()
 }
 
@@ -267,7 +270,11 @@ mod tests {
     #[test]
     fn from_negabinary_matches_reference() {
         for nb in 0u64..65_536 {
-            assert_eq!(from_negabinary(nb), from_negabinary_reference(nb), "nb = {nb:b}");
+            assert_eq!(
+                from_negabinary(nb),
+                from_negabinary_reference(nb),
+                "nb = {nb:b}"
+            );
         }
     }
 
@@ -301,7 +308,10 @@ mod tests {
             let mut seen = vec![false; p];
             for r in 0..p {
                 let nb = rank2nb(r, p);
-                assert!(nb < (1 << s) as u64, "encoding of {r} uses more than {s} digits");
+                assert!(
+                    nb < (1 << s) as u64,
+                    "encoding of {r} uses more than {s} digits"
+                );
                 let back = nb2rank(nb, p);
                 assert_eq!(back, r);
                 assert!(!seen[back]);

@@ -33,7 +33,11 @@ impl Pow2Fold {
     /// Computes the fold for `p` ranks.
     pub fn new(p: usize) -> Self {
         let core = largest_pow2_below(p);
-        Self { p, core, extra: p - core }
+        Self {
+            p,
+            core,
+            extra: p - core,
+        }
     }
 
     /// True when no folding is needed.

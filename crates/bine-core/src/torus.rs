@@ -117,17 +117,30 @@ impl TorusButterfly {
         dim_order: Vec<usize>,
         mirrored: bool,
     ) -> Self {
-        assert!(shape.is_power_of_two(), "torus-optimized Bine requires power-of-two dimensions");
+        assert!(
+            shape.is_power_of_two(),
+            "torus-optimized Bine requires power-of-two dimensions"
+        );
         assert_eq!(dim_order.len(), shape.num_dims());
-        let per_dim: Vec<Butterfly> =
-            shape.dims().iter().map(|&k| Butterfly::new(kind, k.max(1))).collect();
+        let per_dim: Vec<Butterfly> = shape
+            .dims()
+            .iter()
+            .map(|&k| Butterfly::new(kind, k.max(1)))
+            .collect();
         let mut step_map = Vec::new();
         for &d in &dim_order {
             for j in 0..per_dim[d].num_steps() {
                 step_map.push((d, j));
             }
         }
-        Self { shape, kind, dim_order, mirrored, per_dim, step_map }
+        Self {
+            shape,
+            kind,
+            dim_order,
+            mirrored,
+            per_dim,
+            step_map,
+        }
     }
 
     /// The `port`-th of `2·D` port schedules (Appendix D.4): the dimension
@@ -135,7 +148,10 @@ impl TorusButterfly {
     /// half of the ports.
     pub fn for_port(shape: TorusShape, kind: ButterflyKind, port: usize) -> Self {
         let d = shape.num_dims();
-        assert!(port < 2 * d, "port {port} out of range for a {d}-dimensional torus");
+        assert!(
+            port < 2 * d,
+            "port {port} out of range for a {d}-dimensional torus"
+        );
         let rot = port % d;
         let order: Vec<usize> = (0..d).map(|i| (i + rot) % d).collect();
         Self::with_order(shape, kind, order, port >= d)
@@ -219,10 +235,10 @@ mod tests {
         let mut have: Vec<HashSet<usize>> = (0..p).map(|r| HashSet::from([r])).collect();
         for step in 0..bf.num_steps() {
             let snap = have.clone();
-            for r in 0..p {
+            for (r, set) in have.iter_mut().enumerate() {
                 let q = bf.partner(r, step);
                 assert_eq!(bf.partner(q, step), r, "involution violated at step {step}");
-                have[r].extend(snap[q].iter().copied());
+                set.extend(snap[q].iter().copied());
             }
         }
         for set in &have {
@@ -232,7 +248,10 @@ mod tests {
 
     #[test]
     fn torus_butterfly_disseminates_fully() {
-        for kind in [ButterflyKind::BineDistanceDoubling, ButterflyKind::RecursiveDoubling] {
+        for kind in [
+            ButterflyKind::BineDistanceDoubling,
+            ButterflyKind::RecursiveDoubling,
+        ] {
             for dims in [vec![2, 2, 2], vec![4, 4], vec![8, 4, 2], vec![16]] {
                 let bf = TorusButterfly::new(TorusShape::new(dims), kind);
                 check_full_dissemination(&bf);
@@ -266,7 +285,8 @@ mod tests {
         let shape = TorusShape::new(vec![4, 4, 4]);
         let mut firsts = HashSet::new();
         for port in 0..6 {
-            let bf = TorusButterfly::for_port(shape.clone(), ButterflyKind::BineDistanceDoubling, port);
+            let bf =
+                TorusButterfly::for_port(shape.clone(), ButterflyKind::BineDistanceDoubling, port);
             check_full_dissemination(&bf);
             firsts.insert((bf.step_dimension(0), port >= 3));
         }
@@ -292,6 +312,9 @@ mod tests {
         let torus_hops: usize = (0..torus.num_steps())
             .map(|s| hops((0..p).map(|r| (r, torus.partner(r, s))).collect()))
             .sum();
-        assert!(torus_hops < flat_hops, "torus {torus_hops} !< flat {flat_hops}");
+        assert!(
+            torus_hops < flat_hops,
+            "torus {torus_hops} !< flat {flat_hops}"
+        );
     }
 }

@@ -12,9 +12,7 @@
 //! All trees support an arbitrary root via logical rotation of the rank
 //! space (Sec. 2.2).
 
-use crate::negabinary::{
-    highest_set_bit, nb2rank, num_steps, ones, rank2nb, trailing_equal_bits,
-};
+use crate::negabinary::{highest_set_bit, nb2rank, num_steps, ones, rank2nb, trailing_equal_bits};
 
 /// Which tree-construction rule to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -182,10 +180,7 @@ impl CommTree for BineTreeDh {
             return None;
         }
         let l = to_logical(r, self.root, self.p);
-        let first = match self.recv_step(r) {
-            None => 0,
-            Some(i) => i,
-        };
+        let first = self.recv_step(r).unwrap_or_default();
         if step < first {
             return None;
         }
@@ -251,7 +246,13 @@ impl BineTreeDd {
             );
             inv_nu[v as usize] = r;
         }
-        Self { p, s, root, nu, inv_nu }
+        Self {
+            p,
+            s,
+            root,
+            nu,
+            inv_nu,
+        }
     }
 
     /// The `ν` label of physical rank `r`.
@@ -286,10 +287,7 @@ impl CommTree for BineTreeDd {
             return None;
         }
         let l = to_logical(r, self.root, self.p);
-        let first = match self.recv_step(r) {
-            None => 0,
-            Some(i) => i,
-        };
+        let first = self.recv_step(r).unwrap_or_default();
         if step < first {
             return None;
         }
@@ -432,7 +430,9 @@ mod tests {
         assert!(tree.recv_step(root).is_none());
         for r in 0..p {
             if r != root {
-                let i = tree.recv_step(r).expect("non-root must have a receive step");
+                let i = tree
+                    .recv_step(r)
+                    .expect("non-root must have a receive step");
                 assert!(i < s);
                 let parent = tree.parent(r).unwrap();
                 // The parent lists r as the child joining at step i.
@@ -538,7 +538,10 @@ mod tests {
         // Fig. 6 (right) lists ν(r) for ranks 0..8 as
         // 000 001 011 100 110 111 101 010.
         let nu = nu_labels(8);
-        assert_eq!(nu, vec![0b000, 0b001, 0b011, 0b100, 0b110, 0b111, 0b101, 0b010]);
+        assert_eq!(
+            nu,
+            vec![0b000, 0b001, 0b011, 0b100, 0b110, 0b111, 0b101, 0b010]
+        );
     }
 
     #[test]
@@ -599,7 +602,10 @@ mod tests {
                     boundaries += 1;
                 }
             }
-            assert!(boundaries <= 1, "subtree of {r} is not a contiguous arc: {sub:?}");
+            assert!(
+                boundaries <= 1,
+                "subtree of {r} is not a contiguous arc: {sub:?}"
+            );
         }
     }
 }

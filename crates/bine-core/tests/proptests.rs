@@ -113,10 +113,10 @@ proptest! {
         let mut have: Vec<HashSet<usize>> = (0..p).map(|r| HashSet::from([r])).collect();
         for step in 0..bf.num_steps() {
             let snap = have.clone();
-            for r in 0..p {
+            for (r, set) in have.iter_mut().enumerate() {
                 let q = bf.partner(r, step);
                 prop_assert_eq!(bf.partner(q, step), r);
-                have[r].extend(snap[q].iter().copied());
+                set.extend(snap[q].iter().copied());
             }
         }
         for set in &have {
@@ -128,13 +128,13 @@ proptest! {
     fn butterfly_responsibilities_form_a_partition(kind in butterfly_kind(), p in (1u32..=7).prop_map(|s| 1usize << s)) {
         let bf = Butterfly::new(kind, p);
         let resp = bf.responsibilities();
-        for step in 0..bf.num_steps() as usize {
+        for (step, step_resp) in resp.iter().enumerate() {
             // At every step the responsibility sets of all ranks cover every
             // block the "right" number of times: block b appears in exactly
             // 2^(s−1−step) responsibility sets.
             let mut count = vec![0usize; p];
-            for r in 0..p {
-                for &b in &resp[step][r] {
+            for rank_resp in step_resp {
+                for &b in rank_resp {
                     count[b as usize] += 1;
                 }
             }

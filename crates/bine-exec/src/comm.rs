@@ -6,16 +6,19 @@
 //! plain `Vec<f64>` buffers, with the algorithm selectable per call. The
 //! quickstart example and the integration tests are written against this API.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use bine_sched::collectives::{
     allgather as allgather_sched, allreduce as allreduce_sched, alltoall as alltoall_sched,
     broadcast as broadcast_sched, gather as gather_sched, reduce as reduce_sched,
     reduce_scatter as reduce_scatter_sched, scatter as scatter_sched, AllgatherAlg, AllreduceAlg,
     AlltoallAlg, BroadcastAlg, GatherAlg, ReduceAlg, ReduceScatterAlg, ScatterAlg,
 };
-use bine_sched::{BlockId, Schedule};
+use bine_sched::{BlockId, Collective, CompiledSchedule, Schedule};
 
+use crate::pool::ExecutorPool;
 use crate::state::BlockStore;
-use crate::threaded;
 
 /// A simulated cluster of `p` ranks executing collectives over real data.
 ///
@@ -47,9 +50,16 @@ impl Cluster {
     }
 
     fn check_inputs(&self, inputs: &[Vec<f64>]) -> usize {
-        assert_eq!(inputs.len(), self.num_ranks, "one input buffer per rank required");
+        assert_eq!(
+            inputs.len(),
+            self.num_ranks,
+            "one input buffer per rank required"
+        );
         let len = inputs[0].len();
-        assert!(inputs.iter().all(|v| v.len() == len), "all input buffers must have equal length");
+        assert!(
+            inputs.iter().all(|v| v.len() == len),
+            "all input buffers must have equal length"
+        );
         len
     }
 
@@ -63,11 +73,67 @@ impl Cluster {
             self.num_ranks
         );
         let seg = v.len() / self.num_ranks;
-        (0..self.num_ranks).map(|i| v[i * seg..(i + 1) * seg].to_vec()).collect()
+        (0..self.num_ranks)
+            .map(|i| v[i * seg..(i + 1) * seg].to_vec())
+            .collect()
     }
 
-    fn run(&self, schedule: &Schedule, initial: Vec<BlockStore>) -> Vec<BlockStore> {
-        threaded::run(schedule, initial)
+    /// Returns the compiled schedule for one collective call, building and
+    /// compiling it only on a cache miss — steady-state calls (e.g. an
+    /// allreduce per training iteration) do no per-call schedule-sized work.
+    ///
+    /// The cache is keyed on `(collective, algorithm name, rank count,
+    /// root)`, which is sound *only* because this is private to [`Cluster`]
+    /// and every schedule comes from the catalog generators, which are
+    /// deterministic functions of exactly that tuple. Do not route
+    /// caller-constructed schedules through here.
+    fn compiled_for(
+        collective: Collective,
+        algorithm: &str,
+        num_ranks: usize,
+        root: usize,
+        build: impl FnOnce() -> Schedule,
+    ) -> Arc<CompiledSchedule> {
+        type Key = (Collective, String, usize, usize);
+        static CACHE: OnceLock<Mutex<HashMap<Key, Arc<CompiledSchedule>>>> = OnceLock::new();
+        /// Bound on cached schedules; collectives at a handful of rank
+        /// counts stay far below this, and a sweep over many sizes must not
+        /// grow the process without limit.
+        const MAX_CACHED: usize = 256;
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let key = (collective, algorithm.to_string(), num_ranks, root);
+        if let Some(hit) = cache
+            .lock()
+            .expect("compiled-schedule cache poisoned")
+            .get(&key)
+        {
+            return Arc::clone(hit);
+        }
+        // Build and compile outside the lock.
+        let schedule = build();
+        debug_assert_eq!(
+            (schedule.collective, schedule.num_ranks, schedule.root),
+            (collective, num_ranks, root),
+            "cache key does not describe the built schedule"
+        );
+        let compiled = Arc::new(schedule.compile());
+        let mut cache = cache.lock().expect("compiled-schedule cache poisoned");
+        if cache.len() >= MAX_CACHED {
+            cache.clear();
+        }
+        Arc::clone(cache.entry(key).or_insert(compiled))
+    }
+
+    fn run(
+        &self,
+        collective: Collective,
+        algorithm: &str,
+        root: usize,
+        build: impl FnOnce() -> Schedule,
+        initial: Vec<BlockStore>,
+    ) -> Vec<BlockStore> {
+        let compiled = Self::compiled_for(collective, algorithm, self.num_ranks, root, build);
+        ExecutorPool::global().run(&compiled, initial)
     }
 
     fn extract_vector(&self, store: &BlockStore, len: usize) -> Vec<f64> {
@@ -90,10 +156,12 @@ impl Cluster {
     /// multiple of the rank count.
     pub fn allreduce(&self, inputs: &[Vec<f64>], alg: AllreduceAlg) -> Vec<Vec<f64>> {
         let len = self.check_inputs(inputs);
-        let sched = allreduce_sched(self.num_ranks, alg);
         let uses_segments = matches!(
             alg,
-            AllreduceAlg::BineLarge | AllreduceAlg::Rabenseifner | AllreduceAlg::Ring | AllreduceAlg::Swing
+            AllreduceAlg::BineLarge
+                | AllreduceAlg::Rabenseifner
+                | AllreduceAlg::Ring
+                | AllreduceAlg::Swing
         );
         let mut init: Vec<BlockStore> = Vec::with_capacity(self.num_ranks);
         for input in inputs {
@@ -107,12 +175,20 @@ impl Cluster {
             }
             init.push(store);
         }
-        self.run(&sched, init).iter().map(|s| self.extract_vector(s, len)).collect()
+        self.run(
+            Collective::Allreduce,
+            alg.name(),
+            0,
+            || allreduce_sched(self.num_ranks, alg),
+            init,
+        )
+        .iter()
+        .map(|s| self.extract_vector(s, len))
+        .collect()
     }
 
     /// Broadcast: every rank receives a copy of `data` from `root`.
     pub fn broadcast(&self, data: &[f64], root: usize, alg: BroadcastAlg) -> Vec<Vec<f64>> {
-        let sched = broadcast_sched(self.num_ranks, root, alg);
         let uses_segments = matches!(
             alg,
             BroadcastAlg::BineScatterAllgather | BroadcastAlg::ScatterAllgather
@@ -125,14 +201,25 @@ impl Cluster {
         } else {
             init[root].insert(BlockId::Full, data.to_vec());
         }
-        self.run(&sched, init).iter().map(|s| self.extract_vector(s, data.len())).collect()
+        self.run(
+            Collective::Broadcast,
+            alg.name(),
+            root,
+            || broadcast_sched(self.num_ranks, root, alg),
+            init,
+        )
+        .iter()
+        .map(|s| self.extract_vector(s, data.len()))
+        .collect()
     }
 
     /// Reduce: returns the elementwise sum of all inputs, delivered at `root`.
     pub fn reduce(&self, inputs: &[Vec<f64>], root: usize, alg: ReduceAlg) -> Vec<f64> {
         let len = self.check_inputs(inputs);
-        let sched = reduce_sched(self.num_ranks, root, alg);
-        let uses_segments = matches!(alg, ReduceAlg::BineReduceScatterGather | ReduceAlg::ReduceScatterGather);
+        let uses_segments = matches!(
+            alg,
+            ReduceAlg::BineReduceScatterGather | ReduceAlg::ReduceScatterGather
+        );
         let mut init: Vec<BlockStore> = Vec::with_capacity(self.num_ranks);
         for input in inputs {
             let mut store = BlockStore::new();
@@ -145,7 +232,13 @@ impl Cluster {
             }
             init.push(store);
         }
-        let finals = self.run(&sched, init);
+        let finals = self.run(
+            Collective::Reduce,
+            alg.name(),
+            root,
+            || reduce_sched(self.num_ranks, root, alg),
+            init,
+        );
         self.extract_vector(&finals[root], len)
     }
 
@@ -153,7 +246,6 @@ impl Cluster {
     /// contributions (in rank order).
     pub fn allgather(&self, inputs: &[Vec<f64>], alg: AllgatherAlg) -> Vec<Vec<f64>> {
         let seg_len = self.check_inputs(inputs);
-        let sched = allgather_sched(self.num_ranks, alg);
         let init: Vec<BlockStore> = inputs
             .iter()
             .enumerate()
@@ -163,17 +255,22 @@ impl Cluster {
                 store
             })
             .collect();
-        self.run(&sched, init)
-            .iter()
-            .map(|s| self.extract_vector(s, seg_len * self.num_ranks))
-            .collect()
+        self.run(
+            Collective::Allgather,
+            alg.name(),
+            0,
+            || allgather_sched(self.num_ranks, alg),
+            init,
+        )
+        .iter()
+        .map(|s| self.extract_vector(s, seg_len * self.num_ranks))
+        .collect()
     }
 
     /// Reduce-scatter: rank `r` receives segment `r` of the elementwise sum
     /// of all inputs.
     pub fn reduce_scatter(&self, inputs: &[Vec<f64>], alg: ReduceScatterAlg) -> Vec<Vec<f64>> {
         self.check_inputs(inputs);
-        let sched = reduce_scatter_sched(self.num_ranks, alg);
         let init: Vec<BlockStore> = inputs
             .iter()
             .map(|v| {
@@ -184,21 +281,26 @@ impl Cluster {
                 store
             })
             .collect();
-        self.run(&sched, init)
-            .iter()
-            .enumerate()
-            .map(|(r, s)| {
-                s.get(&BlockId::Segment(r as u32))
-                    .expect("reduce-scatter result segment missing")
-                    .clone()
-            })
-            .collect()
+        self.run(
+            Collective::ReduceScatter,
+            alg.name(),
+            0,
+            || reduce_scatter_sched(self.num_ranks, alg),
+            init,
+        )
+        .iter()
+        .enumerate()
+        .map(|(r, s)| {
+            s.get(&BlockId::Segment(r as u32))
+                .expect("reduce-scatter result segment missing")
+                .clone()
+        })
+        .collect()
     }
 
     /// Gather: `root` receives the concatenation of all ranks' contributions.
     pub fn gather(&self, inputs: &[Vec<f64>], root: usize, alg: GatherAlg) -> Vec<f64> {
         let seg_len = self.check_inputs(inputs);
-        let sched = gather_sched(self.num_ranks, root, alg);
         let init: Vec<BlockStore> = inputs
             .iter()
             .enumerate()
@@ -208,24 +310,37 @@ impl Cluster {
                 store
             })
             .collect();
-        let finals = self.run(&sched, init);
+        let finals = self.run(
+            Collective::Gather,
+            alg.name(),
+            root,
+            || gather_sched(self.num_ranks, root, alg),
+            init,
+        );
         self.extract_vector(&finals[root], seg_len * self.num_ranks)
     }
 
     /// Scatter: rank `r` receives segment `r` of the root's vector.
     pub fn scatter(&self, data: &[f64], root: usize, alg: ScatterAlg) -> Vec<Vec<f64>> {
-        let sched = scatter_sched(self.num_ranks, root, alg);
         let mut init: Vec<BlockStore> = (0..self.num_ranks).map(|_| BlockStore::new()).collect();
         for (i, seg) in self.segments(data).into_iter().enumerate() {
             init[root].insert(BlockId::Segment(i as u32), seg);
         }
-        self.run(&sched, init)
-            .iter()
-            .enumerate()
-            .map(|(r, s)| {
-                s.get(&BlockId::Segment(r as u32)).expect("scatter result segment missing").clone()
-            })
-            .collect()
+        self.run(
+            Collective::Scatter,
+            alg.name(),
+            root,
+            || scatter_sched(self.num_ranks, root, alg),
+            init,
+        )
+        .iter()
+        .enumerate()
+        .map(|(r, s)| {
+            s.get(&BlockId::Segment(r as u32))
+                .expect("scatter result segment missing")
+                .clone()
+        })
+        .collect()
     }
 
     /// Alltoall: `inputs[r][d]` is the block rank `r` sends to rank `d`;
@@ -233,7 +348,6 @@ impl Cluster {
     pub fn alltoall(&self, inputs: &[Vec<Vec<f64>>], alg: AlltoallAlg) -> Vec<Vec<Vec<f64>>> {
         assert_eq!(inputs.len(), self.num_ranks);
         assert!(inputs.iter().all(|v| v.len() == self.num_ranks));
-        let sched = alltoall_sched(self.num_ranks, alg);
         let init: Vec<BlockStore> = inputs
             .iter()
             .enumerate()
@@ -241,26 +355,38 @@ impl Cluster {
                 let mut store = BlockStore::new();
                 for (d, data) in blocks.iter().enumerate() {
                     store.insert(
-                        BlockId::Pairwise { origin: r as u32, dest: d as u32 },
+                        BlockId::Pairwise {
+                            origin: r as u32,
+                            dest: d as u32,
+                        },
                         data.clone(),
                     );
                 }
                 store
             })
             .collect();
-        self.run(&sched, init)
-            .iter()
-            .enumerate()
-            .map(|(r, s)| {
-                (0..self.num_ranks)
-                    .map(|o| {
-                        s.get(&BlockId::Pairwise { origin: o as u32, dest: r as u32 })
-                            .expect("alltoall result block missing")
-                            .clone()
+        self.run(
+            Collective::Alltoall,
+            alg.name(),
+            0,
+            || alltoall_sched(self.num_ranks, alg),
+            init,
+        )
+        .iter()
+        .enumerate()
+        .map(|(r, s)| {
+            (0..self.num_ranks)
+                .map(|o| {
+                    s.get(&BlockId::Pairwise {
+                        origin: o as u32,
+                        dest: r as u32,
                     })
-                    .collect()
-            })
-            .collect()
+                    .expect("alltoall result block missing")
+                    .clone()
+                })
+                .collect()
+        })
+        .collect()
     }
 }
 
@@ -271,14 +397,20 @@ mod tests {
     #[test]
     fn cluster_allreduce_sums_across_ranks() {
         let cluster = Cluster::new(8);
-        let inputs: Vec<Vec<f64>> =
-            (0..8).map(|r| (0..16).map(|j| (r * 16 + j) as f64).collect()).collect();
-        let expected: Vec<f64> =
-            (0..16).map(|j| (0..8).map(|r| (r * 16 + j) as f64).sum()).collect();
-        for alg in [AllreduceAlg::BineSmall, AllreduceAlg::BineLarge, AllreduceAlg::Ring] {
+        let inputs: Vec<Vec<f64>> = (0..8)
+            .map(|r| (0..16).map(|j| (r * 16 + j) as f64).collect())
+            .collect();
+        let expected: Vec<f64> = (0..16)
+            .map(|j| (0..8).map(|r| (r * 16 + j) as f64).sum())
+            .collect();
+        for alg in [
+            AllreduceAlg::BineSmall,
+            AllreduceAlg::BineLarge,
+            AllreduceAlg::Ring,
+        ] {
             let out = cluster.allreduce(&inputs, alg);
-            for r in 0..8 {
-                assert_eq!(out[r], expected, "{alg:?} rank {r}");
+            for (r, v) in out.iter().enumerate() {
+                assert_eq!(v, &expected, "{alg:?} rank {r}");
             }
         }
     }
@@ -289,8 +421,8 @@ mod tests {
         let data: Vec<f64> = (0..8).map(|x| x as f64 * 1.5).collect();
         for alg in [BroadcastAlg::BineTree, BroadcastAlg::BineScatterAllgather] {
             let out = cluster.broadcast(&data, 2, alg);
-            for r in 0..4 {
-                assert_eq!(out[r], data, "{alg:?} rank {r}");
+            for (r, v) in out.iter().enumerate() {
+                assert_eq!(v, &data, "{alg:?} rank {r}");
             }
         }
     }
@@ -302,9 +434,9 @@ mod tests {
             .map(|r| (0..4).map(|d| vec![(r * 10 + d) as f64]).collect())
             .collect();
         let out = cluster.alltoall(&inputs, AlltoallAlg::Bine);
-        for r in 0..4 {
-            for o in 0..4 {
-                assert_eq!(out[r][o], vec![(o * 10 + r) as f64]);
+        for (r, row) in out.iter().enumerate() {
+            for (o, block) in row.iter().enumerate() {
+                assert_eq!(block, &vec![(o * 10 + r) as f64]);
             }
         }
     }

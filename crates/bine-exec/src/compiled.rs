@@ -1,0 +1,246 @@
+//! Execution of [`CompiledSchedule`]s over dense per-rank state.
+//!
+//! This is the fast single-threaded path of the crate: block identifiers are
+//! pre-interned to dense indices (see [`bine_sched::compile`]), so the inner
+//! loop indexes flat `Vec`s instead of hashing `BlockId`s, and payloads are
+//! shared [`Block`]s, so moving data is a refcount bump and reductions are
+//! copy-on-write. Results are bit-identical to
+//! [`crate::sequential::run_reference`]: payloads are gathered from the
+//! pre-step state and applied per receiver in schedule order — exactly the
+//! order the reference interpreter applies them in.
+
+use bine_sched::{CompiledSchedule, TransferKind};
+
+use crate::state::{Block, BlockStore};
+
+/// The data a single rank holds, in dense form: slot `i` is the payload of
+/// the block the schedule interned as index `i`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DenseState {
+    /// One slot per interned block (None = not held).
+    slots: Vec<Option<Block>>,
+    /// Blocks held by the rank but never referenced by the schedule (e.g.
+    /// the alltoall block a rank keeps for itself under an algorithm that
+    /// never moves it). Carried through untouched.
+    extra: Vec<(bine_sched::BlockId, Block)>,
+}
+
+impl DenseState {
+    /// Creates an all-empty state with one slot per interned block.
+    pub fn empty(num_blocks: usize) -> Self {
+        Self {
+            slots: vec![None; num_blocks],
+            extra: Vec::new(),
+        }
+    }
+
+    /// The payload in a slot, if held.
+    pub fn slot(&self, index: u32) -> Option<&Block> {
+        self.slots[index as usize].as_ref()
+    }
+
+    /// Number of held blocks (slots plus schedule-untouched extras).
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count() + self.extra.len()
+    }
+
+    /// Whether the rank holds no blocks at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Converts symbolic per-rank stores into dense states for `compiled`.
+pub fn to_dense(compiled: &CompiledSchedule, initial: Vec<BlockStore>) -> Vec<DenseState> {
+    assert_eq!(
+        initial.len(),
+        compiled.num_ranks,
+        "initial state must have one store per rank"
+    );
+    let num_blocks = compiled.num_blocks();
+    initial
+        .into_iter()
+        .map(|store| {
+            let mut dense = DenseState::empty(num_blocks);
+            for (id, payload) in store.into_blocks() {
+                match compiled.blocks().index_of(&id) {
+                    Some(idx) => dense.slots[idx as usize] = Some(payload),
+                    None => dense.extra.push((id, payload)),
+                }
+            }
+            // Deterministic order for the extras (HashMap iteration is not).
+            dense.extra.sort_by_key(|(id, _)| *id);
+            dense
+        })
+        .collect()
+}
+
+/// Converts dense states back into symbolic per-rank stores.
+pub fn from_dense(compiled: &CompiledSchedule, finals: Vec<DenseState>) -> Vec<BlockStore> {
+    finals
+        .into_iter()
+        .map(|dense| {
+            let mut store = BlockStore::new();
+            for (idx, slot) in dense.slots.into_iter().enumerate() {
+                if let Some(payload) = slot {
+                    store.insert(compiled.blocks().resolve(idx as u32), payload);
+                }
+            }
+            for (id, payload) in dense.extra {
+                store.insert(id, payload);
+            }
+            store
+        })
+        .collect()
+}
+
+/// Executes `compiled` over dense states, in place.
+///
+/// # Panics
+/// Panics if a send references a block its source rank does not hold.
+pub fn run_dense(compiled: &CompiledSchedule, states: &mut [DenseState]) {
+    assert_eq!(
+        states.len(),
+        compiled.num_ranks,
+        "one dense state per rank required"
+    );
+    let mut staging: Vec<Option<Block>> = Vec::new();
+    for step in 0..compiled.num_steps() {
+        let sends = compiled.step_sends(step);
+        if sends.is_empty() {
+            continue;
+        }
+        // Sends are sorted by source rank, not schedule order, so the step's
+        // first payload index is the minimum over its sends.
+        let payload_base = sends
+            .iter()
+            .map(|s| s.blocks_start)
+            .min()
+            .expect("non-empty step") as usize;
+        // Gather phase: stage every payload of the step before any state
+        // mutates (refcount bumps only). Staging slot k corresponds to the
+        // k-th block index of the step, so sends address their payloads by
+        // `blocks_start - payload_base`.
+        staging.clear();
+        staging.resize(compiled.step_payload_count(step), None);
+        for send in sends {
+            let src = &states[send.src as usize];
+            for (k, &block_idx) in compiled.block_index_slice(send).iter().enumerate() {
+                let payload = src.slots[block_idx as usize].as_ref().unwrap_or_else(|| {
+                    panic!(
+                        "step {step}: rank {} sends block {:?} it does not hold ({})",
+                        send.src,
+                        compiled.blocks().resolve(block_idx),
+                        compiled.algorithm
+                    )
+                });
+                staging[send.blocks_start as usize - payload_base + k] =
+                    Some(Block::clone(payload));
+            }
+        }
+        // Apply phase: per receiver in schedule order (bit-identical float
+        // reduction order to the reference interpreter).
+        let step_range = compiled.step_send_range(step);
+        for (rank, dst) in states.iter_mut().enumerate() {
+            for &send_idx in compiled.recvs_to(step, rank) {
+                let send = compiled.send(send_idx as usize);
+                debug_assert!(step_range.contains(&(send_idx as usize)));
+                for (k, &block_idx) in compiled.block_index_slice(send).iter().enumerate() {
+                    let payload = staging[send.blocks_start as usize - payload_base + k]
+                        .as_ref()
+                        .expect("staged payload missing");
+                    apply(dst, block_idx, payload, send.kind);
+                }
+            }
+        }
+    }
+}
+
+/// Applies one staged payload to a destination slot.
+pub(crate) fn apply(dst: &mut DenseState, block_idx: u32, payload: &Block, kind: TransferKind) {
+    let slot = &mut dst.slots[block_idx as usize];
+    match kind {
+        TransferKind::Copy => *slot = Some(Block::clone(payload)),
+        TransferKind::Reduce => match slot {
+            Some(existing) => {
+                assert_eq!(
+                    existing.len(),
+                    payload.len(),
+                    "block length mismatch for dense block {block_idx}"
+                );
+                for (a, b) in Block::make_mut(existing).iter_mut().zip(payload.iter()) {
+                    *a += b;
+                }
+            }
+            // Same semantics as BlockStore::reduce into an absent block: the
+            // payload becomes the partial result.
+            None => *slot = Some(Block::clone(payload)),
+        },
+    }
+}
+
+/// Executes `compiled` starting from symbolic `initial` stores and returns
+/// symbolic final stores (convenience wrapper over [`to_dense`] /
+/// [`run_dense`] / [`from_dense`]).
+pub fn run(compiled: &CompiledSchedule, initial: Vec<BlockStore>) -> Vec<BlockStore> {
+    let mut dense = to_dense(compiled, initial);
+    run_dense(compiled, &mut dense);
+    from_dense(compiled, dense)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential;
+    use crate::state::Workload;
+    use bine_sched::collectives::{alltoall, broadcast, AlltoallAlg, BroadcastAlg};
+    use bine_sched::{algorithms, build, BlockId, Collective};
+
+    #[test]
+    fn dense_round_trip_preserves_every_block() {
+        let sched = alltoall(8, AlltoallAlg::Bine);
+        let compiled = sched.compile();
+        let w = Workload::for_schedule(&sched, 3);
+        let initial = w.initial_state(&sched);
+        let round_tripped = from_dense(&compiled, to_dense(&compiled, initial.clone()));
+        assert_eq!(initial, round_tripped);
+    }
+
+    #[test]
+    fn untouched_blocks_survive_execution() {
+        let sched = broadcast(8, 0, BroadcastAlg::BineTree);
+        let compiled = sched.compile();
+        let w = Workload::for_schedule(&sched, 2);
+        let mut initial = w.initial_state(&sched);
+        // A block the schedule never references must pass through untouched.
+        initial[5].insert(BlockId::Segment(77), vec![1.0, 2.0, 3.0]);
+        let finals = run(&compiled, initial);
+        assert_eq!(
+            finals[5].get(&BlockId::Segment(77)),
+            Some(&vec![1.0, 2.0, 3.0])
+        );
+    }
+
+    #[test]
+    fn compiled_execution_matches_the_reference_for_every_algorithm() {
+        for collective in Collective::ALL {
+            for alg in algorithms(collective) {
+                let sched = build(collective, alg.name, 16, 5).expect(alg.name);
+                let compiled = sched.compile();
+                let w = Workload::for_schedule(&sched, 2);
+                let fast = run(&compiled, w.initial_state(&sched));
+                let reference = sequential::run_reference(&sched, w.initial_state(&sched));
+                assert_eq!(fast, reference, "{:?}/{}", collective, alg.name);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold")]
+    fn missing_blocks_are_detected() {
+        let sched = broadcast(8, 0, BroadcastAlg::BineTree);
+        let compiled = sched.compile();
+        let empty = (0..8).map(|_| BlockStore::new()).collect();
+        run(&compiled, empty);
+    }
+}

@@ -2,15 +2,25 @@
 //!
 //! Executors that run the communication schedules of `bine-sched` over real
 //! floating-point data, standing in for the MPI processes of the paper's
-//! evaluation:
+//! evaluation. Payloads are shared [`state::Block`]s (`Arc<Vec<f64>>`):
+//! transfers and snapshots are refcount bumps, reductions are copy-on-write.
 //!
-//! * [`sequential`] — a deterministic, single-threaded reference interpreter,
-//! * [`threaded`] — one OS thread per simulated rank, exchanging payloads
-//!   over `crossbeam` channels with bulk-synchronous steps,
+//! * [`sequential`] — single-threaded interpreters: the zero-copy
+//!   [`sequential::run`] and the seed reference
+//!   [`sequential::run_reference`] every executor is cross-checked
+//!   bit-identical against,
+//! * [`compiled`] — the fast single-threaded path: executes a
+//!   [`bine_sched::CompiledSchedule`] over dense per-rank state (interned
+//!   block indices, no hashing in the inner loop),
+//! * [`pool`] — the persistent [`pool::ExecutorPool`]: ranks multiplexed
+//!   over one worker per core with per-step work queues,
+//! * [`threaded`] — [`threaded::run`] executes compiled schedules on the
+//!   global pool; the seed one-thread-per-rank executor is preserved as
+//!   [`threaded::run_thread_per_rank`],
 //! * [`verify`] — golden-result checks of the MPI post-condition of every
 //!   collective,
 //! * [`comm`] — the [`comm::Cluster`] facade: an MPI-like API over plain
-//!   `Vec<f64>` buffers.
+//!   `Vec<f64>` buffers, running on the pool with cached compiled schedules.
 //!
 //! ## Quick example
 //!
@@ -28,11 +38,15 @@
 #![forbid(unsafe_code)]
 
 pub mod comm;
+pub mod compiled;
+pub mod pool;
 pub mod sequential;
 pub mod state;
 pub mod threaded;
 pub mod verify;
 
 pub use comm::Cluster;
-pub use state::{BlockStore, Workload};
+pub use compiled::DenseState;
+pub use pool::ExecutorPool;
+pub use state::{Block, BlockStore, Workload};
 pub use verify::{run_and_verify, verify, VerifyResult};

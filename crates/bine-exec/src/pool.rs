@@ -1,0 +1,386 @@
+//! A persistent worker pool for multi-threaded schedule execution.
+//!
+//! The seed executor spawned one OS thread per simulated rank per run —
+//! a 1024-rank schedule meant 1024 thread spawns *every call*. The
+//! [`ExecutorPool`] instead keeps a small fixed set of workers (one per
+//! available core by default) alive across runs and multiplexes the ranks
+//! over them with per-step work queues:
+//!
+//! * **gather phase** — the step's sends are split across the workers; each
+//!   worker reads the shared payloads of its sends (refcount bumps) into a
+//!   staging buffer,
+//! * **apply phase** — the destination ranks are split across the workers;
+//!   each worker applies the staged payloads of its ranks in schedule order.
+//!
+//! The phase barrier makes the two phases race-free without locking the
+//! rank states: gathers only read, applies only write the worker's own
+//! ranks. Results are bit-identical to the reference interpreter because
+//! each receiver applies its payloads in schedule order — thread scheduling
+//! cannot reorder floating-point reductions.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+
+use bine_sched::CompiledSchedule;
+
+use crate::compiled::{self, DenseState};
+use crate::state::{Block, BlockStore};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Locks a mutex, tolerating poison.
+///
+/// A gather job that panics (e.g. on a missing block) dies while holding a
+/// rank's state lock; sibling jobs must still complete their batch so the
+/// *original* panic — not a secondary "poisoned" one — reaches the caller,
+/// and the states are discarded after a panicked batch anyway.
+fn lock_any<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+enum Command {
+    Run(Job),
+    Exit,
+}
+
+/// Completion tracking for one batch of jobs. Each [`ExecutorPool::run_batch`]
+/// call gets its own status, so concurrent runs sharing one pool (e.g. the
+/// global pool under a parallel test harness) cannot observe each other's
+/// completion or panics.
+struct BatchStatus {
+    /// (jobs still running or queued, first panic payload of this batch).
+    state: Mutex<(usize, Option<Box<dyn std::any::Any + Send>>)>,
+    done: Condvar,
+}
+
+/// Shared state between the pool handle and its workers.
+struct PoolShared {
+    queue: Mutex<VecDeque<Command>>,
+    /// Signalled when work is pushed.
+    work_ready: Condvar,
+}
+
+/// A persistent pool of worker threads executing compiled schedules.
+///
+/// Create one with [`ExecutorPool::new`] or use the process-wide
+/// [`ExecutorPool::global`]. Dropping a pool shuts its workers down.
+pub struct ExecutorPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl ExecutorPool {
+    /// Creates a pool with `workers` threads (at least 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("bine-exec-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// The process-wide pool, sized to the available parallelism. Created on
+    /// first use and kept alive for the life of the process.
+    pub fn global() -> &'static ExecutorPool {
+        static GLOBAL: OnceLock<ExecutorPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let cores = thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4);
+            ExecutorPool::new(cores)
+        })
+    }
+
+    /// Number of worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs a batch of jobs to completion. If a job panics, the panic is
+    /// re-raised here (after the whole batch has drained, so the pool stays
+    /// consistent).
+    fn run_batch(&self, jobs: Vec<Job>) {
+        if jobs.is_empty() {
+            return;
+        }
+        let batch = Arc::new(BatchStatus {
+            state: Mutex::new((jobs.len(), None)),
+            done: Condvar::new(),
+        });
+        {
+            let mut queue = self.shared.queue.lock().expect("pool poisoned");
+            for job in jobs {
+                let batch = Arc::clone(&batch);
+                queue.push_back(Command::Run(Box::new(move || {
+                    let outcome = catch_unwind(AssertUnwindSafe(job));
+                    let mut state = batch.state.lock().expect("batch poisoned");
+                    state.0 -= 1;
+                    if let Err(panic) = outcome {
+                        state.1.get_or_insert(panic);
+                    }
+                    if state.0 == 0 {
+                        batch.done.notify_all();
+                    }
+                })));
+            }
+        }
+        self.shared.work_ready.notify_all();
+        let mut state = batch.state.lock().expect("batch poisoned");
+        while state.0 > 0 {
+            state = batch.done.wait(state).expect("batch poisoned");
+        }
+        if let Some(panic) = state.1.take() {
+            drop(state);
+            resume_unwind(panic);
+        }
+    }
+
+    /// Executes `compiled` starting from symbolic `initial` stores on this
+    /// pool and returns symbolic final stores.
+    ///
+    /// The schedule is taken as an `Arc` so repeated runs (and the worker
+    /// jobs) share one compiled form without re-copying it.
+    pub fn run(
+        &self,
+        compiled: &Arc<CompiledSchedule>,
+        initial: Vec<BlockStore>,
+    ) -> Vec<BlockStore> {
+        let dense = compiled::to_dense(compiled, initial);
+        let finals = self.run_dense(compiled, dense);
+        compiled::from_dense(compiled, finals)
+    }
+
+    /// Executes `compiled` over dense states on this pool.
+    pub fn run_dense(
+        &self,
+        compiled: &Arc<CompiledSchedule>,
+        states: Vec<DenseState>,
+    ) -> Vec<DenseState> {
+        let p = compiled.num_ranks;
+        assert_eq!(states.len(), p, "one dense state per rank required");
+        if p == 0 {
+            return states;
+        }
+        let states: Arc<Vec<Mutex<DenseState>>> =
+            Arc::new(states.into_iter().map(Mutex::new).collect());
+
+        for step in 0..compiled.num_steps() {
+            let send_range = compiled.step_send_range(step);
+            let num_sends = send_range.len();
+            if num_sends == 0 {
+                continue;
+            }
+            let payload_base = compiled
+                .step_sends(step)
+                .iter()
+                .map(|s| s.blocks_start)
+                .min()
+                .expect("non-empty step") as usize;
+            let payload_count = compiled.step_payload_count(step);
+
+            // Gather phase: workers read payloads into per-chunk staging.
+            let workers = self.num_workers().min(num_sends);
+            let chunk = num_sends.div_ceil(workers);
+            type PartialStaging = Arc<Vec<Mutex<Vec<(usize, Block)>>>>;
+            let partial: PartialStaging =
+                Arc::new((0..workers).map(|_| Mutex::new(Vec::new())).collect());
+            let mut jobs: Vec<Job> = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let lo = send_range.start + w * chunk;
+                let hi = (lo + chunk).min(send_range.end);
+                let compiled = Arc::clone(compiled);
+                let states = Arc::clone(&states);
+                let partial = Arc::clone(&partial);
+                jobs.push(Box::new(move || {
+                    let mut out = Vec::new();
+                    for send_idx in lo..hi {
+                        let send = compiled.send(send_idx);
+                        let src = lock_any(&states[send.src as usize]);
+                        for (k, &block_idx) in compiled.block_index_slice(send).iter().enumerate() {
+                            let payload = src.slot(block_idx).unwrap_or_else(|| {
+                                panic!(
+                                    "step {step}: rank {} sends block {:?} it does not hold ({})",
+                                    send.src,
+                                    compiled.blocks().resolve(block_idx),
+                                    compiled.algorithm
+                                )
+                            });
+                            out.push((
+                                send.blocks_start as usize - payload_base + k,
+                                Block::clone(payload),
+                            ));
+                        }
+                    }
+                    *lock_any(&partial[w]) = out;
+                }));
+            }
+            self.run_batch(jobs);
+
+            // Assemble the staging buffer (moves Arcs, no payload copies).
+            let mut staging: Vec<Option<Block>> = vec![None; payload_count];
+            for chunk in partial.iter() {
+                for (slot, payload) in lock_any(chunk).drain(..) {
+                    staging[slot] = Some(payload);
+                }
+            }
+            let staging = Arc::new(staging);
+
+            // Apply phase: workers own disjoint destination-rank chunks.
+            let workers = self.num_workers().min(p);
+            let chunk = p.div_ceil(workers);
+            let mut jobs: Vec<Job> = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let lo = w * chunk;
+                let hi = (lo + chunk).min(p);
+                let compiled = Arc::clone(compiled);
+                let states = Arc::clone(&states);
+                let staging = Arc::clone(&staging);
+                jobs.push(Box::new(move || {
+                    for rank in lo..hi {
+                        let recvs = compiled.recvs_to(step, rank);
+                        if recvs.is_empty() {
+                            continue;
+                        }
+                        let mut dst = lock_any(&states[rank]);
+                        for &send_idx in recvs {
+                            let send = compiled.send(send_idx as usize);
+                            for (k, &block_idx) in
+                                compiled.block_index_slice(send).iter().enumerate()
+                            {
+                                let payload = staging
+                                    [send.blocks_start as usize - payload_base + k]
+                                    .as_ref()
+                                    .expect("staged payload missing");
+                                compiled::apply(&mut dst, block_idx, payload, send.kind);
+                            }
+                        }
+                    }
+                }));
+            }
+            self.run_batch(jobs);
+        }
+
+        let states = Arc::try_unwrap(states).expect("worker kept a state reference");
+        states
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+            })
+            .collect()
+    }
+}
+
+impl Drop for ExecutorPool {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("pool poisoned");
+            for _ in 0..self.workers.len() {
+                queue.push_back(Command::Exit);
+            }
+        }
+        self.shared.work_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let command = {
+            let mut queue = shared.queue.lock().expect("pool poisoned");
+            loop {
+                match queue.pop_front() {
+                    Some(c) => break c,
+                    None => queue = shared.work_ready.wait(queue).expect("pool poisoned"),
+                }
+            }
+        };
+        match command {
+            // Batch wrappers catch panics themselves, so `job()` never
+            // unwinds into the worker loop.
+            Command::Run(job) => job(),
+            Command::Exit => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential;
+    use crate::state::Workload;
+    use bine_sched::collectives::{allreduce, broadcast, AllreduceAlg, BroadcastAlg};
+
+    #[test]
+    fn pool_reuses_a_fixed_worker_set_across_runs() {
+        let pool = ExecutorPool::new(3);
+        assert_eq!(pool.num_workers(), 3);
+        let sched = allreduce(16, AllreduceAlg::BineLarge);
+        let compiled = Arc::new(sched.compile());
+        let w = Workload::for_schedule(&sched, 2);
+        let reference = sequential::run_reference(&sched, w.initial_state(&sched));
+        for _ in 0..5 {
+            let finals = pool.run(&compiled, w.initial_state(&sched));
+            assert_eq!(finals, reference);
+        }
+        assert_eq!(pool.num_workers(), 3, "workers must persist across runs");
+    }
+
+    #[test]
+    fn worker_count_is_independent_of_rank_count() {
+        // A 1024-rank schedule on 2 workers: the pool multiplexes, it never
+        // spawns per-rank threads.
+        let pool = ExecutorPool::new(2);
+        let sched = allreduce(1024, AllreduceAlg::BineSmall);
+        let compiled = Arc::new(sched.compile());
+        let w = Workload::for_schedule(&sched, 1);
+        let finals = pool.run(&compiled, w.initial_state(&sched));
+        assert_eq!(finals.len(), 1024);
+        assert!(crate::verify::verify(&w, &finals).is_ok());
+    }
+
+    #[test]
+    fn panics_inside_jobs_propagate_and_leave_the_pool_usable() {
+        let pool = ExecutorPool::new(2);
+        let sched = broadcast(8, 0, BroadcastAlg::BineTree);
+        let compiled = Arc::new(sched.compile());
+        let empty: Vec<BlockStore> = (0..8).map(|_| BlockStore::new()).collect();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| pool.run(&compiled, empty)));
+        let message = *result
+            .unwrap_err()
+            .downcast::<String>()
+            .expect("string panic");
+        assert!(message.contains("does not hold"), "{message}");
+        // The pool survives and still executes correctly.
+        let w = Workload::for_schedule(&sched, 2);
+        let finals = pool.run(&compiled, w.initial_state(&sched));
+        assert!(crate::verify::verify(&w, &finals).is_ok());
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_bounded() {
+        let a = ExecutorPool::global();
+        let b = ExecutorPool::global();
+        assert!(std::ptr::eq(a, b));
+        assert!(a.num_workers() >= 1);
+    }
+}

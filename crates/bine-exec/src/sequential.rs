@@ -1,17 +1,29 @@
-//! Deterministic single-threaded schedule interpreter.
+//! Deterministic single-threaded schedule interpreters.
 //!
 //! Steps are executed synchronously: within a step every message reads the
 //! sender's state *as it was at the beginning of the step*, mirroring the
-//! semantics of a bulk-synchronous message-passing round. This interpreter is
-//! the reference implementation against which the multi-threaded executor is
-//! checked.
+//! semantics of a bulk-synchronous message-passing round.
+//!
+//! Two interpreters live here:
+//!
+//! * [`run`] — the zero-copy interpreter: instead of snapshotting all
+//!   per-rank states (the seed executor deep-copied O(ranks × elements) per
+//!   step), it gathers the shared payloads of the step's messages (refcount
+//!   bumps) and then applies them, so per-step cost is proportional to the
+//!   data actually moved.
+//! * [`run_reference`] — the seed interpreter, preserved verbatim including
+//!   its full per-step deep-copy snapshot. It is the semantic baseline every
+//!   other executor (zero-copy sequential, compiled, thread pool) is
+//!   cross-checked bit-identical against, and the "naive" side of the
+//!   compiled-vs-naive benchmarks.
 
 use bine_sched::{Schedule, TransferKind};
 
-use crate::state::BlockStore;
+use crate::state::{Block, BlockStore};
 
 /// Executes `schedule` starting from `initial` per-rank states and returns
-/// the final per-rank states.
+/// the final per-rank states. Zero-copy: no per-step state snapshot is
+/// taken; only the payloads in flight are reference-bumped.
 ///
 /// # Panics
 /// Panics if a message references a block its sender does not hold — that is
@@ -23,10 +35,57 @@ pub fn run(schedule: &Schedule, initial: Vec<BlockStore>) -> Vec<BlockStore> {
         "initial state must have one store per rank"
     );
     let mut states = initial;
+    let mut payloads: Vec<Block> = Vec::new();
+    for (step_idx, step) in schedule.steps.iter().enumerate() {
+        // Gather phase: read every payload of the step before any state
+        // mutates, so all messages are logically simultaneous. Cloning a
+        // shared payload is a refcount bump.
+        payloads.clear();
+        for m in &step.messages {
+            for block in &m.blocks {
+                let value = states[m.src].get_shared(block).unwrap_or_else(|| {
+                    panic!(
+                        "step {step_idx}: rank {} sends block {block:?} it does not hold ({})",
+                        m.src, schedule.algorithm
+                    )
+                });
+                payloads.push(Block::clone(value));
+            }
+        }
+        // Apply phase: same message order as the reference interpreter.
+        let mut next = payloads.drain(..);
+        for m in &step.messages {
+            for block in &m.blocks {
+                let value = next.next().expect("payload count mismatch");
+                match m.kind {
+                    TransferKind::Copy => states[m.dst].insert(*block, value),
+                    TransferKind::Reduce => states[m.dst].reduce(*block, &value),
+                }
+            }
+        }
+        drop(next);
+    }
+    states
+}
+
+/// The seed interpreter: snapshots **all** per-rank states at every step via
+/// a deep copy, then applies the messages against the snapshot.
+///
+/// Kept as the executable semantic definition of a schedule (and as the
+/// benchmark baseline); all optimised executors must produce bit-identical
+/// results.
+pub fn run_reference(schedule: &Schedule, initial: Vec<BlockStore>) -> Vec<BlockStore> {
+    assert_eq!(
+        initial.len(),
+        schedule.num_ranks,
+        "initial state must have one store per rank"
+    );
+    let mut states = initial;
     for (step_idx, step) in schedule.steps.iter().enumerate() {
         // Snapshot the pre-step state so that all messages of a step are
-        // logically simultaneous.
-        let snapshot = states.clone();
+        // logically simultaneous. Deliberately a deep copy — this is the
+        // seed executor's O(ranks × elements) per-step cost.
+        let snapshot: Vec<BlockStore> = states.iter().map(BlockStore::deep_clone).collect();
         for m in &step.messages {
             for block in &m.blocks {
                 let value = snapshot[m.src].get(block).unwrap_or_else(|| {
@@ -50,7 +109,7 @@ mod tests {
     use super::*;
     use crate::state::Workload;
     use bine_sched::collectives::{broadcast, BroadcastAlg};
-    use bine_sched::BlockId;
+    use bine_sched::{algorithms, build, BlockId, Collective};
 
     #[test]
     fn broadcast_tree_delivers_the_root_vector() {
@@ -72,5 +131,27 @@ mod tests {
         // Start from an empty state: the root has nothing to send.
         let empty = (0..p).map(|_| BlockStore::new()).collect();
         run(&sched, empty);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold")]
+    fn reference_detects_missing_blocks_too() {
+        let p = 8;
+        let sched = broadcast(p, 0, BroadcastAlg::BineTree);
+        let empty = (0..p).map(|_| BlockStore::new()).collect();
+        run_reference(&sched, empty);
+    }
+
+    #[test]
+    fn zero_copy_interpreter_matches_the_reference_exactly() {
+        for collective in Collective::ALL {
+            for alg in algorithms(collective) {
+                let sched = build(collective, alg.name, 16, 3).expect(alg.name);
+                let w = Workload::for_schedule(&sched, 2);
+                let fast = run(&sched, w.initial_state(&sched));
+                let reference = run_reference(&sched, w.initial_state(&sched));
+                assert_eq!(fast, reference, "{:?}/{}", collective, alg.name);
+            }
+        }
     }
 }

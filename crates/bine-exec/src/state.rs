@@ -8,14 +8,28 @@
 //! the data semantics of every algorithm are exercised end to end.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use bine_sched::{BlockId, Collective, Schedule};
 
-/// The data a single rank holds: a map from block identifiers to vectors of
-/// values.
+/// A shared, immutable-until-owned block payload.
+///
+/// Payloads are reference counted so that transfers and per-step snapshots
+/// are refcount bumps rather than deep copies; reductions mutate through
+/// [`Arc::make_mut`], copying only when the payload is actually shared
+/// (copy-on-write).
+pub type Block = Arc<Vec<f64>>;
+
+/// The data a single rank holds: a map from block identifiers to shared
+/// value vectors.
+///
+/// Cloning a `BlockStore` clones the map but *shares* every payload, so a
+/// clone is O(blocks), not O(elements). All mutation goes through
+/// [`BlockStore::insert`] (replace) or [`BlockStore::reduce`]
+/// (copy-on-write), which keeps shared payloads safe.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct BlockStore {
-    blocks: HashMap<BlockId, Vec<f64>>,
+    blocks: HashMap<BlockId, Block>,
 }
 
 impl BlockStore {
@@ -26,26 +40,38 @@ impl BlockStore {
 
     /// Returns the value of a block, if held.
     pub fn get(&self, id: &BlockId) -> Option<&Vec<f64>> {
+        self.blocks.get(id).map(|b| b.as_ref())
+    }
+
+    /// Returns the shared payload of a block, if held (a clone of the result
+    /// is a refcount bump, not a copy).
+    pub fn get_shared(&self, id: &BlockId) -> Option<&Block> {
         self.blocks.get(id)
     }
 
     /// Stores (or overwrites) a block.
-    pub fn insert(&mut self, id: BlockId, value: Vec<f64>) {
-        self.blocks.insert(id, value);
+    pub fn insert(&mut self, id: BlockId, value: impl Into<Block>) {
+        self.blocks.insert(id, value.into());
     }
 
     /// Reduces `value` elementwise into the stored block, inserting it if the
-    /// block is not present yet.
+    /// block is not present yet. Copy-on-write: a payload shared with other
+    /// ranks (or a snapshot) is copied once, an exclusively owned payload is
+    /// mutated in place.
     pub fn reduce(&mut self, id: BlockId, value: &[f64]) {
         match self.blocks.get_mut(&id) {
             Some(existing) => {
-                assert_eq!(existing.len(), value.len(), "block length mismatch for {id:?}");
-                for (a, b) in existing.iter_mut().zip(value) {
+                assert_eq!(
+                    existing.len(),
+                    value.len(),
+                    "block length mismatch for {id:?}"
+                );
+                for (a, b) in Arc::make_mut(existing).iter_mut().zip(value) {
                     *a += b;
                 }
             }
             None => {
-                self.blocks.insert(id, value.to_vec());
+                self.blocks.insert(id, Arc::new(value.to_vec()));
             }
         }
     }
@@ -62,7 +88,28 @@ impl BlockStore {
 
     /// Iterates over the held blocks.
     pub fn iter(&self) -> impl Iterator<Item = (&BlockId, &Vec<f64>)> {
-        self.blocks.iter()
+        self.blocks.iter().map(|(id, b)| (id, b.as_ref()))
+    }
+
+    /// Consumes the store, yielding every `(id, shared payload)` pair
+    /// without copying or refcount churn.
+    pub fn into_blocks(self) -> impl Iterator<Item = (BlockId, Block)> {
+        self.blocks.into_iter()
+    }
+
+    /// A clone that deep-copies every payload (no sharing with `self`).
+    ///
+    /// Only the preserved reference interpreter uses this — it reproduces
+    /// the seed executor's O(ranks × elements) per-step snapshot cost, which
+    /// the benchmarks compare the zero-copy executors against.
+    pub fn deep_clone(&self) -> Self {
+        Self {
+            blocks: self
+                .blocks
+                .iter()
+                .map(|(id, b)| (*id, Arc::new(b.as_ref().clone())))
+                .collect(),
+        }
     }
 }
 
@@ -83,14 +130,29 @@ pub struct Workload {
 
 impl Workload {
     /// Creates a workload description.
-    pub fn new(num_ranks: usize, elems_per_block: usize, collective: Collective, root: usize) -> Self {
+    pub fn new(
+        num_ranks: usize,
+        elems_per_block: usize,
+        collective: Collective,
+        root: usize,
+    ) -> Self {
         assert!(elems_per_block >= 1);
-        Self { num_ranks, elems_per_block, collective, root }
+        Self {
+            num_ranks,
+            elems_per_block,
+            collective,
+            root,
+        }
     }
 
     /// Creates the workload matching a schedule.
     pub fn for_schedule(schedule: &Schedule, elems_per_block: usize) -> Self {
-        Self::new(schedule.num_ranks, elems_per_block, schedule.collective, schedule.root)
+        Self::new(
+            schedule.num_ranks,
+            elems_per_block,
+            schedule.collective,
+            schedule.root,
+        )
     }
 
     /// The deterministic contribution of `rank` for element `j` of the
@@ -112,13 +174,17 @@ impl Workload {
 
     /// The full input vector of `rank`.
     pub fn full_vector(&self, rank: usize) -> Vec<f64> {
-        (0..self.vector_len()).map(|j| self.contribution(rank, j)).collect()
+        (0..self.vector_len())
+            .map(|j| self.contribution(rank, j))
+            .collect()
     }
 
     /// Segment `i` of the input vector of `rank`.
     pub fn segment(&self, rank: usize, i: usize) -> Vec<f64> {
         let start = i * self.elems_per_block;
-        (start..start + self.elems_per_block).map(|j| self.contribution(rank, j)).collect()
+        (start..start + self.elems_per_block)
+            .map(|j| self.contribution(rank, j))
+            .collect()
     }
 
     /// The elementwise sum of all ranks' contributions for element `j`.
@@ -153,43 +219,50 @@ impl Workload {
                 }
             }
             Collective::Reduce | Collective::Allreduce => {
-                for r in 0..p {
+                for (r, state) in states.iter_mut().enumerate() {
                     if uses_full || !uses_segments {
-                        states[r].insert(BlockId::Full, self.full_vector(r));
+                        state.insert(BlockId::Full, self.full_vector(r));
                     }
                     if uses_segments {
                         for i in 0..p {
-                            states[r].insert(BlockId::Segment(i as u32), self.segment(r, i));
+                            state.insert(BlockId::Segment(i as u32), self.segment(r, i));
                         }
                     }
                 }
             }
             Collective::ReduceScatter => {
-                for r in 0..p {
+                for (r, state) in states.iter_mut().enumerate() {
                     for i in 0..p {
-                        states[r].insert(BlockId::Segment(i as u32), self.segment(r, i));
+                        state.insert(BlockId::Segment(i as u32), self.segment(r, i));
                     }
                 }
             }
             Collective::Gather | Collective::Allgather => {
-                for r in 0..p {
+                for (r, state) in states.iter_mut().enumerate() {
                     // Each rank contributes its own data for the slot that
                     // belongs to it in the gathered vector.
-                    states[r].insert(BlockId::Segment(r as u32), self.segment(r, r));
+                    state.insert(BlockId::Segment(r as u32), self.segment(r, r));
                 }
             }
             Collective::Scatter => {
                 for i in 0..p {
-                    states[self.root].insert(BlockId::Segment(i as u32), self.segment(self.root, i));
+                    states[self.root]
+                        .insert(BlockId::Segment(i as u32), self.segment(self.root, i));
                 }
             }
             Collective::Alltoall => {
-                for r in 0..p {
+                for (r, state) in states.iter_mut().enumerate() {
                     for d in 0..p {
                         let data: Vec<f64> = (0..self.elems_per_block)
                             .map(|j| self.pairwise_value(r, d, j))
                             .collect();
-                        states[r].insert(BlockId::Pairwise { origin: r as u32, dest: d as u32 }, data);
+                        state.insert(
+                            BlockId::Pairwise {
+                                origin: r as u32,
+                                dest: d as u32,
+                            },
+                            data,
+                        );
                     }
                 }
             }
@@ -239,7 +312,10 @@ mod tests {
     fn workload_values_are_deterministic() {
         let w = Workload::new(4, 2, Collective::Allreduce, 0);
         assert_eq!(w.contribution(1, 3), w.contribution(1, 3));
-        assert_eq!(w.reduced(0), (0..4).map(|r| w.contribution(r, 0)).sum::<f64>());
+        assert_eq!(
+            w.reduced(0),
+            (0..4).map(|r| w.contribution(r, 0)).sum::<f64>()
+        );
         assert_eq!(w.full_vector(2).len(), 8);
         assert_eq!(w.segment(2, 3), w.full_vector(2)[6..8].to_vec());
     }

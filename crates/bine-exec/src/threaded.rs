@@ -1,30 +1,62 @@
-//! Multi-threaded schedule executor: one OS thread per simulated rank.
+//! Multi-threaded schedule execution.
 //!
-//! Each rank runs in its own thread, holds its own [`BlockStore`], and
-//! exchanges block payloads over `crossbeam` channels. Steps are separated by
-//! a barrier, giving the same bulk-synchronous semantics as the sequential
-//! interpreter — the two are cross-checked in the test suite. This is the
-//! closest in-process analogue of the per-rank MPI processes the paper uses.
+//! [`run`] is the production path: it compiles the schedule once and
+//! executes it on the process-wide persistent [`crate::pool::ExecutorPool`],
+//! multiplexing any number of simulated ranks over one worker per core —
+//! a 1024-rank schedule runs on 8 cores with 8 threads, not 1024.
+//!
+//! [`run_thread_per_rank`] is the seed executor — one OS thread per
+//! simulated rank, exchanging deep-copied payloads over `crossbeam`
+//! channels with a barrier between steps. It is kept as the closest
+//! in-process analogue of per-rank MPI processes and as a cross-check /
+//! benchmark baseline for the pool executor; both are bit-identical to the
+//! sequential reference interpreter.
 
 use std::sync::{Arc, Barrier};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
-use bine_sched::{BlockId, Schedule, TransferKind};
+use bine_sched::{BlockId, CompiledSchedule, Schedule, TransferKind};
 
+use crate::pool::ExecutorPool;
 use crate::state::BlockStore;
+
+/// Executes `schedule` starting from `initial` per-rank states on the
+/// process-wide persistent worker pool, and returns the final per-rank
+/// states.
+///
+/// The result is bit-identical to [`crate::sequential::run_reference`]:
+/// payloads are gathered against the pre-step state and every receiver
+/// applies its payloads in schedule order, so thread scheduling cannot
+/// reorder floating-point reductions.
+pub fn run(schedule: &Schedule, initial: Vec<BlockStore>) -> Vec<BlockStore> {
+    let compiled = Arc::new(schedule.compile());
+    run_compiled(&compiled, initial)
+}
+
+/// Executes an already-compiled schedule on the process-wide pool. Callers
+/// that execute the same schedule repeatedly should compile once and call
+/// this (the `Arc` is shared with the workers, never copied).
+pub fn run_compiled(compiled: &Arc<CompiledSchedule>, initial: Vec<BlockStore>) -> Vec<BlockStore> {
+    ExecutorPool::global().run(compiled, initial)
+}
 
 type Payload = (BlockId, Vec<f64>, TransferKind);
 
-/// Executes `schedule` starting from `initial` per-rank states using one
-/// thread per rank, and returns the final per-rank states.
+/// Executes `schedule` with one OS thread per simulated rank (the seed
+/// executor, preserved for cross-checking and benchmarking).
 ///
-/// The result is bit-identical to [`crate::sequential::run`] because both use
-/// snapshot-per-step semantics and floating-point additions are applied in
-/// the same per-receiver message order.
-pub fn run(schedule: &Schedule, initial: Vec<BlockStore>) -> Vec<BlockStore> {
+/// Each rank runs in its own thread, holds its own [`BlockStore`], and
+/// exchanges deep-copied block payloads over `crossbeam` channels; steps are
+/// separated by a barrier. Spawns `schedule.num_ranks` threads *per call* —
+/// use [`run`] for anything performance-sensitive.
+pub fn run_thread_per_rank(schedule: &Schedule, initial: Vec<BlockStore>) -> Vec<BlockStore> {
     let p = schedule.num_ranks;
-    assert_eq!(initial.len(), p, "initial state must have one store per rank");
+    assert_eq!(
+        initial.len(),
+        p,
+        "initial state must have one store per rank"
+    );
     if p == 0 {
         return initial;
     }
@@ -110,7 +142,10 @@ pub fn run(schedule: &Schedule, initial: Vec<BlockStore>) -> Vec<BlockStore> {
         let (rank, store) = h.join().expect("executor thread panicked");
         result[rank] = Some(store);
     }
-    result.into_iter().map(|s| s.expect("missing rank state")).collect()
+    result
+        .into_iter()
+        .map(|s| s.expect("missing rank state"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -121,8 +156,12 @@ mod tests {
     use bine_sched::collectives::{allreduce, alltoall, AllreduceAlg, AlltoallAlg};
 
     #[test]
-    fn threaded_matches_sequential_for_allreduce() {
-        for alg in [AllreduceAlg::BineSmall, AllreduceAlg::BineLarge, AllreduceAlg::Ring] {
+    fn pool_executor_matches_sequential_for_allreduce() {
+        for alg in [
+            AllreduceAlg::BineSmall,
+            AllreduceAlg::BineLarge,
+            AllreduceAlg::Ring,
+        ] {
             let sched = allreduce(16, alg);
             let w = Workload::for_schedule(&sched, 3);
             let seq = sequential::run(&sched, w.initial_state(&sched));
@@ -132,11 +171,22 @@ mod tests {
     }
 
     #[test]
-    fn threaded_matches_sequential_for_alltoall() {
+    fn pool_executor_matches_sequential_for_alltoall() {
         let sched = alltoall(8, AlltoallAlg::Bine);
         let w = Workload::for_schedule(&sched, 2);
         let seq = sequential::run(&sched, w.initial_state(&sched));
         let thr = run(&sched, w.initial_state(&sched));
         assert_eq!(seq, thr);
+    }
+
+    #[test]
+    fn thread_per_rank_matches_the_pool_executor() {
+        for alg in [AllreduceAlg::BineLarge, AllreduceAlg::Ring] {
+            let sched = allreduce(16, alg);
+            let w = Workload::for_schedule(&sched, 3);
+            let legacy = run_thread_per_rank(&sched, w.initial_state(&sched));
+            let pooled = run(&sched, w.initial_state(&sched));
+            assert_eq!(legacy, pooled, "{}", sched.algorithm);
+        }
     }
 }

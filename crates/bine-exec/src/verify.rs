@@ -76,15 +76,22 @@ pub fn verify(workload: &Workload, finals: &[BlockStore]) -> VerifyResult {
         Collective::Reduce => {
             let store = &finals[workload.root];
             if holds_full(store) && store.get(&BlockId::Segment(0)).is_none() {
-                let expected: Vec<f64> =
-                    (0..workload.vector_len()).map(|j| workload.reduced(j)).collect();
+                let expected: Vec<f64> = (0..workload.vector_len())
+                    .map(|j| workload.reduced(j))
+                    .collect();
                 expect_block(store, workload.root, BlockId::Full, &expected, "reduce")
             } else {
                 for i in 0..p {
                     let expected: Vec<f64> = (0..workload.elems_per_block)
                         .map(|k| workload.reduced(i * workload.elems_per_block + k))
                         .collect();
-                    expect_block(store, workload.root, BlockId::Segment(i as u32), &expected, "reduce")?;
+                    expect_block(
+                        store,
+                        workload.root,
+                        BlockId::Segment(i as u32),
+                        &expected,
+                        "reduce",
+                    )?;
                 }
                 Ok(())
             }
@@ -92,8 +99,9 @@ pub fn verify(workload: &Workload, finals: &[BlockStore]) -> VerifyResult {
         Collective::Allreduce => {
             for (r, store) in finals.iter().enumerate() {
                 if holds_full(store) && store.get(&BlockId::Segment(0)).is_none() {
-                    let expected: Vec<f64> =
-                        (0..workload.vector_len()).map(|j| workload.reduced(j)).collect();
+                    let expected: Vec<f64> = (0..workload.vector_len())
+                        .map(|j| workload.reduced(j))
+                        .collect();
                     expect_block(store, r, BlockId::Full, &expected, "allreduce")?;
                 } else {
                     for i in 0..p {
@@ -111,7 +119,13 @@ pub fn verify(workload: &Workload, finals: &[BlockStore]) -> VerifyResult {
                 let expected: Vec<f64> = (0..workload.elems_per_block)
                     .map(|k| workload.reduced(r * workload.elems_per_block + k))
                     .collect();
-                expect_block(store, r, BlockId::Segment(r as u32), &expected, "reduce-scatter")?;
+                expect_block(
+                    store,
+                    r,
+                    BlockId::Segment(r as u32),
+                    &expected,
+                    "reduce-scatter",
+                )?;
             }
             Ok(())
         }
@@ -119,7 +133,13 @@ pub fn verify(workload: &Workload, finals: &[BlockStore]) -> VerifyResult {
             let store = &finals[workload.root];
             for i in 0..p {
                 let expected = workload.segment(i, i);
-                expect_block(store, workload.root, BlockId::Segment(i as u32), &expected, "gather")?;
+                expect_block(
+                    store,
+                    workload.root,
+                    BlockId::Segment(i as u32),
+                    &expected,
+                    "gather",
+                )?;
             }
             Ok(())
         }
@@ -148,7 +168,10 @@ pub fn verify(workload: &Workload, finals: &[BlockStore]) -> VerifyResult {
                     expect_block(
                         store,
                         r,
-                        BlockId::Pairwise { origin: o as u32, dest: r as u32 },
+                        BlockId::Pairwise {
+                            origin: o as u32,
+                            dest: r as u32,
+                        },
                         &expected,
                         "alltoall",
                     )?;

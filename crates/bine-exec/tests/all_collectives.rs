@@ -3,8 +3,10 @@
 //! collective. This is the repository's substitute for the paper's
 //! correctness claim that any rank-to-node mapping yields a valid algorithm.
 
+use std::sync::Arc;
+
 use bine_exec::state::Workload;
-use bine_exec::{sequential, threaded, verify};
+use bine_exec::{compiled, sequential, threaded, verify, ExecutorPool};
 use bine_sched::{algorithms, build, Collective};
 
 #[test]
@@ -44,22 +46,73 @@ fn every_algorithm_is_correct_on_the_threaded_executor() {
 }
 
 #[test]
-fn threaded_and_sequential_executors_agree_exactly() {
+fn all_four_executors_agree_exactly_with_the_reference() {
     for collective in Collective::ALL {
         for alg in algorithms(collective) {
             let p = 32;
             let sched = build(collective, alg.name, p, 7).expect(alg.name);
             let workload = Workload::for_schedule(&sched, 2);
+            let reference = sequential::run_reference(&sched, workload.initial_state(&sched));
             let seq = sequential::run(&sched, workload.initial_state(&sched));
+            assert_eq!(
+                seq, reference,
+                "zero-copy sequential: {:?}/{}",
+                collective, alg.name
+            );
+            let comp = compiled::run(&sched.compile(), workload.initial_state(&sched));
+            assert_eq!(comp, reference, "compiled: {:?}/{}", collective, alg.name);
             let thr = threaded::run(&sched, workload.initial_state(&sched));
-            assert_eq!(seq, thr, "{:?}/{}", collective, alg.name);
+            assert_eq!(thr, reference, "pool: {:?}/{}", collective, alg.name);
+        }
+    }
+}
+
+#[test]
+fn legacy_thread_per_rank_executor_agrees_with_the_pool() {
+    for collective in Collective::ALL {
+        let alg = algorithms(collective)[0];
+        let sched = build(collective, alg.name, 16, 3).expect(alg.name);
+        let workload = Workload::for_schedule(&sched, 2);
+        let legacy = threaded::run_thread_per_rank(&sched, workload.initial_state(&sched));
+        let pooled = threaded::run(&sched, workload.initial_state(&sched));
+        assert_eq!(legacy, pooled, "{:?}/{}", collective, alg.name);
+    }
+}
+
+#[test]
+fn a_1024_rank_schedule_runs_on_a_bounded_worker_set() {
+    // The pool multiplexes all 1024 ranks over a fixed handful of workers;
+    // the seed executor would have spawned 1024 OS threads for this call.
+    // (An explicit 4-worker pool, so the asserted bound is a property of
+    // the executor, not of the host's core count.)
+    let pool = ExecutorPool::new(4);
+    assert_eq!(
+        pool.num_workers(),
+        4,
+        "pool size is fixed at construction, independent of rank count"
+    );
+    for (collective, name) in [
+        (Collective::Allreduce, "bine-large"),
+        (Collective::Allgather, "bine"),
+    ] {
+        let sched = build(collective, name, 1024, 0).unwrap();
+        let workload = Workload::for_schedule(&sched, 1);
+        let compiled_sched = Arc::new(sched.compile());
+        let finals = pool.run(&compiled_sched, workload.initial_state(&sched));
+        if let Err(e) = verify::verify(&workload, &finals) {
+            panic!("{collective:?}/{name} p=1024 (pool): {e}");
         }
     }
 }
 
 #[test]
 fn reduce_scatter_strategy_variants_are_all_correct() {
-    for name in ["bine-permute", "bine-block-by-block", "bine-send", "bine-two-transmissions"] {
+    for name in [
+        "bine-permute",
+        "bine-block-by-block",
+        "bine-send",
+        "bine-two-transmissions",
+    ] {
         for p in [4usize, 16, 128] {
             let sched = build(Collective::ReduceScatter, name, p, 0).unwrap();
             assert!(

@@ -2,13 +2,22 @@
 //! and root — the executed result must always satisfy the collective's
 //! post-condition.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use bine_exec::state::Workload;
-use bine_exec::{sequential, verify};
-use bine_sched::{algorithms, build, Collective};
+use bine_exec::{compiled, sequential, threaded, verify};
+use bine_sched::{algorithms, build, Collective, Schedule};
 use proptest::prelude::*;
 
 fn any_collective() -> impl Strategy<Value = Collective> {
     prop::sample::select(Collective::ALL.to_vec())
+}
+
+/// Rank counts the executor-equivalence property is checked at: powers of
+/// two (every algorithm) and non-powers of two (the algorithms whose
+/// generators support them, e.g. the ring family).
+fn any_rank_count() -> impl Strategy<Value = usize> {
+    prop::sample::select(vec![2usize, 4, 8, 16, 32, 64, 3, 5, 6, 7, 12, 24, 48])
 }
 
 proptest! {
@@ -46,5 +55,54 @@ proptest! {
         let alg = &algs[alg_seed % algs.len()];
         let sched = build(collective, alg.name, p, 0).expect(alg.name);
         prop_assert!(sched.validate().is_ok(), "{}", alg.name);
+    }
+
+    #[test]
+    fn all_executors_produce_identical_final_states(
+        collective in any_collective(),
+        p in any_rank_count(),
+        alg_seed in 0usize..100,
+        root_seed in 0usize..1000,
+        elems in 1usize..4,
+    ) {
+        let algs = algorithms(collective);
+        let alg = &algs[alg_seed % algs.len()];
+        let root = root_seed % p;
+        // Some generators only support power-of-two rank counts (the paper's
+        // restriction); a build panic at a non-pow2 count skips this case,
+        // everything that builds must execute identically on every executor.
+        let built: Option<Schedule> = catch_unwind(AssertUnwindSafe(|| {
+            build(collective, alg.name, p, root)
+        })).ok().flatten();
+        let Some(sched) = built else { return Ok(()) };
+        if sched.validate().is_err() {
+            // Non-pow2 counts can produce structurally invalid schedules in
+            // pow2-only generators without panicking; equivalence is only
+            // claimed for valid schedules.
+            return Ok(());
+        }
+        let workload = Workload::for_schedule(&sched, elems);
+        let reference = catch_unwind(AssertUnwindSafe(|| {
+            sequential::run_reference(&sched, workload.initial_state(&sched))
+        }));
+        // A generator that silently mis-builds at unsupported counts may
+        // reference blocks nobody holds; the reference interpreter panics,
+        // and equivalence requires every executor to reject it the same way.
+        let Ok(reference) = reference else {
+            for (name, outcome) in [
+                ("sequential", catch_unwind(AssertUnwindSafe(|| sequential::run(&sched, workload.initial_state(&sched))))),
+                ("compiled", catch_unwind(AssertUnwindSafe(|| compiled::run(&sched.compile(), workload.initial_state(&sched))))),
+                ("pool", catch_unwind(AssertUnwindSafe(|| threaded::run(&sched, workload.initial_state(&sched))))),
+            ] {
+                prop_assert!(outcome.is_err(), "{name} accepted a schedule the reference rejects ({:?}/{} p={p})", collective, alg.name);
+            }
+            return Ok(());
+        };
+        let seq = sequential::run(&sched, workload.initial_state(&sched));
+        prop_assert_eq!(&seq, &reference, "sequential: {:?}/{} p={} root={}", collective, alg.name, p, root);
+        let comp = compiled::run(&sched.compile(), workload.initial_state(&sched));
+        prop_assert_eq!(&comp, &reference, "compiled: {:?}/{} p={} root={}", collective, alg.name, p, root);
+        let pooled = threaded::run(&sched, workload.initial_state(&sched));
+        prop_assert_eq!(&pooled, &reference, "pool: {:?}/{} p={} root={}", collective, alg.name, p, root);
     }
 }

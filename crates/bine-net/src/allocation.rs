@@ -21,7 +21,10 @@ pub struct Allocation {
 impl Allocation {
     /// Creates an allocation from an explicit rank→node table.
     pub fn new(rank_to_node: Vec<NodeId>) -> Self {
-        assert!(!rank_to_node.is_empty(), "an allocation needs at least one rank");
+        assert!(
+            !rank_to_node.is_empty(),
+            "an allocation needs at least one rank"
+        );
         Self { rank_to_node }
     }
 
@@ -75,8 +78,11 @@ impl Allocation {
 
     /// Number of distinct groups of `topo` spanned by this allocation.
     pub fn groups_spanned(&self, topo: &dyn Topology) -> usize {
-        let mut groups: Vec<usize> =
-            self.rank_to_node.iter().map(|&n| topo.group_of(n)).collect();
+        let mut groups: Vec<usize> = self
+            .rank_to_node
+            .iter()
+            .map(|&n| topo.group_of(n))
+            .collect();
         groups.sort_unstable();
         groups.dedup();
         groups.len()

@@ -96,8 +96,7 @@ impl CostModel {
             for m in &step.messages {
                 let bytes = m.bytes(n, p) as f64;
                 if m.is_local() {
-                    max_local =
-                        max_local.max(bytes / (self.copy_bandwidth_gib_s * GIB_PER_US));
+                    max_local = max_local.max(bytes / (self.copy_bandwidth_gib_s * GIB_PER_US));
                     continue;
                 }
                 let (src, dst) = (alloc.node_of(m.src), alloc.node_of(m.dst));
@@ -113,8 +112,7 @@ impl CostModel {
                 }
                 max_latency = max_latency.max(path_latency);
                 if m.kind == TransferKind::Reduce {
-                    max_reduce =
-                        max_reduce.max(bytes / (self.reduce_bandwidth_gib_s * GIB_PER_US));
+                    max_reduce = max_reduce.max(bytes / (self.reduce_bandwidth_gib_s * GIB_PER_US));
                 }
             }
 

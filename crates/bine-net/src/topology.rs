@@ -72,17 +72,26 @@ const TORUS_BW: f64 = 6.3; // GiB/s per TNI-class link
 const TORUS_LAT: f64 = 0.9; // us
 
 fn local_link() -> LinkInfo {
-    LinkInfo { class: LinkClass::Local, bandwidth_gib_s: LOCAL_BW, latency_us: LOCAL_LAT }
+    LinkInfo {
+        class: LinkClass::Local,
+        bandwidth_gib_s: LOCAL_BW,
+        latency_us: LOCAL_LAT,
+    }
 }
 
 fn global_link() -> LinkInfo {
-    LinkInfo { class: LinkClass::Global, bandwidth_gib_s: GLOBAL_BW, latency_us: GLOBAL_LAT }
+    LinkInfo {
+        class: LinkClass::Global,
+        bandwidth_gib_s: GLOBAL_BW,
+        latency_us: GLOBAL_LAT,
+    }
 }
 
 /// Deterministic hash used to spread flows over parallel global links.
 fn spread(a: usize, b: usize, buckets: usize) -> usize {
     // Fibonacci hashing of the pair; deterministic and cheap.
-    let x = (a as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (b as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    let x = (a as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (b as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
     (x % buckets.max(1) as u64) as usize
 }
 
@@ -105,7 +114,11 @@ impl FatTree {
     /// Creates an oversubscribed fat tree with the given shape.
     pub fn new(num_nodes: usize, nodes_per_group: usize, uplinks_per_group: usize) -> Self {
         assert!(nodes_per_group >= 1 && uplinks_per_group >= 1 && num_nodes >= 1);
-        Self { nodes_per_group, uplinks_per_group, num_nodes }
+        Self {
+            nodes_per_group,
+            uplinks_per_group,
+            num_nodes,
+        }
     }
 
     /// The MareNostrum 5 ACC partition model: 160-node full-bandwidth
@@ -203,7 +216,12 @@ impl Dragonfly {
         global_links_per_pair: usize,
     ) -> Self {
         assert!(num_groups >= 1 && nodes_per_group >= 1 && global_links_per_pair >= 1);
-        Self { flavour, num_groups, nodes_per_group, global_links_per_pair }
+        Self {
+            flavour,
+            num_groups,
+            nodes_per_group,
+            global_links_per_pair,
+        }
     }
 
     /// The LUMI-G model: 24-group Slingshot Dragonfly with 124 nodes per
@@ -291,7 +309,9 @@ pub struct Torus {
 impl Torus {
     /// Creates a torus with the given dimension sizes.
     pub fn new(dims: Vec<usize>) -> Self {
-        Self { shape: TorusShape::new(dims) }
+        Self {
+            shape: TorusShape::new(dims),
+        }
     }
 
     /// The shape of the torus.
@@ -322,7 +342,11 @@ impl Topology for Torus {
         self.shape.num_ranks() * self.shape.num_dims() * 2
     }
     fn link(&self, _link: LinkId) -> LinkInfo {
-        LinkInfo { class: LinkClass::Global, bandwidth_gib_s: TORUS_BW, latency_us: TORUS_LAT }
+        LinkInfo {
+            class: LinkClass::Global,
+            bandwidth_gib_s: TORUS_BW,
+            latency_us: TORUS_LAT,
+        }
     }
     fn route(&self, a: NodeId, b: NodeId) -> Vec<LinkId> {
         if a == b {
@@ -370,10 +394,16 @@ mod tests {
         assert!(!ft.crosses_groups(0, 1));
         assert!(ft.crosses_groups(0, 2));
         // Intra-group route touches only local links.
-        assert!(ft.route(0, 1).iter().all(|&l| ft.link(l).class == LinkClass::Local));
+        assert!(ft
+            .route(0, 1)
+            .iter()
+            .all(|&l| ft.link(l).class == LinkClass::Local));
         // Inter-group route touches exactly two global links (up + down).
-        let globals =
-            ft.route(0, 4).iter().filter(|&&l| ft.link(l).class == LinkClass::Global).count();
+        let globals = ft
+            .route(0, 4)
+            .iter()
+            .filter(|&&l| ft.link(l).class == LinkClass::Global)
+            .count();
         assert_eq!(globals, 2);
     }
 
@@ -385,7 +415,10 @@ mod tests {
         let a = 0;
         let b = 3 * 124 + 17;
         let route = df.route(a, b);
-        let globals = route.iter().filter(|&&l| df.link(l).class == LinkClass::Global).count();
+        let globals = route
+            .iter()
+            .filter(|&&l| df.link(l).class == LinkClass::Global)
+            .count();
         assert_eq!(globals, 1);
         assert!(df.crosses_groups(a, b));
         assert!(!df.crosses_groups(5, 100));

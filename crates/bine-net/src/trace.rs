@@ -24,7 +24,10 @@ pub struct JobTraceGenerator {
 
 impl Default for JobTraceGenerator {
     fn default() -> Self {
-        Self { occupancy: 0.55, churn: 0.3 }
+        Self {
+            occupancy: 0.55,
+            churn: 0.3,
+        }
     }
 }
 
@@ -46,7 +49,10 @@ impl JobTraceGenerator {
     /// Creates a generator with a given machine occupancy.
     pub fn with_occupancy(occupancy: f64) -> Self {
         assert!((0.0..=0.95).contains(&occupancy), "occupancy out of range");
-        Self { occupancy, ..Self::default() }
+        Self {
+            occupancy,
+            ..Self::default()
+        }
     }
 
     /// Samples `count` allocations of `job_nodes` nodes each on `topo`.
@@ -63,7 +69,10 @@ impl JobTraceGenerator {
         rng: &mut R,
     ) -> Vec<JobSample> {
         let n = topo.num_nodes();
-        assert!(job_nodes >= 1 && job_nodes <= n, "job of {job_nodes} nodes on {n}-node machine");
+        assert!(
+            job_nodes >= 1 && job_nodes <= n,
+            "job of {job_nodes} nodes on {n}-node machine"
+        );
         let mut busy = vec![false; n];
         for b in busy.iter_mut() {
             *b = rng.gen_bool(self.occupancy);
@@ -86,8 +95,7 @@ impl JobTraceGenerator {
                 }
             }
             // Slurm block distribution: lowest-numbered free nodes first.
-            let nodes: Vec<NodeId> =
-                (0..n).filter(|&i| !busy[i]).take(job_nodes).collect();
+            let nodes: Vec<NodeId> = (0..n).filter(|&i| !busy[i]).take(job_nodes).collect();
             // The job now occupies those nodes.
             for &i in &nodes {
                 busy[i] = true;
@@ -135,7 +143,10 @@ mod tests {
     #[test]
     fn zero_occupancy_gives_packed_blocks() {
         let topo = Dragonfly::lumi();
-        let gen = JobTraceGenerator { occupancy: 0.0, churn: 0.0 };
+        let gen = JobTraceGenerator {
+            occupancy: 0.0,
+            churn: 0.0,
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let samples = gen.sample(&topo, 124, 1, &mut rng);
         assert_eq!(samples[0].allocation().groups_spanned(&topo), 1);
@@ -155,6 +166,9 @@ mod tests {
             .filter(|&c| c > 0)
             .collect();
         let all_equal = counts.windows(2).all(|w| w[0] == w[1]);
-        assert!(!all_equal, "expected uneven per-group counts, got {counts:?}");
+        assert!(
+            !all_equal,
+            "expected uneven per-group counts, got {counts:?}"
+        );
     }
 }

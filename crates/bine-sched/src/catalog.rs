@@ -36,34 +36,72 @@ pub fn algorithms(collective: Collective) -> Vec<AlgorithmId> {
         Collective::Broadcast => BroadcastAlg::ALL
             .iter()
             .map(|a| {
-                mk(a.name(), a.is_bine(), matches!(a, BroadcastAlg::BinomialDistanceDoubling))
+                mk(
+                    a.name(),
+                    a.is_bine(),
+                    matches!(a, BroadcastAlg::BinomialDistanceDoubling),
+                )
             })
             .collect(),
         Collective::Reduce => ReduceAlg::ALL
             .iter()
-            .map(|a| mk(a.name(), a.is_bine(), matches!(a, ReduceAlg::BinomialDistanceDoubling)))
+            .map(|a| {
+                mk(
+                    a.name(),
+                    a.is_bine(),
+                    matches!(a, ReduceAlg::BinomialDistanceDoubling),
+                )
+            })
             .collect(),
         Collective::Gather => GatherAlg::ALL
             .iter()
-            .map(|a| mk(a.name(), a.is_bine(), matches!(a, GatherAlg::BinomialDistanceDoubling)))
+            .map(|a| {
+                mk(
+                    a.name(),
+                    a.is_bine(),
+                    matches!(a, GatherAlg::BinomialDistanceDoubling),
+                )
+            })
             .collect(),
         Collective::Scatter => ScatterAlg::ALL
             .iter()
-            .map(|a| mk(a.name(), a.is_bine(), matches!(a, ScatterAlg::BinomialDistanceDoubling)))
+            .map(|a| {
+                mk(
+                    a.name(),
+                    a.is_bine(),
+                    matches!(a, ScatterAlg::BinomialDistanceDoubling),
+                )
+            })
             .collect(),
         Collective::Allgather => AllgatherAlg::ALL
             .iter()
-            .map(|a| mk(a.name(), a.is_bine(), matches!(a, AllgatherAlg::RecursiveDoubling)))
+            .map(|a| {
+                mk(
+                    a.name(),
+                    a.is_bine(),
+                    matches!(a, AllgatherAlg::RecursiveDoubling),
+                )
+            })
             .collect(),
         Collective::ReduceScatter => ReduceScatterAlg::ALL
             .iter()
             .map(|a| {
-                mk(a.name(), a.is_bine(), matches!(a, ReduceScatterAlg::RecursiveHalving))
+                mk(
+                    a.name(),
+                    a.is_bine(),
+                    matches!(a, ReduceScatterAlg::RecursiveHalving),
+                )
             })
             .collect(),
         Collective::Allreduce => AllreduceAlg::ALL
             .iter()
-            .map(|a| mk(a.name(), a.is_bine(), matches!(a, AllreduceAlg::RecursiveDoubling)))
+            .map(|a| {
+                mk(
+                    a.name(),
+                    a.is_bine(),
+                    matches!(a, AllreduceAlg::RecursiveDoubling),
+                )
+            })
             .collect(),
         Collective::Alltoall => AlltoallAlg::ALL
             .iter()
@@ -179,7 +217,10 @@ mod tests {
     #[test]
     fn exactly_one_binomial_baseline_per_collective() {
         for collective in Collective::ALL {
-            let n = algorithms(collective).iter().filter(|a| a.is_binomial_baseline).count();
+            let n = algorithms(collective)
+                .iter()
+                .filter(|a| a.is_binomial_baseline)
+                .count();
             assert_eq!(n, 1, "{collective:?}");
         }
     }
@@ -197,7 +238,10 @@ mod tests {
     #[test]
     fn strategy_variants_are_reachable_by_name() {
         for name in ["bine-block-by-block", "bine-send", "bine-two-transmissions"] {
-            assert!(build(Collective::ReduceScatter, name, 16, 0).is_some(), "{name}");
+            assert!(
+                build(Collective::ReduceScatter, name, 16, 0).is_some(),
+                "{name}"
+            );
         }
     }
 }

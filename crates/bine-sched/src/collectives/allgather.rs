@@ -7,8 +7,8 @@ use super::builders::{
     ring_allgather,
 };
 use crate::noncontig::NonContigStrategy;
-use crate::schedule::{BlockId, Collective, Message, Step, TransferKind};
 use crate::schedule::Schedule;
+use crate::schedule::{BlockId, Collective, Message, Step, TransferKind};
 
 /// Allgather algorithm selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -93,11 +93,11 @@ pub fn allgather_with_strategy(p: usize, strategy: NonContigStrategy) -> Schedul
             let perm = bine_core::block::nu_bit_reversal_permutation(p);
             let mut sched = Schedule::new(p, Collective::Allgather, name.clone(), 0);
             let mut st = Step::new();
-            for r in 0..p {
-                if perm[r] != r {
+            for (r, &dst) in perm.iter().enumerate() {
+                if dst != r {
                     st.push(Message::with_segments(
                         r,
-                        perm[r],
+                        dst,
                         vec![BlockId::Segment(r as u32)],
                         TransferKind::Copy,
                         1,
@@ -156,7 +156,10 @@ mod tests {
             .filter(|s| s.messages.iter().any(|m| !m.is_local()))
             .count();
         assert_eq!(network_steps, 8);
-        assert_eq!(allgather(256, AllgatherAlg::RecursiveDoubling).num_steps(), 8);
+        assert_eq!(
+            allgather(256, AllgatherAlg::RecursiveDoubling).num_steps(),
+            8
+        );
         assert_eq!(allgather(256, AllgatherAlg::Ring).num_steps(), 255);
     }
 

@@ -150,7 +150,10 @@ mod tests {
         // Recursive doubling sends n·log2(p) per rank; RS+AG sends ~2n.
         assert!(large.max_bytes_sent_by_rank(n) < rd.max_bytes_sent_by_rank(n) / 2);
         // The ring and the butterfly RS+AG move the same optimal volume.
-        assert_eq!(ring.max_bytes_sent_by_rank(n), large.max_bytes_sent_by_rank(n));
+        assert_eq!(
+            ring.max_bytes_sent_by_rank(n),
+            large.max_bytes_sent_by_rank(n)
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Broadcast schedules (Sec. 4.5).
 
 use bine_core::butterfly::{Butterfly, ButterflyKind};
-use bine_core::tree::{BinomialTreeDd, BinomialTreeDh, BineTreeDd, BineTreeDh};
+use bine_core::tree::{BineTreeDd, BineTreeDh, BinomialTreeDd, BinomialTreeDh};
 
 use super::builders::{butterfly_allgather, compose, tree_broadcast, tree_scatter};
 use crate::schedule::{Collective, Schedule};
@@ -46,7 +46,10 @@ impl BroadcastAlg {
 
     /// Whether this is a Bine algorithm.
     pub fn is_bine(&self) -> bool {
-        matches!(self, BroadcastAlg::BineTree | BroadcastAlg::BineScatterAllgather)
+        matches!(
+            self,
+            BroadcastAlg::BineTree | BroadcastAlg::BineScatterAllgather
+        )
     }
 }
 

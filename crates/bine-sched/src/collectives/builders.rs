@@ -24,7 +24,13 @@ pub fn tree_broadcast(tree: &dyn CommTree, algorithm: &str) -> Schedule {
         for r in 0..p {
             if step >= tree.first_send_step(r) && is_active(tree, r, step) {
                 if let Some(c) = tree.partner(r, step) {
-                    st.push(Message::new(r, c, vec![BlockId::Full], TransferKind::Copy, p));
+                    st.push(Message::new(
+                        r,
+                        c,
+                        vec![BlockId::Full],
+                        TransferKind::Copy,
+                        p,
+                    ));
                 }
             }
         }
@@ -46,7 +52,13 @@ pub fn tree_reduce(tree: &dyn CommTree, algorithm: &str) -> Schedule {
         for r in 0..p {
             if tree.recv_step(r) == Some(tree_step) {
                 let parent = tree.parent(r).expect("non-root rank has a parent");
-                st.push(Message::new(r, parent, vec![BlockId::Full], TransferKind::Reduce, p));
+                st.push(Message::new(
+                    r,
+                    parent,
+                    vec![BlockId::Full],
+                    TransferKind::Reduce,
+                    p,
+                ));
             }
         }
         sched.push_step(st);
@@ -66,8 +78,11 @@ pub fn tree_gather(tree: &dyn CommTree, algorithm: &str) -> Schedule {
         for r in 0..p {
             if tree.recv_step(r) == Some(tree_step) {
                 let parent = tree.parent(r).expect("non-root rank has a parent");
-                let blocks: Vec<BlockId> =
-                    tree.subtree(r).into_iter().map(|b| BlockId::Segment(b as u32)).collect();
+                let blocks: Vec<BlockId> = tree
+                    .subtree(r)
+                    .into_iter()
+                    .map(|b| BlockId::Segment(b as u32))
+                    .collect();
                 st.push(Message::new(r, parent, blocks, TransferKind::Copy, p));
             }
         }
@@ -86,8 +101,11 @@ pub fn tree_scatter(tree: &dyn CommTree, algorithm: &str) -> Schedule {
         for r in 0..p {
             if step >= tree.first_send_step(r) && is_active(tree, r, step) {
                 if let Some(c) = tree.partner(r, step) {
-                    let blocks: Vec<BlockId> =
-                        tree.subtree(c).into_iter().map(|b| BlockId::Segment(b as u32)).collect();
+                    let blocks: Vec<BlockId> = tree
+                        .subtree(c)
+                        .into_iter()
+                        .map(|b| BlockId::Segment(b as u32))
+                        .collect();
                     st.push(Message::new(r, c, blocks, TransferKind::Copy, p));
                 }
             }
@@ -116,12 +134,11 @@ pub fn butterfly_allgather(bf: &Butterfly, algorithm: &str) -> Schedule {
     for step in 0..bf.num_steps() {
         let mut st = Step::new();
         let snapshot = have.clone();
-        for r in 0..p {
+        for (r, held) in snapshot.iter().enumerate() {
             let q = bf.partner(r, step);
-            let blocks: Vec<BlockId> =
-                snapshot[r].iter().map(|&b| BlockId::Segment(b)).collect();
+            let blocks: Vec<BlockId> = held.iter().map(|&b| BlockId::Segment(b)).collect();
             st.push(Message::new(r, q, blocks, TransferKind::Copy, p));
-            have[q].extend(snapshot[r].iter().copied());
+            have[q].extend(held.iter().copied());
         }
         for set in &mut have {
             set.sort_unstable();
@@ -166,8 +183,10 @@ pub fn butterfly_reduce_scatter(
         let mut st = Step::new();
         for r in 0..p {
             let q = bf.partner(r, step);
-            let blocks: Vec<BlockId> =
-                resp[step as usize][q].iter().map(|&b| BlockId::Segment(b)).collect();
+            let blocks: Vec<BlockId> = resp[step as usize][q]
+                .iter()
+                .map(|&b| BlockId::Segment(b))
+                .collect();
             let msg = match strategy {
                 NonContigStrategy::BlockByBlock => {
                     let n_blocks = blocks.len() as u32;
@@ -194,8 +213,7 @@ pub fn butterfly_reduce_scatter(
     if strategy == NonContigStrategy::Send {
         let perm = nu_bit_reversal_permutation(p);
         let mut st = Step::new();
-        for r in 0..p {
-            let q = perm[r];
+        for (r, &q) in perm.iter().enumerate() {
             if q != r {
                 st.push(Message::with_segments(
                     r,
@@ -280,7 +298,13 @@ pub fn butterfly_allreduce_small(bf: &Butterfly, algorithm: &str) -> Schedule {
         let mut st = Step::new();
         for r in 0..p {
             let q = bf.partner(r, step);
-            st.push(Message::new(r, q, vec![BlockId::Full], TransferKind::Reduce, p));
+            st.push(Message::new(
+                r,
+                q,
+                vec![BlockId::Full],
+                TransferKind::Reduce,
+                p,
+            ));
         }
         sched.push_step(st);
     }
@@ -299,8 +323,9 @@ pub fn butterfly_alltoall(bf: &Butterfly, algorithm: &str) -> Schedule {
     }
     let resp = bf.responsibilities();
     // held[r] = blocks (origin, dest) currently stored on rank r.
-    let mut held: Vec<Vec<(u32, u32)>> =
-        (0..p).map(|r| (0..p as u32).map(|d| (r as u32, d)).collect()).collect();
+    let mut held: Vec<Vec<(u32, u32)>> = (0..p)
+        .map(|r| (0..p as u32).map(|d| (r as u32, d)).collect())
+        .collect();
     for step in 0..s {
         let mut st = Step::new();
         let snapshot = held.clone();
@@ -315,8 +340,10 @@ pub fn butterfly_alltoall(bf: &Butterfly, algorithm: &str) -> Schedule {
             if moving.is_empty() {
                 continue;
             }
-            let blocks: Vec<BlockId> =
-                moving.iter().map(|&(o, d)| BlockId::Pairwise { origin: o, dest: d }).collect();
+            let blocks: Vec<BlockId> = moving
+                .iter()
+                .map(|&(o, d)| BlockId::Pairwise { origin: o, dest: d })
+                .collect();
             st.push(Message::new(r, q, blocks, TransferKind::Copy, p));
             held[r].retain(|b| !moving.contains(b));
             held[q].extend(moving.iter().copied());
@@ -332,8 +359,9 @@ pub fn butterfly_alltoall(bf: &Butterfly, algorithm: &str) -> Schedule {
 pub fn bruck_alltoall(p: usize, algorithm: &str) -> Schedule {
     let mut sched = Schedule::new(p, Collective::Alltoall, algorithm, 0);
     let steps = (usize::BITS - (p - 1).leading_zeros()) as usize;
-    let mut held: Vec<Vec<(u32, u32)>> =
-        (0..p).map(|r| (0..p as u32).map(|d| (r as u32, d)).collect()).collect();
+    let mut held: Vec<Vec<(u32, u32)>> = (0..p)
+        .map(|r| (0..p as u32).map(|d| (r as u32, d)).collect())
+        .collect();
     for k in 0..steps {
         let mut st = Step::new();
         let snapshot = held.clone();
@@ -347,8 +375,10 @@ pub fn bruck_alltoall(p: usize, algorithm: &str) -> Schedule {
             if moving.is_empty() {
                 continue;
             }
-            let blocks: Vec<BlockId> =
-                moving.iter().map(|&(o, d)| BlockId::Pairwise { origin: o, dest: d }).collect();
+            let blocks: Vec<BlockId> = moving
+                .iter()
+                .map(|&(o, d)| BlockId::Pairwise { origin: o, dest: d })
+                .collect();
             st.push(Message::new(r, q, blocks, TransferKind::Copy, p));
             held[r].retain(|b| !moving.contains(b));
             held[q].extend(moving.iter().copied());
@@ -369,7 +399,10 @@ pub fn pairwise_alltoall(p: usize, algorithm: &str) -> Schedule {
             st.push(Message::new(
                 r,
                 q,
-                vec![BlockId::Pairwise { origin: r as u32, dest: q as u32 }],
+                vec![BlockId::Pairwise {
+                    origin: r as u32,
+                    dest: q as u32,
+                }],
                 TransferKind::Copy,
                 p,
             ));
@@ -492,7 +525,11 @@ mod tests {
                 for m in &step.messages {
                     for b in &m.blocks {
                         if let BlockId::Segment(i) = b {
-                            assert!(snap[m.src].contains(i), "rank {} sent a block it does not hold", m.src);
+                            assert!(
+                                snap[m.src].contains(i),
+                                "rank {} sent a block it does not hold",
+                                m.src
+                            );
                             have[m.dst].insert(*i);
                         }
                     }
@@ -531,14 +568,23 @@ mod tests {
         // step at the back.
         assert_eq!(permute.num_steps(), send.num_steps());
         assert!(permute.steps[0].messages.iter().all(|m| m.is_local()));
-        assert!(send.steps.last().unwrap().messages.iter().all(|m| !m.is_local()));
+        assert!(send
+            .steps
+            .last()
+            .unwrap()
+            .messages
+            .iter()
+            .all(|m| !m.is_local()));
     }
 
     #[test]
     fn alltoall_algorithms_route_every_block_to_its_destination() {
         let p = 16;
         let schedules = vec![
-            butterfly_alltoall(&Butterfly::new(ButterflyKind::BineDistanceHalving, p), "bine"),
+            butterfly_alltoall(
+                &Butterfly::new(ButterflyKind::BineDistanceHalving, p),
+                "bine",
+            ),
             bruck_alltoall(p, "bruck"),
             pairwise_alltoall(p, "pairwise"),
         ];

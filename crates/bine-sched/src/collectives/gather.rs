@@ -1,6 +1,6 @@
 //! Gather schedules (Sec. 4.1).
 
-use bine_core::tree::{BinomialTreeDd, BinomialTreeDh, BineTreeDh};
+use bine_core::tree::{BineTreeDh, BinomialTreeDd, BinomialTreeDh};
 
 use super::builders::tree_gather;
 use crate::schedule::Schedule;
@@ -57,8 +57,8 @@ pub fn gather(p: usize, root: usize, alg: GatherAlg) -> Schedule {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::schedule::Collective;
     use crate::schedule::BlockId;
+    use crate::schedule::Collective;
     use std::collections::HashSet;
 
     #[test]
@@ -78,7 +78,11 @@ mod tests {
                     for m in &step.messages {
                         for b in &m.blocks {
                             if let BlockId::Segment(i) = b {
-                                assert!(snap[m.src].contains(i), "{}: sender misses block", alg.name());
+                                assert!(
+                                    snap[m.src].contains(i),
+                                    "{}: sender misses block",
+                                    alg.name()
+                                );
                                 held[m.dst].insert(*i);
                             }
                         }

@@ -1,7 +1,7 @@
 //! Reduce schedules (Sec. 4.5).
 
 use bine_core::butterfly::{Butterfly, ButterflyKind};
-use bine_core::tree::{BinomialTreeDd, BinomialTreeDh, BineTreeDh};
+use bine_core::tree::{BineTreeDh, BinomialTreeDd, BinomialTreeDh};
 
 use super::builders::{butterfly_reduce_scatter, compose, tree_gather, tree_reduce};
 use crate::noncontig::NonContigStrategy;
@@ -47,7 +47,10 @@ impl ReduceAlg {
 
     /// Whether this is a Bine algorithm.
     pub fn is_bine(&self) -> bool {
-        matches!(self, ReduceAlg::BineTree | ReduceAlg::BineReduceScatterGather)
+        matches!(
+            self,
+            ReduceAlg::BineTree | ReduceAlg::BineReduceScatterGather
+        )
     }
 }
 

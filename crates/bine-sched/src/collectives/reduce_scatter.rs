@@ -175,7 +175,10 @@ mod tests {
 
     #[test]
     fn two_transmissions_uses_at_most_two_segments() {
-        let sched = reduce_scatter(128, ReduceScatterAlg::Bine(NonContigStrategy::TwoTransmissions));
+        let sched = reduce_scatter(
+            128,
+            ReduceScatterAlg::Bine(NonContigStrategy::TwoTransmissions),
+        );
         for (_, m) in sched.messages() {
             assert!(m.segments <= 2, "{} segments", m.segments);
         }

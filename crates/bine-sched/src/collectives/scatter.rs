@@ -1,6 +1,6 @@
 //! Scatter schedules (Sec. 4.2).
 
-use bine_core::tree::{BinomialTreeDd, BinomialTreeDh, BineTreeDh};
+use bine_core::tree::{BineTreeDh, BinomialTreeDd, BinomialTreeDh};
 
 use super::builders::tree_scatter;
 use crate::schedule::Schedule;
@@ -55,8 +55,8 @@ pub fn scatter(p: usize, root: usize, alg: ScatterAlg) -> Schedule {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::schedule::Collective;
     use crate::schedule::BlockId;
+    use crate::schedule::Collective;
     use std::collections::HashSet;
 
     #[test]
@@ -76,14 +76,22 @@ mod tests {
                     for m in &step.messages {
                         for b in &m.blocks {
                             if let BlockId::Segment(i) = b {
-                                assert!(snap[m.src].contains(i), "{}: sender misses block", alg.name());
+                                assert!(
+                                    snap[m.src].contains(i),
+                                    "{}: sender misses block",
+                                    alg.name()
+                                );
                                 held[m.dst].insert(*i);
                             }
                         }
                     }
                 }
                 for (r, set) in held.iter().enumerate() {
-                    assert!(set.contains(&(r as u32)), "{}: rank {r} missing its block", alg.name());
+                    assert!(
+                        set.contains(&(r as u32)),
+                        "{}: rank {r} missing its block",
+                        alg.name()
+                    );
                 }
             }
         }

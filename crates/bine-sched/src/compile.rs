@@ -1,0 +1,400 @@
+//! Lowering a [`Schedule`] into the dense form the executors run.
+//!
+//! A [`Schedule`] is optimised for inspection: every step holds a list of
+//! [`crate::Message`]s whose blocks are symbolic [`BlockId`]s. Interpreting
+//! that form over data is allocation- and hash-bound — every executor step
+//! rescans the message list per rank and hashes `BlockId`s in its inner loop.
+//!
+//! [`CompiledSchedule`] is the execution form, resolved **once** per
+//! schedule:
+//!
+//! * every `BlockId` is interned to a dense `u32` by a [`BlockInterner`]
+//!   (flat `Vec`-backed, so executors index arrays instead of hashing),
+//! * every message becomes a [`CompiledSend`] whose block list is a range in
+//!   one flat index array,
+//! * per step, the sends are grouped by source rank (CSR layout —
+//!   [`CompiledSchedule::sends_from`]) and the *receive side* is a CSR list
+//!   of send references per destination rank, in schedule order
+//!   ([`CompiledSchedule::recvs_to`]), which is exactly the order the
+//!   reference interpreter applies payloads in.
+//!
+//! The semantics are unchanged: compiling and executing a schedule is
+//! bit-identical to interpreting it (cross-checked in `bine-exec`).
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use crate::schedule::{BlockId, Collective, Rank, Schedule, TransferKind};
+
+/// Dense interning of the [`BlockId`]s referenced by one schedule.
+///
+/// Index 0..len map 1:1 onto the distinct blocks, in first-appearance order.
+#[derive(Debug, Clone, Default)]
+pub struct BlockInterner {
+    ids: Vec<BlockId>,
+    lookup: HashMap<BlockId, u32>,
+}
+
+impl BlockInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the dense index of `id`, interning it on first sight.
+    pub fn intern(&mut self, id: BlockId) -> u32 {
+        if let Some(&idx) = self.lookup.get(&id) {
+            return idx;
+        }
+        let idx = u32::try_from(self.ids.len()).expect("more than u32::MAX distinct blocks");
+        self.ids.push(id);
+        self.lookup.insert(id, idx);
+        idx
+    }
+
+    /// Returns the dense index of `id` if it was interned.
+    pub fn index_of(&self, id: &BlockId) -> Option<u32> {
+        self.lookup.get(id).copied()
+    }
+
+    /// Returns the block behind a dense index.
+    pub fn resolve(&self, index: u32) -> BlockId {
+        self.ids[index as usize]
+    }
+
+    /// Number of distinct interned blocks.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether nothing was interned.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Iterates over `(dense index, block)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, BlockId)> + '_ {
+        self.ids.iter().enumerate().map(|(i, &b)| (i as u32, b))
+    }
+}
+
+/// One message of one step, in execution form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompiledSend {
+    /// Sending rank.
+    pub src: u32,
+    /// Receiving rank.
+    pub dst: u32,
+    /// Copy or reduce semantics at the receiver.
+    pub kind: TransferKind,
+    /// Start of this send's block list in [`CompiledSchedule::block_index_slice`].
+    pub blocks_start: u32,
+    /// End (exclusive) of this send's block list.
+    pub blocks_end: u32,
+    /// Position of the originating message within its step — the order the
+    /// reference interpreter applies payloads in, preserved per receiver.
+    pub order: u32,
+}
+
+impl CompiledSend {
+    /// Number of blocks this send carries.
+    pub fn num_blocks(&self) -> usize {
+        (self.blocks_end - self.blocks_start) as usize
+    }
+
+    /// Whether this send is a local (intra-rank) buffer move.
+    pub fn is_local(&self) -> bool {
+        self.src == self.dst
+    }
+}
+
+/// The execution form of a [`Schedule`]. Build with
+/// [`CompiledSchedule::compile`] (or [`Schedule::compile`]).
+#[derive(Debug, Clone)]
+pub struct CompiledSchedule {
+    /// Number of participating ranks.
+    pub num_ranks: usize,
+    /// The collective the schedule implements.
+    pub collective: Collective,
+    /// Root rank for rooted collectives, 0 otherwise.
+    pub root: Rank,
+    /// Human-readable algorithm name, carried over from the schedule.
+    pub algorithm: String,
+    num_steps: usize,
+    blocks: BlockInterner,
+    /// All sends, grouped by step, within a step sorted by source rank
+    /// (stable, so `order` stays ascending per source).
+    sends: Vec<CompiledSend>,
+    /// Concatenated per-send dense block lists.
+    block_indices: Vec<u32>,
+    /// Per step: range into `sends`. Length `num_steps + 1`.
+    step_offsets: Vec<u32>,
+    /// Per step, per source rank: range into `sends` (CSR over the step's
+    /// src-sorted sends). Length `num_steps * (num_ranks + 1)`.
+    send_offsets: Vec<u32>,
+    /// Send indices sorted by (step, destination rank, schedule order).
+    recv_lists: Vec<u32>,
+    /// Per step, per destination rank: range into `recv_lists`.
+    /// Length `num_steps * (num_ranks + 1)`.
+    recv_offsets: Vec<u32>,
+}
+
+impl CompiledSchedule {
+    /// Lowers `schedule` into execution form.
+    pub fn compile(schedule: &Schedule) -> Self {
+        let p = schedule.num_ranks;
+        let num_steps = schedule.steps.len();
+        let mut blocks = BlockInterner::new();
+        let mut sends: Vec<CompiledSend> = Vec::new();
+        let mut block_indices: Vec<u32> = Vec::new();
+        let mut step_offsets: Vec<u32> = Vec::with_capacity(num_steps + 1);
+        let mut send_offsets: Vec<u32> = Vec::with_capacity(num_steps * (p + 1));
+        let mut recv_lists: Vec<u32> = Vec::new();
+        let mut recv_offsets: Vec<u32> = Vec::with_capacity(num_steps * (p + 1));
+
+        step_offsets.push(0);
+        for step in &schedule.steps {
+            let step_base = sends.len();
+            for (order, m) in step.messages.iter().enumerate() {
+                let blocks_start = block_indices.len() as u32;
+                block_indices.extend(m.blocks.iter().map(|b| blocks.intern(*b)));
+                sends.push(CompiledSend {
+                    src: m.src as u32,
+                    dst: m.dst as u32,
+                    kind: m.kind,
+                    blocks_start,
+                    blocks_end: block_indices.len() as u32,
+                    order: order as u32,
+                });
+            }
+            // Group the step's sends by source (stable → `order` ascending
+            // within a source) and CSR-index them.
+            sends[step_base..].sort_by_key(|s| (s.src, s.order));
+            let step_sends = &sends[step_base..];
+            let mut cursor = 0usize;
+            for src in 0..p as u32 {
+                send_offsets.push((step_base + cursor) as u32);
+                while cursor < step_sends.len() && step_sends[cursor].src == src {
+                    cursor += 1;
+                }
+            }
+            send_offsets.push(sends.len() as u32);
+
+            // Receive side: send indices per destination, in schedule order.
+            let mut by_dst: Vec<u32> = (step_base as u32..sends.len() as u32).collect();
+            by_dst.sort_by_key(|&i| (sends[i as usize].dst, sends[i as usize].order));
+            let mut cursor = 0usize;
+            for dst in 0..p as u32 {
+                recv_offsets.push((recv_lists.len() + cursor) as u32);
+                while cursor < by_dst.len() && sends[by_dst[cursor] as usize].dst == dst {
+                    cursor += 1;
+                }
+            }
+            let base = recv_lists.len();
+            recv_offsets.push((base + by_dst.len()) as u32);
+            recv_lists.extend(by_dst);
+
+            step_offsets.push(sends.len() as u32);
+        }
+
+        Self {
+            num_ranks: p,
+            collective: schedule.collective,
+            root: schedule.root,
+            algorithm: schedule.algorithm.clone(),
+            num_steps,
+            blocks,
+            sends,
+            block_indices,
+            step_offsets,
+            send_offsets,
+            recv_lists,
+            recv_offsets,
+        }
+    }
+
+    /// Number of synchronous steps.
+    pub fn num_steps(&self) -> usize {
+        self.num_steps
+    }
+
+    /// The dense block interning.
+    pub fn blocks(&self) -> &BlockInterner {
+        &self.blocks
+    }
+
+    /// Number of distinct blocks referenced anywhere in the schedule.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total number of sends over all steps.
+    pub fn num_sends(&self) -> usize {
+        self.sends.len()
+    }
+
+    /// All sends of one step, sorted by source rank.
+    pub fn step_sends(&self, step: usize) -> &[CompiledSend] {
+        let lo = self.step_offsets[step] as usize;
+        let hi = self.step_offsets[step + 1] as usize;
+        &self.sends[lo..hi]
+    }
+
+    /// The range of global send indices belonging to `step`.
+    pub fn step_send_range(&self, step: usize) -> Range<usize> {
+        self.step_offsets[step] as usize..self.step_offsets[step + 1] as usize
+    }
+
+    /// The send with global index `index`.
+    pub fn send(&self, index: usize) -> &CompiledSend {
+        &self.sends[index]
+    }
+
+    /// The sends issued by `rank` in `step` (pre-resolved; no scan).
+    pub fn sends_from(&self, step: usize, rank: usize) -> &[CompiledSend] {
+        let row = step * (self.num_ranks + 1) + rank;
+        let lo = self.send_offsets[row] as usize;
+        let hi = self.send_offsets[row + 1] as usize;
+        &self.sends[lo..hi]
+    }
+
+    /// Global send indices targeting `rank` in `step`, in schedule order —
+    /// the exact order the reference interpreter applies payloads in.
+    pub fn recvs_to(&self, step: usize, rank: usize) -> &[u32] {
+        let row = step * (self.num_ranks + 1) + rank;
+        let lo = self.recv_offsets[row] as usize;
+        let hi = self.recv_offsets[row + 1] as usize;
+        &self.recv_lists[lo..hi]
+    }
+
+    /// The dense block indices carried by `send`.
+    pub fn block_index_slice(&self, send: &CompiledSend) -> &[u32] {
+        &self.block_indices[send.blocks_start as usize..send.blocks_end as usize]
+    }
+
+    /// Total number of block payloads moved in `step` (the staging-buffer
+    /// size an executor needs for the step).
+    pub fn step_payload_count(&self, step: usize) -> usize {
+        self.step_sends(step).iter().map(|s| s.num_blocks()).sum()
+    }
+}
+
+impl Schedule {
+    /// Lowers this schedule into execution form (see [`CompiledSchedule`]).
+    pub fn compile(&self) -> CompiledSchedule {
+        CompiledSchedule::compile(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::{
+        allreduce, alltoall, broadcast, AllreduceAlg, AlltoallAlg, BroadcastAlg,
+    };
+    use crate::schedule::Message;
+
+    fn schedules_under_test() -> Vec<Schedule> {
+        vec![
+            broadcast(16, 3, BroadcastAlg::BineTree),
+            broadcast(16, 0, BroadcastAlg::BineScatterAllgather),
+            allreduce(32, AllreduceAlg::BineLarge),
+            allreduce(32, AllreduceAlg::Ring),
+            alltoall(8, AlltoallAlg::Bine),
+        ]
+    }
+
+    #[test]
+    fn interner_is_a_bijection_in_first_appearance_order() {
+        let mut interner = BlockInterner::new();
+        assert_eq!(interner.intern(BlockId::Full), 0);
+        assert_eq!(interner.intern(BlockId::Segment(4)), 1);
+        assert_eq!(interner.intern(BlockId::Full), 0);
+        assert_eq!(interner.index_of(&BlockId::Segment(4)), Some(1));
+        assert_eq!(interner.index_of(&BlockId::Segment(5)), None);
+        assert_eq!(interner.resolve(1), BlockId::Segment(4));
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn compiled_sends_cover_every_message_block_exactly_once() {
+        for sched in schedules_under_test() {
+            let compiled = sched.compile();
+            assert_eq!(compiled.num_steps(), sched.num_steps());
+            for (step_idx, step) in sched.steps.iter().enumerate() {
+                let total_blocks: usize = step.messages.iter().map(|m| m.blocks.len()).sum();
+                let compiled_blocks: usize = compiled
+                    .step_sends(step_idx)
+                    .iter()
+                    .map(|s| s.num_blocks())
+                    .sum();
+                assert_eq!(
+                    compiled_blocks, total_blocks,
+                    "{} step {step_idx}",
+                    sched.algorithm
+                );
+                assert_eq!(compiled.step_payload_count(step_idx), total_blocks);
+            }
+        }
+    }
+
+    #[test]
+    fn per_rank_send_lists_match_a_message_scan() {
+        for sched in schedules_under_test() {
+            let compiled = sched.compile();
+            for (step_idx, step) in sched.steps.iter().enumerate() {
+                for rank in 0..sched.num_ranks {
+                    let scanned: Vec<&Message> =
+                        step.messages.iter().filter(|m| m.src == rank).collect();
+                    let resolved = compiled.sends_from(step_idx, rank);
+                    assert_eq!(resolved.len(), scanned.len());
+                    for (send, msg) in resolved.iter().zip(&scanned) {
+                        assert_eq!(send.dst as usize, msg.dst);
+                        assert_eq!(send.kind, msg.kind);
+                        let blocks: Vec<BlockId> = compiled
+                            .block_index_slice(send)
+                            .iter()
+                            .map(|&i| compiled.blocks().resolve(i))
+                            .collect();
+                        assert_eq!(blocks, msg.blocks);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recv_lists_preserve_schedule_order_per_destination() {
+        for sched in schedules_under_test() {
+            let compiled = sched.compile();
+            for (step_idx, step) in sched.steps.iter().enumerate() {
+                for rank in 0..sched.num_ranks {
+                    let scanned: Vec<&Message> =
+                        step.messages.iter().filter(|m| m.dst == rank).collect();
+                    let resolved = compiled.recvs_to(step_idx, rank);
+                    assert_eq!(resolved.len(), scanned.len());
+                    let mut last_order = None;
+                    for (&send_idx, msg) in resolved.iter().zip(&scanned) {
+                        let send = compiled.send(send_idx as usize);
+                        assert_eq!(send.src as usize, msg.src);
+                        assert!(last_order < Some(send.order), "schedule order violated");
+                        last_order = Some(send.order);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interning_is_dense_over_referenced_blocks() {
+        let sched = allreduce(64, AllreduceAlg::BineLarge);
+        let compiled = sched.compile();
+        // A segment-based allreduce references exactly the p segments.
+        assert_eq!(compiled.num_blocks(), 64);
+        let mut seen = vec![false; compiled.num_blocks()];
+        for (idx, _) in compiled.blocks().iter() {
+            seen[idx as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

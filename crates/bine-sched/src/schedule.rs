@@ -94,10 +94,15 @@ pub enum BlockId {
 impl BlockId {
     /// Size of this block in bytes for a collective over `p` ranks operating
     /// on vectors of `n` bytes.
+    ///
+    /// Segments round **up** (`ceil(n / p)`): for non-divisible vector sizes
+    /// the last segment is short, but every transfer of the other `p − 1`
+    /// segments really carries `ceil(n / p)` bytes, so rounding down would
+    /// systematically undercount modelled traffic.
     pub fn bytes(&self, n: u64, p: usize) -> u64 {
         match self {
             BlockId::Full => n,
-            BlockId::Segment(_) | BlockId::Pairwise { .. } => (n / p as u64).max(1),
+            BlockId::Segment(_) | BlockId::Pairwise { .. } => n.div_ceil(p as u64).max(1),
         }
     }
 }
@@ -138,7 +143,13 @@ impl Message {
     /// block indices (segments are assumed to be laid out in index order).
     pub fn new(src: Rank, dst: Rank, blocks: Vec<BlockId>, kind: TransferKind, p: usize) -> Self {
         let segs = contiguity_of(&blocks, p);
-        Self { src, dst, blocks, kind, segments: segs }
+        Self {
+            src,
+            dst,
+            blocks,
+            kind,
+            segments: segs,
+        }
     }
 
     /// Creates a message with an explicitly provided segment count (used by
@@ -150,7 +161,13 @@ impl Message {
         kind: TransferKind,
         segments: u32,
     ) -> Self {
-        Self { src, dst, blocks, kind, segments }
+        Self {
+            src,
+            dst,
+            blocks,
+            kind,
+            segments,
+        }
     }
 
     /// Total payload bytes for vector size `n` over `p` ranks.
@@ -231,7 +248,13 @@ impl Schedule {
         algorithm: impl Into<String>,
         root: Rank,
     ) -> Self {
-        Self { num_ranks, collective, algorithm: algorithm.into(), root, steps: Vec::new() }
+        Self {
+            num_ranks,
+            collective,
+            algorithm: algorithm.into(),
+            root,
+            steps: Vec::new(),
+        }
     }
 
     /// Appends a step.
@@ -335,6 +358,9 @@ mod tests {
         assert_eq!(BlockId::Pairwise { origin: 0, dest: 1 }.bytes(1024, 8), 128);
         // Tiny vectors never round down to zero bytes.
         assert_eq!(BlockId::Segment(0).bytes(4, 8), 1);
+        // Non-divisible sizes round up, not down: 1000 / 3 → 334-byte blocks.
+        assert_eq!(BlockId::Segment(1).bytes(1000, 3), 334);
+        assert_eq!(BlockId::Pairwise { origin: 0, dest: 2 }.bytes(1000, 3), 334);
     }
 
     #[test]
@@ -351,8 +377,20 @@ mod tests {
     fn validation_catches_double_send() {
         let mut sched = Schedule::new(4, Collective::Broadcast, "test", 0);
         let mut step = Step::new();
-        step.push(Message::new(0, 1, vec![BlockId::Full], TransferKind::Copy, 4));
-        step.push(Message::new(0, 2, vec![BlockId::Full], TransferKind::Copy, 4));
+        step.push(Message::new(
+            0,
+            1,
+            vec![BlockId::Full],
+            TransferKind::Copy,
+            4,
+        ));
+        step.push(Message::new(
+            0,
+            2,
+            vec![BlockId::Full],
+            TransferKind::Copy,
+            4,
+        ));
         sched.push_step(step);
         assert!(sched.validate().is_err());
     }
@@ -361,9 +399,27 @@ mod tests {
     fn byte_accounting() {
         let mut sched = Schedule::new(4, Collective::Allgather, "test", 0);
         let mut step = Step::new();
-        step.push(Message::new(0, 1, vec![BlockId::Segment(0)], TransferKind::Copy, 4));
-        step.push(Message::new(2, 3, vec![BlockId::Segment(2), BlockId::Segment(3)], TransferKind::Copy, 4));
-        step.push(Message::new(1, 1, vec![BlockId::Segment(1)], TransferKind::Copy, 4)); // local
+        step.push(Message::new(
+            0,
+            1,
+            vec![BlockId::Segment(0)],
+            TransferKind::Copy,
+            4,
+        ));
+        step.push(Message::new(
+            2,
+            3,
+            vec![BlockId::Segment(2), BlockId::Segment(3)],
+            TransferKind::Copy,
+            4,
+        ));
+        step.push(Message::new(
+            1,
+            1,
+            vec![BlockId::Segment(1)],
+            TransferKind::Copy,
+            4,
+        )); // local
         sched.push_step(step);
         assert_eq!(sched.total_network_bytes(400), 100 + 200);
         assert_eq!(sched.max_bytes_sent_by_rank(400), 200);

@@ -24,8 +24,9 @@ fn main() {
     let params = 4096;
     let cluster = Cluster::new(workers);
     let mut rng = StdRng::seed_from_u64(7);
-    let gradients: Vec<Vec<f64>> =
-        (0..workers).map(|_| (0..params).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+    let gradients: Vec<Vec<f64>> = (0..workers)
+        .map(|_| (0..params).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
 
     let bine = cluster.allreduce(&gradients, AllreduceAlg::BineLarge);
     let ring = cluster.allreduce(&gradients, AllreduceAlg::Ring);
@@ -45,8 +46,15 @@ fn main() {
         JobTraceGenerator::default().sample(&topo, nodes, 1, &mut rng)[0].allocation();
     let model = CostModel::default();
 
-    println!("\nmodelled allreduce time on {} ({} nodes):", topo.name(), nodes);
-    println!("{:>12}  {:>12} {:>12} {:>12} {:>12}", "bucket", "bine", "rec-doubling", "rabenseifner", "ring");
+    println!(
+        "\nmodelled allreduce time on {} ({} nodes):",
+        topo.name(),
+        nodes
+    );
+    println!(
+        "{:>12}  {:>12} {:>12} {:>12} {:>12}",
+        "bucket", "bine", "rec-doubling", "rabenseifner", "ring"
+    );
     for bucket in [64 * 1024u64, 1 << 20, 16 << 20, 256 << 20] {
         let t = |alg: AllreduceAlg| {
             let sched = allreduce(nodes, alg);

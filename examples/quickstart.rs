@@ -18,7 +18,10 @@ fn main() {
     let result = cluster.allreduce(&inputs, AllreduceAlg::BineLarge);
     // 1 + 2 + ... + 8 = 36 in every position, on every rank.
     assert!(result.iter().all(|v| v.iter().all(|&x| x == 36.0)));
-    println!("allreduce over 8 simulated ranks: every rank holds {:?}...", &result[0][..4]);
+    println!(
+        "allreduce over 8 simulated ranks: every rank holds {:?}...",
+        &result[0][..4]
+    );
 
     let bcast = cluster.broadcast(&[1.5; 8], 0, BroadcastAlg::BineTree);
     assert!(bcast.iter().all(|v| v == &vec![1.5; 8]));

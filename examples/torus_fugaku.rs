@@ -58,7 +58,9 @@ fn main() {
     }
 
     // --- Multi-port schedules (Appendix D.4). -------------------------------
-    println!("\nmulti-port execution: each of the 2·D = 6 ports starts along a different direction");
+    println!(
+        "\nmulti-port execution: each of the 2·D = 6 ports starts along a different direction"
+    );
     for port in 0..6 {
         let bf = TorusButterfly::for_port(shape.clone(), ButterflyKind::BineDistanceDoubling, port);
         let first_dim = bf.step_dimension(0);
@@ -73,5 +75,10 @@ fn main() {
 }
 
 fn topo_name(shape: &TorusShape) -> String {
-    shape.dims().iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x")
+    shape
+        .dims()
+        .iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("x")
 }

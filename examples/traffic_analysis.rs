@@ -40,7 +40,8 @@ fn main() {
         let base = build(collective, binomial_default(collective, false), nodes, 0).unwrap();
         let bine_report = measure(&bine, n, &topo, &alloc);
         let base_report = measure(&base, n, &topo, &alloc);
-        let reduction = 1.0 - bine_report.global_bytes as f64 / base_report.global_bytes.max(1) as f64;
+        let reduction =
+            1.0 - bine_report.global_bytes as f64 / base_report.global_bytes.max(1) as f64;
         println!(
             "{:<16} {:>14} {:>14} {:>14} {:>9.1}%",
             collective.name(),

@@ -1,0 +1,21 @@
+//! # bine
+//!
+//! Meta-crate of the Bine Trees reproduction: re-exports the five workspace
+//! crates so the examples under `examples/` and the integration tests under
+//! `tests/` can be expressed against one dependency. See the individual
+//! crates for the real API surface:
+//!
+//! * [`core`](bine_core) — negabinary arithmetic, Bine trees/butterflies,
+//! * [`sched`](bine_sched) — explicit communication schedules + compiler,
+//! * [`exec`](bine_exec) — zero-copy executors over real data,
+//! * [`net`](bine_net) — topology models and traffic accounting,
+//! * [`bench`](bine_bench) — the paper's table/figure harness.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use bine_bench as bench;
+pub use bine_core as core;
+pub use bine_exec as exec;
+pub use bine_net as net;
+pub use bine_sched as sched;

@@ -1,0 +1,296 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! this vendored crate implements the subset of the criterion API the
+//! workspace's benches use: `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, the `criterion_group!`/
+//! `criterion_main!` macros and `black_box`. Measurement is a calibrated
+//! batch loop reporting the median over `sample_size` samples, one line per
+//! benchmark:
+//!
+//! ```text
+//! group/name/param        time:   12345 ns/iter (10 samples)
+//! ```
+//!
+//! Setting `CRITERION_JSON=/path/file.json` additionally appends one JSON
+//! object per benchmark (`{"id": ..., "ns_per_iter": ...}`) to that file,
+//! which is how `bine-bench` records execution benchmarks for `BENCH_exec.json`.
+//! When invoked with `--test` (CI does `cargo test --benches -- --test`)
+//! every benchmark body runs exactly once, unmeasured.
+
+use std::fmt::Write as _;
+use std::hint;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark
+/// bodies.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A benchmark identifier with a function name and a displayed parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an identifier rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+/// The measurement configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(900),
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(self, name, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark identified by a plain name.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, name.into());
+        run_benchmark(self.criterion, &id, f);
+        self
+    }
+
+    /// Runs a benchmark identified by a [`BenchmarkId`], passing `input`
+    /// through to the closure.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}/{}", self.name, id.name, id.parameter);
+        run_benchmark(self.criterion, &full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (statistics are reported per benchmark, so this is a
+    /// no-op kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the measured body.
+pub struct Bencher {
+    mode: BenchMode,
+    /// Median nanoseconds per iteration, filled in by `iter`.
+    result_ns: f64,
+}
+
+enum BenchMode {
+    /// Run the body once, unmeasured (`--test`).
+    Test,
+    /// Measure `samples` batches after `warm_up` of warm-up.
+    Measure {
+        samples: usize,
+        warm_up: Duration,
+        budget: Duration,
+    },
+}
+
+impl Bencher {
+    /// Runs `body` under the configured measurement loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        match self.mode {
+            BenchMode::Test => {
+                hint::black_box(body());
+                self.result_ns = 0.0;
+            }
+            BenchMode::Measure {
+                samples,
+                warm_up,
+                budget,
+            } => {
+                // Warm up and estimate the cost of one iteration.
+                let warm_start = Instant::now();
+                let mut iters_done = 0u64;
+                while warm_start.elapsed() < warm_up || iters_done == 0 {
+                    hint::black_box(body());
+                    iters_done += 1;
+                    if iters_done >= 1_000_000 {
+                        break;
+                    }
+                }
+                let est_ns = (warm_start.elapsed().as_nanos() as f64 / iters_done as f64).max(1.0);
+                // Pick a batch size so all samples fit the measurement budget.
+                let budget_ns = budget.as_nanos() as f64;
+                let batch =
+                    ((budget_ns / samples as f64 / est_ns).floor() as u64).clamp(1, 1 << 24);
+                let mut sample_ns: Vec<f64> = Vec::with_capacity(samples);
+                for _ in 0..samples {
+                    let start = Instant::now();
+                    for _ in 0..batch {
+                        hint::black_box(body());
+                    }
+                    sample_ns.push(start.elapsed().as_nanos() as f64 / batch as f64);
+                }
+                sample_ns.sort_by(|a, b| a.total_cmp(b));
+                self.result_ns = sample_ns[sample_ns.len() / 2];
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(criterion: &Criterion, id: &str, mut f: F) {
+    let mode = if criterion.test_mode {
+        BenchMode::Test
+    } else {
+        BenchMode::Measure {
+            samples: criterion.sample_size,
+            warm_up: criterion.warm_up_time,
+            budget: criterion.measurement_time,
+        }
+    };
+    let mut bencher = Bencher {
+        mode,
+        result_ns: 0.0,
+    };
+    f(&mut bencher);
+    if criterion.test_mode {
+        println!("{id:<56} ok (--test, 1 iter)");
+        return;
+    }
+    println!(
+        "{id:<56} time: {:>12.0} ns/iter ({} samples)",
+        bencher.result_ns, criterion.sample_size
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        let mut line = String::new();
+        let _ = writeln!(
+            line,
+            "{{\"id\": \"{id}\", \"ns_per_iter\": {:.1}}}",
+            bencher.result_ns
+        );
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = file.write_all(line.as_bytes());
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_produces_a_positive_median() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.test_mode = false;
+        let mut group = c.benchmark_group("smoke");
+        let mut measured = 0.0;
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            measured = b.result_ns;
+        });
+        group.finish();
+        assert!(measured > 0.0);
+    }
+
+    #[test]
+    fn ids_render_with_parameters() {
+        let id = BenchmarkId::new("alg", 256);
+        assert_eq!(id.name, "alg");
+        assert_eq!(id.parameter, "256");
+    }
+}
