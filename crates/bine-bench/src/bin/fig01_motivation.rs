@@ -6,6 +6,8 @@
 //! This binary recomputes both, plus the Bine tree, per step.
 
 use bine_net::allocation::Allocation;
+use bine_net::cost::CostModel;
+use bine_net::sim::sim_time_us;
 use bine_net::topology::FatTree;
 use bine_net::traffic::measure;
 use bine_net::Topology;
@@ -56,5 +58,23 @@ fn main() {
             report.global_bytes as f64 / n as f64,
             per_step
         );
+    }
+
+    // The same comparison under both time models, at a bandwidth-dominated
+    // vector size: the DES tracks per-rank dependencies instead of global
+    // barriers, so the traffic difference translates into a larger runtime
+    // gap than the synchronous per-step maxima suggest.
+    let model = CostModel::default();
+    let big = 8 << 20;
+    println!("\nmodelled broadcast time at 8 MiB (us): synchronous barrier model vs DES");
+    for alg in [
+        BroadcastAlg::BinomialDistanceDoubling,
+        BroadcastAlg::BinomialDistanceHalving,
+        BroadcastAlg::BineTree,
+    ] {
+        let sched = broadcast(8, 0, alg);
+        let sync = model.time_us(&sched, big, &topo, &alloc);
+        let des = sim_time_us(&model, &sched, 1, big, &topo, &alloc);
+        println!("{:<32} sync = {sync:>9.1}   DES = {des:>9.1}", alg.name());
     }
 }

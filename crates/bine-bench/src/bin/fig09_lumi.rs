@@ -7,11 +7,16 @@
 //! other collectives.
 
 use bine_bench::systems::System;
-use bine_bench::tables::{heatmap_table, improvement_summary};
+use bine_bench::tables::{des_comparison_table, heatmap_table, improvement_summary};
 use bine_sched::Collective;
 
 fn main() {
     println!("{}", heatmap_table(System::lumi(), Collective::Allreduce));
     println!();
     println!("{}", improvement_summary(System::lumi()));
+    println!();
+    println!(
+        "{}",
+        des_comparison_table(System::lumi(), Collective::Allreduce, 64, 8)
+    );
 }

@@ -7,7 +7,7 @@
 //! counts.
 
 use bine_bench::systems::System;
-use bine_bench::tables::{heatmap_table, improvement_summary};
+use bine_bench::tables::{des_comparison_table, heatmap_table, improvement_summary};
 use bine_sched::Collective;
 
 fn main() {
@@ -17,4 +17,9 @@ fn main() {
     );
     println!();
     println!("{}", improvement_summary(System::leonardo()));
+    println!();
+    println!(
+        "{}",
+        des_comparison_table(System::leonardo(), Collective::Allreduce, 64, 8)
+    );
 }

@@ -7,12 +7,18 @@
 //! link oversubscribed and Bine's gains are the largest of the four systems.
 
 use bine_bench::systems::System;
-use bine_bench::tables::improvement_summary;
+use bine_bench::tables::{des_comparison_table, improvement_summary};
+use bine_sched::Collective;
 
 fn main() {
     println!("{}", improvement_summary(System::marenostrum5()));
     println!();
     println!("{}", improvement_summary(System::fugaku()));
+    println!();
+    println!(
+        "{}",
+        des_comparison_table(System::fugaku(), Collective::Allreduce, 64, 8)
+    );
     println!();
     println!("note: alltoall on Fugaku is evaluated up to 2048 nodes (see DESIGN.md).");
 }

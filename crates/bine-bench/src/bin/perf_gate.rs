@@ -1,0 +1,75 @@
+//! CI perf-regression gate: diffs a freshly recorded `BENCH_exec.ci.json`
+//! against the committed `BENCH_exec.json` baseline and fails (exit code 1)
+//! if any compiled-executor ns/op regressed by more than the threshold.
+//!
+//! Usage:
+//! `cargo run --release -p bine-bench --bin perf_gate -- <baseline.json> <current.json> [threshold-%]`
+//!
+//! When `GITHUB_STEP_SUMMARY` is set (as it is inside GitHub Actions), the
+//! markdown diff table is appended to it so the verdict shows up on the
+//! workflow summary page.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use bine_bench::perfgate::{gate, parse_bench_json, GateOutcome, DEFAULT_THRESHOLD};
+
+fn load(path: &str) -> Vec<(String, f64)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read bench report {path}: {e}"));
+    parse_bench_json(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+}
+
+fn publish_step_summary(outcome: &GateOutcome) {
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    match std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open(&path)
+    {
+        Ok(mut f) => {
+            let _ = writeln!(f, "{}", outcome.markdown());
+        }
+        Err(e) => eprintln!("warning: cannot append to GITHUB_STEP_SUMMARY ({path}): {e}"),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (baseline_path, current_path) = match args.as_slice() {
+        [b, c] | [b, c, _] => (b.as_str(), c.as_str()),
+        _ => {
+            eprintln!("usage: perf_gate <baseline.json> <current.json> [threshold-%]");
+            return ExitCode::from(2);
+        }
+    };
+    let threshold = args
+        .get(2)
+        .map(|t| {
+            t.parse::<f64>()
+                .unwrap_or_else(|e| panic!("bad threshold {t}: {e}"))
+                / 100.0
+        })
+        .unwrap_or(DEFAULT_THRESHOLD);
+
+    let outcome = gate(&load(baseline_path), &load(current_path), threshold);
+    println!("{}", outcome.markdown());
+    publish_step_summary(&outcome);
+
+    if outcome.passed() {
+        println!("perf gate PASSED (threshold +{:.0}%)", threshold * 100.0);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "perf gate FAILED: {:?} regressed beyond +{:.0}% vs {baseline_path}",
+            outcome.failures(),
+            threshold * 100.0
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,110 @@
+//! Discrete-event sweep: message size × segment count × algorithm.
+//!
+//! For each paper topology this binary simulates the allreduce algorithm
+//! family with the DES of `bine-net` across the paper's vector sizes and a
+//! range of pipeline segment counts, then reports where pipelining moves the
+//! algorithm crossover points: configurations where the best algorithm under
+//! the segmented (pipelined) prediction differs from the best under the
+//! unsegmented one — the effect the synchronous barrier model cannot see.
+//!
+//! Usage: `cargo run --release -p bine-bench --bin sim_sweep [nodes]`
+//! (default 64 nodes per system).
+
+use bine_bench::report::{format_bytes, render_table};
+use bine_bench::runner::Evaluator;
+use bine_bench::systems::System;
+use bine_sched::Collective;
+
+/// Segment counts swept (1 = the unsegmented schedule).
+const CHUNKS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// The allreduce algorithm family of the paper's Fig. 9–11 sweeps.
+const ALGORITHMS: [&str; 4] = ["bine-large", "recursive-doubling", "rabenseifner", "ring"];
+
+fn main() {
+    let nodes: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("nodes must be an integer"))
+        .unwrap_or(64);
+    let collective = Collective::Allreduce;
+    let mut total_shifts = 0usize;
+    let mut total_configs = 0usize;
+
+    for system in System::all() {
+        if !system.node_counts.contains(&nodes) {
+            continue;
+        }
+        let mut eval = Evaluator::new(system.clone());
+        let sizes = system.vector_sizes.clone();
+        println!(
+            "=== {} ({nodes} nodes, {}) — simulated allreduce, times in us ===",
+            system.name,
+            eval.system().topology(nodes).name()
+        );
+        let mut rows = Vec::new();
+        let mut shifts = Vec::new();
+        for &n in &sizes {
+            let mut row = vec![format_bytes(n)];
+            let mut flat_best: Option<(&str, f64)> = None;
+            let mut piped_best: Option<(&str, f64, usize)> = None;
+            for alg in ALGORITHMS {
+                if eval.skip_algorithm(alg, nodes) {
+                    row.push("-".into());
+                    continue;
+                }
+                let by_chunks: Vec<(usize, f64)> = CHUNKS
+                    .iter()
+                    .map(|&s| (s, eval.simulate(collective, alg, nodes, n, s)))
+                    .collect();
+                let flat = by_chunks[0].1; // CHUNKS[0] == 1
+                let (best_s, best_t) = by_chunks
+                    .into_iter()
+                    .min_by(|a, b| a.1.total_cmp(&b.1))
+                    .unwrap();
+                row.push(if best_s == 1 {
+                    format!("{flat:.1}")
+                } else {
+                    format!("{flat:.1}>{best_t:.1}(x{best_s})")
+                });
+                if flat_best.is_none_or(|(_, t)| flat < t) {
+                    flat_best = Some((alg, flat));
+                }
+                if piped_best.is_none_or(|(_, t, _)| best_t < t) {
+                    piped_best = Some((alg, best_t, best_s));
+                }
+            }
+            let (flat_alg, _) = flat_best.expect("at least one algorithm");
+            let (piped_alg, _, piped_s) = piped_best.expect("at least one algorithm");
+            row.push(flat_alg.to_string());
+            row.push(format!("{piped_alg} (x{piped_s})"));
+            total_configs += 1;
+            if flat_alg != piped_alg {
+                shifts.push((n, flat_alg, piped_alg));
+                total_shifts += 1;
+                row.push("<< shift".into());
+            } else {
+                row.push(String::new());
+            }
+            rows.push(row);
+        }
+        let mut header = vec!["Vector"];
+        header.extend(ALGORITHMS);
+        header.extend(["best flat", "best pipelined", ""]);
+        println!("{}", render_table(&header, &rows));
+        if shifts.is_empty() {
+            println!("no crossover shift on {}\n", system.name);
+        } else {
+            for (n, from, to) in shifts {
+                println!(
+                    "crossover shift at {}: {from} (unsegmented) -> {to} (pipelined)",
+                    format_bytes(n)
+                );
+            }
+            println!();
+        }
+    }
+    println!(
+        "{total_shifts} of {total_configs} (system x size) configurations change their best \
+         algorithm when schedules are pipelined"
+    );
+}

@@ -9,7 +9,8 @@
 //! * [`runner`] — schedule construction + cost-model evaluation for every
 //!   (collective, algorithm, nodes, vector size) configuration,
 //! * [`report`] — geometric means, percentiles, box-plot summaries and table
-//!   rendering.
+//!   rendering,
+//! * [`perfgate`] — the CI perf-regression gate over `BENCH_exec.json`.
 //!
 //! Criterion micro-benchmarks of schedule generation, execution and traffic
 //! analysis live under `benches/`.
@@ -17,6 +18,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod perfgate;
 pub mod report;
 pub mod runner;
 pub mod systems;

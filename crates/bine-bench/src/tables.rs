@@ -139,6 +139,75 @@ pub fn improvement_summary(system: System) -> String {
     )
 }
 
+/// Builds the DES-vs-synchronous comparison for one collective on one
+/// system at a fixed node count: for the Bine algorithm and the binomial
+/// baseline, the synchronous barrier-model time, the discrete-event
+/// simulated time, and the simulated time of the `chunks`-way segmented
+/// (pipelined) schedule — plus which algorithm wins under each time model.
+///
+/// The interesting read is the last two columns: where the winner under
+/// `DES+seg` differs from the winner under `sync`, the barrier model is
+/// predicting the wrong algorithm choice — the crossover has moved.
+pub fn des_comparison_table(
+    system: System,
+    collective: Collective,
+    nodes: usize,
+    chunks: usize,
+) -> String {
+    let mut eval = Evaluator::new(system.clone());
+    let mut rows = Vec::new();
+    for &n in &system.vector_sizes {
+        let bine = eval.bine_algorithm(collective, n).to_string();
+        let base = eval.binomial_algorithm(collective, n).to_string();
+        let bine_sync = eval.evaluate(collective, &bine, nodes, n).time_us;
+        let base_sync = eval.evaluate(collective, &base, nodes, n).time_us;
+        let bine_des = eval.simulate(collective, &bine, nodes, n, 1);
+        let base_des = eval.simulate(collective, &base, nodes, n, 1);
+        // "seg" is the best of the flat and the {chunks}-way pipelined
+        // schedule: pipelining is an optimisation a library would only apply
+        // when it helps (small vectors lose to the extra per-chunk alpha).
+        let bine_seg = eval
+            .simulate(collective, &bine, nodes, n, chunks)
+            .min(bine_des);
+        let base_seg = eval
+            .simulate(collective, &base, nodes, n, chunks)
+            .min(base_des);
+        let winner = |b: f64, o: f64| if b <= o { "bine" } else { "binomial" };
+        rows.push(vec![
+            format_bytes(n),
+            format!("{bine_sync:.1}"),
+            format!("{bine_des:.1}"),
+            format!("{bine_seg:.1}"),
+            format!("{base_sync:.1}"),
+            format!("{base_des:.1}"),
+            format!("{base_seg:.1}"),
+            winner(bine_sync, base_sync).to_string(),
+            winner(bine_seg, base_seg).to_string(),
+        ]);
+    }
+    format!(
+        "Synchronous barrier model vs discrete-event simulation for {} on {} ({nodes} nodes)\n\
+         (times in us; seg = best of the flat and the {chunks}-chunk pipelined schedule;\n\
+          the last two columns show the predicted winner under each time model)\n{}",
+        collective.name(),
+        system.name,
+        render_table(
+            &[
+                "Vector",
+                "bine sync",
+                "bine DES",
+                "bine seg",
+                "binom sync",
+                "binom DES",
+                "binom seg",
+                "win(sync)",
+                "win(DES+seg)"
+            ],
+            &rows,
+        )
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +226,14 @@ mod tests {
         for nodes in System::marenostrum5().node_counts {
             assert!(t.contains(&nodes.to_string()));
         }
+    }
+
+    #[test]
+    fn des_comparison_table_has_one_row_per_vector_size() {
+        let t = des_comparison_table(System::marenostrum5(), Collective::Allreduce, 16, 4);
+        for n in System::marenostrum5().vector_sizes {
+            assert!(t.contains(&crate::report::format_bytes(n)));
+        }
+        assert!(t.contains("win(DES+seg)"));
     }
 }

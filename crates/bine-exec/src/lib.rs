@@ -17,7 +17,7 @@
 //! * [`threaded`] — [`threaded::run`] executes compiled schedules on the
 //!   global pool; the seed one-thread-per-rank executor is preserved as
 //!   [`threaded::run_thread_per_rank`],
-//! * [`verify`] — golden-result checks of the MPI post-condition of every
+//! * [`mod@verify`] — golden-result checks of the MPI post-condition of every
 //!   collective,
 //! * [`comm`] — the [`comm::Cluster`] facade: an MPI-like API over plain
 //!   `Vec<f64>` buffers, running on the pool with cached compiled schedules.

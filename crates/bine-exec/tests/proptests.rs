@@ -105,4 +105,43 @@ proptest! {
         let pooled = threaded::run(&sched, workload.initial_state(&sched));
         prop_assert_eq!(&pooled, &reference, "pool: {:?}/{} p={} root={}", collective, alg.name, p, root);
     }
+
+    // The pipelining transform (`bine_sched::segment`) must be a semantic
+    // no-op: a segmented schedule partitions each message's blocks over
+    // sub-steps, so every block sees the same transfers and reductions in
+    // the same order, and the final states of every executor are
+    // bit-identical to running the unsegmented schedule.
+    #[test]
+    fn segmented_schedules_execute_bit_identically(
+        collective in any_collective(),
+        s in 1u32..=6,
+        alg_seed in 0usize..100,
+        root_seed in 0usize..1000,
+        chunks in 2usize..=6,
+        elems in 1usize..4,
+    ) {
+        let p = 1usize << s;
+        let algs = algorithms(collective);
+        let alg = &algs[alg_seed % algs.len()];
+        let root = root_seed % p;
+        let sched = build(collective, alg.name, p, root).expect(alg.name);
+        let seg = sched.segmented(chunks);
+        prop_assert!(seg.validate().is_ok(), "{}+seg{chunks}", alg.name);
+        let workload = Workload::for_schedule(&sched, elems);
+        let reference = sequential::run_reference(&sched, workload.initial_state(&sched));
+        for (name, finals) in [
+            ("reference", sequential::run_reference(&seg, workload.initial_state(&seg))),
+            ("sequential", sequential::run(&seg, workload.initial_state(&seg))),
+            ("compiled", compiled::run(&seg.compile(), workload.initial_state(&seg))),
+            ("pool", threaded::run(&seg, workload.initial_state(&seg))),
+        ] {
+            prop_assert_eq!(
+                &finals, &reference,
+                "{} on {}+seg{}: p={} root={}", name, alg.name, chunks, p, root
+            );
+        }
+        if let Err(e) = verify::verify(&workload, &reference) {
+            return Err(TestCaseError::fail(format!("{:?}/{}: {e}", collective, alg.name)));
+        }
+    }
 }

@@ -21,8 +21,10 @@ use bine_sched::{Schedule, TransferKind};
 use crate::allocation::Allocation;
 use crate::topology::Topology;
 
-/// Bytes per microsecond for one GiB/s.
-const GIB_PER_US: f64 = 1024.0 * 1024.0 * 1024.0 / 1e6;
+/// Bytes per microsecond for one GiB/s (shared with the discrete-event
+/// simulator in [`crate::sim`], which must use identical unit conversions to
+/// reproduce this model in the congestion-free limit).
+pub(crate) const GIB_PER_US: f64 = 1024.0 * 1024.0 * 1024.0 / 1e6;
 
 /// Tunable parameters of the cost model.
 #[derive(Debug, Clone, PartialEq)]

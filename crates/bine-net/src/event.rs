@@ -1,0 +1,129 @@
+//! The event-queue core of the discrete-event simulator.
+//!
+//! A thin, deterministic priority queue over `(time, payload)` pairs:
+//! events pop in ascending time order, and events carrying the same
+//! timestamp pop in insertion order (FIFO), which keeps the simulation
+//! reproducible when many completions coincide — as they routinely do in
+//! the congestion-free limit where the simulator must match the synchronous
+//! cost model bit-for-bit.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One queued event: ordered by time, then by insertion sequence.
+struct Entry<T> {
+    time: f64,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: reverse so the earliest (time, seq) wins.
+        self.time
+            .total_cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
+            .reverse()
+    }
+}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic time-ordered event queue (see the module docs).
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is NaN — a NaN timestamp means the simulation
+    /// already produced garbage, and total-order comparisons would silently
+    /// misplace it.
+    pub fn push(&mut self, time: f64, payload: T) {
+        assert!(!time.is_nan(), "event scheduled at NaN");
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// The timestamp of the earliest queued event.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(f64, T)> {
+        self.heap.pop().map(|e| (e.time, e.payload))
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, "c");
+        q.push(1.0, "a");
+        q.push(2.0, "b");
+        assert_eq!(q.peek_time(), Some(1.0));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..32 {
+            q.push(1.0, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(order, (0..32).collect::<Vec<_>>());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_times_are_rejected() {
+        let mut q = EventQueue::new();
+        q.push(f64::NAN, ());
+    }
+}

@@ -32,12 +32,18 @@
 
 pub mod allocation;
 pub mod cost;
+pub mod event;
+pub mod sim;
 pub mod topology;
 pub mod trace;
 pub mod traffic;
 
 pub use allocation::Allocation;
 pub use cost::{CostBreakdown, CostModel};
-pub use topology::{Dragonfly, DragonflyFlavour, FatTree, LinkClass, LinkInfo, Topology, Torus};
+pub use event::EventQueue;
+pub use sim::{sim_time_us, simulate, simulate_schedule, SimReport};
+pub use topology::{
+    Dragonfly, DragonflyFlavour, FatTree, IdealFullMesh, LinkClass, LinkInfo, Topology, Torus,
+};
 pub use trace::{JobSample, JobTraceGenerator};
 pub use traffic::{global_bytes, global_traffic_reduction, measure, TrafficReport};

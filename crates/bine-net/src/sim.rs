@@ -1,0 +1,561 @@
+//! Discrete-event, flow-level simulation of compiled schedules.
+//!
+//! The synchronous [`CostModel`] charges every step
+//! as a global barrier: each step lasts as long as its slowest message, and
+//! the schedule time is the sum of its steps. That cannot express *skew*
+//! (one slow rank delaying only its dependents), *overlap* (a rank
+//! forwarding data while later data is still arriving) or *pipelining*
+//! (segmented schedules, see `bine_sched::segment`) — exactly the effects
+//! that move algorithm crossover points at mid message sizes.
+//!
+//! This module simulates a [`CompiledSchedule`] event by event instead:
+//!
+//! * **per-rank dependency tracking** — every send is statically annotated
+//!   with the set of earlier-step writes (receives, reductions, local moves)
+//!   into the blocks it carries at its sender; it becomes eligible the
+//!   moment those writes land, *not* at a global barrier. Writes to the same
+//!   block are chained — a reduce target accumulates one contribution per
+//!   step, and a later write only counts as landed once every earlier one
+//!   has — so waiting for the latest write transitively waits for them all.
+//!   Within one rank sends still issue in schedule order through a single
+//!   send port (single-ported model, matching `Schedule::validate`).
+//! * **per-link fair-share bandwidth** — concurrently active flows divide
+//!   link capacity max–min fairly (progressive filling), recomputed at every
+//!   flow arrival/completion, so congestion emerges from overlap instead of
+//!   being charged per synchronous step.
+//! * **the same cost parameters** as the synchronous model: `alpha_us` +
+//!   per-extra-segment overhead + per-link latency per message, payload
+//!   serialisation against link bandwidth, local copies against the copy
+//!   bandwidth, and reductions against the reduce bandwidth (serialised per
+//!   receiving rank).
+//!
+//! In the **one-segment, congestion-free limit** (every flow alone on its
+//! links, e.g. on [`crate::topology::IdealFullMesh`]) the simulator
+//! reproduces the synchronous model exactly — this is property-tested in
+//! `tests/proptests.rs` — while segmented schedules on real topologies
+//! overlap chunk *c + 1*'s transfer with chunk *c*'s forwarding and come out
+//! faster than the barrier model predicts.
+
+use std::collections::{BTreeMap, HashMap};
+
+use bine_sched::{CompiledSchedule, Schedule, TransferKind};
+
+use crate::allocation::Allocation;
+use crate::cost::{CostModel, GIB_PER_US};
+use crate::event::EventQueue;
+use crate::topology::Topology;
+
+/// Outcome of simulating one schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Simulated makespan in microseconds: the time the last write (receive,
+    /// reduction or local move) completes.
+    pub makespan_us: f64,
+    /// Per-rank completion time of the rank's last simulated event.
+    pub rank_finish_us: Vec<f64>,
+    /// Number of network messages simulated (local moves excluded).
+    pub network_messages: u64,
+    /// Largest number of flows ever in flight at once — `> 1` per link is
+    /// what the synchronous model's per-step congestion term approximates.
+    pub peak_active_flows: usize,
+}
+
+/// Static per-send data resolved once before the event loop.
+struct SendInfo {
+    bytes: f64,
+    /// alpha + segment overhead + summed link latencies.
+    latency_us: f64,
+    links: Vec<usize>,
+    reduce: bool,
+    src: usize,
+    dst: usize,
+    /// Intra-rank buffer move (charged to the copy bandwidth).
+    local: bool,
+}
+
+/// A network transfer currently in flight.
+struct Flow {
+    send: u32,
+    remaining_bytes: f64,
+    /// Current max–min fair rate in bytes/us (0 until first assignment).
+    rate: f64,
+}
+
+enum Ev {
+    /// Payload fully arrived at the destination (latency included).
+    Delivered(u32),
+    /// The destination finished writing (and, for reduces, combining) the
+    /// payload; dependent sends may now become eligible.
+    WriteDone(u32),
+}
+
+/// Simulates `schedule` with `n`-byte vectors on `topo` under `alloc` with
+/// the cost parameters of `model`. See the module docs for the semantics.
+///
+/// # Panics
+/// Panics if the allocation has fewer ranks than the schedule, or if the
+/// simulation deadlocks (which would indicate a schedule whose dependency
+/// graph is cyclic — impossible for schedules built by `bine-sched`).
+pub fn simulate(
+    model: &CostModel,
+    schedule: &CompiledSchedule,
+    n: u64,
+    topo: &dyn Topology,
+    alloc: &Allocation,
+) -> SimReport {
+    let p = schedule.num_ranks;
+    assert!(
+        alloc.num_ranks() >= p,
+        "allocation has {} ranks, schedule needs {p}",
+        alloc.num_ranks()
+    );
+    let num_sends = schedule.num_sends();
+    let copy_rate = model.copy_bandwidth_gib_s * GIB_PER_US;
+    let reduce_rate = model.reduce_bandwidth_gib_s * GIB_PER_US;
+
+    // ---- Static resolution: bytes, routes, latencies. ----------------------
+    let mut infos: Vec<SendInfo> = Vec::with_capacity(num_sends);
+    let mut network_messages = 0u64;
+    for step in 0..schedule.num_steps() {
+        for i in schedule.step_send_range(step) {
+            let s = schedule.send(i);
+            let bytes: u64 = schedule
+                .block_index_slice(s)
+                .iter()
+                .map(|&b| schedule.blocks().resolve(b).bytes(n, p))
+                .sum();
+            let local = s.is_local();
+            let mut latency_us = if local {
+                0.0
+            } else {
+                network_messages += 1;
+                model.alpha_us + model.segment_overhead_us * (s.segments.saturating_sub(1)) as f64
+            };
+            let links = if local {
+                Vec::new()
+            } else {
+                let route =
+                    topo.route(alloc.node_of(s.src as usize), alloc.node_of(s.dst as usize));
+                for &l in &route {
+                    latency_us += topo.link(l).latency_us;
+                }
+                route
+            };
+            infos.push(SendInfo {
+                bytes: bytes as f64,
+                latency_us,
+                links,
+                reduce: s.kind == TransferKind::Reduce,
+                src: s.src as usize,
+                dst: s.dst as usize,
+                local,
+            });
+        }
+    }
+
+    // ---- Static dependency analysis (see the module docs). -----------------
+    // For every send: which earlier-step writes into its blocks (at its
+    // sender) must land first. Same-step receives are excluded — a step's
+    // sends read the pre-step state, exactly as the executors do.
+    //
+    // Writes to the same block at the same rank are additionally *chained*
+    // (each write completes only after the previous write to that block):
+    // reduce targets accumulate one contribution per step, and a send must
+    // wait for all of them, not just the most recent. Chaining makes the
+    // latest write transitively cover every earlier one, so read
+    // dependencies can still track a single writer per block.
+    let mut read_deps_remaining = vec![0u32; num_sends];
+    let mut read_dependents: Vec<Vec<u32>> = vec![Vec::new(); num_sends];
+    let mut write_preds_remaining = vec![0u32; num_sends];
+    let mut write_dependents: Vec<Vec<u32>> = vec![Vec::new(); num_sends];
+    let mut latest_write: Vec<HashMap<u32, u32>> = vec![HashMap::new(); p];
+    for step in 0..schedule.num_steps() {
+        let range = schedule.step_send_range(step);
+        for i in range.clone() {
+            let s = schedule.send(i);
+            let writers = &latest_write[s.src as usize];
+            let mut seen: Vec<u32> = Vec::new();
+            for &b in schedule.block_index_slice(s) {
+                if let Some(&w) = writers.get(&b) {
+                    if !seen.contains(&w) {
+                        seen.push(w);
+                    }
+                }
+            }
+            read_deps_remaining[i] = seen.len() as u32;
+            for w in seen {
+                read_dependents[w as usize].push(i as u32);
+            }
+        }
+        for i in range {
+            let s = schedule.send(i);
+            let dst = s.dst as usize;
+            let mut preds: Vec<u32> = Vec::new();
+            for &b in schedule.block_index_slice(s) {
+                if let Some(&w) = latest_write[dst].get(&b) {
+                    if !preds.contains(&w) {
+                        preds.push(w);
+                    }
+                }
+            }
+            write_preds_remaining[i] = preds.len() as u32;
+            for w in preds {
+                write_dependents[w as usize].push(i as u32);
+            }
+            for &b in schedule.block_index_slice(s) {
+                latest_write[dst].insert(b, i as u32);
+            }
+        }
+    }
+
+    // Per-rank FIFO send queues, in (step, schedule-order) order.
+    let mut rank_sends: Vec<Vec<u32>> = vec![Vec::new(); p];
+    for step in 0..schedule.num_steps() {
+        for i in schedule.step_send_range(step) {
+            rank_sends[schedule.send(i).src as usize].push(i as u32);
+        }
+    }
+
+    // ---- Event loop. -------------------------------------------------------
+    let mut t = 0.0f64;
+    let mut next_idx = vec![0usize; p];
+    let mut port_free = vec![0.0f64; p];
+    let mut compute_free = vec![0.0f64; p];
+    let mut rank_finish = vec![0.0f64; p];
+    let mut completed = 0usize;
+    // Payload combined at the destination, but write not yet final because a
+    // chained predecessor write is still outstanding.
+    let mut payload_ready = vec![false; num_sends];
+    let mut active: Vec<Flow> = Vec::new();
+    let mut heap: EventQueue<Ev> = EventQueue::new();
+    let mut peak_active_flows = 0usize;
+    // Worklist for cascading write completions (avoids recursion).
+    let mut finish_stack: Vec<u32> = Vec::new();
+
+    let link_cap = |l: usize| -> f64 { topo.link(l).bandwidth_gib_s * GIB_PER_US };
+
+    // Starts every eligible send at time `t`; returns whether a flow was
+    // added (rates must then be recomputed).
+    let start_eligible = |t: f64,
+                          next_idx: &mut [usize],
+                          port_free: &mut [f64],
+                          read_deps_remaining: &[u32],
+                          active: &mut Vec<Flow>,
+                          heap: &mut EventQueue<Ev>|
+     -> bool {
+        let mut flows_changed = false;
+        for r in 0..p {
+            while next_idx[r] < rank_sends[r].len() {
+                let send = rank_sends[r][next_idx[r]];
+                if read_deps_remaining[send as usize] != 0 || port_free[r] > t {
+                    break;
+                }
+                let info = &infos[send as usize];
+                next_idx[r] += 1;
+                if info.local {
+                    let done = t + info.bytes / copy_rate;
+                    port_free[r] = done;
+                    heap.push(done, Ev::WriteDone(send));
+                } else if info.links.is_empty() {
+                    // Distinct ranks on the same node: only the software
+                    // overhead applies, matching the synchronous model.
+                    port_free[r] = t + info.latency_us;
+                    heap.push(t + info.latency_us, Ev::Delivered(send));
+                } else {
+                    // The port stays busy until the payload is serialised
+                    // (flow completion sets it).
+                    port_free[r] = f64::INFINITY;
+                    active.push(Flow {
+                        send,
+                        remaining_bytes: info.bytes,
+                        rate: 0.0,
+                    });
+                    flows_changed = true;
+                }
+            }
+        }
+        flows_changed
+    };
+
+    // Max–min fair-share (progressive filling): repeatedly find the link
+    // with the smallest fair share among its unassigned flows, fix those
+    // flows at that rate, subtract, repeat. Deterministic: links iterate in
+    // id order.
+    let assign_rates = |active: &mut Vec<Flow>| {
+        if active.is_empty() {
+            return;
+        }
+        let mut link_flows: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (fi, f) in active.iter().enumerate() {
+            for &l in &infos[f.send as usize].links {
+                link_flows.entry(l).or_default().push(fi);
+            }
+        }
+        let mut assigned: BTreeMap<usize, f64> = BTreeMap::new();
+        let mut fixed = vec![false; active.len()];
+        let mut unfixed = active.len();
+        while unfixed > 0 {
+            let mut bottleneck: Option<(f64, usize)> = None;
+            for (&l, flows) in &link_flows {
+                let open = flows.iter().filter(|&&fi| !fixed[fi]).count();
+                if open == 0 {
+                    continue;
+                }
+                let headroom = (link_cap(l) - assigned.get(&l).copied().unwrap_or(0.0)).max(0.0);
+                let fair = headroom / open as f64;
+                if bottleneck.is_none_or(|(best, _)| fair < best) {
+                    bottleneck = Some((fair, l));
+                }
+            }
+            let (fair, l) = bottleneck.expect("every flow traverses at least one link");
+            // Numerical floor: keeps the loop terminating even when FP
+            // cancellation leaves a link marginally oversubscribed.
+            let fair = fair.max(link_cap(l) * 1e-12);
+            for fi in link_flows[&l].clone() {
+                if fixed[fi] {
+                    continue;
+                }
+                fixed[fi] = true;
+                unfixed -= 1;
+                active[fi].rate = fair;
+                for &l2 in &infos[active[fi].send as usize].links {
+                    *assigned.entry(l2).or_insert(0.0) += fair;
+                }
+            }
+        }
+    };
+
+    if start_eligible(
+        t,
+        &mut next_idx,
+        &mut port_free,
+        &read_deps_remaining,
+        &mut active,
+        &mut heap,
+    ) {
+        assign_rates(&mut active);
+    }
+    peak_active_flows = peak_active_flows.max(active.len());
+
+    while completed < num_sends {
+        // Next event: earliest flow completion or queued timer.
+        let t_flow = active
+            .iter()
+            .map(|f| t + f.remaining_bytes / f.rate)
+            .fold(f64::INFINITY, f64::min);
+        let t_next = t_flow.min(heap.peek_time().unwrap_or(f64::INFINITY));
+        assert!(
+            t_next.is_finite(),
+            "simulation deadlock: {} of {num_sends} writes completed",
+            completed
+        );
+        let tol = 1e-9 * (1.0 + t_next.abs());
+        let dt = t_next - t;
+
+        // Flows whose predicted completion falls on t_next finish; the rest
+        // advance by dt at their current rate.
+        let mut still_active = Vec::with_capacity(active.len());
+        let mut flows_changed = false;
+        for mut f in active.drain(..) {
+            let completion = t + f.remaining_bytes / f.rate;
+            if completion <= t_next + tol {
+                let info = &infos[f.send as usize];
+                port_free[info.src] = t_next;
+                rank_finish[info.src] = rank_finish[info.src].max(t_next);
+                heap.push(t_next + info.latency_us, Ev::Delivered(f.send));
+                flows_changed = true;
+            } else {
+                f.remaining_bytes -= f.rate * dt;
+                still_active.push(f);
+            }
+        }
+        active = still_active;
+        t = t_next;
+
+        // Drain every timer event at (or numerically on) t. The clock
+        // follows the drained event times: an event popped from just inside
+        // the merge tolerance may be the wake-up for a port whose
+        // `port_free` stamp is its (marginally later) scheduled time, and
+        // `start_eligible` below must see that port as free or the rank
+        // could sleep forever.
+        while let Some(et) = heap.peek_time() {
+            if et > t + tol {
+                break;
+            }
+            let (et, ev) = heap.pop().expect("peeked");
+            t = t.max(et);
+            match ev {
+                Ev::Delivered(send) => {
+                    let info = &infos[send as usize];
+                    rank_finish[info.dst] = rank_finish[info.dst].max(t);
+                    if info.reduce {
+                        let start = compute_free[info.dst].max(t);
+                        let done = start + info.bytes / reduce_rate;
+                        compute_free[info.dst] = done;
+                        heap.push(done, Ev::WriteDone(send));
+                    } else {
+                        heap.push(t, Ev::WriteDone(send));
+                    }
+                }
+                Ev::WriteDone(send) => {
+                    // The payload is combined; the write becomes final once
+                    // every chained predecessor write to its blocks is, and
+                    // finalising it may cascade through deferred successors.
+                    payload_ready[send as usize] = true;
+                    if write_preds_remaining[send as usize] == 0 {
+                        finish_stack.push(send);
+                    }
+                    while let Some(w) = finish_stack.pop() {
+                        let info = &infos[w as usize];
+                        rank_finish[info.dst] = rank_finish[info.dst].max(t);
+                        completed += 1;
+                        for &d in &read_dependents[w as usize] {
+                            read_deps_remaining[d as usize] -= 1;
+                        }
+                        for &d in &write_dependents[w as usize] {
+                            write_preds_remaining[d as usize] -= 1;
+                            if write_preds_remaining[d as usize] == 0 && payload_ready[d as usize] {
+                                finish_stack.push(d);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if start_eligible(
+            t,
+            &mut next_idx,
+            &mut port_free,
+            &read_deps_remaining,
+            &mut active,
+            &mut heap,
+        ) {
+            flows_changed = true;
+        }
+        if flows_changed {
+            assign_rates(&mut active);
+        }
+        peak_active_flows = peak_active_flows.max(active.len());
+    }
+
+    let makespan_us = rank_finish.iter().copied().fold(0.0, f64::max);
+    SimReport {
+        makespan_us,
+        rank_finish_us: rank_finish,
+        network_messages,
+        peak_active_flows,
+    }
+}
+
+/// Convenience wrapper: segments `schedule` into `chunks` pipeline chunks
+/// (1 = unsegmented), compiles it and simulates it, returning the full
+/// report.
+pub fn simulate_schedule(
+    model: &CostModel,
+    schedule: &Schedule,
+    chunks: usize,
+    n: u64,
+    topo: &dyn Topology,
+    alloc: &Allocation,
+) -> SimReport {
+    let seg = schedule.segmented(chunks);
+    simulate(model, &seg.compile(), n, topo, alloc)
+}
+
+/// Shorthand returning only the simulated makespan in microseconds.
+pub fn sim_time_us(
+    model: &CostModel,
+    schedule: &Schedule,
+    chunks: usize,
+    n: u64,
+    topo: &dyn Topology,
+    alloc: &Allocation,
+) -> f64 {
+    simulate_schedule(model, schedule, chunks, n, topo, alloc).makespan_us
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{FatTree, IdealFullMesh};
+    use bine_sched::collectives::{allreduce, broadcast, AllreduceAlg, BroadcastAlg};
+
+    #[test]
+    fn congestion_free_single_segment_matches_the_synchronous_model() {
+        let p = 16;
+        let topo = IdealFullMesh::new(p);
+        let alloc = Allocation::block(p);
+        let model = CostModel::default();
+        for (sched, n) in [
+            (allreduce(p, AllreduceAlg::RecursiveDoubling), 1u64 << 20),
+            (allreduce(p, AllreduceAlg::BineLarge), 1 << 20),
+            (
+                broadcast(p, 0, BroadcastAlg::BinomialDistanceDoubling),
+                4096,
+            ),
+        ] {
+            let sync = model.time_us(&sched, n, &topo, &alloc);
+            let des = sim_time_us(&model, &sched, 1, n, &topo, &alloc);
+            assert!(
+                (des - sync).abs() <= 1e-9 * sync,
+                "{}: DES {des} vs sync {sync}",
+                sched.algorithm
+            );
+        }
+    }
+
+    #[test]
+    fn pipelining_beats_the_barrier_model_under_multi_hop_forwarding() {
+        // A segmented bine-large allreduce on an oversubscribed fat tree:
+        // chunks let a rank forward chunk c while chunk c + 1 still arrives,
+        // so the simulated pipelined time must beat the unsegmented one for
+        // bandwidth-dominated vectors.
+        let p = 32;
+        let topo = FatTree::new(32, 4, 1);
+        let alloc = Allocation::block(p);
+        let model = CostModel::default();
+        let sched = allreduce(p, AllreduceAlg::BineLarge);
+        let n = 64 << 20;
+        let flat = sim_time_us(&model, &sched, 1, n, &topo, &alloc);
+        let piped = sim_time_us(&model, &sched, 8, n, &topo, &alloc);
+        assert!(
+            piped < flat,
+            "8-chunk pipeline {piped} should beat unsegmented {flat}"
+        );
+    }
+
+    #[test]
+    fn des_is_never_pessimistic_versus_the_barrier_on_an_ideal_network() {
+        // Removing barriers can only help when no congestion exists.
+        let p = 32;
+        let topo = IdealFullMesh::new(p);
+        let alloc = Allocation::block(p);
+        let model = CostModel::default();
+        for alg in AllreduceAlg::ALL {
+            let sched = allreduce(p, alg);
+            let sync = model.time_us(&sched, 1 << 16, &topo, &alloc);
+            let des = sim_time_us(&model, &sched, 1, 1 << 16, &topo, &alloc);
+            assert!(
+                des <= sync * (1.0 + 1e-9),
+                "{}: DES {des} > sync {sync}",
+                sched.algorithm
+            );
+        }
+    }
+
+    #[test]
+    fn report_counts_messages_and_flows() {
+        let p = 8;
+        let topo = IdealFullMesh::new(p);
+        let alloc = Allocation::block(p);
+        let model = CostModel::default();
+        let sched = allreduce(p, AllreduceAlg::RecursiveDoubling);
+        let report = simulate_schedule(&model, &sched, 1, 1024, &topo, &alloc);
+        // 3 steps of 8 simultaneous exchanges.
+        assert_eq!(report.network_messages, 24);
+        assert_eq!(report.peak_active_flows, 8);
+        assert_eq!(report.rank_finish_us.len(), p);
+        assert!(report.makespan_us > 0.0);
+    }
+}

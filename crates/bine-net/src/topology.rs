@@ -183,6 +183,72 @@ impl Topology for FatTree {
 }
 
 // ---------------------------------------------------------------------------
+// Ideal full mesh (the congestion-free limit)
+// ---------------------------------------------------------------------------
+
+/// An idealised fully connected network: every ordered node pair owns a
+/// dedicated full-bandwidth link with uniform latency.
+///
+/// Because the schedules are single-ported (each rank sends at most one
+/// network message per step), no two messages of a step ever share a link
+/// here, so both the synchronous cost model's congestion terms and the
+/// discrete-event simulator's fair-share division vanish. This is the
+/// *congestion-free limit* in which the simulator is property-tested to
+/// reproduce the synchronous alpha–beta model exactly, and the closed-form
+/// alpha–beta predictions hold.
+#[derive(Debug, Clone)]
+pub struct IdealFullMesh {
+    num_nodes: usize,
+    link: LinkInfo,
+}
+
+impl IdealFullMesh {
+    /// Creates an ideal full mesh with the default local-link parameters.
+    pub fn new(num_nodes: usize) -> Self {
+        Self::with_link(num_nodes, local_link())
+    }
+
+    /// Creates an ideal full mesh with explicit link parameters.
+    pub fn with_link(num_nodes: usize, link: LinkInfo) -> Self {
+        assert!(num_nodes >= 1);
+        Self { num_nodes, link }
+    }
+
+    /// The uniform link parameters of this mesh.
+    pub fn link_info(&self) -> LinkInfo {
+        self.link
+    }
+}
+
+impl Topology for IdealFullMesh {
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+    fn num_groups(&self) -> usize {
+        // One full-bandwidth island: nothing ever counts as global traffic.
+        1
+    }
+    fn group_of(&self, _node: NodeId) -> usize {
+        0
+    }
+    fn num_links(&self) -> usize {
+        self.num_nodes * self.num_nodes
+    }
+    fn link(&self, _link: LinkId) -> LinkInfo {
+        self.link
+    }
+    fn route(&self, a: NodeId, b: NodeId) -> Vec<LinkId> {
+        if a == b {
+            return Vec::new();
+        }
+        vec![a * self.num_nodes + b]
+    }
+    fn name(&self) -> String {
+        format!("ideal-full-mesh({})", self.num_nodes)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Dragonfly (LUMI) and Dragonfly+ (Leonardo)
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,248 @@
+//! Property tests for the cost model and the discrete-event simulator.
+//!
+//! The two time models are pinned against each other and against the
+//! alpha–beta closed form in the regime where all three must coincide: the
+//! **one-segment, congestion-free limit** (an [`IdealFullMesh`], where no
+//! two messages ever share a link). Outside that limit the DES may only be
+//! *faster* than the synchronous barrier model on an ideal network — it
+//! removes barriers, never adds work.
+
+use bine_net::allocation::Allocation;
+use bine_net::cost::CostModel;
+use bine_net::sim::sim_time_us;
+use bine_net::topology::{Dragonfly, FatTree, IdealFullMesh, Topology};
+use bine_net::traffic;
+use bine_sched::{algorithms, build, AlgorithmId, Collective};
+use proptest::prelude::*;
+
+fn any_collective() -> impl Strategy<Value = Collective> {
+    prop::sample::select(Collective::ALL.to_vec())
+}
+
+fn any_vector_bytes() -> impl Strategy<Value = u64> {
+    prop::sample::select(vec![
+        32u64,
+        1000,
+        4096,
+        65536,
+        1 << 20,
+        (8 << 20) + 17,
+        64 << 20,
+    ])
+}
+
+fn pick_algorithm(collective: Collective, seed: usize) -> AlgorithmId {
+    let algs = algorithms(collective);
+    algs[seed % algs.len()]
+}
+
+/// Algorithms whose ranks legitimately run ahead of the global barrier even
+/// on an ideal network, so the DES is *faster* than the synchronous model
+/// rather than equal to it (verified exhaustively over every root at
+/// p ∈ {4..32}: the DES is never slower, see
+/// [`des_never_exceeds_sync_on_an_ideal_network`]):
+///
+/// * `pairwise` alltoall sends pre-held data every step — no send depends on
+///   any receive, so the whole schedule pipelines through the send ports;
+/// * the rooted gather/scatter trees and the composed two-phase schedules
+///   (`scatter-allgather`, `rs-gather` and their Bine variants) leave some
+///   ranks idle for intermediate steps or mix per-message segment counts
+///   within a step, so the per-step maximum the synchronous model charges is
+///   not always on the dependency-driven critical path.
+///
+/// For everything else every rank's step-*t* sends are bound by its own
+/// step-*t − 1* traffic, which is exactly the synchronous model's per-step
+/// accounting — so DES time equals synchronous time to rounding error.
+fn overlaps_even_without_congestion(collective: Collective, name: &str) -> bool {
+    match collective {
+        Collective::Alltoall => name == "pairwise",
+        Collective::Broadcast => matches!(name, "scatter-allgather" | "bine-scatter-allgather"),
+        Collective::Reduce => matches!(name, "rs-gather" | "bine-rs-gather"),
+        Collective::Gather | Collective::Scatter => matches!(name, "bine" | "binomial-dh"),
+        _ => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Acceptance property: in the one-segment, congestion-free limit the
+    // DES reproduces the synchronous model within 1e-9 relative error.
+    #[test]
+    fn des_equals_sync_in_the_congestion_free_single_segment_limit(
+        collective in any_collective(),
+        s in 2u32..=5,
+        alg_seed in 0usize..100,
+        root_seed in 0usize..1000,
+        n in any_vector_bytes(),
+    ) {
+        let p = 1usize << s;
+        let alg = pick_algorithm(collective, alg_seed);
+        if overlaps_even_without_congestion(collective, alg.name) {
+            return Ok(());
+        }
+        let sched = build(collective, alg.name, p, root_seed % p).expect(alg.name);
+        let topo = IdealFullMesh::new(p);
+        let alloc = Allocation::block(p);
+        let model = CostModel::default();
+        let sync = model.time_us(&sched, n, &topo, &alloc);
+        let des = sim_time_us(&model, &sched, 1, n, &topo, &alloc);
+        prop_assert!(
+            (des - sync).abs() <= 1e-9 * sync.max(1e-12),
+            "{:?}/{} p={p} n={n}: DES {des} vs sync {sync}", collective, alg.name
+        );
+    }
+
+    // On an ideal network the DES can only remove barrier waiting, never
+    // add time — for any algorithm and any segmentation.
+    #[test]
+    fn des_never_exceeds_sync_on_an_ideal_network(
+        collective in any_collective(),
+        s in 2u32..=5,
+        alg_seed in 0usize..100,
+        chunks in 1usize..=6,
+        n in any_vector_bytes(),
+    ) {
+        let p = 1usize << s;
+        let alg = pick_algorithm(collective, alg_seed);
+        let sched = build(collective, alg.name, p, 0).expect(alg.name).segmented(chunks);
+        let topo = IdealFullMesh::new(p);
+        let alloc = Allocation::block(p);
+        let model = CostModel::default();
+        let sync = model.time_us(&sched, n, &topo, &alloc);
+        let des = sim_time_us(&model, &sched, 1, n, &topo, &alloc);
+        prop_assert!(
+            des <= sync * (1.0 + 1e-9),
+            "{:?}/{} p={p} n={n} chunks={chunks}: DES {des} > sync {sync}", collective, alg.name
+        );
+    }
+
+    // The simulator is deterministic: identical inputs give bit-identical
+    // makespans (ties in the event queue resolve FIFO, fair-share rates
+    // iterate links in id order).
+    #[test]
+    fn des_is_deterministic(
+        collective in any_collective(),
+        alg_seed in 0usize..100,
+        chunks in 1usize..=4,
+        n in any_vector_bytes(),
+    ) {
+        let p = 16;
+        let alg = pick_algorithm(collective, alg_seed);
+        let sched = build(collective, alg.name, p, 3).expect(alg.name);
+        let topo = FatTree::new(p, 4, 1);
+        let alloc = Allocation::block(p);
+        let model = CostModel::default();
+        let a = sim_time_us(&model, &sched, chunks, n, &topo, &alloc);
+        let b = sim_time_us(&model, &sched, chunks, n, &topo, &alloc);
+        prop_assert_eq!(a.to_bits(), b.to_bits(), "{}", alg.name);
+    }
+
+    // Synchronous-model time is monotone in the vector size on every
+    // topology class (more bytes can never be modelled as faster).
+    #[test]
+    fn sync_time_is_monotone_in_vector_size(
+        collective in any_collective(),
+        alg_seed in 0usize..100,
+        topo_seed in 0usize..3,
+        n1 in any_vector_bytes(),
+        n2 in any_vector_bytes(),
+    ) {
+        let p = 16;
+        let (lo, hi) = (n1.min(n2), n1.max(n2));
+        let alg = pick_algorithm(collective, alg_seed);
+        let sched = build(collective, alg.name, p, 0).expect(alg.name);
+        let topo: Box<dyn Topology> = match topo_seed {
+            0 => Box::new(Dragonfly::lumi()),
+            1 => Box::new(FatTree::marenostrum5(320)),
+            _ => Box::new(IdealFullMesh::new(p)),
+        };
+        let alloc = Allocation::block(p);
+        let model = CostModel::default();
+        let t_lo = model.time_us(&sched, lo, topo.as_ref(), &alloc);
+        let t_hi = model.time_us(&sched, hi, topo.as_ref(), &alloc);
+        prop_assert!(
+            t_lo <= t_hi * (1.0 + 1e-12),
+            "{}: time({lo}) = {t_lo} > time({hi}) = {t_hi}", alg.name
+        );
+    }
+
+    // Traffic accounting is invariant under segmentation: the pipelining
+    // transform partitions blocks over more messages but moves exactly the
+    // same bytes over exactly the same links.
+    #[test]
+    fn traffic_is_invariant_under_segmentation(
+        collective in any_collective(),
+        alg_seed in 0usize..100,
+        chunks in 2usize..=8,
+        n in any_vector_bytes(),
+        topo_seed in 0usize..2,
+    ) {
+        let p = 32;
+        let alg = pick_algorithm(collective, alg_seed);
+        let sched = build(collective, alg.name, p, 0).expect(alg.name);
+        let seg = sched.segmented(chunks);
+        let topo: Box<dyn Topology> = match topo_seed {
+            0 => Box::new(Dragonfly::leonardo()),
+            _ => Box::new(FatTree::new(p, 4, 1)),
+        };
+        let alloc = Allocation::block(p);
+        let base = traffic::measure(&sched, n, topo.as_ref(), &alloc);
+        let piped = traffic::measure(&seg, n, topo.as_ref(), &alloc);
+        prop_assert_eq!(base.total_bytes, piped.total_bytes, "{}", alg.name);
+        prop_assert_eq!(base.global_bytes, piped.global_bytes, "{}", alg.name);
+        prop_assert_eq!(base.local_link_bytes, piped.local_link_bytes, "{}", alg.name);
+        prop_assert_eq!(base.global_link_bytes, piped.global_link_bytes, "{}", alg.name);
+        prop_assert_eq!(base.max_link_bytes, piped.max_link_bytes, "{}", alg.name);
+        prop_assert!(piped.messages >= base.messages, "{}", alg.name);
+        prop_assert!(piped.global_messages >= base.global_messages, "{}", alg.name);
+    }
+}
+
+/// The synchronous model — and therefore, by the parity property above, the
+/// DES — reduces to the textbook alpha–beta closed form when congestion is
+/// absent.
+#[test]
+fn sync_matches_the_alpha_beta_closed_form_without_congestion() {
+    const GIB_PER_US: f64 = 1024.0 * 1024.0 * 1024.0 / 1e6;
+    let model = CostModel::default();
+    for p in [4usize, 8, 16, 32, 64] {
+        let steps = p.trailing_zeros() as f64;
+        let topo = IdealFullMesh::new(p);
+        let link = topo.link_info();
+        let alloc = Allocation::block(p);
+        for n in [64u64, 4096, 1 << 20, 32 << 20] {
+            // Recursive-doubling allreduce: log2(p) exchanges of the full
+            // vector, each reduced at the receiver.
+            let sched = build(Collective::Allreduce, "recursive-doubling", p, 0).unwrap();
+            let expected = steps
+                * (model.alpha_us
+                    + link.latency_us
+                    + n as f64 / (link.bandwidth_gib_s * GIB_PER_US)
+                    + n as f64 / (model.reduce_bandwidth_gib_s * GIB_PER_US));
+            let got = model.time_us(&sched, n, &topo, &alloc);
+            assert!(
+                (got - expected).abs() <= 1e-9 * expected,
+                "allreduce/rd p={p} n={n}: {got} vs closed form {expected}"
+            );
+            let des = sim_time_us(&model, &sched, 1, n, &topo, &alloc);
+            assert!(
+                (des - expected).abs() <= 1e-9 * expected,
+                "DES allreduce/rd p={p} n={n}: {des} vs closed form {expected}"
+            );
+
+            // Binomial broadcast: log2(p) forwarding rounds of the full
+            // vector, no reduction term.
+            let sched = build(Collective::Broadcast, "binomial-dd", p, 0).unwrap();
+            let expected = steps
+                * (model.alpha_us
+                    + link.latency_us
+                    + n as f64 / (link.bandwidth_gib_s * GIB_PER_US));
+            let got = model.time_us(&sched, n, &topo, &alloc);
+            assert!(
+                (got - expected).abs() <= 1e-9 * expected,
+                "bcast/binomial-dd p={p} n={n}: {got} vs closed form {expected}"
+            );
+        }
+    }
+}

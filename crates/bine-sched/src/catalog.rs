@@ -114,7 +114,18 @@ pub fn algorithms(collective: Collective) -> Vec<AlgorithmId> {
 ///
 /// `root` is used only by the rooted collectives. Returns `None` if the name
 /// is unknown for that collective.
+///
+/// A `+seg{S}` suffix with `S >= 2` (e.g. `"bine-large+seg4"`) builds the
+/// base algorithm and then applies the pipelining transform of
+/// [`crate::segment`] with `S` chunks, so segmented variants are reachable
+/// through the same string-keyed path the benchmark harness uses for
+/// everything else. `+seg1` is rejected: the unsegmented schedule goes by
+/// its bare name (so algorithm names always round-trip through `build`).
 pub fn build(collective: Collective, name: &str, p: usize, root: usize) -> Option<Schedule> {
+    if let Some((base, chunks)) = name.rsplit_once("+seg") {
+        let chunks: usize = chunks.parse().ok().filter(|&c| c >= 2)?;
+        return build(collective, base, p, root).map(|s| s.segmented(chunks));
+    }
     let sched = match collective {
         Collective::Broadcast => {
             let alg = BroadcastAlg::ALL.into_iter().find(|a| a.name() == name)?;
@@ -233,6 +244,19 @@ mod tests {
                 assert!(build(collective, binomial_default(collective, small), 16, 0).is_some());
             }
         }
+    }
+
+    #[test]
+    fn segmented_variants_are_reachable_by_name() {
+        let seg = build(Collective::Allreduce, "bine-large+seg4", 16, 0).expect("segmented build");
+        let base = build(Collective::Allreduce, "bine-large", 16, 0).unwrap();
+        assert_eq!(seg.algorithm, "bine-large+seg4");
+        assert!(seg.num_steps() > base.num_steps());
+        assert!(build(Collective::Allreduce, "bine-large+seg0", 16, 0).is_none());
+        // The unsegmented schedule goes by its bare name; "+seg1" would
+        // build a schedule whose algorithm name does not round-trip.
+        assert!(build(Collective::Allreduce, "bine-large+seg1", 16, 0).is_none());
+        assert!(build(Collective::Allreduce, "nonsense+seg4", 16, 0).is_none());
     }
 
     #[test]

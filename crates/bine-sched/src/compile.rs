@@ -87,6 +87,9 @@ pub struct CompiledSend {
     pub dst: u32,
     /// Copy or reduce semantics at the receiver.
     pub kind: TransferKind,
+    /// Number of contiguous memory regions of the originating message
+    /// (carried through for cost/simulation models; executors ignore it).
+    pub segments: u32,
     /// Start of this send's block list in [`CompiledSchedule::block_index_slice`].
     pub blocks_start: u32,
     /// End (exclusive) of this send's block list.
@@ -162,6 +165,7 @@ impl CompiledSchedule {
                     src: m.src as u32,
                     dst: m.dst as u32,
                     kind: m.kind,
+                    segments: m.segments,
                     blocks_start,
                     blocks_end: block_indices.len() as u32,
                     order: order as u32,

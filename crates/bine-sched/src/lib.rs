@@ -36,8 +36,10 @@ pub mod collectives;
 pub mod compile;
 pub mod noncontig;
 pub mod schedule;
+pub mod segment;
 
 pub use catalog::{algorithms, bine_default, binomial_default, build, AlgorithmId};
 pub use compile::{BlockInterner, CompiledSchedule, CompiledSend};
 pub use noncontig::NonContigStrategy;
 pub use schedule::{BlockId, Collective, Message, Schedule, Step, TransferKind};
+pub use segment::segment_schedule;

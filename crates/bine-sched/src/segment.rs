@@ -1,0 +1,216 @@
+//! Schedule segmentation: the pipelining transform.
+//!
+//! MPI libraries pipeline large collectives by splitting each transfer into
+//! fixed-size segments so that a rank can forward segment *c* while segment
+//! *c + 1* is still arriving (Barchet-Estefanel & Mounié's tuned
+//! intra-cluster collectives; Karonis et al.'s multilevel collectives). The
+//! synchronous cost model cannot see that overlap — only the discrete-event
+//! simulator in `bine-net` can — but the *schedule transform* lives here,
+//! next to the generators it rewrites.
+//!
+//! [`segment_schedule`] splits every message's block list into at most `S`
+//! contiguous chunks and expands each synchronous step into up to `S`
+//! sub-steps: chunk `c` of every message of the original step travels in
+//! sub-step `c`. Because every block is carried by exactly one chunk, each
+//! block still experiences exactly the same sequence of transfers and
+//! reductions in the same order, so a segmented schedule executes
+//! **bit-identically** to the original on every `bine-exec` executor (this
+//! is property-tested there), and its `bine-net` traffic accounting is
+//! invariant apart from the message count:
+//!
+//! * total / global / per-link bytes are unchanged (blocks are partitioned,
+//!   never duplicated),
+//! * the number of network messages grows, which is exactly the latency
+//!   price of pipelining that shifts algorithm crossover points.
+//!
+//! Messages carrying a single block (for example the `Full`-vector messages
+//! of tree broadcasts and recursive-doubling allreduce) cannot be split at
+//! block granularity and pass through unchanged — those algorithms genuinely
+//! do not pipeline in this model, which is what makes the segmented-vs-flat
+//! comparison in `bine-bench` interesting.
+
+use crate::schedule::{contiguity_of, Message, Schedule, Step};
+
+/// Splits `blocks`-many items into at most `chunks` contiguous, balanced
+/// parts, returning the part boundaries (`parts[i]..parts[i + 1]`).
+fn chunk_bounds(blocks: usize, chunks: usize) -> Vec<usize> {
+    let parts = chunks.min(blocks).max(1);
+    let base = blocks / parts;
+    let rem = blocks % parts;
+    let mut bounds = Vec::with_capacity(parts + 1);
+    let mut at = 0;
+    bounds.push(0);
+    for i in 0..parts {
+        at += base + usize::from(i < rem);
+        bounds.push(at);
+    }
+    bounds
+}
+
+/// Splits `schedule` into `chunks` pipeline segments (see the module docs).
+///
+/// `chunks == 1` returns the schedule unchanged (same algorithm name); for
+/// `chunks > 1` the algorithm name gains a `+seg{chunks}` suffix so that
+/// segmented variants remain distinguishable in catalogs and reports.
+///
+/// # Panics
+/// Panics if `chunks == 0`.
+pub fn segment_schedule(schedule: &Schedule, chunks: usize) -> Schedule {
+    assert!(chunks >= 1, "a schedule needs at least one segment");
+    if chunks == 1 {
+        return schedule.clone();
+    }
+    let p = schedule.num_ranks;
+    let mut out = Schedule::new(
+        p,
+        schedule.collective,
+        format!("{}+seg{chunks}", schedule.algorithm),
+        schedule.root,
+    );
+    for step in &schedule.steps {
+        let mut substeps: Vec<Step> = (0..chunks).map(|_| Step::new()).collect();
+        for m in &step.messages {
+            let bounds = chunk_bounds(m.blocks.len(), chunks);
+            if bounds.len() == 2 {
+                // Unsplittable (or single-chunk) message: travels whole, in
+                // the first sub-step, with its original segment count.
+                substeps[0].push(m.clone());
+                continue;
+            }
+            // The non-contiguity strategies annotate messages with an
+            // explicit segment count that deliberately differs from the
+            // block-index contiguity (e.g. a virtually permuted buffer is
+            // one region regardless of the indices it carries). Preserve
+            // that: recompute contiguity per chunk only when the original
+            // annotation was the computed one, otherwise distribute the
+            // annotated regions proportionally over the chunks.
+            let computed = contiguity_of(&m.blocks, p);
+            for (c, w) in bounds.windows(2).enumerate() {
+                let part = m.blocks[w[0]..w[1]].to_vec();
+                let msg = if m.segments == computed {
+                    Message::new(m.src, m.dst, part, m.kind, p)
+                } else {
+                    let share = (m.segments as u64 * (w[1] - w[0]) as u64)
+                        .div_ceil(m.blocks.len() as u64)
+                        .max(1) as u32;
+                    Message::with_segments(m.src, m.dst, part, m.kind, share)
+                };
+                substeps[c].push(msg);
+            }
+        }
+        for sub in substeps {
+            if !sub.is_empty() {
+                out.push_step(sub);
+            }
+        }
+    }
+    out
+}
+
+impl Schedule {
+    /// Returns this schedule split into `chunks` pipeline segments (see
+    /// [`segment_schedule`]).
+    pub fn segmented(&self, chunks: usize) -> Schedule {
+        segment_schedule(self, chunks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::{
+        allreduce, alltoall, broadcast, AllreduceAlg, AlltoallAlg, BroadcastAlg,
+    };
+
+    #[test]
+    fn chunk_bounds_are_balanced_and_cover() {
+        assert_eq!(chunk_bounds(8, 4), vec![0, 2, 4, 6, 8]);
+        assert_eq!(chunk_bounds(7, 4), vec![0, 2, 4, 6, 7]);
+        assert_eq!(chunk_bounds(2, 4), vec![0, 1, 2]);
+        assert_eq!(chunk_bounds(1, 4), vec![0, 1]);
+    }
+
+    #[test]
+    fn single_chunk_is_identity() {
+        let sched = allreduce(16, AllreduceAlg::BineLarge);
+        let seg = sched.segmented(1);
+        assert_eq!(seg.num_steps(), sched.num_steps());
+        assert_eq!(seg.algorithm, sched.algorithm);
+    }
+
+    #[test]
+    fn segmentation_preserves_bytes_and_grows_messages() {
+        let sched = allreduce(32, AllreduceAlg::BineLarge);
+        let n = 1 << 20;
+        for chunks in [2usize, 4, 8] {
+            let seg = sched.segmented(chunks);
+            assert!(seg.validate().is_ok(), "chunks={chunks}");
+            assert_eq!(seg.total_network_bytes(n), sched.total_network_bytes(n));
+            assert!(seg.messages().count() > sched.messages().count());
+            assert!(seg.num_steps() > sched.num_steps());
+            assert_eq!(seg.algorithm, format!("bine-large+seg{chunks}"));
+        }
+    }
+
+    #[test]
+    fn explicit_segment_annotations_are_preserved_proportionally() {
+        use crate::catalog::build;
+        use crate::schedule::Collective;
+        // "bine-send" virtually permutes the buffer: every message is
+        // annotated as one contiguous region, and so must its chunks be.
+        let send = build(Collective::ReduceScatter, "bine-send", 16, 0).unwrap();
+        let seg = send.segmented(4);
+        for (_, m) in seg.messages() {
+            assert_eq!(m.segments, 1, "chunk of a permuted-buffer message");
+        }
+        // "bine-block-by-block" sends every block as its own region: a chunk
+        // carrying k blocks is k regions.
+        let bbb = build(Collective::ReduceScatter, "bine-block-by-block", 16, 0).unwrap();
+        let seg = bbb.segmented(4);
+        for (_, m) in seg.messages() {
+            assert_eq!(
+                m.segments,
+                m.blocks.len() as u32,
+                "block-by-block chunks stay one region per block"
+            );
+        }
+    }
+
+    #[test]
+    fn full_vector_messages_are_unsplittable() {
+        let sched = broadcast(16, 0, BroadcastAlg::BinomialDistanceDoubling);
+        let seg = sched.segmented(8);
+        assert_eq!(seg.num_steps(), sched.num_steps());
+        assert_eq!(seg.messages().count(), sched.messages().count());
+    }
+
+    #[test]
+    fn per_destination_block_order_is_preserved() {
+        // Every (dst, block) pair must see its incoming transfers in the
+        // same relative order as in the unsegmented schedule; with one
+        // network receive per rank per step this reduces to each block being
+        // carried exactly once per original step.
+        let sched = alltoall(8, AlltoallAlg::Bine);
+        let seg = sched.segmented(3);
+        let per_pair = |s: &crate::Schedule| {
+            let mut map: std::collections::BTreeMap<(usize, usize), Vec<crate::BlockId>> =
+                Default::default();
+            for (_, m) in s.messages() {
+                map.entry((m.src, m.dst)).or_default().extend(&m.blocks);
+            }
+            map
+        };
+        assert_eq!(
+            per_pair(&sched),
+            per_pair(&seg),
+            "per-(src, dst) block order must be preserved"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn zero_chunks_is_rejected() {
+        let sched = allreduce(8, AllreduceAlg::BineLarge);
+        let _ = sched.segmented(0);
+    }
+}

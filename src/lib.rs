@@ -5,11 +5,14 @@
 //! `tests/` can be expressed against one dependency. See the individual
 //! crates for the real API surface:
 //!
-//! * [`core`](bine_core) — negabinary arithmetic, Bine trees/butterflies,
-//! * [`sched`](bine_sched) — explicit communication schedules + compiler,
-//! * [`exec`](bine_exec) — zero-copy executors over real data,
-//! * [`net`](bine_net) — topology models and traffic accounting,
-//! * [`bench`](bine_bench) — the paper's table/figure harness.
+//! * [`core`] — negabinary arithmetic, Bine trees/butterflies,
+//! * [`sched`] — explicit communication schedules, the pipelining
+//!   (segmentation) transform and the schedule compiler,
+//! * [`exec`] — zero-copy executors over real data,
+//! * [`net`] — topology models, traffic accounting and the two time models
+//!   (synchronous barrier + discrete-event simulation),
+//! * [`bench`](mod@bench) — the paper's table/figure harness and the CI
+//!   perf gate.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
