@@ -1,0 +1,88 @@
+//! Regenerates the committed `tuning/*.json` decision tables: one offline
+//! tuning sweep per paper system over {allreduce, allgather,
+//! reduce-scatter, bcast} (the four collectives the paper's algorithm-flip
+//! analysis centres on), with the default `bine-tune` configuration.
+//!
+//! Usage:
+//! `cargo run --release -p bine-bench --bin tune [-- --out DIR] [--system NAME] [--max-nodes N]`
+//!
+//! * `--out DIR` — write tables to `DIR` instead of the committed `tuning/`
+//!   directory (what CI's drift gate does before diffing).
+//! * `--system NAME` — tune only one system (display name or slug).
+//! * `--max-nodes N` — largest node count tuned (default 2048). This trims
+//!   only Fugaku's 4096/8192-node 2D tori, whose p²-block schedules are the
+//!   repository's one impractically slow sweep; queries above the cap fall
+//!   back to the largest tuned breakpoint via the selector's floor lookup.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use bine_bench::runner::{tune_target, tuned_collectives, MAX_TUNED_NODES};
+use bine_bench::systems::System;
+use bine_tune::{slug, Tuner, TunerConfig};
+
+fn main() {
+    let mut out_dir: Option<PathBuf> = None;
+    let mut only_system: Option<String> = None;
+    let mut max_nodes = MAX_TUNED_NODES;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_dir = Some(PathBuf::from(args.next().expect("--out needs a value"))),
+            "--system" => {
+                only_system = Some(args.next().expect("--system needs a value"));
+            }
+            "--max-nodes" => {
+                max_nodes = args
+                    .next()
+                    .expect("--max-nodes needs a value")
+                    .parse()
+                    .expect("--max-nodes must be a positive integer");
+            }
+            other => panic!(
+                "unknown argument {other}; usage: tune [--out DIR] [--system NAME] [--max-nodes N]"
+            ),
+        }
+    }
+    let out_dir = out_dir.unwrap_or_else(bine_tune::default_tuning_dir);
+    std::fs::create_dir_all(&out_dir)
+        .unwrap_or_else(|e| panic!("cannot create {}: {e}", out_dir.display()));
+
+    let mut tuned = 0usize;
+    for mut system in System::all() {
+        if let Some(only) = &only_system {
+            if slug(system.name) != slug(only) {
+                continue;
+            }
+        }
+        tuned += 1;
+        let start = Instant::now();
+        system.node_counts.retain(|&n| n <= max_nodes);
+        let target = tune_target(&system, tuned_collectives());
+        let mut tuner = Tuner::new(target, TunerConfig::default());
+        let table = tuner.tune();
+        let path = out_dir.join(format!("{}.json", slug(system.name)));
+        std::fs::write(&path, table.to_json())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        let des = table
+            .entries
+            .iter()
+            .filter(|e| e.model == bine_tune::ScoreModel::Des)
+            .count();
+        println!(
+            "{:<14} {:>4} grid points ({des} DES-refined) in {:>6.1}s -> {}",
+            system.name,
+            table.entries.len(),
+            start.elapsed().as_secs_f64(),
+            path.display()
+        );
+    }
+    if tuned == 0 {
+        let known: Vec<String> = System::all().iter().map(|s| slug(s.name)).collect();
+        panic!(
+            "--system {} matches no system; known: {}",
+            only_system.as_deref().unwrap_or(""),
+            known.join(", ")
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! CI decision-table drift gate: regendiffs freshly tuned tables against
+//! the committed `tuning/` baseline and fails (exit code 1) on any
+//! divergence — a silent change of algorithm-selection policy must become
+//! an explicit, reviewed table regeneration instead.
+//!
+//! Usage:
+//! `cargo run --release -p bine-bench --bin tune_gate -- <committed-dir> <regenerated-dir>`
+//!
+//! Every `*.json` in `<committed-dir>` must have an identical-decision
+//! counterpart in `<regenerated-dir>`. When `GITHUB_STEP_SUMMARY` is set
+//! (as inside GitHub Actions) the markdown diff is appended to it, exactly
+//! like the `perf_gate` bin.
+
+use std::io::Write as _;
+use std::path::Path;
+use std::process::ExitCode;
+
+use bine_tune::{drift, DecisionTable};
+
+fn load(path: &Path) -> DecisionTable {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read decision table {}: {e}", path.display()));
+    DecisionTable::from_json(&text)
+        .unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()))
+}
+
+fn publish_step_summary(markdown: &str) {
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    match std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open(&path)
+    {
+        Ok(mut f) => {
+            let _ = writeln!(f, "{markdown}");
+        }
+        Err(e) => eprintln!("warning: cannot append to GITHUB_STEP_SUMMARY ({path}): {e}"),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [committed_dir, regen_dir] = args.as_slice() else {
+        eprintln!("usage: tune_gate <committed-dir> <regenerated-dir>");
+        return ExitCode::from(2);
+    };
+
+    let mut committed: Vec<_> = std::fs::read_dir(committed_dir)
+        .unwrap_or_else(|e| panic!("cannot list {committed_dir}: {e}"))
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    committed.sort();
+    if committed.is_empty() {
+        eprintln!("no committed decision tables under {committed_dir}");
+        return ExitCode::from(2);
+    }
+
+    let mut failed = false;
+    for path in committed {
+        let baseline = load(&path);
+        let regen_path = Path::new(regen_dir).join(path.file_name().unwrap());
+        if !regen_path.exists() {
+            eprintln!(
+                "{}: not regenerated (missing {})",
+                path.display(),
+                regen_path.display()
+            );
+            failed = true;
+            continue;
+        }
+        let outcome = drift(&baseline, &load(&regen_path));
+        println!("{}", outcome.markdown());
+        publish_step_summary(&outcome.markdown());
+        failed |= !outcome.passed();
+    }
+
+    if failed {
+        eprintln!(
+            "decision-table drift gate FAILED: regenerate with \
+             `cargo run --release -p bine-bench --bin tune` and commit the tuning/ diff"
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("decision-table drift gate PASSED");
+        ExitCode::SUCCESS
+    }
+}

@@ -1,19 +1,41 @@
 //! # bine-bench
 //!
 //! The benchmark harness of the Bine Trees reproduction: one binary per
-//! table/figure of the paper's evaluation (see `src/bin/`), built on three
+//! table/figure of the paper's evaluation (see `src/bin/`), built on the
 //! shared modules:
 //!
 //! * [`systems`] — the four evaluation targets (LUMI, Leonardo,
 //!   MareNostrum 5, Fugaku) with their node counts and vector sizes,
 //! * [`runner`] — schedule construction + cost-model evaluation for every
-//!   (collective, algorithm, nodes, vector size) configuration,
+//!   (collective, algorithm, nodes, vector size) configuration, the pruned
+//!   best-algorithm sweeps behind the heatmaps, and the bridge to the
+//!   `bine-tune` decision tables (`Evaluator::tuned_pick`),
 //! * [`report`] — geometric means, percentiles, box-plot summaries and table
 //!   rendering,
+//! * [`tables`] — the shared table/figure builders,
 //! * [`perfgate`] — the CI perf-regression gate over `BENCH_exec.json`.
 //!
-//! Criterion micro-benchmarks of schedule generation, execution and traffic
-//! analysis live under `benches/`.
+//! The `tune` binary regenerates the committed `tuning/*.json` decision
+//! tables from [`runner::tune_target`]; the `tune_gate` binary is the CI
+//! drift gate over them. Criterion micro-benchmarks of schedule
+//! generation, execution and traffic analysis live under `benches/`.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use bine_bench::{Evaluator, System};
+//! use bine_sched::Collective;
+//!
+//! // One Fig. 9-style grid point: modelled allreduce time and global-link
+//! // traffic for bine-large vs the recursive-doubling butterfly at 16 LUMI
+//! // nodes, 1 MiB vectors.
+//! let mut eval = Evaluator::new(System::lumi());
+//! let bine = eval.evaluate(Collective::Allreduce, "bine-large", 16, 1 << 20);
+//! let rd = eval.evaluate(Collective::Allreduce, "recursive-doubling", 16, 1 << 20);
+//! assert!(bine.time_us > 0.0 && rd.time_us > 0.0);
+//! // The paper's headline: Bine's locality keeps bytes off the global links.
+//! assert!(bine.global_bytes < rd.global_bytes);
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

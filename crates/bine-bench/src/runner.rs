@@ -11,16 +11,89 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use bine_net::allocation::Allocation;
-use bine_net::cost::CostModel;
+use bine_net::cost::{CostModel, CostSummary, LowerBounds};
 use bine_net::sim;
 use bine_net::topology::Topology;
 use bine_net::trace::JobTraceGenerator;
 use bine_net::traffic;
-use bine_sched::{
-    algorithms, bine_default, binomial_default, build, Collective, CompiledSchedule, Schedule,
-};
+use bine_sched::{bine_default, binomial_default, build, Collective, CompiledSchedule, Schedule};
+use bine_tune::{Selector, Target, TunePoint, Tuned};
 
 use crate::systems::{System, SystemKind, SMALL_VECTOR_THRESHOLD};
+
+/// Node count above which the Θ(p)-step algorithms (ring, pairwise) are
+/// excluded from sweeps and tuning alike (see [`Evaluator::skip_algorithm`]).
+pub const MAX_LINEAR_NODES: usize = 1024;
+
+/// Largest node count covered by the committed decision tables: trims only
+/// Fugaku's 4096/8192-node 2D tori, whose p²-block schedules are the
+/// repository's one impractically slow sweep. Queries above the cap fall
+/// back to the largest tuned breakpoint via the selector's floor lookup.
+/// Shared by the `tune` bin and the table-coverage tests.
+pub const MAX_TUNED_NODES: usize = 2048;
+
+/// The collectives with committed `tuning/` decision tables (the four the
+/// paper's algorithm-flip analysis centres on). Shared by the `tune` bin
+/// and the table-coverage tests.
+pub fn tuned_collectives() -> Vec<Collective> {
+    vec![
+        Collective::Allreduce,
+        Collective::Allgather,
+        Collective::ReduceScatter,
+        Collective::Broadcast,
+    ]
+}
+
+/// Samples the rank→node placement a job of `nodes` nodes gets on `system`,
+/// shared by the [`Evaluator`] and the tuning-target factory so decision
+/// tables are tuned on exactly the placements the figures are evaluated on.
+///
+/// On the torus the job receives its own sub-torus; on the group-based
+/// machines the scheduler hands out whatever nodes are free, so a
+/// fragmented allocation is sampled from a busy machine (Sec. 5: "without
+/// requesting any specific node placement").
+pub fn sample_allocation(
+    system: &System,
+    topo: &dyn Topology,
+    nodes: usize,
+    seed: u64,
+) -> Allocation {
+    match system.kind {
+        SystemKind::Fugaku => Allocation::block(nodes),
+        _ => {
+            let mut rng = StdRng::seed_from_u64(seed ^ nodes as u64);
+            let generator = JobTraceGenerator::with_occupancy(0.9);
+            let sample = &generator.sample(topo, nodes, 1, &mut rng)[0];
+            sample.allocation()
+        }
+    }
+}
+
+/// Builds the `bine-tune` tuning target for one system: the same node
+/// counts, vector sizes, topologies, placements and cost model the
+/// benchmark figures use (placement seed 42, the pinned table seed).
+pub fn tune_target(system: &System, collectives: Vec<Collective>) -> Target {
+    let points = system
+        .node_counts
+        .iter()
+        .map(|&nodes| {
+            let topology = system.topology(nodes);
+            let allocation = sample_allocation(system, topology.as_ref(), nodes, 42);
+            TunePoint {
+                nodes,
+                topology,
+                allocation,
+            }
+        })
+        .collect();
+    Target {
+        system: system.name.to_string(),
+        model: CostModel::default(),
+        collectives,
+        points,
+        vector_sizes: system.vector_sizes.clone(),
+    }
+}
 
 /// Modelled outcome of one configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,12 +112,20 @@ pub struct Evaluator {
     /// Segmented + compiled schedules for the discrete-event simulator,
     /// keyed by (collective, algorithm, nodes, pipeline chunks).
     compiled: HashMap<(Collective, String, usize, usize), CompiledSchedule>,
+    /// Compact byte-count summaries for time-only evaluation
+    /// ([`Evaluator::evaluate_time`]): orders of magnitude smaller than the
+    /// schedules they summarise, so the big sweeps neither re-walk nor
+    /// retain p²-block schedules.
+    summaries: HashMap<(Collective, String, usize), CostSummary>,
     topologies: HashMap<usize, Box<dyn Topology>>,
     allocations: HashMap<usize, Allocation>,
     /// Seed controlling the sampled job placement (jobs on the group-based
     /// systems are fragmented across groups, as in the paper's runs where no
     /// specific node placement was requested).
     seed: u64,
+    /// The system's committed decision-table selector, loaded on first use
+    /// (`None` = not yet attempted, `Some(None)` = no committed table).
+    selector: Option<Option<Selector>>,
 }
 
 impl Evaluator {
@@ -65,9 +146,11 @@ impl Evaluator {
             model: CostModel::default(),
             schedules: HashMap::new(),
             compiled: HashMap::new(),
+            summaries: HashMap::new(),
             topologies: HashMap::new(),
             allocations: HashMap::new(),
             seed,
+            selector: None,
         }
     }
 
@@ -103,22 +186,15 @@ impl Evaluator {
         }
         self.ensure_topology(nodes);
         let topo = self.topologies.get(&nodes).unwrap().as_ref();
-        let alloc = match self.system.kind {
-            // On the torus the job is given its own sub-torus, so ranks map
-            // directly onto it.
-            SystemKind::Fugaku => Allocation::block(nodes),
-            // On the group-based machines the scheduler hands out whatever
-            // nodes are free: sample a fragmented allocation from a busy
-            // machine (Sec. 5: "without requesting any specific node
-            // placement"; Sec. 5.3.1: 4–64-node jobs spanned 1–8 subtrees).
-            _ => {
-                let mut rng = StdRng::seed_from_u64(self.seed ^ nodes as u64);
-                let generator = JobTraceGenerator::with_occupancy(0.9);
-                let sample = &generator.sample(topo, nodes, 1, &mut rng)[0];
-                sample.allocation()
-            }
-        };
+        let alloc = sample_allocation(&self.system, topo, nodes, self.seed);
         self.allocations.insert(nodes, alloc);
+    }
+
+    /// The cheap candidate lower bounds at one node count (used by the
+    /// pruned heatmap sweeps; see [`bine_net::cost::LowerBounds`]).
+    pub fn lower_bounds(&mut self, nodes: usize) -> LowerBounds {
+        self.ensure_topology(nodes);
+        LowerBounds::new(&self.model, self.topologies.get(&nodes).unwrap().as_ref())
     }
 
     /// Evaluates one (collective, algorithm, nodes, vector size) point.
@@ -144,6 +220,45 @@ impl Evaluator {
             time_us,
             global_bytes,
         }
+    }
+
+    /// Like [`Evaluator::evaluate`], but computes only the modelled runtime
+    /// — the global-traffic pass over the schedule is skipped and the
+    /// schedule itself is reduced once to a [`CostSummary`] (bit-identical
+    /// estimates, see `bine_net::cost`) instead of being re-walked per
+    /// vector size or retained in memory. This is what the argmin sweeps
+    /// (heatmaps, tuning) call: they compare times across many sizes and
+    /// never read the traffic side.
+    pub fn evaluate_time(
+        &mut self,
+        collective: Collective,
+        algorithm: &str,
+        nodes: usize,
+        vector_bytes: u64,
+    ) -> f64 {
+        let key = (collective, algorithm.to_string(), nodes);
+        if !self.summaries.contains_key(&key) {
+            // Reuse a cached schedule when present, but do not cache one
+            // just for the summary: the summary is all the time model needs
+            // and is orders of magnitude smaller.
+            let summary = match self.schedules.get(&key) {
+                Some(sched) => CostSummary::of(sched),
+                None => {
+                    let sched = build(collective, algorithm, nodes, 0).unwrap_or_else(|| {
+                        panic!("unknown algorithm {algorithm} for {collective:?}")
+                    });
+                    CostSummary::of(&sched)
+                }
+            };
+            self.summaries.insert(key.clone(), summary);
+        }
+        self.ensure_allocation(nodes);
+        let summary = self.summaries.get(&key).unwrap();
+        let topo = self.topologies.get(&nodes).unwrap().as_ref();
+        let alloc = self.allocations.get(&nodes).unwrap();
+        self.model
+            .estimate_summary(summary, vector_bytes, topo, alloc)
+            .total_us
     }
 
     /// Evaluates one configuration with the discrete-event simulator of
@@ -209,7 +324,37 @@ impl Evaluator {
     /// messages each, which is both impractically slow at the largest torus
     /// sizes and — as the paper notes — not competitive there.
     pub fn skip_algorithm(&self, name: &str, nodes: usize) -> bool {
-        nodes > 1024 && (name == "ring" || name == "pairwise")
+        nodes > MAX_LINEAR_NODES && (name == "ring" || name == "pairwise")
+    }
+
+    /// What the committed decision table would pick for this configuration
+    /// (`None` when the system has no committed `tuning/` table, or the
+    /// table does not cover the collective). The selector is loaded once
+    /// per evaluator.
+    pub fn tuned_pick(
+        &mut self,
+        collective: Collective,
+        nodes: usize,
+        bytes: u64,
+    ) -> Option<Tuned<'_>> {
+        let selector = self
+            .selector
+            .get_or_insert_with(|| Selector::load(self.system.name).ok());
+        selector.as_ref()?.choose(collective, nodes, bytes)
+    }
+
+    /// Simulates the tuned pick for this configuration with the DES at its
+    /// tuned segment count, or `None` when no table covers it.
+    pub fn simulate_tuned(
+        &mut self,
+        collective: Collective,
+        nodes: usize,
+        bytes: u64,
+    ) -> Option<(String, f64)> {
+        let tuned = self.tuned_pick(collective, nodes, bytes)?;
+        let (name, segments) = (tuned.algorithm.to_string(), tuned.segments);
+        let time = self.simulate(collective, &name, nodes, bytes, segments);
+        Some((bine_tune::tuned_name(&name, segments), time))
     }
 
     /// Drops all cached schedules (used between collectives when sweeping the
@@ -217,6 +362,7 @@ impl Evaluator {
     pub fn clear_schedule_cache(&mut self) {
         self.schedules.clear();
         self.compiled.clear();
+        self.summaries.clear();
     }
 }
 
@@ -306,38 +452,38 @@ pub struct HeatmapCell {
 }
 
 /// Computes the best-algorithm heatmap for one collective on one system.
+///
+/// The sweep is routed through the tuner's pruned candidate machinery
+/// ([`bine_tune::candidates`] / [`bine_tune::pruned_best`]): candidates are
+/// visited in ascending-lower-bound order and any algorithm whose cheap
+/// closed-form bound proves it can neither win the cell nor lead the
+/// non-Bine field is skipped without being built or costed. Because the
+/// bounds are true lower bounds, the reported cells are identical to the
+/// exhaustive catalog scan — the big `improvement_summary` sweeps of
+/// fig10/fig11 just stop paying for provably losing `Θ(p)`-step schedules
+/// at latency-dominated grid points.
 pub fn heatmap(eval: &mut Evaluator, collective: Collective) -> Vec<HeatmapCell> {
     eval.clear_schedule_cache();
     let node_counts = eval.system().node_counts.clone();
     let sizes = eval.system().vector_sizes.clone();
-    let algs = algorithms(collective);
     let mut cells = Vec::new();
     for &n in &sizes {
         for &nodes in &node_counts {
             if eval.skip(collective, nodes) {
                 continue;
             }
-            let mut best: Option<(&str, f64, bool)> = None;
-            let mut best_other: Option<f64> = None;
-            for alg in &algs {
-                if eval.skip_algorithm(alg.name, nodes) {
-                    continue;
-                }
-                let t = eval.evaluate(collective, alg.name, nodes, n).time_us;
-                if best.is_none_or(|(_, bt, _)| t < bt) {
-                    best = Some((alg.name, t, alg.is_bine));
-                }
-                if !alg.is_bine && best_other.is_none_or(|bt| t < bt) {
-                    best_other = Some(t);
-                }
-            }
-            let (name, time, is_bine) = best.expect("at least one algorithm per collective");
+            let lbs = eval.lower_bounds(nodes);
+            let cands = bine_tune::candidates(collective, nodes, n, &lbs, MAX_LINEAR_NODES);
+            let cell = bine_tune::pruned_best(&cands, true, |alg| {
+                eval.evaluate_time(collective, alg.name, nodes, n)
+            });
+            let (best, time) = cell.best;
             cells.push(HeatmapCell {
                 nodes,
                 vector_bytes: n,
-                best_algorithm: name.to_string(),
-                bine_advantage: if is_bine {
-                    best_other.map(|o| o / time)
+                best_algorithm: best.name.to_string(),
+                bine_advantage: if best.is_bine {
+                    cell.best_non_bine.map(|(_, o)| o / time)
                 } else {
                     None
                 },

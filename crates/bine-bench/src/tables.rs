@@ -80,9 +80,45 @@ pub fn heatmap_table(system: System, collective: Collective) -> String {
     format!(
         "Best algorithm per (vector size x node count) for {} on {}\n\
          (number = Bine wins by that factor over the next-best algorithm;\n\
-          letter = best non-Bine algorithm: N binomial/butterfly, R ring, B Bruck, S swing, P pairwise)\n{}",
+          letter = best non-Bine algorithm: N binomial/butterfly, R ring, B Bruck, S swing, P pairwise)\n{}{}",
         collective.name(),
         system.name,
+        render_table(&header_refs, &rows),
+        tuned_table(&mut eval, collective)
+    )
+}
+
+/// The `tuned` companion grid of a heatmap: what the committed decision
+/// table picks at every (vector size × node count) point — segment suffix
+/// included, so the pipelining-driven picks are visible next to the
+/// synchronous-model heatmap above. Empty when the system has no committed
+/// `tuning/` table for the collective.
+fn tuned_table(eval: &mut Evaluator, collective: Collective) -> String {
+    let node_counts: Vec<usize> = eval.system().node_counts.clone();
+    let sizes: Vec<u64> = eval.system().vector_sizes.clone();
+    if eval
+        .tuned_pick(collective, node_counts[0], sizes[0])
+        .is_none()
+    {
+        return String::new();
+    }
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let mut row = vec![format_bytes(n)];
+        for &nodes in &node_counts {
+            row.push(match eval.tuned_pick(collective, nodes, n) {
+                None => "-".to_string(),
+                Some(t) => bine_tune::tuned_name(t.algorithm, t.segments),
+            });
+        }
+        rows.push(row);
+    }
+    let mut header: Vec<String> = vec!["tuned".to_string()];
+    header.extend(node_counts.iter().map(|n| n.to_string()));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    format!(
+        "\ntuned: decision-table pick per (vector size x node count), tuning/{}.json\n{}",
+        bine_tune::slug(eval.system().name),
         render_table(&header_refs, &rows)
     )
 }
@@ -173,6 +209,12 @@ pub fn des_comparison_table(
             .simulate(collective, &base, nodes, n, chunks)
             .min(base_des);
         let winner = |b: f64, o: f64| if b <= o { "bine" } else { "binomial" };
+        // The tuned row: what the committed decision table picks here and
+        // its DES time at the tuned segment count.
+        let (tuned_pick, tuned_us) = match eval.simulate_tuned(collective, nodes, n) {
+            Some((pick, t)) => (pick, format!("{t:.1}")),
+            None => ("-".to_string(), "-".to_string()),
+        };
         rows.push(vec![
             format_bytes(n),
             format!("{bine_sync:.1}"),
@@ -183,12 +225,15 @@ pub fn des_comparison_table(
             format!("{base_seg:.1}"),
             winner(bine_sync, base_sync).to_string(),
             winner(bine_seg, base_seg).to_string(),
+            tuned_pick,
+            tuned_us,
         ]);
     }
     format!(
         "Synchronous barrier model vs discrete-event simulation for {} on {} ({nodes} nodes)\n\
          (times in us; seg = best of the flat and the {chunks}-chunk pipelined schedule;\n\
-          the last two columns show the predicted winner under each time model)\n{}",
+          win(..) = predicted winner under each time model; tuned = the committed\n\
+          decision table's pick and its DES time at the tuned segment count)\n{}",
         collective.name(),
         system.name,
         render_table(
@@ -201,7 +246,9 @@ pub fn des_comparison_table(
                 "binom DES",
                 "binom seg",
                 "win(sync)",
-                "win(DES+seg)"
+                "win(DES+seg)",
+                "tuned",
+                "tuned us"
             ],
             &rows,
         )
@@ -235,5 +282,26 @@ mod tests {
             assert!(t.contains(&crate::report::format_bytes(n)));
         }
         assert!(t.contains("win(DES+seg)"));
+        // The tuned columns must carry real picks from the committed MN5
+        // table, not just the caption word or "-" placeholders.
+        assert!(t.contains("tuned us"));
+        assert!(
+            t.contains("bine-small") || t.contains("bine-large"),
+            "tuned column has no committed pick:\n{t}"
+        );
+    }
+
+    #[test]
+    fn heatmap_table_includes_the_tuned_companion_grid_when_tables_exist() {
+        // The committed tuning/ tables cover allreduce on every system; the
+        // heatmap must then carry the decision-table companion grid.
+        let t = heatmap_table(System::marenostrum5(), Collective::Allreduce);
+        assert!(
+            t.contains("tuning/marenostrum5.json"),
+            "missing tuned grid:\n{t}"
+        );
+        // Alltoall has no committed table: no companion grid, no noise.
+        let t = heatmap_table(System::marenostrum5(), Collective::Alltoall);
+        assert!(!t.contains("tuning/"));
     }
 }

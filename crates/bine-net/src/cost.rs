@@ -156,6 +156,225 @@ impl CostModel {
     }
 }
 
+/// Compact byte-count summary of a schedule for repeated cost evaluation.
+///
+/// [`CostModel::estimate`] walks every block id of every message, which for
+/// the largest segment-based schedules (p² block ids at thousands of ranks)
+/// costs hundreds of milliseconds *per vector size*. All the model actually
+/// needs per message is how many full-vector blocks and how many
+/// `ceil(n/p)`-sized segment blocks it carries — two counts that are
+/// independent of `n`. `CostSummary::of` extracts them once; "
+/// [`CostModel::estimate_summary`] then reproduces `estimate` **bit for
+/// bit** (the same u64 byte totals feed the same f64 operations in the
+/// same order — property-tested in `tests/proptests.rs`) at O(messages)
+/// per size instead of O(block ids).
+#[derive(Debug, Clone)]
+pub struct CostSummary {
+    num_ranks: usize,
+    /// Per step, per message: everything `estimate` reads.
+    steps: Vec<Vec<SummaryMessage>>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SummaryMessage {
+    src: u32,
+    dst: u32,
+    reduce: bool,
+    segments: u32,
+    /// Number of [`bine_sched::BlockId::Full`] blocks carried.
+    full_blocks: u64,
+    /// Number of segment-sized (`Segment`/`Pairwise`) blocks carried.
+    seg_blocks: u64,
+}
+
+impl SummaryMessage {
+    fn bytes(&self, n: u64, p: usize) -> u64 {
+        // Exactly BlockId::bytes summed over the message's blocks: Full
+        // blocks contribute n each, segment blocks ceil(n/p) (min 1) each.
+        self.full_blocks * n + self.seg_blocks * n.div_ceil(p as u64).max(1)
+    }
+
+    fn is_local(&self) -> bool {
+        self.src == self.dst
+    }
+}
+
+impl CostSummary {
+    /// Summarises one schedule.
+    pub fn of(schedule: &Schedule) -> CostSummary {
+        use bine_sched::BlockId;
+        let steps = schedule
+            .steps
+            .iter()
+            .map(|step| {
+                step.messages
+                    .iter()
+                    .map(|m| {
+                        let full_blocks = m
+                            .blocks
+                            .iter()
+                            .filter(|b| matches!(b, BlockId::Full))
+                            .count() as u64;
+                        SummaryMessage {
+                            src: m.src as u32,
+                            dst: m.dst as u32,
+                            reduce: m.kind == TransferKind::Reduce,
+                            segments: m.segments,
+                            full_blocks,
+                            seg_blocks: m.blocks.len() as u64 - full_blocks,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        CostSummary {
+            num_ranks: schedule.num_ranks,
+            steps,
+        }
+    }
+
+    /// Number of ranks of the summarised schedule.
+    pub fn num_ranks(&self) -> usize {
+        self.num_ranks
+    }
+}
+
+impl CostModel {
+    /// [`CostModel::estimate`] over a pre-built [`CostSummary`]: identical
+    /// result (bit for bit), O(messages) per call.
+    pub fn estimate_summary(
+        &self,
+        summary: &CostSummary,
+        n: u64,
+        topo: &dyn Topology,
+        alloc: &Allocation,
+    ) -> CostBreakdown {
+        assert!(alloc.num_ranks() >= summary.num_ranks);
+        let p = summary.num_ranks;
+        let mut out = CostBreakdown::default();
+        let mut link_bytes = vec![0u64; topo.num_links()];
+        let mut link_msgs = vec![0u32; topo.num_links()];
+        let mut touched: Vec<usize> = Vec::new();
+
+        for step in &summary.steps {
+            if step.is_empty() {
+                continue;
+            }
+            let mut max_latency = 0.0f64;
+            let mut max_local = 0.0f64;
+            let mut max_reduce = 0.0f64;
+            for l in touched.drain(..) {
+                link_bytes[l] = 0;
+                link_msgs[l] = 0;
+            }
+
+            for m in step {
+                let bytes = m.bytes(n, p) as f64;
+                if m.is_local() {
+                    max_local = max_local.max(bytes / (self.copy_bandwidth_gib_s * GIB_PER_US));
+                    continue;
+                }
+                let (src, dst) = (alloc.node_of(m.src as usize), alloc.node_of(m.dst as usize));
+                let mut path_latency = self.alpha_us
+                    + self.segment_overhead_us * (m.segments.saturating_sub(1)) as f64;
+                for link in topo.route(src, dst) {
+                    path_latency += topo.link(link).latency_us;
+                    if link_msgs[link] == 0 {
+                        touched.push(link);
+                    }
+                    link_bytes[link] += m.bytes(n, p);
+                    link_msgs[link] += 1;
+                }
+                max_latency = max_latency.max(path_latency);
+                if m.reduce {
+                    max_reduce = max_reduce.max(bytes / (self.reduce_bandwidth_gib_s * GIB_PER_US));
+                }
+            }
+
+            let mut max_link_time = 0.0f64;
+            let mut max_queueing = 0.0f64;
+            for &l in &touched {
+                let info = topo.link(l);
+                let t = link_bytes[l] as f64 / (info.bandwidth_gib_s * GIB_PER_US);
+                max_link_time = max_link_time.max(t);
+                let q = (link_msgs[l].saturating_sub(1)) as f64 * info.latency_us;
+                max_queueing = max_queueing.max(q);
+            }
+            let max_latency = max_latency + max_queueing;
+
+            let step_bandwidth = max_link_time.max(max_local);
+            out.latency_us += max_latency;
+            out.bandwidth_us += step_bandwidth;
+            out.compute_us += max_reduce;
+            out.total_us += max_latency + step_bandwidth + max_reduce;
+        }
+        out
+    }
+}
+
+/// Cheap candidate lower bounds for autotuning sweeps.
+///
+/// The tuner in `bine-tune` scores hundreds of (algorithm, segments)
+/// candidates per grid point; most of them lose badly, and proving that they
+/// lose is much cheaper than scoring them. `LowerBounds` precomputes the two
+/// extremal link properties of a topology once and then answers, in O(1),
+/// "what is the least this candidate could possibly cost?" from two closed
+/// forms the catalog provides without building the schedule
+/// (`bine_sched::catalog::AlgorithmId::{min_steps, min_rank_bytes}`):
+///
+/// * **synchronous model** ([`LowerBounds::sync_time_us`]): every nonempty
+///   network step costs at least `alpha + min link latency`, and the total
+///   serialisation time is at least the busiest rank's sent bytes over the
+///   fastest link — both true for any step-synchronous schedule whose ranks
+///   occupy distinct nodes.
+/// * **discrete-event model** ([`LowerBounds::des_time_us`]): barriers are
+///   gone, so only one message latency is guaranteed, but the single send
+///   port still serialises the busiest rank's bytes at no more than the
+///   fastest link's rate.
+///
+/// A candidate whose lower bound already exceeds the incumbent best score
+/// can be skipped without ever building or costing its schedule, which is
+/// what keeps full decision-table regeneration inside a CI-friendly budget.
+/// Both bounds are *validated* (never above the true score) by the catalog
+/// metadata tests in `bine-sched` and the tuner proptests.
+#[derive(Debug, Clone, Copy)]
+pub struct LowerBounds {
+    /// Per-message software overhead (from the [`CostModel`]).
+    pub alpha_us: f64,
+    /// Smallest per-link latency in the topology.
+    pub min_link_latency_us: f64,
+    /// Highest link bandwidth in the topology, converted to bytes/us.
+    pub max_link_bytes_per_us: f64,
+}
+
+impl LowerBounds {
+    /// Precomputes the bounds' ingredients for one (model, topology) pair.
+    pub fn new(model: &CostModel, topo: &dyn Topology) -> Self {
+        Self {
+            alpha_us: model.alpha_us,
+            min_link_latency_us: topo.min_link_latency_us(),
+            max_link_bytes_per_us: topo.max_link_bandwidth_gib_s() * GIB_PER_US,
+        }
+    }
+
+    /// Lower-bounds the synchronous-model time of any schedule with at least
+    /// `steps` nonempty network steps whose busiest rank sends at least
+    /// `max_rank_bytes` bytes (ranks on distinct nodes).
+    pub fn sync_time_us(&self, steps: u64, max_rank_bytes: u64) -> f64 {
+        steps as f64 * (self.alpha_us + self.min_link_latency_us)
+            + max_rank_bytes as f64 / self.max_link_bytes_per_us
+    }
+
+    /// Lower-bounds the discrete-event makespan of the same schedule: one
+    /// guaranteed message latency (dependency chains are not assumed) plus
+    /// the busiest send port's serialisation time.
+    pub fn des_time_us(&self, max_rank_bytes: u64) -> f64 {
+        self.alpha_us
+            + self.min_link_latency_us
+            + max_rank_bytes as f64 / self.max_link_bytes_per_us
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

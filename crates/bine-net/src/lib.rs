@@ -39,7 +39,7 @@ pub mod trace;
 pub mod traffic;
 
 pub use allocation::Allocation;
-pub use cost::{CostBreakdown, CostModel};
+pub use cost::{CostBreakdown, CostModel, CostSummary, LowerBounds};
 pub use event::EventQueue;
 pub use sim::{sim_time_us, simulate, simulate_schedule, SimReport};
 pub use topology::{

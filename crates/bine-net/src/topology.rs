@@ -61,6 +61,25 @@ pub trait Topology {
     fn crosses_groups(&self, a: NodeId, b: NodeId) -> bool {
         self.group_of(a) != self.group_of(b)
     }
+
+    /// The highest bandwidth of any link (GiB/s): no flow can ever drain
+    /// faster than this, which makes it the bandwidth term of the cheap
+    /// candidate lower bound in [`crate::cost::LowerBounds`].
+    fn max_link_bandwidth_gib_s(&self) -> f64 {
+        (0..self.num_links())
+            .map(|l| self.link(l).bandwidth_gib_s)
+            .fold(0.0, f64::max)
+    }
+
+    /// The lowest latency of any link (microseconds): no network message can
+    /// pay less than this on top of the software alpha, which makes it the
+    /// latency term of the cheap candidate lower bound in
+    /// [`crate::cost::LowerBounds`].
+    fn min_link_latency_us(&self) -> f64 {
+        (0..self.num_links())
+            .map(|l| self.link(l).latency_us)
+            .fold(f64::INFINITY, f64::min)
+    }
 }
 
 // Default link parameters, loosely modelled on a 200 Gb/s-class fabric.

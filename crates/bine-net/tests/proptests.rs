@@ -93,6 +93,41 @@ proptest! {
         );
     }
 
+    // The compact byte-count summary path reproduces the full estimate
+    // bit for bit: same u64 byte totals into the same f64 operations in
+    // the same order, on congested topologies and segmented schedules
+    // alike. The sweeps (heatmaps, tuning) rely on this equivalence.
+    #[test]
+    fn estimate_summary_is_bit_identical_to_estimate(
+        collective in any_collective(),
+        s in 2u32..=5,
+        alg_seed in 0usize..100,
+        chunks in 1usize..=4,
+        root_seed in 0usize..1000,
+        n in any_vector_bytes(),
+    ) {
+        use bine_net::cost::CostSummary;
+        let p = 1usize << s;
+        let alg = pick_algorithm(collective, alg_seed);
+        let sched = build(collective, alg.name, p, root_seed % p)
+            .expect(alg.name)
+            .segmented(chunks);
+        let model = CostModel::default();
+        for topo in [
+            Box::new(FatTree::new(p, 4, 1)) as Box<dyn Topology>,
+            Box::new(Dragonfly::lumi()),
+        ] {
+            let alloc = Allocation::block(p);
+            let full = model.estimate(&sched, n, topo.as_ref(), &alloc);
+            let summary = CostSummary::of(&sched);
+            let fast = model.estimate_summary(&summary, n, topo.as_ref(), &alloc);
+            prop_assert_eq!(full.total_us.to_bits(), fast.total_us.to_bits());
+            prop_assert_eq!(full.latency_us.to_bits(), fast.latency_us.to_bits());
+            prop_assert_eq!(full.bandwidth_us.to_bits(), fast.bandwidth_us.to_bits());
+            prop_assert_eq!(full.compute_us.to_bits(), fast.compute_us.to_bits());
+        }
+    }
+
     // On an ideal network the DES can only remove barrier waiting, never
     // add time — for any algorithm and any segmentation.
     #[test]

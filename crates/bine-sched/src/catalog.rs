@@ -22,15 +22,84 @@ pub struct AlgorithmId {
     /// Whether this algorithm plays the role of the *binomial-tree /
     /// butterfly baseline* in the paper's head-to-head tables (Tables 3–5).
     pub is_binomial_baseline: bool,
+    /// Whether the algorithm takes Θ(p) communication steps (ring,
+    /// pairwise) rather than Θ(log p) — the distinction the autotuner's
+    /// latency lower bound prunes on.
+    pub is_linear: bool,
+}
+
+impl AlgorithmId {
+    /// Conservative lower bound on the number of nonempty *network* steps of
+    /// the schedule this algorithm builds for `p` ranks: `p − 1` for the
+    /// linear algorithms (which are chains by construction), otherwise the
+    /// information-dissemination bound `ceil(log2 p)` every logarithmic
+    /// collective schedule in this crate meets. Validated against the built
+    /// schedules by `catalog::tests::metadata_bounds_are_true_lower_bounds`.
+    pub fn min_steps(&self, p: usize) -> u64 {
+        if p < 2 {
+            return 0;
+        }
+        if self.is_linear {
+            (p - 1) as u64
+        } else {
+            (usize::BITS - (p - 1).leading_zeros()) as u64
+        }
+    }
+
+    /// Conservative lower bound on the bytes the busiest rank *sends* over
+    /// the network, valid for **every** algorithm of the collective (it only
+    /// uses what the collective's semantics force out of some rank):
+    ///
+    /// * scatter/alltoall/allgather/reduce-scatter: `p − 1` blocks must
+    ///   leave the root / every rank / the average rank;
+    /// * allreduce: every rank's full incompressible vector must leave it;
+    /// * broadcast/reduce: the scatter-allgather compositions only move
+    ///   `(p − 1)/p · n` through their busiest rank;
+    /// * gather: a leaf-only rank sends just its own block.
+    ///
+    /// Block arithmetic rounds *down* where the real schedules round up, so
+    /// the bound stays conservative for non-divisible sizes.
+    pub fn min_rank_bytes(&self, n: u64, p: usize) -> u64 {
+        if p < 2 {
+            return 0;
+        }
+        let p64 = p as u64;
+        let block = n / p64;
+        match self.collective {
+            Collective::Broadcast | Collective::Reduce => block * (p64 - 1),
+            Collective::Gather => block,
+            Collective::Scatter | Collective::Allgather | Collective::ReduceScatter => {
+                block * (p64 - 1)
+            }
+            Collective::Allreduce => block * p64,
+            Collective::Alltoall => block * (p64 - 1),
+        }
+    }
+}
+
+/// Splits a (possibly tuned) algorithm name into its base name and pipeline
+/// chunk count: `"bine-large+seg8"` → `("bine-large", 8)`, a bare name →
+/// `(name, 1)`. This is the inverse of the `alg+segS` naming convention the
+/// catalog, the benchmark harness and the `bine-tune` decision tables share;
+/// a malformed suffix (`+seg0`, `+seg1`, `+segX`) is returned unsplit so
+/// that `build` rejects it rather than silently dropping the suffix.
+pub fn split_segments(name: &str) -> (&str, usize) {
+    if let Some((base, chunks)) = name.rsplit_once("+seg") {
+        if let Some(chunks) = chunks.parse().ok().filter(|&c| c >= 2) {
+            return (base, chunks);
+        }
+    }
+    (name, 1)
 }
 
 /// Lists every algorithm available for `collective`.
 pub fn algorithms(collective: Collective) -> Vec<AlgorithmId> {
-    let mk = |name, is_bine, is_binomial_baseline| AlgorithmId {
+    let mk = |name: &'static str, is_bine, is_binomial_baseline| AlgorithmId {
         collective,
         name,
         is_bine,
         is_binomial_baseline,
+        is_linear: matches!(name, "ring" | "pairwise"),
     };
     match collective {
         Collective::Broadcast => BroadcastAlg::ALL
@@ -122,8 +191,8 @@ pub fn algorithms(collective: Collective) -> Vec<AlgorithmId> {
 /// everything else. `+seg1` is rejected: the unsegmented schedule goes by
 /// its bare name (so algorithm names always round-trip through `build`).
 pub fn build(collective: Collective, name: &str, p: usize, root: usize) -> Option<Schedule> {
-    if let Some((base, chunks)) = name.rsplit_once("+seg") {
-        let chunks: usize = chunks.parse().ok().filter(|&c| c >= 2)?;
+    let (base, chunks) = split_segments(name);
+    if chunks > 1 {
         return build(collective, base, p, root).map(|s| s.segmented(chunks));
     }
     let sched = match collective {
@@ -257,6 +326,68 @@ mod tests {
         // build a schedule whose algorithm name does not round-trip.
         assert!(build(Collective::Allreduce, "bine-large+seg1", 16, 0).is_none());
         assert!(build(Collective::Allreduce, "nonsense+seg4", 16, 0).is_none());
+    }
+
+    #[test]
+    fn split_segments_round_trips_catalog_names() {
+        assert_eq!(split_segments("bine-large"), ("bine-large", 1));
+        assert_eq!(split_segments("bine-large+seg8"), ("bine-large", 8));
+        assert_eq!(split_segments("ring+seg2"), ("ring", 2));
+        // Malformed suffixes come back unsplit so `build` rejects them.
+        assert_eq!(split_segments("bine-large+seg1"), ("bine-large+seg1", 1));
+        assert_eq!(split_segments("bine-large+seg0"), ("bine-large+seg0", 1));
+        assert_eq!(split_segments("bine-large+segX"), ("bine-large+segX", 1));
+    }
+
+    #[test]
+    fn metadata_bounds_are_true_lower_bounds() {
+        // The autotuner prunes candidates on these closed forms without
+        // building their schedules, so an over-estimate would silently
+        // change decision tables. Validate them against the real schedules
+        // at power-of-two rank counts — the only counts the tuning grids
+        // sweep, and all several generators (broadcast, reduce) accept —
+        // with awkward (non-divisible) vector sizes.
+        for collective in Collective::ALL {
+            for p in [2usize, 4, 8, 16, 32, 64] {
+                for alg in algorithms(collective) {
+                    let sched = build(collective, alg.name, p, 0).expect(alg.name);
+                    let network_steps = sched
+                        .steps
+                        .iter()
+                        .filter(|s| s.messages.iter().any(|m| !m.is_local()))
+                        .count() as u64;
+                    assert!(
+                        alg.min_steps(p) <= network_steps,
+                        "{} p={p}: min_steps {} > actual {network_steps}",
+                        alg.name,
+                        alg.min_steps(p)
+                    );
+                    for n in [32u64, 1000, 65536, (1 << 20) + 13] {
+                        assert!(
+                            alg.min_rank_bytes(n, p) <= sched.max_bytes_sent_by_rank(n),
+                            "{} p={p} n={n}: min_rank_bytes {} > actual {}",
+                            alg.name,
+                            alg.min_rank_bytes(n, p),
+                            sched.max_bytes_sent_by_rank(n)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn only_ring_and_pairwise_are_linear() {
+        for collective in Collective::ALL {
+            for alg in algorithms(collective) {
+                assert_eq!(
+                    alg.is_linear,
+                    alg.name == "ring" || alg.name == "pairwise",
+                    "{}",
+                    alg.name
+                );
+            }
+        }
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod noncontig;
 pub mod schedule;
 pub mod segment;
 
-pub use catalog::{algorithms, bine_default, binomial_default, build, AlgorithmId};
+pub use catalog::{algorithms, bine_default, binomial_default, build, split_segments, AlgorithmId};
 pub use compile::{BlockInterner, CompiledSchedule, CompiledSend};
 pub use noncontig::NonContigStrategy;
 pub use schedule::{BlockId, Collective, Message, Schedule, Step, TransferKind};

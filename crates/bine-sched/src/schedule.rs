@@ -64,6 +64,12 @@ impl Collective {
         }
     }
 
+    /// Parses the lower-case harness name back into a collective (the
+    /// inverse of [`Collective::name`], used when loading decision tables).
+    pub fn from_name(name: &str) -> Option<Collective> {
+        Collective::ALL.into_iter().find(|c| c.name() == name)
+    }
+
     /// Whether the collective has a root rank.
     pub fn is_rooted(&self) -> bool {
         matches!(

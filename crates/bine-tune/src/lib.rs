@@ -1,0 +1,61 @@
+//! # bine-tune
+//!
+//! The autotuning selection layer of the Bine Trees reproduction: the
+//! paper's headline result (Figs. 9–11) is that the *best* collective
+//! algorithm flips between ring, recursive-doubling and the Bine variants
+//! with node count, message size and topology — so a production library
+//! must not just *enumerate* those algorithms (`bine-sched`'s catalog) but
+//! *choose* between them. This crate automates the choice:
+//!
+//! * [`tuner`] — the offline [`tuner::Tuner`]: a pruned sweep of the full
+//!   catalog over a system's `(collective, nodes, size, segments)` grid,
+//!   scored with the synchronous cost model and refined with the
+//!   discrete-event simulator, emitting a compact [`table::DecisionTable`];
+//! * [`table`] — the decision-table model and the committed `tuning/*.json`
+//!   serialisation (one file per paper system);
+//! * [`selector`] — the runtime [`selector::Selector`]:
+//!   `choose(collective, nodes, bytes)` answers in two allocation-free
+//!   binary searches, and `compiled(..)` memoises the picked schedule's
+//!   compiled form in a small LRU;
+//! * [`gate`] — the CI drift gate that regenerates the tables on every
+//!   push and fails on any silent change of policy.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use bine_sched::Collective;
+//! use bine_tune::{DecisionTable, Selector};
+//!
+//! // Normally loaded from the committed tuning/*.json; built inline here.
+//! let table = DecisionTable::from_json(
+//!     "{\n  \"system\": \"Demo\",\n  \"entries\": [\n    \
+//!      {\"collective\": \"allreduce\", \"nodes\": 16, \"bytes\": 32, \
+//!       \"pick\": \"recursive-doubling\", \"model\": \"sync\", \"time_us\": 12.0},\n    \
+//!      {\"collective\": \"allreduce\", \"nodes\": 16, \"bytes\": 1048576, \
+//!       \"pick\": \"bine-large+seg8\", \"model\": \"des\", \"time_us\": 90.0}\n  ]\n}\n",
+//! )
+//! .unwrap();
+//! let selector = Selector::from_table(&table);
+//!
+//! // Small vectors: latency-bound, recursive doubling. Large vectors: the
+//! // pipelined Bine algorithm — including off-grid sizes, by floor lookup.
+//! let small = selector.choose(Collective::Allreduce, 16, 256).unwrap();
+//! assert_eq!((small.algorithm, small.segments), ("recursive-doubling", 1));
+//! let large = selector.choose(Collective::Allreduce, 16, 3 << 20).unwrap();
+//! assert_eq!((large.algorithm, large.segments), ("bine-large", 8));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod gate;
+pub mod selector;
+pub mod table;
+pub mod tuner;
+
+pub use gate::{drift, DriftOutcome, DriftRow};
+pub use selector::{default_tuning_dir, Selector, Tuned};
+pub use table::{slug, DecisionTable, Entry, ScoreModel};
+pub use tuner::{
+    candidates, pruned_best, tuned_name, Candidate, CellBest, Target, TunePoint, Tuner, TunerConfig,
+};

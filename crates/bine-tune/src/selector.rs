@@ -1,0 +1,293 @@
+//! The runtime selection API: O(log n) breakpoint lookup over a loaded
+//! decision table, plus a small LRU of compiled schedules so repeated
+//! invocations of the tuned pick pay the schedule build + compile cost once.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use bine_sched::{build, Collective, CompiledSchedule};
+
+use crate::table::{slug, DecisionTable, Entry};
+
+/// The tuned pick for one `(collective, nodes, bytes)` query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tuned<'a> {
+    /// Base algorithm name (no `+segS` suffix), buildable via
+    /// [`bine_sched::build`] together with [`Tuned::segments`].
+    pub algorithm: &'a str,
+    /// Pipeline segment count (1 = unsegmented).
+    pub segments: usize,
+}
+
+/// One loaded entry: the owned pick name plus the split the selector hands
+/// out without allocating.
+struct Slot {
+    /// Full pick name as committed (e.g. `"bine-large+seg8"`).
+    pick: String,
+    /// Length of the base-name prefix of `pick`.
+    base_len: usize,
+    /// Pipeline segment count.
+    segments: usize,
+}
+
+/// Per-collective lookup index: ascending node breakpoints, each with its
+/// ascending `(bytes, slot)` breakpoints.
+type NodeIndex = Vec<(usize, Vec<(u64, u32)>)>;
+
+/// Default capacity of the compiled-schedule LRU: enough for every vector
+/// size of one sweep at a fixed node count without eviction.
+pub const DEFAULT_CACHE_CAPACITY: usize = 16;
+
+/// Runtime algorithm selector over one system's decision table.
+///
+/// [`Selector::choose`] is allocation-free: the table is pre-indexed at
+/// load time and lookups are two binary searches returning borrowed names
+/// (covered by an allocation-counting test). [`Selector::compiled`]
+/// additionally builds + compiles the picked schedule, memoised in an LRU.
+pub struct Selector {
+    system: String,
+    slots: Vec<Slot>,
+    index: Vec<(Collective, NodeIndex)>,
+    cache: Vec<CacheLine>,
+    cache_capacity: usize,
+    clock: u64,
+}
+
+struct CacheLine {
+    key: (Collective, usize, u32),
+    compiled: Arc<CompiledSchedule>,
+    last_used: u64,
+}
+
+impl Selector {
+    /// Builds a selector from an in-memory decision table.
+    pub fn from_table(table: &DecisionTable) -> Selector {
+        let mut slots = Vec::with_capacity(table.entries.len());
+        let mut index: Vec<(Collective, NodeIndex)> = Vec::new();
+        // Entries are kept in canonical order, so grouping is a linear scan.
+        let mut sorted = table.clone();
+        sorted.sort();
+        for e in &sorted.entries {
+            let slot = push_slot(&mut slots, e);
+            let coll = match index.iter_mut().find(|(c, _)| *c == e.collective) {
+                Some((_, ni)) => ni,
+                None => {
+                    index.push((e.collective, Vec::new()));
+                    &mut index.last_mut().unwrap().1
+                }
+            };
+            match coll.last_mut() {
+                Some((nodes, sizes)) if *nodes == e.nodes => sizes.push((e.vector_bytes, slot)),
+                _ => coll.push((e.nodes, vec![(e.vector_bytes, slot)])),
+            }
+        }
+        Selector {
+            system: sorted.system,
+            slots,
+            index,
+            cache: Vec::new(),
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            clock: 0,
+        }
+    }
+
+    /// Loads the committed decision table for `system` (display name or
+    /// slug, e.g. `"MareNostrum 5"` or `"marenostrum5"`) from the
+    /// repository's `tuning/` directory.
+    pub fn load(system: &str) -> Result<Selector, String> {
+        Self::load_from(&default_tuning_dir().join(format!("{}.json", slug(system))))
+    }
+
+    /// Loads a decision table from an explicit path.
+    pub fn load_from(path: &Path) -> Result<Selector, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read decision table {}: {e}", path.display()))?;
+        let table = DecisionTable::from_json(&text)
+            .map_err(|e| format!("cannot parse {}: {e}", path.display()))?;
+        Ok(Self::from_table(&table))
+    }
+
+    /// The system this selector was tuned for.
+    pub fn system(&self) -> &str {
+        &self.system
+    }
+
+    /// The tuned `(algorithm, segments)` for a configuration, by floor
+    /// breakpoint lookup: the entry at the largest tuned node count ≤
+    /// `nodes` and, within it, the largest tuned vector size ≤ `bytes`
+    /// (clamped to the smallest breakpoint below the grid). Two binary
+    /// searches, no allocation. `None` only when the table has no entries
+    /// for `collective`.
+    pub fn choose(&self, collective: Collective, nodes: usize, bytes: u64) -> Option<Tuned<'_>> {
+        let slot = &self.slots[self.slot_index(collective, nodes, bytes)? as usize];
+        Some(Tuned {
+            algorithm: &slot.pick[..slot.base_len],
+            segments: slot.segments,
+        })
+    }
+
+    /// The floor-breakpoint lookup shared by [`Selector::choose`] and
+    /// [`Selector::compiled`]: both must always resolve a query to the same
+    /// table entry.
+    fn slot_index(&self, collective: Collective, nodes: usize, bytes: u64) -> Option<u32> {
+        let (_, node_index) = self.index.iter().find(|(c, _)| *c == collective)?;
+        let ni = floor_index(node_index, |&(n, _)| n <= nodes);
+        let (_, sizes) = &node_index[ni];
+        let si = floor_index(sizes, |&(b, _)| b <= bytes);
+        Some(sizes[si].1)
+    }
+
+    /// The compiled schedule of the tuned pick at `nodes` ranks, built on
+    /// demand and memoised in a `DEFAULT_CACHE_CAPACITY`-entry LRU (keyed
+    /// by the resolved entry and the actual rank count, so off-grid node
+    /// counts get their own compilation).
+    ///
+    /// Rooted collectives (broadcast in the committed tables) are built
+    /// with **root 0** — the root used throughout the harness and the
+    /// tuning sweeps. For a different root, take [`Selector::choose`]'s
+    /// pick and build the schedule via `bine_sched::build` directly.
+    pub fn compiled(
+        &mut self,
+        collective: Collective,
+        nodes: usize,
+        bytes: u64,
+    ) -> Option<Arc<CompiledSchedule>> {
+        let slot_idx = self.slot_index(collective, nodes, bytes)?;
+
+        self.clock += 1;
+        let clock = self.clock;
+        let key = (collective, nodes, slot_idx);
+        if let Some(line) = self.cache.iter_mut().find(|l| l.key == key) {
+            line.last_used = clock;
+            return Some(line.compiled.clone());
+        }
+        let slot = &self.slots[slot_idx as usize];
+        let sched = build(collective, &slot.pick, nodes, 0)?;
+        let compiled = Arc::new(sched.compile());
+        if self.cache.len() >= self.cache_capacity {
+            let evict = self
+                .cache
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_used)
+                .map(|(i, _)| i)
+                .expect("capacity > 0");
+            self.cache.swap_remove(evict);
+        }
+        self.cache.push(CacheLine {
+            key,
+            compiled: compiled.clone(),
+            last_used: clock,
+        });
+        Some(compiled)
+    }
+
+    /// Number of compiled schedules currently cached.
+    pub fn cached_schedules(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+fn push_slot(slots: &mut Vec<Slot>, e: &Entry) -> u32 {
+    let base_len = e.algorithm().len();
+    slots.push(Slot {
+        pick: e.pick.clone(),
+        base_len,
+        segments: e.segments(),
+    });
+    (slots.len() - 1) as u32
+}
+
+/// Index of the last element satisfying `below` (floor semantics), clamped
+/// to the first element when the query is below every breakpoint.
+fn floor_index<T>(sorted: &[T], below: impl FnMut(&T) -> bool) -> usize {
+    sorted.partition_point(below).saturating_sub(1)
+}
+
+/// The committed `tuning/` directory: the `BINE_TUNING_DIR` environment
+/// variable when set, otherwise the repository checkout this binary was
+/// built from (two levels above this crate's manifest — a compile-time
+/// path, so binaries deployed off the build machine must either set the
+/// variable or use [`Selector::load_from`] with an explicit path).
+pub fn default_tuning_dir() -> PathBuf {
+    match std::env::var_os("BINE_TUNING_DIR") {
+        Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tuning"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{Entry, ScoreModel};
+
+    fn table() -> DecisionTable {
+        let e = |nodes: usize, bytes: u64, pick: &str| Entry {
+            collective: Collective::Allreduce,
+            nodes,
+            vector_bytes: bytes,
+            pick: pick.into(),
+            model: ScoreModel::Sync,
+            time_us: 1.0,
+        };
+        DecisionTable {
+            system: "Testbox".into(),
+            entries: vec![
+                e(16, 32, "recursive-doubling"),
+                e(16, 1 << 20, "bine-large"),
+                e(64, 32, "recursive-doubling"),
+                e(64, 1 << 20, "bine-large+seg8"),
+            ],
+        }
+    }
+
+    #[test]
+    fn choose_uses_floor_breakpoints_and_clamps() {
+        let s = Selector::from_table(&table());
+        // Exact grid points.
+        let t = s.choose(Collective::Allreduce, 16, 32).unwrap();
+        assert_eq!((t.algorithm, t.segments), ("recursive-doubling", 1));
+        let t = s.choose(Collective::Allreduce, 64, 1 << 20).unwrap();
+        assert_eq!((t.algorithm, t.segments), ("bine-large", 8));
+        // Off-grid: floor on both axes (40 → the 16-node row, 4 MiB → the
+        // 1 MiB breakpoint).
+        let t = s.choose(Collective::Allreduce, 40, 1 << 22).unwrap();
+        assert_eq!((t.algorithm, t.segments), ("bine-large", 1));
+        // Below the grid: clamped to the smallest breakpoints.
+        let t = s.choose(Collective::Allreduce, 4, 1).unwrap();
+        assert_eq!((t.algorithm, t.segments), ("recursive-doubling", 1));
+        // Unknown collective: None.
+        assert!(s.choose(Collective::Broadcast, 16, 32).is_none());
+    }
+
+    #[test]
+    fn compiled_schedules_are_cached_and_lru_evicted() {
+        let mut s = Selector::from_table(&table());
+        let a = s.compiled(Collective::Allreduce, 16, 32).unwrap();
+        let b = s.compiled(Collective::Allreduce, 16, 32).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second call must hit the cache");
+        assert_eq!(s.cached_schedules(), 1);
+        // Distinct node counts compile separately even for one entry.
+        let c = s.compiled(Collective::Allreduce, 32, 32).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(c.num_ranks, 32);
+        assert_eq!(s.cached_schedules(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_line() {
+        let mut s = Selector::from_table(&table());
+        s.cache_capacity = 2;
+        s.compiled(Collective::Allreduce, 16, 32).unwrap();
+        s.compiled(Collective::Allreduce, 32, 32).unwrap();
+        // Touch the first line so the second is the LRU victim.
+        s.compiled(Collective::Allreduce, 16, 32).unwrap();
+        s.compiled(Collective::Allreduce, 64, 32).unwrap();
+        assert_eq!(s.cached_schedules(), 2);
+        assert!(s
+            .cache
+            .iter()
+            .any(|l| l.key == (Collective::Allreduce, 16, 0)));
+        assert!(!s.cache.iter().any(|l| l.key.1 == 32));
+    }
+}

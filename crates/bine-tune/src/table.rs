@@ -1,0 +1,293 @@
+//! The decision-table model and its committed JSON representation.
+//!
+//! A [`DecisionTable`] is the tuner's output for one system: for every
+//! `(collective, nodes, vector bytes)` grid point, the algorithm (and
+//! pipeline segment count) that won the sweep, together with the winning
+//! score and which time model produced it. Tables are committed under
+//! `tuning/` at the repository root, one file per system, and reloaded at
+//! runtime by [`crate::selector::Selector`].
+//!
+//! The serialisation is deliberately rigid line-oriented JSON — one entry
+//! object per line, fixed key order — written and parsed by this module
+//! without a serialisation framework (the build environment vendors no
+//! serde), in the same spirit as the `BENCH_exec.json` perf baseline. The
+//! strict format is what makes the CI drift gate's diff trivial and the
+//! committed files merge-friendly.
+
+use bine_sched::{split_segments, Collective};
+
+/// Which time model produced a winning score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScoreModel {
+    /// The synchronous barrier model (`bine_net::cost`), used where the
+    /// discrete-event refinement is out of budget.
+    Sync,
+    /// The discrete-event simulator (`bine_net::sim`), segmentation-aware.
+    Des,
+}
+
+impl ScoreModel {
+    /// Serialised name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScoreModel::Sync => "sync",
+            ScoreModel::Des => "des",
+        }
+    }
+
+    /// Parses the serialised name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "sync" => Some(ScoreModel::Sync),
+            "des" => Some(ScoreModel::Des),
+            _ => None,
+        }
+    }
+}
+
+/// One tuned grid point: the winning `(algorithm, segments)` for a
+/// `(collective, nodes, bytes)` configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// The collective being tuned.
+    pub collective: Collective,
+    /// Node count of the grid point.
+    pub nodes: usize,
+    /// Vector size in bytes of the grid point.
+    pub vector_bytes: u64,
+    /// The winning pick as a catalog-buildable name, segment suffix
+    /// included (e.g. `"bine-large+seg8"`); `bine_sched::build` accepts it
+    /// verbatim.
+    pub pick: String,
+    /// Which model scored the pick.
+    pub model: ScoreModel,
+    /// The winning score in microseconds under [`Entry::model`].
+    pub time_us: f64,
+}
+
+impl Entry {
+    /// The pick's base algorithm name, without the `+segS` suffix.
+    pub fn algorithm(&self) -> &str {
+        split_segments(&self.pick).0
+    }
+
+    /// The pick's pipeline segment count (1 = unsegmented).
+    pub fn segments(&self) -> usize {
+        split_segments(&self.pick).1
+    }
+}
+
+/// The tuner's output for one system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTable {
+    /// Display name of the system (e.g. `"MareNostrum 5"`).
+    pub system: String,
+    /// Entries sorted by `(collective, nodes, vector_bytes)`.
+    pub entries: Vec<Entry>,
+}
+
+/// File-name slug of a system display name: lower-cased alphanumerics only
+/// (`"MareNostrum 5"` → `"marenostrum5"`).
+pub fn slug(system: &str) -> String {
+    system
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
+}
+
+impl DecisionTable {
+    /// Canonical entry order, so serialisation (and the drift gate's diff)
+    /// is deterministic.
+    pub fn sort(&mut self) {
+        let coll_idx = |c: Collective| Collective::ALL.iter().position(|&x| x == c).unwrap();
+        self.entries
+            .sort_by_key(|e| (coll_idx(e.collective), e.nodes, e.vector_bytes));
+    }
+
+    /// Serialises the table to the committed `tuning/*.json` format.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"system\": \"{}\",\n", self.system));
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let comma = if i + 1 == self.entries.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"collective\": \"{}\", \"nodes\": {}, \"bytes\": {}, \"pick\": \"{}\", \"model\": \"{}\", \"time_us\": {:.6}}}{comma}\n",
+                e.collective.name(),
+                e.nodes,
+                e.vector_bytes,
+                e.pick,
+                e.model.name(),
+                e.time_us,
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses the committed `tuning/*.json` format (the exact output of
+    /// [`DecisionTable::to_json`]; anything looser is an error).
+    pub fn from_json(text: &str) -> Result<DecisionTable, String> {
+        let mut system: Option<String> = None;
+        let mut entries = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if let Some(rest) = line.strip_prefix("\"system\":") {
+                system = Some(
+                    rest.trim()
+                        .trim_end_matches(',')
+                        .trim_matches('"')
+                        .to_string(),
+                );
+            } else if line.starts_with("{\"collective\"") {
+                entries.push(parse_entry(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+            }
+        }
+        let system = system.ok_or("missing \"system\" field")?;
+        if entries.is_empty() {
+            return Err("no entries".into());
+        }
+        Ok(DecisionTable { system, entries })
+    }
+
+    /// The entry at an exact grid point, if present.
+    pub fn at(&self, collective: Collective, nodes: usize, vector_bytes: u64) -> Option<&Entry> {
+        self.entries.iter().find(|e| {
+            e.collective == collective && e.nodes == nodes && e.vector_bytes == vector_bytes
+        })
+    }
+}
+
+/// Extracts the value of `"key": ...` from a single-line entry object. The
+/// value ends at the next `,` or closing `}`; quoted values keep everything
+/// between the quotes (pick names never contain quotes or commas).
+fn field<'a>(line: &'a str, key: &str) -> Result<&'a str, String> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat).ok_or(format!("missing key {key}"))? + pat.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        let end = stripped.find('"').ok_or(format!("unterminated {key}"))?;
+        Ok(&stripped[..end])
+    } else {
+        let end = rest.find([',', '}']).ok_or(format!("unterminated {key}"))?;
+        Ok(rest[..end].trim())
+    }
+}
+
+fn parse_entry(line: &str) -> Result<Entry, String> {
+    let collective = field(line, "collective")?;
+    let collective =
+        Collective::from_name(collective).ok_or(format!("unknown collective {collective}"))?;
+    let nodes: usize = field(line, "nodes")?
+        .parse()
+        .map_err(|e| format!("bad nodes: {e}"))?;
+    let vector_bytes: u64 = field(line, "bytes")?
+        .parse()
+        .map_err(|e| format!("bad bytes: {e}"))?;
+    let pick = field(line, "pick")?.to_string();
+    let model = field(line, "model")?;
+    let model = ScoreModel::from_name(model).ok_or(format!("unknown model {model}"))?;
+    let time_us: f64 = field(line, "time_us")?
+        .parse()
+        .map_err(|e| format!("bad time_us: {e}"))?;
+    Ok(Entry {
+        collective,
+        nodes,
+        vector_bytes,
+        pick,
+        model,
+        time_us,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DecisionTable {
+        DecisionTable {
+            system: "MareNostrum 5".into(),
+            entries: vec![
+                Entry {
+                    collective: Collective::Allreduce,
+                    nodes: 16,
+                    vector_bytes: 32,
+                    pick: "recursive-doubling".into(),
+                    model: ScoreModel::Sync,
+                    time_us: 12.25,
+                },
+                Entry {
+                    collective: Collective::Allreduce,
+                    nodes: 16,
+                    vector_bytes: 64 << 20,
+                    pick: "bine-large+seg8".into(),
+                    model: ScoreModel::Des,
+                    time_us: 31337.5,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let table = sample();
+        let parsed = DecisionTable::from_json(&table.to_json()).unwrap();
+        assert_eq!(parsed, table);
+    }
+
+    #[test]
+    fn entries_expose_base_name_and_segments() {
+        let table = sample();
+        assert_eq!(table.entries[0].algorithm(), "recursive-doubling");
+        assert_eq!(table.entries[0].segments(), 1);
+        assert_eq!(table.entries[1].algorithm(), "bine-large");
+        assert_eq!(table.entries[1].segments(), 8);
+    }
+
+    #[test]
+    fn sort_orders_by_collective_then_nodes_then_bytes() {
+        let mut table = sample();
+        table.entries.reverse();
+        table.entries.push(Entry {
+            collective: Collective::Broadcast,
+            nodes: 4,
+            vector_bytes: 32,
+            pick: "bine-tree".into(),
+            model: ScoreModel::Sync,
+            time_us: 1.0,
+        });
+        table.sort();
+        // Broadcast precedes Allreduce in Collective::ALL.
+        assert_eq!(table.entries[0].collective, Collective::Broadcast);
+        assert_eq!(table.entries[1].vector_bytes, 32);
+        assert_eq!(table.entries[2].vector_bytes, 64 << 20);
+    }
+
+    #[test]
+    fn slugs_drop_spaces_and_case() {
+        assert_eq!(slug("MareNostrum 5"), "marenostrum5");
+        assert_eq!(slug("LUMI"), "lumi");
+        assert_eq!(slug("Leonardo"), "leonardo");
+        assert_eq!(slug("Fugaku"), "fugaku");
+    }
+
+    #[test]
+    fn malformed_tables_are_rejected() {
+        assert!(DecisionTable::from_json("{}").is_err());
+        assert!(
+            DecisionTable::from_json("{\n  \"system\": \"x\",\n  \"entries\": [\n  ]\n}").is_err()
+        );
+        let bad = sample().to_json().replace("allreduce", "allred");
+        assert!(DecisionTable::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn exact_lookup_finds_grid_points() {
+        let table = sample();
+        assert!(table.at(Collective::Allreduce, 16, 32).is_some());
+        assert!(table.at(Collective::Allreduce, 16, 33).is_none());
+        assert!(table.at(Collective::Broadcast, 16, 32).is_none());
+    }
+}

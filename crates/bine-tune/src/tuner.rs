@@ -1,0 +1,518 @@
+//! The offline tuner: sweeps the full algorithm catalog over a system's
+//! `(collective, nodes, vector size, segment count)` grid and records the
+//! winner of every grid point into a [`DecisionTable`].
+//!
+//! ## Two-stage scoring
+//!
+//! 1. **Synchronous stage** — every catalog algorithm is scored flat
+//!    (unsegmented) with the synchronous barrier model
+//!    ([`bine_net::cost::CostModel`]). This stage is cheap and runs at every
+//!    grid point, including the largest node counts.
+//! 2. **Discrete-event refinement** — at grid points within the configured
+//!    node budget ([`TunerConfig::des_max_nodes`]), the top
+//!    [`TunerConfig::des_top_k`] algorithms of stage 1 (plus, always, the
+//!    stage-1 winner and both binomial-baseline flavours) are re-scored with
+//!    the discrete-event simulator across the configured pipeline segment
+//!    counts. The DES is what sees pipelining, so this is the stage that
+//!    moves the paper's ring → bine-large crossover (Sec. 5.2.2); its
+//!    winner, segment count included, becomes the table entry.
+//!
+//! ## Pruning
+//!
+//! Both stages sort their candidates by the cheap closed-form lower bound
+//! of [`bine_net::cost::LowerBounds`] (computed from the catalog metadata
+//! `AlgorithmId::{min_steps, min_rank_bytes}` — no schedule is built) and
+//! skip every candidate whose bound already exceeds the incumbent best
+//! score. Because the bounds are *true* lower bounds (validated in
+//! `bine-sched`), pruning never changes any argmin — property-tested in
+//! `bine-bench/tests/tuned_selection.rs` by re-tuning random grid points
+//! with pruning disabled — it only avoids building and scoring schedules
+//! that provably lose. This is what keeps full decision-table regeneration (the CI drift
+//! gate does one on every push) inside a CI-friendly budget: the linear
+//! algorithms' `p − 1` step bound prunes them at every latency-dominated
+//! grid point before their O(p²)-message schedules are ever constructed.
+
+use std::collections::HashMap;
+
+use bine_net::allocation::Allocation;
+use bine_net::cost::{CostModel, LowerBounds};
+use bine_net::sim;
+use bine_net::topology::Topology;
+use bine_sched::{
+    algorithms, binomial_default, build, split_segments, AlgorithmId, Collective, CompiledSchedule,
+    Schedule,
+};
+
+use crate::table::{DecisionTable, Entry, ScoreModel};
+
+/// One node count of a tuning grid: the topology hosting the job and the
+/// rank→node placement, exactly as the benchmark harness would evaluate it.
+pub struct TunePoint {
+    /// Number of job nodes (= schedule ranks; one rank per node).
+    pub nodes: usize,
+    /// The topology hosting the job.
+    pub topology: Box<dyn Topology>,
+    /// The job's rank→node placement. Ranks must occupy distinct nodes
+    /// (the lower bounds assume every network message crosses a link).
+    pub allocation: Allocation,
+}
+
+/// A tuning target: one system's grid.
+pub struct Target {
+    /// Display name, recorded in the decision table.
+    pub system: String,
+    /// Cost-model parameters shared by both scoring stages.
+    pub model: CostModel,
+    /// The collectives to tune.
+    pub collectives: Vec<Collective>,
+    /// One point per node count, ascending.
+    pub points: Vec<TunePoint>,
+    /// Vector sizes in bytes, ascending.
+    pub vector_sizes: Vec<u64>,
+}
+
+/// Tuner knobs. The defaults are what generates the committed `tuning/`
+/// tables; the drift gate regenerates with the same defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunerConfig {
+    /// Pipeline segment counts tried (in addition to the implicit 1) during
+    /// the DES refinement.
+    pub segment_counts: Vec<usize>,
+    /// How many stage-1 algorithms advance to the DES refinement.
+    pub des_top_k: usize,
+    /// Largest node count at which the DES refinement runs; beyond it the
+    /// stage-1 (synchronous) winner is recorded directly. Simulating tens of
+    /// thousands of flows per candidate is exactly what a tuning sweep
+    /// cannot afford at every scale.
+    pub des_max_nodes: usize,
+    /// Largest node count at which the Θ(p)-step algorithms (ring,
+    /// pairwise) are candidates at all, mirroring the benchmark harness's
+    /// exclusion: they are both impractically large to build and — as the
+    /// paper notes — not competitive there.
+    pub max_linear_nodes: usize,
+    /// Smallest vector size at which pipelined (`seg > 1`) DES candidates
+    /// are tried. Below it segmentation only adds per-chunk alpha —
+    /// latency-dominated points never pick it — so the sweep does not pay
+    /// for simulating it.
+    pub min_segment_bytes: u64,
+    /// Whether the lower-bound pruning is enabled. Disabled only by tests
+    /// that verify pruning does not change any argmin.
+    pub prune: bool,
+}
+
+impl Default for TunerConfig {
+    fn default() -> Self {
+        Self {
+            segment_counts: vec![2, 4, 8, 16],
+            des_top_k: 4,
+            des_max_nodes: 64,
+            max_linear_nodes: 1024,
+            min_segment_bytes: 1 << 20,
+            prune: true,
+        }
+    }
+}
+
+/// A stage-1 candidate: a catalog algorithm with its cheap lower bound and
+/// its catalog position (the tie-breaker, so pruned sweeps pick the same
+/// winner as an unpruned catalog-order scan).
+#[derive(Debug, Clone, Copy)]
+pub struct Candidate {
+    /// The algorithm.
+    pub alg: AlgorithmId,
+    /// Position in `algorithms(collective)` (tie-break key).
+    pub idx: usize,
+    /// Cheap lower bound on this candidate's score (microseconds).
+    pub lower_bound: f64,
+}
+
+/// Builds the lower-bound-sorted candidate list for one grid point: every
+/// catalog algorithm of `collective` (linear ones only up to
+/// `max_linear_nodes`), sorted by [`LowerBounds::sync_time_us`] ascending
+/// with catalog order as the tie-break.
+pub fn candidates(
+    collective: Collective,
+    nodes: usize,
+    vector_bytes: u64,
+    lbs: &LowerBounds,
+    max_linear_nodes: usize,
+) -> Vec<Candidate> {
+    let mut out: Vec<Candidate> = algorithms(collective)
+        .into_iter()
+        .enumerate()
+        .filter(|(_, a)| !a.is_linear || nodes <= max_linear_nodes)
+        .map(|(idx, alg)| Candidate {
+            alg,
+            idx,
+            lower_bound: lbs.sync_time_us(
+                alg.min_steps(nodes),
+                alg.min_rank_bytes(vector_bytes, nodes),
+            ),
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        a.lower_bound
+            .total_cmp(&b.lower_bound)
+            .then(a.idx.cmp(&b.idx))
+    });
+    out
+}
+
+/// Outcome of a pruned single-point sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct CellBest {
+    /// The overall winner and its score.
+    pub best: (AlgorithmId, f64),
+    /// The best non-Bine algorithm and its score (what the benchmark
+    /// heatmaps report Bine's advantage against). `None` when every
+    /// non-Bine candidate was pruned — which can only happen when the
+    /// winner is also non-Bine-advantaged, see [`pruned_best`].
+    pub best_non_bine: Option<(AlgorithmId, f64)>,
+}
+
+/// Scores `candidates` (already lower-bound-sorted, see [`candidates`])
+/// with `score`, skipping every candidate whose lower bound proves it can
+/// neither be the overall winner nor the best non-Bine algorithm. With
+/// `prune` disabled every candidate is scored.
+///
+/// The returned winner (and, when the winner is Bine, the best non-Bine
+/// runner-up) is *exactly* the one an exhaustive catalog-order scan picks:
+/// a candidate is only skipped when its bound strictly exceeds the
+/// incumbent, so tying candidates are always scored, and ties resolve by
+/// catalog position.
+pub fn pruned_best(
+    cands: &[Candidate],
+    prune: bool,
+    mut score: impl FnMut(AlgorithmId) -> f64,
+) -> CellBest {
+    let mut best: Option<(AlgorithmId, f64, usize)> = None;
+    let mut best_other: Option<(AlgorithmId, f64, usize)> = None;
+    for c in cands {
+        let may_win = best.is_none_or(|(_, t, _)| c.lower_bound <= t);
+        let may_lead_others =
+            !c.alg.is_bine && best_other.is_none_or(|(_, t, _)| c.lower_bound <= t);
+        if prune && !may_win && !may_lead_others {
+            continue;
+        }
+        let t = score(c.alg);
+        if best.is_none_or(|(_, bt, bi)| (t, c.idx) < (bt, bi)) {
+            best = Some((c.alg, t, c.idx));
+        }
+        if !c.alg.is_bine && best_other.is_none_or(|(_, bt, bi)| (t, c.idx) < (bt, bi)) {
+            best_other = Some((c.alg, t, c.idx));
+        }
+    }
+    let (alg, t, _) = best.expect("at least one candidate per grid point");
+    CellBest {
+        best: (alg, t),
+        best_non_bine: best_other.map(|(a, t, _)| (a, t)),
+    }
+}
+
+/// The offline tuner. Caches built and compiled schedules across the grid
+/// points of one collective (they are shared by all vector sizes).
+pub struct Tuner {
+    target: Target,
+    config: TunerConfig,
+    schedules: HashMap<(Collective, String, usize), Schedule>,
+    compiled: HashMap<(Collective, String, usize, usize), CompiledSchedule>,
+}
+
+impl Tuner {
+    /// Creates a tuner for one target with the given configuration.
+    pub fn new(target: Target, config: TunerConfig) -> Self {
+        Self {
+            target,
+            config,
+            schedules: HashMap::new(),
+            compiled: HashMap::new(),
+        }
+    }
+
+    /// The target being tuned.
+    pub fn target(&self) -> &Target {
+        &self.target
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TunerConfig {
+        &self.config
+    }
+
+    fn point(&self, nodes: usize) -> &TunePoint {
+        self.target
+            .points
+            .iter()
+            .find(|p| p.nodes == nodes)
+            .unwrap_or_else(|| panic!("{}: no tuning point for {nodes} nodes", self.target.system))
+    }
+
+    /// The lower-bound ingredients at one node count.
+    pub fn lower_bounds(&self, nodes: usize) -> LowerBounds {
+        LowerBounds::new(&self.target.model, self.point(nodes).topology.as_ref())
+    }
+
+    /// The largest per-message block-list length in an algorithm's flat
+    /// schedule: the number of pipeline chunks beyond which further
+    /// segmentation is a no-op.
+    fn max_message_blocks(&mut self, collective: Collective, name: &str, nodes: usize) -> usize {
+        self.ensure_schedule(collective, name, nodes);
+        self.schedules[&(collective, name.to_string(), nodes)]
+            .steps
+            .iter()
+            .flat_map(|s| s.messages.iter())
+            .map(|m| m.blocks.len())
+            .max()
+            .unwrap_or(1)
+    }
+
+    fn ensure_schedule(&mut self, collective: Collective, name: &str, nodes: usize) {
+        let key = (collective, name.to_string(), nodes);
+        self.schedules.entry(key).or_insert_with(|| {
+            build(collective, name, nodes, 0)
+                .unwrap_or_else(|| panic!("unknown algorithm {name} for {collective:?}"))
+        });
+    }
+
+    /// Scores one candidate (full tuned name, `+segS` suffix honoured)
+    /// under the requested time model at one grid point.
+    pub fn score(
+        &mut self,
+        collective: Collective,
+        name: &str,
+        nodes: usize,
+        vector_bytes: u64,
+        model: ScoreModel,
+    ) -> f64 {
+        match model {
+            ScoreModel::Sync => {
+                self.ensure_schedule(collective, name, nodes);
+                let sched = &self.schedules[&(collective, name.to_string(), nodes)];
+                let point = self.point(nodes);
+                self.target.model.time_us(
+                    sched,
+                    vector_bytes,
+                    point.topology.as_ref(),
+                    &point.allocation,
+                )
+            }
+            ScoreModel::Des => {
+                let (base, chunks) = split_segments(name);
+                let key = (collective, base.to_string(), nodes, chunks);
+                if !self.compiled.contains_key(&key) {
+                    self.ensure_schedule(collective, base, nodes);
+                    let compiled = self.schedules[&(collective, base.to_string(), nodes)]
+                        .segmented(chunks)
+                        .compile();
+                    self.compiled.insert(key.clone(), compiled);
+                }
+                let compiled = &self.compiled[&key];
+                let point = self.point(nodes);
+                sim::simulate(
+                    &self.target.model,
+                    compiled,
+                    vector_bytes,
+                    point.topology.as_ref(),
+                    &point.allocation,
+                )
+                .makespan_us
+            }
+        }
+    }
+
+    /// Stage-1 pruned sweep of one grid point: the synchronous-model winner
+    /// and best non-Bine runner-up over the full catalog.
+    pub fn sync_cell(
+        &mut self,
+        collective: Collective,
+        nodes: usize,
+        vector_bytes: u64,
+    ) -> CellBest {
+        let lbs = self.lower_bounds(nodes);
+        let cands = candidates(
+            collective,
+            nodes,
+            vector_bytes,
+            &lbs,
+            self.config.max_linear_nodes,
+        );
+        let prune = self.config.prune;
+        pruned_best(&cands, prune, |alg| {
+            self.score(collective, alg.name, nodes, vector_bytes, ScoreModel::Sync)
+        })
+    }
+
+    /// Tunes one grid point into its decision-table entry.
+    pub fn tune_point(&mut self, collective: Collective, nodes: usize, vector_bytes: u64) -> Entry {
+        let lbs = self.lower_bounds(nodes);
+        let cands = candidates(
+            collective,
+            nodes,
+            vector_bytes,
+            &lbs,
+            self.config.max_linear_nodes,
+        );
+        let prune = self.config.prune;
+
+        // Stage 1: synchronous sweep over the whole catalog (records every
+        // scored candidate for the top-K selection below). At DES-eligible
+        // points the prune threshold is the K-th best score seen, not the
+        // best: a candidate that cannot win stage 1 may still belong to the
+        // stage-2 top-K, and pruning must never change what stage 2 sees —
+        // that is what keeps pruned and exhaustive runs byte-identical.
+        let des_eligible = nodes <= self.config.des_max_nodes;
+        let mut scored: Vec<(AlgorithmId, f64, usize)> = Vec::new();
+        let mut top_scores: Vec<f64> = Vec::new();
+        let mut best: Option<(AlgorithmId, f64, usize)> = None;
+        for c in &cands {
+            let threshold = if des_eligible {
+                if top_scores.len() < self.config.des_top_k {
+                    f64::INFINITY
+                } else {
+                    top_scores[self.config.des_top_k - 1]
+                }
+            } else {
+                best.map_or(f64::INFINITY, |(_, t, _)| t)
+            };
+            if prune && c.lower_bound > threshold {
+                // Candidates are lower-bound-sorted and the threshold only
+                // improves, so nothing after this point can matter either.
+                break;
+            }
+            let t = self.score(
+                collective,
+                c.alg.name,
+                nodes,
+                vector_bytes,
+                ScoreModel::Sync,
+            );
+            scored.push((c.alg, t, c.idx));
+            let pos = top_scores.partition_point(|&s| s <= t);
+            top_scores.insert(pos, t);
+            top_scores.truncate(self.config.des_top_k);
+            if best.is_none_or(|(_, bt, bi)| (t, c.idx) < (bt, bi)) {
+                best = Some((c.alg, t, c.idx));
+            }
+        }
+        let (sync_winner, sync_time, _) = best.expect("at least one candidate per grid point");
+
+        if nodes > self.config.des_max_nodes {
+            return Entry {
+                collective,
+                nodes,
+                vector_bytes,
+                pick: sync_winner.name.to_string(),
+                model: ScoreModel::Sync,
+                time_us: sync_time,
+            };
+        }
+
+        // Stage 2: DES refinement. Candidate algorithms: the stage-1
+        // winner, both binomial-baseline flavours (so the selector's pick
+        // is never worse than the baseline by construction), and the
+        // stage-1 top K.
+        let mut names: Vec<&'static str> = vec![sync_winner.name];
+        for flavour in [
+            binomial_default(collective, true),
+            binomial_default(collective, false),
+        ] {
+            if !names.contains(&flavour) {
+                names.push(flavour);
+            }
+        }
+        scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.2.cmp(&b.2)));
+        for (alg, _, _) in scored.iter().take(self.config.des_top_k) {
+            if !names.contains(&alg.name) {
+                names.push(alg.name);
+            }
+        }
+
+        let by_name: HashMap<&str, AlgorithmId> = algorithms(collective)
+            .into_iter()
+            .map(|a| (a.name, a))
+            .collect();
+        let mut des_cands: Vec<(f64, &'static str, usize, usize)> = Vec::new();
+        for (order, name) in names.iter().enumerate() {
+            let alg = by_name[name];
+            let lb = lbs.des_time_us(alg.min_rank_bytes(vector_bytes, nodes));
+            des_cands.push((lb, name, 1, order));
+            if vector_bytes < self.config.min_segment_bytes {
+                continue;
+            }
+            // Segment counts beyond the largest per-message block list
+            // collapse onto the same schedule (single-block messages are
+            // unsplittable), so only distinct effective counts are
+            // simulated.
+            let cap = self.max_message_blocks(collective, name, nodes);
+            let mut effective: Vec<usize> = self
+                .config
+                .segment_counts
+                .iter()
+                .map(|&s| s.min(cap))
+                .filter(|&s| s > 1)
+                .collect();
+            effective.sort_unstable();
+            effective.dedup();
+            for seg in effective {
+                des_cands.push((lb, name, seg, order));
+            }
+        }
+        des_cands.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.3.cmp(&b.3)));
+
+        let mut best_des: Option<(&'static str, usize, f64, usize)> = None;
+        for &(lb, name, seg, order) in &des_cands {
+            if prune && best_des.is_some_and(|(_, _, t, _)| lb > t) {
+                break;
+            }
+            let full = tuned_name(name, seg);
+            let t = self.score(collective, &full, nodes, vector_bytes, ScoreModel::Des);
+            if best_des.is_none_or(|(_, _, bt, bo)| (t, order) < (bt, bo)) {
+                best_des = Some((name, seg, t, order));
+            }
+        }
+        let (name, seg, t, _) = best_des.expect("DES stage always has candidates");
+        Entry {
+            collective,
+            nodes,
+            vector_bytes,
+            pick: tuned_name(name, seg),
+            model: ScoreModel::Des,
+            time_us: t,
+        }
+    }
+
+    /// Tunes the full grid into a decision table. Schedule caches are
+    /// dropped between collectives to bound peak memory on the largest
+    /// systems, exactly as the benchmark runner does.
+    pub fn tune(&mut self) -> DecisionTable {
+        let collectives = self.target.collectives.clone();
+        let node_counts: Vec<usize> = self.target.points.iter().map(|p| p.nodes).collect();
+        let sizes = self.target.vector_sizes.clone();
+        let mut entries = Vec::new();
+        for &collective in &collectives {
+            for &nodes in &node_counts {
+                for &n in &sizes {
+                    entries.push(self.tune_point(collective, nodes, n));
+                }
+            }
+            self.schedules.clear();
+            self.compiled.clear();
+        }
+        let mut table = DecisionTable {
+            system: self.target.system.clone(),
+            entries,
+        };
+        table.sort();
+        table
+    }
+}
+
+/// The catalog name of a pick: `name` for one segment, `name+segS`
+/// otherwise.
+pub fn tuned_name(base: &str, segments: usize) -> String {
+    if segments > 1 {
+        format!("{base}+seg{segments}")
+    } else {
+        base.to_string()
+    }
+}

@@ -1,0 +1,85 @@
+//! Pins the `Selector::choose` allocation-freedom guarantee: after load,
+//! breakpoint lookups must be pure binary searches — no heap traffic — so a
+//! hot collective-dispatch path can consult the selector per call without
+//! allocator pressure. Measured with a counting wrapper around the system
+//! allocator (tests are their own crates, so the library's
+//! `#![forbid(unsafe_code)]` still holds for `bine-tune` itself).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bine_sched::Collective;
+use bine_tune::{DecisionTable, Entry, ScoreModel, Selector};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct Counting;
+
+// SAFETY: delegates directly to the system allocator; the counter is a
+// side effect only.
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: Counting = Counting;
+
+fn table() -> DecisionTable {
+    let mut entries = Vec::new();
+    for &nodes in &[4usize, 16, 64, 256] {
+        for &bytes in &[32u64, 4096, 1 << 20, 64 << 20] {
+            entries.push(Entry {
+                collective: Collective::Allreduce,
+                nodes,
+                vector_bytes: bytes,
+                pick: if bytes >= 1 << 20 {
+                    "bine-large+seg8".into()
+                } else {
+                    "recursive-doubling".into()
+                },
+                model: ScoreModel::Sync,
+                time_us: 1.0,
+            });
+        }
+    }
+    DecisionTable {
+        system: "Testbox".into(),
+        entries,
+    }
+}
+
+#[test]
+fn choose_never_allocates_after_load() {
+    let selector = Selector::from_table(&table());
+    // Warm nothing: choose must be allocation-free from the first call.
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut checksum = 0usize;
+    for nodes in [1usize, 4, 10, 64, 300, 10_000] {
+        for bytes in [1u64, 32, 5000, 1 << 20, 1 << 30] {
+            let t = selector
+                .choose(Collective::Allreduce, nodes, bytes)
+                .expect("allreduce is tuned");
+            checksum += t.segments + t.algorithm.len();
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "Selector::choose allocated {} times over 30 lookups",
+        after - before
+    );
+    assert!(checksum > 0);
+}

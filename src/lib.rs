@@ -11,8 +11,12 @@
 //! * [`exec`] — zero-copy executors over real data,
 //! * [`net`] — topology models, traffic accounting and the two time models
 //!   (synchronous barrier + discrete-event simulation),
+//! * [`tune`] — the autotuning selection layer: offline decision-table
+//!   generation and the runtime `Selector`,
 //! * [`bench`](mod@bench) — the paper's table/figure harness and the CI
-//!   perf gate.
+//!   perf and decision-table gates.
+//!
+//! `docs/ARCHITECTURE.md` walks through how the crates fit together.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -22,3 +26,4 @@ pub use bine_core as core;
 pub use bine_exec as exec;
 pub use bine_net as net;
 pub use bine_sched as sched;
+pub use bine_tune as tune;
