@@ -48,35 +48,57 @@ fn main() {
     std::fs::create_dir_all(&out_dir)
         .unwrap_or_else(|e| panic!("cannot create {}: {e}", out_dir.display()));
 
-    let mut tuned = 0usize;
-    for mut system in System::all() {
-        if let Some(only) = &only_system {
-            if slug(system.name) != slug(only) {
-                continue;
-            }
+    let systems: Vec<System> = System::all()
+        .into_iter()
+        .filter(|system| {
+            only_system
+                .as_deref()
+                .is_none_or(|only| slug(system.name) == slug(only))
+        })
+        .collect();
+    let tuned = systems.len();
+    // The four systems' sweeps are independent (each tuner owns its
+    // schedules, topologies and DES arena), so they run on one thread each:
+    // wall time is the slowest system instead of the sum — which is what
+    // keeps full regeneration inside the CI drift gate's 5-minute budget at
+    // the 512-node DES cap. Results print in system order after joining.
+    std::thread::scope(|scope| {
+        let out_dir = &out_dir;
+        let handles: Vec<_> = systems
+            .into_iter()
+            .map(|mut system| {
+                scope.spawn(move || {
+                    let start = Instant::now();
+                    system.node_counts.retain(|&n| n <= max_nodes);
+                    let target = tune_target(&system, tuned_collectives());
+                    let mut tuner = Tuner::new(target, TunerConfig::default());
+                    let table = tuner.tune();
+                    let path = out_dir.join(format!("{}.json", slug(system.name)));
+                    std::fs::write(&path, table.to_json())
+                        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+                    let des = table
+                        .entries
+                        .iter()
+                        .filter(|e| e.model == bine_tune::ScoreModel::Des)
+                        .count();
+                    (
+                        system.name,
+                        table.entries.len(),
+                        des,
+                        start.elapsed().as_secs_f64(),
+                        path,
+                    )
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (name, points, des, secs, path) = handle.join().expect("tuner thread panicked");
+            println!(
+                "{name:<14} {points:>4} grid points ({des} DES-refined) in {secs:>6.1}s -> {}",
+                path.display()
+            );
         }
-        tuned += 1;
-        let start = Instant::now();
-        system.node_counts.retain(|&n| n <= max_nodes);
-        let target = tune_target(&system, tuned_collectives());
-        let mut tuner = Tuner::new(target, TunerConfig::default());
-        let table = tuner.tune();
-        let path = out_dir.join(format!("{}.json", slug(system.name)));
-        std::fs::write(&path, table.to_json())
-            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
-        let des = table
-            .entries
-            .iter()
-            .filter(|e| e.model == bine_tune::ScoreModel::Des)
-            .count();
-        println!(
-            "{:<14} {:>4} grid points ({des} DES-refined) in {:>6.1}s -> {}",
-            system.name,
-            table.entries.len(),
-            start.elapsed().as_secs_f64(),
-            path.display()
-        );
-    }
+    });
     if tuned == 0 {
         let known: Vec<String> = System::all().iter().map(|s| slug(s.name)).collect();
         panic!(

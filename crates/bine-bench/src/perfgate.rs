@@ -4,11 +4,13 @@
 //! the committed `BENCH_exec.json` is the perf baseline of the repository
 //! and CI re-records `BENCH_exec.ci.json` on every push. This module diffs
 //! the two: if any **compiled-executor** entry (name containing
-//! `/compiled/` — the data plane the repo's headline speedup lives on)
-//! regresses by more than the threshold, the gate fails and CI goes red.
-//! Interpreter baselines (`reference`, `sequential`), the thread pool and
-//! the one-off `compile` cost are reported for context but not gated — they
-//! are either deliberately slow baselines or too scheduler-noisy for a hard
+//! `/compiled/` — the data plane the repo's headline speedup lives on) or
+//! **discrete-event simulator** entry (name containing `/sim/` — the time
+//! model the 512-node tuning horizon depends on) regresses by more than the
+//! threshold, the gate fails and CI goes red. Interpreter baselines
+//! (`reference`, `sequential`, `sim-reference`), the thread pool and the
+//! one-off `compile` cost are reported for context but not gated — they are
+//! either deliberately slow baselines or too scheduler-noisy for a hard
 //! threshold.
 //!
 //! The gate is exercised end to end by `tests/` below: a synthetic 2×
@@ -55,9 +57,11 @@ pub fn parse_bench_json(text: &str) -> Result<Vec<BenchEntry>, String> {
     Ok(entries)
 }
 
-/// Whether an entry is hard-gated (see the module docs).
+/// Whether an entry is hard-gated (see the module docs). `/sim-reference/`
+/// entries deliberately do not match `/sim/`: the reference simulator is a
+/// baseline, not a perf surface.
 pub fn is_gated(name: &str) -> bool {
-    name.contains("/compiled/")
+    name.contains("/compiled/") || name.contains("/sim/")
 }
 
 /// Verdict for one benchmark entry present in the baseline.
@@ -215,7 +219,9 @@ mod tests {
     "allreduce-bine-large/reference/64": 1000000.0,
     "allreduce-bine-large/compiled/64": 1000.0,
     "allreduce-bine-large/pool/64": 2000.0,
-    "allreduce-bine-large/compile/64": 500.0
+    "allreduce-bine-large/compile/64": 500.0,
+    "allreduce-bine-large/sim/64": 300000.0,
+    "allreduce-bine-large/sim-reference/64": 9000000.0
   },
   "unit": "ns/op (median)"
 }
@@ -228,18 +234,33 @@ mod tests {
     #[test]
     fn parses_the_bench_exec_format() {
         let e = entries();
-        assert_eq!(e.len(), 4);
+        assert_eq!(e.len(), 6);
         assert_eq!(e[1].0, "allreduce-bine-large/compiled/64");
         assert_eq!(e[1].1, 1000.0);
         assert!(parse_bench_json("{}").is_err());
     }
 
     #[test]
-    fn only_compiled_executor_entries_are_gated() {
+    fn only_compiled_executor_and_des_entries_are_gated() {
         assert!(is_gated("allreduce-bine-large/compiled/256"));
+        assert!(is_gated("allreduce-bine-large/sim/256"));
         assert!(!is_gated("allreduce-bine-large/reference/256"));
+        assert!(!is_gated("allreduce-bine-large/sim-reference/256"));
         assert!(!is_gated("allreduce-bine-large/pool/256"));
         assert!(!is_gated("allreduce-bine-large/compile/256"));
+    }
+
+    #[test]
+    fn a_des_slowdown_fails_the_gate_like_an_executor_slowdown() {
+        let mut slowed = entries();
+        for e in &mut slowed {
+            if e.0.contains("/sim/") {
+                e.1 *= 2.0;
+            }
+        }
+        let outcome = gate(&entries(), &slowed, DEFAULT_THRESHOLD);
+        assert!(!outcome.passed());
+        assert_eq!(outcome.failures(), vec!["allreduce-bine-large/sim/64"]);
     }
 
     #[test]
@@ -268,7 +289,7 @@ mod tests {
     fn ungated_entries_may_regress_freely() {
         let mut slowed = entries();
         for e in &mut slowed {
-            if !e.0.contains("/compiled/") {
+            if !is_gated(&e.0) {
                 e.1 *= 10.0;
             }
         }

@@ -119,6 +119,10 @@ pub struct Evaluator {
     summaries: HashMap<(Collective, String, usize), CostSummary>,
     topologies: HashMap<usize, Box<dyn Topology>>,
     allocations: HashMap<usize, Allocation>,
+    /// Reusable DES scratch + per-schedule route/dependency cache, so sweep
+    /// binaries simulating thousands of configurations allocate nothing per
+    /// simulation after warmup (see [`bine_net::sim::SimArena`]).
+    arena: sim::SimArena,
     /// Seed controlling the sampled job placement (jobs on the group-based
     /// systems are fragmented across groups, as in the paper's runs where no
     /// specific node placement was requested).
@@ -149,6 +153,7 @@ impl Evaluator {
             summaries: HashMap::new(),
             topologies: HashMap::new(),
             allocations: HashMap::new(),
+            arena: sim::SimArena::new(),
             seed,
             selector: None,
         }
@@ -288,7 +293,14 @@ impl Evaluator {
         let compiled = self.compiled.get(&key).unwrap();
         let topo = self.topologies.get(&nodes).unwrap().as_ref();
         let alloc = self.allocations.get(&nodes).unwrap();
-        sim::simulate(&self.model, compiled, vector_bytes, topo, alloc).makespan_us
+        sim::sim_time_in(
+            &mut self.arena,
+            &self.model,
+            compiled,
+            vector_bytes,
+            topo,
+            alloc,
+        )
     }
 
     /// The Bine algorithm name the paper would use for this configuration.
@@ -363,6 +375,7 @@ impl Evaluator {
         self.schedules.clear();
         self.compiled.clear();
         self.summaries.clear();
+        self.arena.clear();
     }
 }
 

@@ -11,6 +11,12 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// One queued event: ordered by time, then by insertion sequence.
+///
+/// The sequence counter is a `u64` on purpose: large discrete-event runs
+/// (hundreds of thousands of sends, several events each, across thousands of
+/// simulations sharing one queue via an arena) must never wrap the tie-break
+/// counter, or FIFO order — and with it bit-level reproducibility — would
+/// silently break.
 struct Entry<T> {
     time: f64,
     seq: u64,
@@ -73,6 +79,42 @@ impl<T> EventQueue<T> {
         self.heap.push(Entry { time, seq, payload });
     }
 
+    /// Schedules every `(time, payload)` pair of `events`, in order.
+    ///
+    /// Equivalent to pushing the events one by one — tie-breaking (FIFO)
+    /// sequence numbers are assigned in iteration order — but rebuilds the
+    /// heap with one O(current + new) heapify pass instead of paying a
+    /// sift-up per event. This is what the simulator's initial ready-send
+    /// seeding uses: seeding `k` events costs O(k), not O(k log k), and the
+    /// existing backing allocation is reused.
+    ///
+    /// # Panics
+    /// Panics if any time is NaN, like [`EventQueue::push`]. As with
+    /// sequential pushes, the events preceding the NaN are queued and the
+    /// queue's prior contents are preserved.
+    pub fn push_many(&mut self, events: impl IntoIterator<Item = (f64, T)>) {
+        let mut entries = std::mem::take(&mut self.heap).into_vec();
+        for (time, payload) in events {
+            if time.is_nan() {
+                // Restore the queue before panicking — push_many must not
+                // be weaker than push, which leaves the queue intact.
+                self.heap = BinaryHeap::from(entries);
+                panic!("event scheduled at NaN");
+            }
+            let seq = self.seq;
+            self.seq += 1;
+            entries.push(Entry { time, seq, payload });
+        }
+        self.heap = BinaryHeap::from(entries);
+    }
+
+    /// Removes every queued event and resets the FIFO tie-break counter,
+    /// keeping the backing allocation for reuse.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.seq = 0;
+    }
+
     /// The timestamp of the earliest queued event.
     pub fn peek_time(&self) -> Option<f64> {
         self.heap.peek().map(|e| e.time)
@@ -125,5 +167,70 @@ mod tests {
     fn nan_times_are_rejected() {
         let mut q = EventQueue::new();
         q.push(f64::NAN, ());
+    }
+
+    #[test]
+    fn push_many_pops_identically_to_sequential_pushes() {
+        let events = [
+            (3.0, "c"),
+            (1.0, "a1"),
+            (2.0, "b"),
+            (1.0, "a2"),
+            (1.0, "a3"),
+        ];
+        let mut one_by_one = EventQueue::new();
+        for &(t, p) in &events {
+            one_by_one.push(t, p);
+        }
+        let mut bulk = EventQueue::new();
+        bulk.push_many(events);
+        while let Some(expected) = one_by_one.pop() {
+            assert_eq!(bulk.pop(), Some(expected));
+        }
+        assert!(bulk.is_empty());
+    }
+
+    #[test]
+    fn push_many_after_pushes_preserves_fifo_ties() {
+        let mut q = EventQueue::new();
+        q.push(1.0, 0);
+        q.push_many([(1.0, 1), (0.5, 2), (1.0, 3)]);
+        q.push(1.0, 4);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(order, vec![2, 0, 1, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn push_many_rejects_nan_times() {
+        let mut q = EventQueue::new();
+        q.push_many([(1.0, ()), (f64::NAN, ())]);
+    }
+
+    #[test]
+    fn push_many_preserves_the_queue_when_it_panics() {
+        let mut q = EventQueue::new();
+        q.push(1.0, "before");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            q.push_many([(2.0, "first"), (f64::NAN, "bad"), (3.0, "after")]);
+        }));
+        assert!(result.is_err());
+        // Exactly what sequential pushes would have left behind: the prior
+        // contents plus the events preceding the NaN.
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(order, vec!["before", "first"]);
+    }
+
+    #[test]
+    fn clear_empties_and_resets_fifo_ties() {
+        let mut q = EventQueue::new();
+        q.push(1.0, "old");
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        q.push(2.0, "x");
+        q.push(2.0, "y");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(order, vec!["x", "y"]);
     }
 }

@@ -41,7 +41,10 @@ pub mod traffic;
 pub use allocation::Allocation;
 pub use cost::{CostBreakdown, CostModel, CostSummary, LowerBounds};
 pub use event::EventQueue;
-pub use sim::{sim_time_us, simulate, simulate_schedule, SimReport};
+pub use sim::{
+    sim_time_in, sim_time_us, simulate, simulate_in, simulate_reference, simulate_schedule,
+    SimArena, SimReport,
+};
 pub use topology::{
     Dragonfly, DragonflyFlavour, FatTree, IdealFullMesh, LinkClass, LinkInfo, Topology, Torus,
 };

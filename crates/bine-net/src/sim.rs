@@ -35,15 +35,50 @@
 //! `tests/proptests.rs` — while segmented schedules on real topologies
 //! overlap chunk *c + 1*'s transfer with chunk *c*'s forwarding and come out
 //! faster than the barrier model predicts.
+//!
+//! ## Two implementations, one semantics
+//!
+//! [`simulate_reference`] is the executable specification: it recomputes the
+//! whole max–min fair share from scratch (fresh `BTreeMap`s per rate event)
+//! at every flow arrival and completion, and allocates all of its scratch
+//! per call. It is kept deliberately simple — and slow.
+//!
+//! [`simulate`] / [`simulate_in`] run the optimized fast path used by every
+//! sweep (tuning, benchmarks, figures):
+//!
+//! * **incremental fair share** — a flow arrival or completion only dirties
+//!   the links it traverses; the affected *component* (flows transitively
+//!   sharing links with a dirtied link) is recomputed by the same
+//!   progressive-filling loop restricted to that component, over flat
+//!   `Vec`-indexed link→flow adjacency maintained across events. Flows in
+//!   untouched components keep their previous rates. Progressive filling is
+//!   separable across link-disjoint components — fixing a flow never changes
+//!   the headroom or open-flow count of a link it does not traverse, and
+//!   water-filling levels are non-decreasing, so the restricted loop performs
+//!   the *identical* float operations in the identical order the global
+//!   recomputation would. The fast path is pinned **bit-identical** to the
+//!   reference (makespans, per-rank finish times and every intermediate
+//!   rate) by property tests across all collectives × algorithms ×
+//!   topologies.
+//! * **arena-backed state** — all per-simulation scratch lives in a
+//!   caller-owned [`SimArena`], so repeated simulations (a tuning sweep runs
+//!   thousands) allocate nothing after warmup. Pinned by a
+//!   counting-global-allocator test (`tests/arena_alloc.rs`).
+//! * **cached static resolution** — per-flow route link lists, summed
+//!   latencies and the static dependency analysis depend only on
+//!   (schedule, topology, allocation, cost model), not on the vector size,
+//!   and are cached in the arena keyed by [`CompiledSchedule::identity`].
+//!   A sweep over vector sizes re-resolves only the per-send byte counts.
 
-use std::collections::{BTreeMap, HashMap};
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 use bine_sched::{CompiledSchedule, Schedule, TransferKind};
 
 use crate::allocation::Allocation;
 use crate::cost::{CostModel, GIB_PER_US};
 use crate::event::EventQueue;
-use crate::topology::Topology;
+use crate::topology::{LinkInfo, Topology};
 
 /// Outcome of simulating one schedule.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,7 +95,14 @@ pub struct SimReport {
     pub peak_active_flows: usize,
 }
 
-/// Static per-send data resolved once before the event loop.
+/// Observer of every fair-share recomputation: invoked with the simulation
+/// clock and the `(send, rate)` pair of every in-flight flow each time rates
+/// are (re)assigned. Used by the property tests to pin the incremental fast
+/// path to the reference at *every* rate event, not just at completion.
+pub type RateProbe<'a> = &'a mut dyn FnMut(f64, &[(u32, f64)]);
+
+/// Static per-send data resolved once before the event loop (reference
+/// implementation only; the fast path uses [`CachedStatic`]).
 struct SendInfo {
     bytes: f64,
     /// alpha + segment overhead + summed link latencies.
@@ -74,6 +116,7 @@ struct SendInfo {
 }
 
 /// A network transfer currently in flight.
+#[derive(Clone, Copy)]
 struct Flow {
     send: u32,
     remaining_bytes: f64,
@@ -89,19 +132,49 @@ enum Ev {
     WriteDone(u32),
 }
 
-/// Simulates `schedule` with `n`-byte vectors on `topo` under `alloc` with
-/// the cost parameters of `model`. See the module docs for the semantics.
+// ---------------------------------------------------------------------------
+// Reference implementation
+// ---------------------------------------------------------------------------
+
+/// The reference simulator: recomputes the global max–min fair share from
+/// scratch at every rate event and allocates all scratch per call. Slow —
+/// kept as the executable specification the optimized [`simulate`] path is
+/// pinned bit-identical against.
 ///
 /// # Panics
 /// Panics if the allocation has fewer ranks than the schedule, or if the
 /// simulation deadlocks (which would indicate a schedule whose dependency
 /// graph is cyclic — impossible for schedules built by `bine-sched`).
-pub fn simulate(
+pub fn simulate_reference(
     model: &CostModel,
     schedule: &CompiledSchedule,
     n: u64,
     topo: &dyn Topology,
     alloc: &Allocation,
+) -> SimReport {
+    simulate_reference_impl(model, schedule, n, topo, alloc, None)
+}
+
+/// [`simulate_reference`] with a [`RateProbe`] invoked after every
+/// fair-share recomputation (a verification hook for the property tests).
+pub fn simulate_reference_probed(
+    model: &CostModel,
+    schedule: &CompiledSchedule,
+    n: u64,
+    topo: &dyn Topology,
+    alloc: &Allocation,
+    probe: RateProbe<'_>,
+) -> SimReport {
+    simulate_reference_impl(model, schedule, n, topo, alloc, Some(probe))
+}
+
+fn simulate_reference_impl(
+    model: &CostModel,
+    schedule: &CompiledSchedule,
+    n: u64,
+    topo: &dyn Topology,
+    alloc: &Allocation,
+    mut probe: Option<RateProbe<'_>>,
 ) -> SimReport {
     let p = schedule.num_ranks;
     assert!(
@@ -334,6 +407,10 @@ pub fn simulate(
         &mut heap,
     ) {
         assign_rates(&mut active);
+        if let Some(probe) = probe.as_mut() {
+            let snapshot: Vec<(u32, f64)> = active.iter().map(|f| (f.send, f.rate)).collect();
+            probe(t, &snapshot);
+        }
     }
     peak_active_flows = peak_active_flows.max(active.len());
 
@@ -435,6 +512,10 @@ pub fn simulate(
         }
         if flows_changed {
             assign_rates(&mut active);
+            if let Some(probe) = probe.as_mut() {
+                let snapshot: Vec<(u32, f64)> = active.iter().map(|f| (f.send, f.rate)).collect();
+                probe(t, &snapshot);
+            }
         }
         peak_active_flows = peak_active_flows.max(active.len());
     }
@@ -446,6 +527,1054 @@ pub fn simulate(
         network_messages,
         peak_active_flows,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Optimized implementation: arena + cached statics + incremental fair share
+// ---------------------------------------------------------------------------
+
+/// Everything about one simulation that does not depend on the vector size:
+/// per-send routes, latencies and flags, the static dependency analysis, the
+/// per-rank FIFO send order and the per-link capacity table. Cached in the
+/// [`SimArena`] keyed by [`CompiledSchedule::identity`] and revalidated
+/// against the topology shape, allocation and cost model on every use.
+struct CachedStatic {
+    // Context validation (see [`CachedStatic::matches`]).
+    model: CostModel,
+    topo_nodes: usize,
+    topo_groups: usize,
+    link_table: Vec<LinkInfo>,
+    alloc: Allocation,
+
+    num_ranks: usize,
+    num_sends: usize,
+    network_messages: u64,
+
+    // Per-send statics, indexed by global send id.
+    latency_us: Vec<f64>,
+    links_off: Vec<u32>,
+    links_flat: Vec<u32>,
+    reduce: Vec<bool>,
+    local: Vec<bool>,
+    src: Vec<u32>,
+    dst: Vec<u32>,
+
+    // Static dependency analysis (CSR form of the reference's `Vec<Vec<_>>`).
+    read_deps_init: Vec<u32>,
+    read_dep_off: Vec<u32>,
+    read_dep_flat: Vec<u32>,
+    write_preds_init: Vec<u32>,
+    write_dep_off: Vec<u32>,
+    write_dep_flat: Vec<u32>,
+
+    // Per-rank FIFO send queues, CSR.
+    rank_off: Vec<u32>,
+    rank_flat: Vec<u32>,
+
+    /// Per-link capacity in bytes/us — the same product the reference's
+    /// `link_cap` closure computes, precomputed once (bit-identical).
+    link_cap: Vec<f64>,
+
+    /// The vector size the `bytes` column currently resolves, if any.
+    bytes_n: Option<u64>,
+    bytes: Vec<f64>,
+}
+
+impl CachedStatic {
+    #[inline]
+    fn links(&self, send: u32) -> &[u32] {
+        &self.links_flat
+            [self.links_off[send as usize] as usize..self.links_off[send as usize + 1] as usize]
+    }
+
+    #[inline]
+    fn read_dependents(&self, send: u32) -> &[u32] {
+        &self.read_dep_flat[self.read_dep_off[send as usize] as usize
+            ..self.read_dep_off[send as usize + 1] as usize]
+    }
+
+    #[inline]
+    fn write_dependents(&self, send: u32) -> &[u32] {
+        &self.write_dep_flat[self.write_dep_off[send as usize] as usize
+            ..self.write_dep_off[send as usize + 1] as usize]
+    }
+
+    #[inline]
+    fn rank_sends(&self, rank: usize) -> &[u32] {
+        &self.rank_flat[self.rank_off[rank] as usize..self.rank_off[rank + 1] as usize]
+    }
+
+    /// Whether this entry was built for the same context. Allocation-free:
+    /// the topology is revalidated by shape (node/group/link counts and the
+    /// full per-link table) instead of its heap-allocated `name()`.
+    fn matches(&self, model: &CostModel, topo: &dyn Topology, alloc: &Allocation) -> bool {
+        self.model == *model
+            && self.topo_nodes == topo.num_nodes()
+            && self.topo_groups == topo.num_groups()
+            && self.link_table.len() == topo.num_links()
+            && self.alloc == *alloc
+            && self
+                .link_table
+                .iter()
+                .enumerate()
+                .all(|(l, info)| *info == topo.link(l))
+    }
+
+    /// Resolves the per-send byte counts for vector size `n` (a no-op when
+    /// the cached column already matches).
+    fn ensure_bytes(&mut self, schedule: &CompiledSchedule, n: u64) {
+        if self.bytes_n == Some(n) {
+            return;
+        }
+        let p = self.num_ranks;
+        self.bytes.clear();
+        for step in 0..schedule.num_steps() {
+            for i in schedule.step_send_range(step) {
+                let s = schedule.send(i);
+                let bytes: u64 = schedule
+                    .block_index_slice(s)
+                    .iter()
+                    .map(|&b| schedule.blocks().resolve(b).bytes(n, p))
+                    .sum();
+                self.bytes.push(bytes as f64);
+            }
+        }
+        self.bytes_n = Some(n);
+    }
+}
+
+/// Builds the [`CachedStatic`] for one (schedule, topology, allocation,
+/// model) context — the only allocating step of the optimized path, paid
+/// once per compiled schedule and amortised over every subsequent vector
+/// size and repetition.
+fn build_static(
+    model: &CostModel,
+    schedule: &CompiledSchedule,
+    topo: &dyn Topology,
+    alloc: &Allocation,
+) -> CachedStatic {
+    let p = schedule.num_ranks;
+    let num_sends = schedule.num_sends();
+
+    let mut latency_us = Vec::with_capacity(num_sends);
+    let mut links_off: Vec<u32> = Vec::with_capacity(num_sends + 1);
+    let mut links_flat: Vec<u32> = Vec::new();
+    let mut reduce = Vec::with_capacity(num_sends);
+    let mut local = Vec::with_capacity(num_sends);
+    let mut src = Vec::with_capacity(num_sends);
+    let mut dst = Vec::with_capacity(num_sends);
+    let mut network_messages = 0u64;
+    links_off.push(0);
+    for step in 0..schedule.num_steps() {
+        for i in schedule.step_send_range(step) {
+            let s = schedule.send(i);
+            let is_local = s.is_local();
+            let mut lat = if is_local {
+                0.0
+            } else {
+                network_messages += 1;
+                model.alpha_us + model.segment_overhead_us * (s.segments.saturating_sub(1)) as f64
+            };
+            if !is_local {
+                let route =
+                    topo.route(alloc.node_of(s.src as usize), alloc.node_of(s.dst as usize));
+                for &l in &route {
+                    lat += topo.link(l).latency_us;
+                }
+                links_flat.extend(route.iter().map(|&l| l as u32));
+            }
+            links_off.push(links_flat.len() as u32);
+            latency_us.push(lat);
+            reduce.push(s.kind == TransferKind::Reduce);
+            local.push(is_local);
+            src.push(s.src);
+            dst.push(s.dst);
+        }
+    }
+
+    // Static dependency analysis: the reference's algorithm verbatim,
+    // flattened into CSR afterwards (see the reference for the semantics).
+    let mut read_deps_init = vec![0u32; num_sends];
+    let mut read_dependents: Vec<Vec<u32>> = vec![Vec::new(); num_sends];
+    let mut write_preds_init = vec![0u32; num_sends];
+    let mut write_dependents: Vec<Vec<u32>> = vec![Vec::new(); num_sends];
+    let mut latest_write: Vec<HashMap<u32, u32>> = vec![HashMap::new(); p];
+    for step in 0..schedule.num_steps() {
+        let range = schedule.step_send_range(step);
+        for i in range.clone() {
+            let s = schedule.send(i);
+            let writers = &latest_write[s.src as usize];
+            let mut seen: Vec<u32> = Vec::new();
+            for &b in schedule.block_index_slice(s) {
+                if let Some(&w) = writers.get(&b) {
+                    if !seen.contains(&w) {
+                        seen.push(w);
+                    }
+                }
+            }
+            read_deps_init[i] = seen.len() as u32;
+            for w in seen {
+                read_dependents[w as usize].push(i as u32);
+            }
+        }
+        for i in range {
+            let s = schedule.send(i);
+            let d = s.dst as usize;
+            let mut preds: Vec<u32> = Vec::new();
+            for &b in schedule.block_index_slice(s) {
+                if let Some(&w) = latest_write[d].get(&b) {
+                    if !preds.contains(&w) {
+                        preds.push(w);
+                    }
+                }
+            }
+            write_preds_init[i] = preds.len() as u32;
+            for w in preds {
+                write_dependents[w as usize].push(i as u32);
+            }
+            for &b in schedule.block_index_slice(s) {
+                latest_write[d].insert(b, i as u32);
+            }
+        }
+    }
+    fn flatten(lists: Vec<Vec<u32>>) -> (Vec<u32>, Vec<u32>) {
+        let mut off = Vec::with_capacity(lists.len() + 1);
+        let mut flat = Vec::with_capacity(lists.iter().map(Vec::len).sum());
+        off.push(0u32);
+        for list in lists {
+            flat.extend_from_slice(&list);
+            off.push(flat.len() as u32);
+        }
+        (off, flat)
+    }
+    let (read_dep_off, read_dep_flat) = flatten(read_dependents);
+    let (write_dep_off, write_dep_flat) = flatten(write_dependents);
+
+    // Per-rank FIFO send queues, in (step, schedule-order) order.
+    let mut rank_sends: Vec<Vec<u32>> = vec![Vec::new(); p];
+    for step in 0..schedule.num_steps() {
+        for i in schedule.step_send_range(step) {
+            rank_sends[schedule.send(i).src as usize].push(i as u32);
+        }
+    }
+    let (rank_off, rank_flat) = flatten(rank_sends);
+
+    let link_table: Vec<LinkInfo> = (0..topo.num_links()).map(|l| topo.link(l)).collect();
+    let link_cap: Vec<f64> = link_table
+        .iter()
+        .map(|info| info.bandwidth_gib_s * GIB_PER_US)
+        .collect();
+
+    CachedStatic {
+        model: model.clone(),
+        topo_nodes: topo.num_nodes(),
+        topo_groups: topo.num_groups(),
+        link_table,
+        alloc: alloc.clone(),
+        num_ranks: p,
+        num_sends,
+        network_messages,
+        latency_us,
+        links_off,
+        links_flat,
+        reduce,
+        local,
+        src,
+        dst,
+        read_deps_init,
+        read_dep_off,
+        read_dep_flat,
+        write_preds_init,
+        write_dep_off,
+        write_dep_flat,
+        rank_off,
+        rank_flat,
+        link_cap,
+        bytes_n: None,
+        bytes: Vec::new(),
+    }
+}
+
+/// One bottleneck candidate in the refill heap: a link with its cached fair
+/// share. Ordered ascending by `(fair, link)` — the same winner the
+/// reference's ascending-link-id strict-`<` scan selects — through a
+/// reversed `Ord` so `BinaryHeap` pops the minimum. `epoch` lazily
+/// invalidates entries superseded by a newer fair value for the same link.
+struct RefillEntry {
+    fair: f64,
+    link: u32,
+    epoch: u32,
+}
+
+impl PartialEq for RefillEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.fair.total_cmp(&other.fair) == Ordering::Equal && self.link == other.link
+    }
+}
+impl Eq for RefillEntry {}
+impl Ord for RefillEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.fair
+            .total_cmp(&other.fair)
+            .then(self.link.cmp(&other.link))
+            .reverse()
+    }
+}
+impl PartialOrd for RefillEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The mutable per-run state, reused across simulations.
+#[derive(Default)]
+struct Scratch {
+    // Dynamic copies of the static init vectors.
+    read_deps: Vec<u32>,
+    write_preds: Vec<u32>,
+    payload_ready: Vec<bool>,
+    // Per-rank state.
+    next_idx: Vec<u32>,
+    port_free: Vec<f64>,
+    compute_free: Vec<f64>,
+    rank_finish: Vec<f64>,
+    // Event machinery.
+    active: Vec<Flow>,
+    heap: EventQueue<Ev>,
+    finish_stack: Vec<u32>,
+    pending: Vec<(f64, Ev)>,
+    finished_sends: Vec<u32>,
+    // Incremental fair-share state.
+    /// Per link: the sends of the flows currently traversing it, in
+    /// ascending active-index order (append on start, ordered removal on
+    /// finish; the stable compaction preserves relative order).
+    link_flows: Vec<Vec<u32>>,
+    /// Active index of each in-flight send (stale once the flow finishes).
+    flow_of_send: Vec<u32>,
+    link_dirty: Vec<bool>,
+    flow_dirty: Vec<bool>,
+    flow_fixed: Vec<bool>,
+    assigned: Vec<f64>,
+    comp_links: Vec<u32>,
+    comp_flows: Vec<u32>,
+    // Refill bookkeeping: per-link open-flow counts and fair-share epochs,
+    // the lazy bottleneck heap, and the links touched by one round's fixes.
+    link_open: Vec<u32>,
+    link_epoch: Vec<u32>,
+    refill_heap: BinaryHeap<RefillEntry>,
+    refill_mark: Vec<bool>,
+    refill_touched: Vec<u32>,
+    /// Per-active-flow completion times computed by the next-event scan and
+    /// reused (same bits) by the compaction pass.
+    completion: Vec<f64>,
+    /// Ranks whose eligibility may have changed this event (port released
+    /// or a read dependency completed), processed in ascending rank order.
+    cand_ranks: Vec<u32>,
+    cand_marked: Vec<bool>,
+    probe_buf: Vec<(u32, f64)>,
+    /// `peak_active_flows` of the last run.
+    peak: usize,
+    /// `network_messages` of the last run.
+    network_messages: u64,
+}
+
+/// Reusable state for the optimized simulator: all per-simulation scratch
+/// plus a cache of per-schedule static resolution (routes, latencies,
+/// dependency analysis) keyed by [`CompiledSchedule::identity`].
+///
+/// Owning one arena across a sweep makes repeated simulations allocate
+/// nothing after warmup (pinned by `tests/arena_alloc.rs`); results are
+/// bit-identical to fresh-arena and reference runs regardless of what was
+/// simulated before.
+#[derive(Default)]
+pub struct SimArena {
+    cache: HashMap<u64, CachedStatic>,
+    scratch: Scratch,
+}
+
+impl SimArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops every cached per-schedule static resolution (call between
+    /// sweeps over disjoint schedule sets to bound memory). Scratch capacity
+    /// is kept.
+    pub fn clear(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Number of schedules with cached static resolution.
+    pub fn cached_schedules(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+/// Simulates `schedule` with `n`-byte vectors on `topo` under `alloc` with
+/// the cost parameters of `model`. See the module docs for the semantics.
+///
+/// This is the optimized fast path, pinned bit-identical to
+/// [`simulate_reference`]; it spins up a fresh [`SimArena`] per call —
+/// sweeps should hold their own arena and call [`simulate_in`] /
+/// [`sim_time_in`] instead.
+///
+/// # Panics
+/// Panics if the allocation has fewer ranks than the schedule, or if the
+/// simulation deadlocks (which would indicate a schedule whose dependency
+/// graph is cyclic — impossible for schedules built by `bine-sched`).
+pub fn simulate(
+    model: &CostModel,
+    schedule: &CompiledSchedule,
+    n: u64,
+    topo: &dyn Topology,
+    alloc: &Allocation,
+) -> SimReport {
+    let mut arena = SimArena::new();
+    simulate_in(&mut arena, model, schedule, n, topo, alloc)
+}
+
+/// [`simulate`] with caller-owned scratch: repeated calls reuse `arena`'s
+/// buffers and cached static resolution, allocating only the returned
+/// report's per-rank vector. See [`sim_time_in`] for the fully
+/// allocation-free variant.
+pub fn simulate_in(
+    arena: &mut SimArena,
+    model: &CostModel,
+    schedule: &CompiledSchedule,
+    n: u64,
+    topo: &dyn Topology,
+    alloc: &Allocation,
+) -> SimReport {
+    let makespan_us = run_optimized(arena, model, schedule, n, topo, alloc, None);
+    report_from(&arena.scratch, makespan_us)
+}
+
+/// The simulated makespan in microseconds, with caller-owned scratch.
+/// Allocation-free after warmup — the hot entry point for tuning and
+/// benchmark sweeps.
+pub fn sim_time_in(
+    arena: &mut SimArena,
+    model: &CostModel,
+    schedule: &CompiledSchedule,
+    n: u64,
+    topo: &dyn Topology,
+    alloc: &Allocation,
+) -> f64 {
+    run_optimized(arena, model, schedule, n, topo, alloc, None)
+}
+
+/// [`simulate_in`] with a [`RateProbe`] invoked after every fair-share
+/// recomputation — the verification hook the property tests use to pin the
+/// incremental rates to the reference at every event.
+pub fn simulate_probed(
+    arena: &mut SimArena,
+    model: &CostModel,
+    schedule: &CompiledSchedule,
+    n: u64,
+    topo: &dyn Topology,
+    alloc: &Allocation,
+    probe: RateProbe<'_>,
+) -> SimReport {
+    let makespan_us = run_optimized(arena, model, schedule, n, topo, alloc, Some(probe));
+    report_from(&arena.scratch, makespan_us)
+}
+
+fn report_from(sc: &Scratch, makespan_us: f64) -> SimReport {
+    SimReport {
+        makespan_us,
+        rank_finish_us: sc.rank_finish.clone(),
+        network_messages: sc.network_messages,
+        peak_active_flows: sc.peak,
+    }
+}
+
+/// Starts every eligible send of the `candidates` ranks at time `t`: local
+/// moves and same-node sends become timer events in `pending` (drained into
+/// the heap by the caller, preserving FIFO order), network sends become
+/// flows. Returns whether a flow was added (rates must then be recomputed).
+///
+/// `candidates` must be in ascending rank order — the reference scans ranks
+/// `0..p`, and the order flows are pushed in is the fair-share tie-break
+/// order. Eligibility only ever *arises* from a port release or a read
+/// dependency completing, and both coincide with an event, so the caller
+/// can visit just the ranks an event touched instead of rescanning all `p`.
+#[allow(clippy::too_many_arguments)]
+fn start_eligible(
+    st: &CachedStatic,
+    copy_rate: f64,
+    t: f64,
+    candidates: &[u32],
+    next_idx: &mut [u32],
+    port_free: &mut [f64],
+    read_deps: &[u32],
+    active: &mut Vec<Flow>,
+    pending: &mut Vec<(f64, Ev)>,
+) -> bool {
+    let mut flows_changed = false;
+    for &r in candidates {
+        let r = r as usize;
+        let queue = st.rank_sends(r);
+        while (next_idx[r] as usize) < queue.len() {
+            let send = queue[next_idx[r] as usize];
+            if read_deps[send as usize] != 0 || port_free[r] > t {
+                break;
+            }
+            next_idx[r] += 1;
+            if st.local[send as usize] {
+                let done = t + st.bytes[send as usize] / copy_rate;
+                port_free[r] = done;
+                pending.push((done, Ev::WriteDone(send)));
+            } else if st.links(send).is_empty() {
+                // Distinct ranks on the same node: only the software
+                // overhead applies, matching the synchronous model.
+                let done = t + st.latency_us[send as usize];
+                port_free[r] = done;
+                pending.push((done, Ev::Delivered(send)));
+            } else {
+                // The port stays busy until the payload is serialised
+                // (flow completion sets it).
+                port_free[r] = f64::INFINITY;
+                active.push(Flow {
+                    send,
+                    remaining_bytes: st.bytes[send as usize],
+                    rate: 0.0,
+                });
+                flows_changed = true;
+            }
+        }
+    }
+    flows_changed
+}
+
+/// Refill scratch borrowed by [`recompute_rates`] (one bundle so the call
+/// sites stay readable).
+struct RefillScratch<'a> {
+    link_open: &'a mut [u32],
+    link_epoch: &'a mut [u32],
+    refill_heap: &'a mut BinaryHeap<RefillEntry>,
+    refill_mark: &'a mut [bool],
+    refill_touched: &'a mut Vec<u32>,
+}
+
+/// Incremental max–min fair share. `finished_sends` are the flows removed
+/// this event, `new_start` is the active index of the first flow added this
+/// event. Only the links they touch — and, transitively, the flows sharing
+/// those links (the affected components) — are recomputed, by the exact
+/// progressive-filling float operations of the reference restricted to those
+/// components; every other flow keeps its previous (identical) rate.
+///
+/// Within the affected component the progressive filling itself is
+/// near-linear instead of rounds × links: every link's fair share is
+/// computed by the reference's exact expression, but only when its inputs
+/// (`assigned`, open-flow count) change, and the per-round bottleneck is
+/// popped from a lazily-invalidated min-heap ordered by `(fair, link id)` —
+/// the identical winner the reference's ascending-id strict-`<` scan picks,
+/// since stale entries are skipped and ties break on the lower link id.
+#[allow(clippy::too_many_arguments)]
+fn recompute_rates(
+    st: &CachedStatic,
+    active: &mut [Flow],
+    finished_sends: &[u32],
+    new_start: usize,
+    link_flows: &mut [Vec<u32>],
+    flow_of_send: &mut [u32],
+    link_dirty: &mut [bool],
+    flow_dirty: &mut [bool],
+    flow_fixed: &mut [bool],
+    assigned: &mut [f64],
+    comp_links: &mut Vec<u32>,
+    comp_flows: &mut Vec<u32>,
+    refill: RefillScratch<'_>,
+) {
+    comp_links.clear();
+    comp_flows.clear();
+
+    // Remove finished flows from the adjacency; their links are dirty.
+    for &s in finished_sends {
+        for &l in st.links(s) {
+            let list = &mut link_flows[l as usize];
+            let pos = list
+                .iter()
+                .position(|&x| x == s)
+                .expect("finished flow must be on its links");
+            list.remove(pos);
+            if !link_dirty[l as usize] {
+                link_dirty[l as usize] = true;
+                comp_links.push(l);
+            }
+        }
+    }
+    // Insert new flows (ascending active index keeps per-link lists in the
+    // reference's construction order); they and their links are dirty.
+    for (fi, flow) in active.iter().enumerate().skip(new_start) {
+        let s = flow.send;
+        flow_of_send[s as usize] = fi as u32;
+        flow_dirty[fi] = true;
+        comp_flows.push(fi as u32);
+        for &l in st.links(s) {
+            link_flows[l as usize].push(s);
+            if !link_dirty[l as usize] {
+                link_dirty[l as usize] = true;
+                comp_links.push(l);
+            }
+        }
+    }
+
+    // Breadth-first closure: a dirty link dirties every flow on it; a dirty
+    // flow dirties every link it traverses.
+    let mut cursor = 0;
+    while cursor < comp_links.len() {
+        let l = comp_links[cursor];
+        cursor += 1;
+        for &s in &link_flows[l as usize] {
+            let fi = flow_of_send[s as usize] as usize;
+            if flow_dirty[fi] {
+                continue;
+            }
+            flow_dirty[fi] = true;
+            comp_flows.push(fi as u32);
+            for &l2 in st.links(s) {
+                if !link_dirty[l2 as usize] {
+                    link_dirty[l2 as usize] = true;
+                    comp_links.push(l2);
+                }
+            }
+        }
+    }
+
+    if !comp_flows.is_empty() {
+        // Progressive filling restricted to the affected components. Every
+        // flow on a dirty link is dirty (the closure above), so a dirty
+        // link's open-flow count starts at its full list length.
+        let RefillScratch {
+            link_open,
+            link_epoch,
+            refill_heap,
+            refill_mark,
+            refill_touched,
+        } = refill;
+        refill_heap.clear();
+        for &l in comp_links.iter() {
+            let li = l as usize;
+            assigned[li] = 0.0;
+            link_epoch[li] = 0;
+            let open = link_flows[li].len();
+            link_open[li] = open as u32;
+            if open > 0 {
+                // The reference's fair-share expression, verbatim.
+                let fair = (st.link_cap[li] - assigned[li]).max(0.0) / open as f64;
+                refill_heap.push(RefillEntry {
+                    fair,
+                    link: l,
+                    epoch: 0,
+                });
+            }
+        }
+        for &fi in comp_flows.iter() {
+            flow_fixed[fi as usize] = false;
+        }
+        let mut unfixed = comp_flows.len();
+        while unfixed > 0 {
+            // Pop the bottleneck: the smallest (fair, link id) whose cached
+            // fair share is current and which still has open flows.
+            let (fair, l) = loop {
+                let e = refill_heap
+                    .pop()
+                    .expect("every flow traverses at least one link");
+                let li = e.link as usize;
+                if link_epoch[li] == e.epoch && link_open[li] > 0 {
+                    break (e.fair, e.link);
+                }
+            };
+            // Numerical floor: keeps the loop terminating even when FP
+            // cancellation leaves a link marginally oversubscribed.
+            let fair = fair.max(st.link_cap[l as usize] * 1e-12);
+            refill_touched.clear();
+            for &s in &link_flows[l as usize] {
+                let fi = flow_of_send[s as usize] as usize;
+                if flow_fixed[fi] {
+                    continue;
+                }
+                flow_fixed[fi] = true;
+                unfixed -= 1;
+                active[fi].rate = fair;
+                for &l2 in st.links(s) {
+                    let li = l2 as usize;
+                    assigned[li] += fair;
+                    link_open[li] -= 1;
+                    if !refill_mark[li] {
+                        refill_mark[li] = true;
+                        refill_touched.push(l2);
+                    }
+                }
+            }
+            // Refresh the fair share of every link the round's fixes
+            // touched — once, after all of them, exactly as the reference's
+            // next-round scan would observe the state.
+            for &l2 in refill_touched.iter() {
+                let li = l2 as usize;
+                refill_mark[li] = false;
+                link_epoch[li] += 1;
+                if link_open[li] > 0 {
+                    let fair = (st.link_cap[li] - assigned[li]).max(0.0) / link_open[li] as f64;
+                    refill_heap.push(RefillEntry {
+                        fair,
+                        link: l2,
+                        epoch: link_epoch[li],
+                    });
+                }
+            }
+        }
+    }
+
+    // Reset the dirty marks for the next event.
+    for &l in comp_links.iter() {
+        link_dirty[l as usize] = false;
+    }
+    for &fi in comp_flows.iter() {
+        flow_dirty[fi as usize] = false;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_optimized(
+    arena: &mut SimArena,
+    model: &CostModel,
+    schedule: &CompiledSchedule,
+    n: u64,
+    topo: &dyn Topology,
+    alloc: &Allocation,
+    mut probe: Option<RateProbe<'_>>,
+) -> f64 {
+    let p = schedule.num_ranks;
+    assert!(
+        alloc.num_ranks() >= p,
+        "allocation has {} ranks, schedule needs {p}",
+        alloc.num_ranks()
+    );
+
+    // ---- Cache lookup / rebuild of the static resolution. ------------------
+    let key = schedule.identity();
+    let rebuild = match arena.cache.get(&key) {
+        Some(entry) => !entry.matches(model, topo, alloc),
+        None => true,
+    };
+    if rebuild {
+        arena
+            .cache
+            .insert(key, build_static(model, schedule, topo, alloc));
+    }
+    let entry = arena.cache.get_mut(&key).expect("just ensured");
+    entry.ensure_bytes(schedule, n);
+    let st: &CachedStatic = entry;
+
+    let copy_rate = model.copy_bandwidth_gib_s * GIB_PER_US;
+    let reduce_rate = model.reduce_bandwidth_gib_s * GIB_PER_US;
+    let num_sends = st.num_sends;
+    let num_links = st.link_cap.len();
+
+    // ---- Per-run state reset (capacity retained across runs). --------------
+    let Scratch {
+        read_deps,
+        write_preds,
+        payload_ready,
+        next_idx,
+        port_free,
+        compute_free,
+        rank_finish,
+        active,
+        heap,
+        finish_stack,
+        pending,
+        finished_sends,
+        link_flows,
+        flow_of_send,
+        link_dirty,
+        flow_dirty,
+        flow_fixed,
+        assigned,
+        comp_links,
+        comp_flows,
+        link_open,
+        link_epoch,
+        refill_heap,
+        refill_mark,
+        refill_touched,
+        completion,
+        cand_ranks,
+        cand_marked,
+        probe_buf,
+        peak,
+        network_messages,
+    } = &mut arena.scratch;
+    read_deps.clear();
+    read_deps.extend_from_slice(&st.read_deps_init);
+    write_preds.clear();
+    write_preds.extend_from_slice(&st.write_preds_init);
+    payload_ready.clear();
+    payload_ready.resize(num_sends, false);
+    next_idx.clear();
+    next_idx.resize(p, 0);
+    port_free.clear();
+    port_free.resize(p, 0.0);
+    compute_free.clear();
+    compute_free.resize(p, 0.0);
+    rank_finish.clear();
+    rank_finish.resize(p, 0.0);
+    active.clear();
+    heap.clear();
+    finish_stack.clear();
+    pending.clear();
+    finished_sends.clear();
+    if link_flows.len() < num_links {
+        link_flows.resize_with(num_links, Vec::new);
+    }
+    for list in link_flows.iter_mut() {
+        list.clear();
+    }
+    flow_of_send.clear();
+    flow_of_send.resize(num_sends, 0);
+    link_dirty.clear();
+    link_dirty.resize(num_links, false);
+    flow_dirty.clear();
+    flow_dirty.resize(p, false);
+    flow_fixed.clear();
+    flow_fixed.resize(p, false);
+    assigned.clear();
+    assigned.resize(num_links, 0.0);
+    comp_links.clear();
+    comp_flows.clear();
+    link_open.clear();
+    link_open.resize(num_links, 0);
+    link_epoch.clear();
+    link_epoch.resize(num_links, 0);
+    refill_heap.clear();
+    refill_mark.clear();
+    refill_mark.resize(num_links, false);
+    refill_touched.clear();
+    completion.clear();
+    cand_ranks.clear();
+    cand_marked.clear();
+    cand_marked.resize(p, false);
+    *peak = 0;
+    *network_messages = st.network_messages;
+
+    let mut t = 0.0f64;
+    let mut completed = 0usize;
+
+    // ---- Initial ready-send seeding (bulk heap insert). --------------------
+    cand_ranks.extend(0..p as u32);
+    let mut flows_changed = start_eligible(
+        st, copy_rate, t, cand_ranks, next_idx, port_free, read_deps, active, pending,
+    );
+    cand_ranks.clear();
+    heap.push_many(pending.drain(..));
+    if flows_changed {
+        recompute_rates(
+            st,
+            active,
+            finished_sends,
+            0,
+            link_flows,
+            flow_of_send,
+            link_dirty,
+            flow_dirty,
+            flow_fixed,
+            assigned,
+            comp_links,
+            comp_flows,
+            RefillScratch {
+                link_open,
+                link_epoch,
+                refill_heap,
+                refill_mark,
+                refill_touched,
+            },
+        );
+        if let Some(probe) = probe.as_mut() {
+            probe_buf.clear();
+            probe_buf.extend(active.iter().map(|f| (f.send, f.rate)));
+            probe(t, probe_buf);
+        }
+    }
+    *peak = (*peak).max(active.len());
+
+    // ---- Event loop (identical float semantics to the reference). ----------
+    while completed < num_sends {
+        // Next event: earliest flow completion or queued timer. The
+        // per-flow completion times are stashed so the compaction pass below
+        // reuses the same bits instead of paying the division again.
+        completion.clear();
+        let mut t_flow = f64::INFINITY;
+        for f in active.iter() {
+            let c = t + f.remaining_bytes / f.rate;
+            completion.push(c);
+            t_flow = t_flow.min(c);
+        }
+        let t_next = t_flow.min(heap.peek_time().unwrap_or(f64::INFINITY));
+        assert!(
+            t_next.is_finite(),
+            "simulation deadlock: {} of {num_sends} writes completed",
+            completed
+        );
+        let tol = 1e-9 * (1.0 + t_next.abs());
+        let dt = t_next - t;
+
+        // Flows whose predicted completion falls on t_next finish; the rest
+        // advance by dt at their current rate. The in-place compaction is
+        // stable, so the surviving flows' relative order — and with it the
+        // fair-share tie-break order — matches the reference's rebuild.
+        finished_sends.clear();
+        flows_changed = false;
+        let mut w = 0usize;
+        for r in 0..active.len() {
+            let mut f = active[r];
+            if completion[r] <= t_next + tol {
+                let src = st.src[f.send as usize] as usize;
+                port_free[src] = t_next;
+                rank_finish[src] = rank_finish[src].max(t_next);
+                heap.push(
+                    t_next + st.latency_us[f.send as usize],
+                    Ev::Delivered(f.send),
+                );
+                finished_sends.push(f.send);
+                flows_changed = true;
+                if !cand_marked[src] {
+                    cand_marked[src] = true;
+                    cand_ranks.push(src as u32);
+                }
+            } else {
+                f.remaining_bytes -= f.rate * dt;
+                active[w] = f;
+                flow_of_send[f.send as usize] = w as u32;
+                w += 1;
+            }
+        }
+        active.truncate(w);
+        t = t_next;
+
+        // Drain every timer event at (or numerically on) t; see the
+        // reference implementation for why the clock follows the drained
+        // event times.
+        while let Some(et) = heap.peek_time() {
+            if et > t + tol {
+                break;
+            }
+            let (et, ev) = heap.pop().expect("peeked");
+            t = t.max(et);
+            match ev {
+                Ev::Delivered(send) => {
+                    // The sender's port was released no later than this
+                    // event's timestamp (same-node sends stamp it at
+                    // delivery time), so the rank is an eligibility
+                    // candidate.
+                    let src = st.src[send as usize] as usize;
+                    if !cand_marked[src] {
+                        cand_marked[src] = true;
+                        cand_ranks.push(src as u32);
+                    }
+                    let d = st.dst[send as usize] as usize;
+                    rank_finish[d] = rank_finish[d].max(t);
+                    if st.reduce[send as usize] {
+                        let start = compute_free[d].max(t);
+                        let done = start + st.bytes[send as usize] / reduce_rate;
+                        compute_free[d] = done;
+                        heap.push(done, Ev::WriteDone(send));
+                    } else {
+                        heap.push(t, Ev::WriteDone(send));
+                    }
+                }
+                Ev::WriteDone(send) => {
+                    // Local moves release their sender's port at this
+                    // event's timestamp.
+                    let src = st.src[send as usize] as usize;
+                    if !cand_marked[src] {
+                        cand_marked[src] = true;
+                        cand_ranks.push(src as u32);
+                    }
+                    // The payload is combined; the write becomes final once
+                    // every chained predecessor write to its blocks is, and
+                    // finalising it may cascade through deferred successors.
+                    payload_ready[send as usize] = true;
+                    if write_preds[send as usize] == 0 {
+                        finish_stack.push(send);
+                    }
+                    while let Some(wr) = finish_stack.pop() {
+                        let d = st.dst[wr as usize] as usize;
+                        rank_finish[d] = rank_finish[d].max(t);
+                        completed += 1;
+                        for &dep in st.read_dependents(wr) {
+                            read_deps[dep as usize] -= 1;
+                            if read_deps[dep as usize] == 0 {
+                                // The dependent may now be its rank's
+                                // startable queue head.
+                                let dep_src = st.src[dep as usize] as usize;
+                                if !cand_marked[dep_src] {
+                                    cand_marked[dep_src] = true;
+                                    cand_ranks.push(dep_src as u32);
+                                }
+                            }
+                        }
+                        for &dep in st.write_dependents(wr) {
+                            write_preds[dep as usize] -= 1;
+                            if write_preds[dep as usize] == 0 && payload_ready[dep as usize] {
+                                finish_stack.push(dep);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let new_start = active.len();
+        // Candidate ranks must start in ascending rank order — the order
+        // the reference's full 0..p scan pushes flows in.
+        cand_ranks.sort_unstable();
+        if start_eligible(
+            st, copy_rate, t, cand_ranks, next_idx, port_free, read_deps, active, pending,
+        ) {
+            flows_changed = true;
+        }
+        for &r in cand_ranks.iter() {
+            cand_marked[r as usize] = false;
+        }
+        cand_ranks.clear();
+        for (et, ev) in pending.drain(..) {
+            heap.push(et, ev);
+        }
+        if flows_changed {
+            recompute_rates(
+                st,
+                active,
+                finished_sends,
+                new_start,
+                link_flows,
+                flow_of_send,
+                link_dirty,
+                flow_dirty,
+                flow_fixed,
+                assigned,
+                comp_links,
+                comp_flows,
+                RefillScratch {
+                    link_open,
+                    link_epoch,
+                    refill_heap,
+                    refill_mark,
+                    refill_touched,
+                },
+            );
+            if let Some(probe) = probe.as_mut() {
+                probe_buf.clear();
+                probe_buf.extend(active.iter().map(|f| (f.send, f.rate)));
+                probe(t, probe_buf);
+            }
+        }
+        *peak = (*peak).max(active.len());
+    }
+
+    rank_finish.iter().copied().fold(0.0, f64::max)
 }
 
 /// Convenience wrapper: segments `schedule` into `chunks` pipeline chunks
@@ -478,7 +1607,7 @@ pub fn sim_time_us(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::topology::{FatTree, IdealFullMesh};
+    use crate::topology::{FatTree, IdealFullMesh, Torus};
     use bine_sched::collectives::{allreduce, broadcast, AllreduceAlg, BroadcastAlg};
 
     #[test]
@@ -557,5 +1686,76 @@ mod tests {
         assert_eq!(report.peak_active_flows, 8);
         assert_eq!(report.rank_finish_us.len(), p);
         assert!(report.makespan_us > 0.0);
+    }
+
+    #[test]
+    fn optimized_report_is_bit_identical_to_the_reference() {
+        let p = 16;
+        let model = CostModel::default();
+        let alloc = Allocation::block(p);
+        let sched = allreduce(p, AllreduceAlg::BineLarge).segmented(4);
+        let compiled = sched.compile();
+        for topo in [
+            Box::new(FatTree::new(p, 4, 1)) as Box<dyn Topology>,
+            Box::new(Torus::new(vec![4, 4])),
+            Box::new(IdealFullMesh::new(p)),
+        ] {
+            let reference = simulate_reference(&model, &compiled, 1 << 20, topo.as_ref(), &alloc);
+            let fast = simulate(&model, &compiled, 1 << 20, topo.as_ref(), &alloc);
+            assert_eq!(reference.makespan_us.to_bits(), fast.makespan_us.to_bits());
+            assert_eq!(reference.network_messages, fast.network_messages);
+            assert_eq!(reference.peak_active_flows, fast.peak_active_flows);
+            for (a, b) in reference.rank_finish_us.iter().zip(&fast.rank_finish_us) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn arena_reuse_across_schedules_and_topologies_stays_bit_identical() {
+        // One arena simulating interleaved (schedule, topology) contexts —
+        // including the same compiled schedule on two different topologies,
+        // which must invalidate and rebuild the cached routes — matches
+        // fresh-arena runs bit for bit.
+        let p = 16;
+        let model = CostModel::default();
+        let alloc = Allocation::block(p);
+        let a = allreduce(p, AllreduceAlg::BineLarge).compile();
+        let b = broadcast(p, 3, BroadcastAlg::BineTree).compile();
+        let fat = FatTree::new(p, 4, 1);
+        let mesh = IdealFullMesh::new(p);
+        let mut arena = SimArena::new();
+        let runs: Vec<(&CompiledSchedule, &dyn Topology, u64)> = vec![
+            (&a, &fat, 1 << 20),
+            (&b, &fat, 4096),
+            (&a, &mesh, 1 << 20),
+            (&a, &fat, 1 << 16),
+            (&a, &fat, 1 << 20),
+        ];
+        for (sched, topo, n) in runs {
+            let fresh = simulate(&model, sched, n, topo, &alloc);
+            let reused = simulate_in(&mut arena, &model, sched, n, topo, &alloc);
+            assert_eq!(fresh.makespan_us.to_bits(), reused.makespan_us.to_bits());
+            assert_eq!(fresh, reused);
+        }
+        assert!(arena.cached_schedules() >= 2);
+        arena.clear();
+        assert_eq!(arena.cached_schedules(), 0);
+    }
+
+    #[test]
+    fn vector_size_sweeps_reuse_the_cached_routes() {
+        let p = 16;
+        let model = CostModel::default();
+        let alloc = Allocation::block(p);
+        let topo = FatTree::new(p, 4, 1);
+        let compiled = allreduce(p, AllreduceAlg::BineLarge).compile();
+        let mut arena = SimArena::new();
+        for n in [1u64 << 10, 1 << 20, 1 << 24, 1 << 20] {
+            let fresh = simulate(&model, &compiled, n, &topo, &alloc);
+            let reused = sim_time_in(&mut arena, &model, &compiled, n, &topo, &alloc);
+            assert_eq!(fresh.makespan_us.to_bits(), reused.to_bits());
+        }
+        assert_eq!(arena.cached_schedules(), 1);
     }
 }

@@ -1,0 +1,103 @@
+//! Pins the [`bine_net::SimArena`] allocation-freedom guarantee: once a
+//! (schedule, topology, allocation, vector size) context has been simulated
+//! once, repeating the simulation through `sim_time_in` must touch the heap
+//! **zero** times — the whole point of the arena is that tuning sweeps
+//! running thousands of simulations stop being allocator-bound. Measured
+//! with a counting wrapper around the system allocator, the same pattern as
+//! `bine-tune/tests/alloc_free.rs` (tests are their own crates, so the
+//! library's `#![forbid(unsafe_code)]` still holds for `bine-net` itself).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bine_net::allocation::Allocation;
+use bine_net::cost::CostModel;
+use bine_net::sim::{sim_time_in, SimArena};
+use bine_net::topology::FatTree;
+use bine_sched::collectives::{allreduce, AllreduceAlg};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct Counting;
+
+// SAFETY: delegates directly to the system allocator; the counter is a
+// side effect only.
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: Counting = Counting;
+
+#[test]
+fn repeated_simulations_are_allocation_free_after_warmup() {
+    let p = 32;
+    let model = CostModel::default();
+    let topo = FatTree::new(p, 4, 1);
+    let alloc = Allocation::block(p);
+    // A segmented schedule on a congested topology: flows share links, so
+    // the incremental fair share exercises non-trivial components.
+    let compiled = allreduce(p, AllreduceAlg::BineLarge).segmented(4).compile();
+
+    let mut arena = SimArena::new();
+    // Warmup: builds the cached static resolution and grows every scratch
+    // buffer to its peak size for this context.
+    let warm = sim_time_in(&mut arena, &model, &compiled, 1 << 20, &topo, &alloc);
+    assert!(warm > 0.0);
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut identical = 0usize;
+    for _ in 0..10 {
+        let t = sim_time_in(&mut arena, &model, &compiled, 1 << 20, &topo, &alloc);
+        identical += usize::from(t.to_bits() == warm.to_bits());
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "sim_time_in allocated {} times over 10 warm simulations",
+        after - before
+    );
+    assert_eq!(identical, 10, "results drifted after warmup");
+}
+
+#[test]
+fn vector_size_changes_allocate_at_most_transiently() {
+    // Sweeping the vector size re-resolves only the per-send byte column;
+    // after one pass over the sizes, repeating the sweep in the same order
+    // must be allocation-free too (the bytes buffer capacity is retained).
+    let p = 16;
+    let model = CostModel::default();
+    let topo = FatTree::new(p, 4, 1);
+    let alloc = Allocation::block(p);
+    let compiled = allreduce(p, AllreduceAlg::BineLarge).compile();
+    let sizes = [1u64 << 10, 1 << 16, 1 << 20, 8 << 20];
+
+    let mut arena = SimArena::new();
+    for &n in &sizes {
+        sim_time_in(&mut arena, &model, &compiled, n, &topo, &alloc);
+    }
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for &n in &sizes {
+        sim_time_in(&mut arena, &model, &compiled, n, &topo, &alloc);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "size sweep allocated {} times after warmup",
+        after - before
+    );
+}

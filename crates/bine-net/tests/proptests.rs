@@ -9,11 +9,28 @@
 
 use bine_net::allocation::Allocation;
 use bine_net::cost::CostModel;
-use bine_net::sim::sim_time_us;
-use bine_net::topology::{Dragonfly, FatTree, IdealFullMesh, Topology};
+use bine_net::sim::{
+    sim_time_us, simulate_in, simulate_probed, simulate_reference, simulate_reference_probed,
+    SimArena,
+};
+use bine_net::topology::{Dragonfly, FatTree, IdealFullMesh, Topology, Torus};
 use bine_net::traffic;
 use bine_sched::{algorithms, build, AlgorithmId, Collective};
 use proptest::prelude::*;
+
+/// A balanced torus shape with `p = 2^s` nodes (the third topology class the
+/// optimized simulator is pinned on, beside the fat tree and the ideal mesh).
+fn torus_dims(p: usize) -> Vec<usize> {
+    let mut dims = vec![1usize; 3];
+    let mut rest = p;
+    let mut d = 0;
+    while rest > 1 {
+        dims[d % 3] *= 2;
+        rest /= 2;
+        d += 1;
+    }
+    dims
+}
 
 fn any_collective() -> impl Strategy<Value = Collective> {
     prop::sample::select(Collective::ALL.to_vec())
@@ -150,6 +167,116 @@ proptest! {
             des <= sync * (1.0 + 1e-9),
             "{:?}/{} p={p} n={n} chunks={chunks}: DES {des} > sync {sync}", collective, alg.name
         );
+    }
+
+    // Tentpole pin: the optimized simulator (incremental fair share, arena
+    // state, cached routes) is bit-identical to the from-scratch reference —
+    // same makespan bits, same per-rank finish bits, same message and
+    // peak-flow counts — for every collective, any catalog algorithm, any
+    // segmentation, on all three pinned topology classes (ideal full mesh,
+    // torus, oversubscribed fat tree). Not tolerance-based: the incremental
+    // recomputation must perform the same float ops per link.
+    #[test]
+    fn optimized_des_is_bit_identical_to_the_reference(
+        collective in any_collective(),
+        s in 2u32..=5,
+        alg_seed in 0usize..100,
+        chunks in 1usize..=4,
+        root_seed in 0usize..1000,
+        n in any_vector_bytes(),
+    ) {
+        let p = 1usize << s;
+        let alg = pick_algorithm(collective, alg_seed);
+        let compiled = build(collective, alg.name, p, root_seed % p)
+            .expect(alg.name)
+            .segmented(chunks)
+            .compile();
+        let model = CostModel::default();
+        let alloc = Allocation::block(p);
+        let mut arena = SimArena::new();
+        for topo in [
+            Box::new(IdealFullMesh::new(p)) as Box<dyn Topology>,
+            Box::new(Torus::new(torus_dims(p))),
+            Box::new(FatTree::new(p, 4, 1)),
+        ] {
+            let reference = simulate_reference(&model, &compiled, n, topo.as_ref(), &alloc);
+            let fast = simulate_in(&mut arena, &model, &compiled, n, topo.as_ref(), &alloc);
+            prop_assert_eq!(
+                reference.makespan_us.to_bits(), fast.makespan_us.to_bits(),
+                "{:?}/{} p={p} n={n} chunks={chunks} on {}: reference {} vs fast {}",
+                collective, alg.name, topo.name(), reference.makespan_us, fast.makespan_us
+            );
+            prop_assert_eq!(reference.network_messages, fast.network_messages);
+            // The satellite invariance check: overlap accounting is not
+            // allowed to drift either.
+            prop_assert_eq!(reference.peak_active_flows, fast.peak_active_flows);
+            for (r, (a, b)) in reference.rank_finish_us.iter().zip(&fast.rank_finish_us).enumerate() {
+                prop_assert_eq!(
+                    a.to_bits(), b.to_bits(),
+                    "{:?}/{} rank {r} finish: reference {} vs fast {}",
+                    collective, alg.name, a, b
+                );
+            }
+        }
+    }
+
+    // The incremental fair share equals the reference fair share at *every*
+    // rate event, not just in the final completion times: both simulators
+    // are probed after each recomputation and must report the same event
+    // times and the same (send, rate) bits for every in-flight flow.
+    #[test]
+    fn incremental_rates_equal_reference_rates_at_every_event(
+        collective in any_collective(),
+        s in 2u32..=5,
+        alg_seed in 0usize..100,
+        chunks in 1usize..=4,
+        n in any_vector_bytes(),
+    ) {
+        let p = 1usize << s;
+        let alg = pick_algorithm(collective, alg_seed);
+        let compiled = build(collective, alg.name, p, 0)
+            .expect(alg.name)
+            .segmented(chunks)
+            .compile();
+        let model = CostModel::default();
+        let alloc = Allocation::block(p);
+        // Congested topologies: flows share links, so components are
+        // non-trivial and the incremental path actually exercises partial
+        // recomputation.
+        for topo in [
+            Box::new(FatTree::new(p, 4, 1)) as Box<dyn Topology>,
+            Box::new(Torus::new(torus_dims(p))),
+        ] {
+            type Trace = Vec<(u64, Vec<(u32, u64)>)>;
+            fn entry(t: f64, rates: &[(u32, f64)]) -> (u64, Vec<(u32, u64)>) {
+                (
+                    t.to_bits(),
+                    rates.iter().map(|&(send, r)| (send, r.to_bits())).collect(),
+                )
+            }
+            let mut ref_trace: Trace = Vec::new();
+            let mut ref_probe = |t: f64, rates: &[(u32, f64)]| ref_trace.push(entry(t, rates));
+            simulate_reference_probed(&model, &compiled, n, topo.as_ref(), &alloc, &mut ref_probe);
+            let mut fast_trace: Trace = Vec::new();
+            let mut fast_probe = |t: f64, rates: &[(u32, f64)]| fast_trace.push(entry(t, rates));
+            let mut arena = SimArena::new();
+            simulate_probed(
+                &mut arena, &model, &compiled, n, topo.as_ref(), &alloc, &mut fast_probe,
+            );
+            prop_assert_eq!(
+                ref_trace.len(), fast_trace.len(),
+                "{:?}/{} p={p}: {} reference rate events vs {} incremental",
+                collective, alg.name, ref_trace.len(), fast_trace.len()
+            );
+            for (i, (a, b)) in ref_trace.iter().zip(&fast_trace).enumerate() {
+                prop_assert_eq!(a.0, b.0, "event {i}: time diverged");
+                prop_assert_eq!(
+                    &a.1, &b.1,
+                    "{:?}/{} p={p} n={n} event {i} at t={}: rates diverged",
+                    collective, alg.name, f64::from_bits(a.0)
+                );
+            }
+        }
     }
 
     // The simulator is deterministic: identical inputs give bit-identical

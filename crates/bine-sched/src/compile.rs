@@ -23,8 +23,12 @@
 
 use std::collections::HashMap;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::schedule::{BlockId, Collective, Rank, Schedule, TransferKind};
+
+/// Source of process-unique [`CompiledSchedule`] identities.
+static NEXT_IDENTITY: AtomicU64 = AtomicU64::new(0);
 
 /// Dense interning of the [`BlockId`]s referenced by one schedule.
 ///
@@ -123,6 +127,8 @@ pub struct CompiledSchedule {
     pub root: Rank,
     /// Human-readable algorithm name, carried over from the schedule.
     pub algorithm: String,
+    /// Process-unique identity (see [`CompiledSchedule::identity`]).
+    identity: u64,
     num_steps: usize,
     blocks: BlockInterner,
     /// All sends, grouped by step, within a step sorted by source rank
@@ -206,6 +212,7 @@ impl CompiledSchedule {
             collective: schedule.collective,
             root: schedule.root,
             algorithm: schedule.algorithm.clone(),
+            identity: NEXT_IDENTITY.fetch_add(1, Ordering::Relaxed),
             num_steps,
             blocks,
             sends,
@@ -215,6 +222,15 @@ impl CompiledSchedule {
             recv_lists,
             recv_offsets,
         }
+    }
+
+    /// A process-unique identity assigned at [`CompiledSchedule::compile`]
+    /// time. Clones share the identity of their original — their contents
+    /// are indistinguishable — so consumers that derive data from a compiled
+    /// schedule (e.g. the route/dependency cache of `bine_net::sim`) can use
+    /// it as a cache key without hashing the schedule itself.
+    pub fn identity(&self) -> u64 {
+        self.identity
     }
 
     /// Number of synchronous steps.
@@ -387,6 +403,15 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn identities_are_unique_per_compile_and_shared_by_clones() {
+        let sched = allreduce(8, AllreduceAlg::RecursiveDoubling);
+        let a = sched.compile();
+        let b = sched.compile();
+        assert_ne!(a.identity(), b.identity());
+        assert_eq!(a.identity(), a.clone().identity());
     }
 
     #[test]
