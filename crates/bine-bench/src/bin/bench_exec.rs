@@ -4,9 +4,12 @@
 //! p ∈ {64, 256, 1024} (the same configurations as `benches/execution.rs`),
 //! plus the discrete-event simulator — optimized fast path (`/sim/`, gated
 //! by `perf_gate`) against the from-scratch reference (`/sim-reference/`,
-//! context only) at p ∈ {64, 256} — and writes a flat JSON report, so
-//! future PRs can diff the perf trajectory of the data plane without
-//! parsing criterion output.
+//! context only) at p ∈ {64, 256} — plus the selection serving layer
+//! at `available_parallelism` workers (gated `/serve/` aggregate
+//! ns/request of the concurrent `ServiceSelector`; ungated
+//! `/serve-latency/` p99 tail and single-threaded `/serial/` baseline) — and writes a flat
+//! JSON report, so future PRs can diff the perf trajectory of the data
+//! plane without parsing criterion output.
 //!
 //! Usage:
 //! `cargo run --release -p bine-bench --bin bench_exec [out.json] [--iters N]`
@@ -127,6 +130,26 @@ fn bench_sim(records: &mut Vec<Record>, p: usize, iters: usize) {
     record(records, "sim-reference", ns);
 }
 
+/// Serving-layer throughput and tail latency (see `bine_bench::serve`):
+/// the gated `/serve/` throughput entry plus the ungated p99 tail and
+/// single-threaded selector baseline. Returns the measurement for the
+/// summary fields.
+fn bench_serve(records: &mut Vec<Record>, iters: usize) -> bine_bench::serve::ServeMeasurement {
+    let opts = bine_bench::serve::ServeOptions {
+        repeats: iters.clamp(3, 9),
+        ..Default::default()
+    };
+    let m = bine_bench::serve::measure(&opts).expect("serving benchmark failed");
+    for (name, ns) in bine_bench::serve::bench_entries(&m) {
+        println!("{name:<48} {ns:>14.0} ns/op");
+        records.push(Record {
+            name,
+            ns_per_op: ns,
+        });
+    }
+    m
+}
+
 fn lookup(records: &[Record], name: &str) -> f64 {
     records
         .iter()
@@ -173,6 +196,7 @@ fn main() {
     for p in [64usize, 256] {
         bench_sim(&mut records, p, iters);
     }
+    let serve = bench_serve(&mut records, iters);
     // The acceptance headline: compiled vs the seed interpreter at p = 256.
     let speedup_256 = lookup(&records, "allreduce-bine-large/reference/256")
         / lookup(&records, "allreduce-bine-large/compiled/256");
@@ -197,6 +221,12 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"speedup_sim_vs_reference_p256\": {speedup_sim_256:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"serve_threads\": {},\n  \"serve_requests_per_sec\": {:.0},\n  \
+         \"speedup_serve_vs_serial\": {:.2},",
+        serve.threads, serve.requests_per_sec, serve.speedup_vs_serial
     );
     if workers > 1 {
         let pool_speedup = lookup(&records, "allreduce-bine-large/sequential/256")
@@ -223,5 +253,9 @@ fn main() {
     std::fs::write(&out_path, &json).expect("failed to write the report");
     println!("speedup compiled vs reference @p=256: {speedup_256:.2}x");
     println!("speedup DES vs reference simulator @p=256: {speedup_sim_256:.2}x");
+    println!(
+        "serving layer: {:.0} req/s at {} workers ({:.2}x the serial selector)",
+        serve.requests_per_sec, serve.threads, serve.speedup_vs_serial
+    );
     println!("wrote {out_path}");
 }

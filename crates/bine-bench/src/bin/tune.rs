@@ -44,7 +44,16 @@ fn main() {
             ),
         }
     }
-    let out_dir = out_dir.unwrap_or_else(bine_tune::default_tuning_dir);
+    // The default output is a *write target*, not a load path, so it must
+    // resolve even when the directory does not exist yet (`rm -rf tuning`
+    // then regenerate is the documented clean-regeneration flow):
+    // BINE_TUNING_DIR when set, otherwise the repository checkout —
+    // deliberately not `default_tuning_dir()`, whose exe-adjacent probe
+    // could silently redirect regenerated tables to e.g. target/release/.
+    let out_dir = out_dir.unwrap_or_else(|| match std::env::var_os("BINE_TUNING_DIR") {
+        Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../tuning")),
+    });
     std::fs::create_dir_all(&out_dir)
         .unwrap_or_else(|e| panic!("cannot create {}: {e}", out_dir.display()));
 

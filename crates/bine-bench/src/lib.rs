@@ -13,7 +13,10 @@
 //! * [`report`] — geometric means, percentiles, box-plot summaries and table
 //!   rendering,
 //! * [`tables`] — the shared table/figure builders,
-//! * [`perfgate`] — the CI perf-regression gate over `BENCH_exec.json`.
+//! * [`perfgate`] — the CI perf-regression gate over `BENCH_exec.json`,
+//! * [`serve`] — the serving-layer benchmark: requests/sec and p99 latency
+//!   of the concurrent `bine_tune::ServiceSelector` against the
+//!   single-threaded selector baseline (the `serve_bench` bin front-end).
 //!
 //! The `tune` binary regenerates the committed `tuning/*.json` decision
 //! tables from [`runner::tune_target`]; the `tune_gate` binary is the CI
@@ -43,6 +46,7 @@
 pub mod perfgate;
 pub mod report;
 pub mod runner;
+pub mod serve;
 pub mod systems;
 pub mod tables;
 

@@ -4,14 +4,19 @@
 //! the committed `BENCH_exec.json` is the perf baseline of the repository
 //! and CI re-records `BENCH_exec.ci.json` on every push. This module diffs
 //! the two: if any **compiled-executor** entry (name containing
-//! `/compiled/` — the data plane the repo's headline speedup lives on) or
+//! `/compiled/` — the data plane the repo's headline speedup lives on),
 //! **discrete-event simulator** entry (name containing `/sim/` — the time
-//! model the 512-node tuning horizon depends on) regresses by more than the
-//! threshold, the gate fails and CI goes red. Interpreter baselines
-//! (`reference`, `sequential`, `sim-reference`), the thread pool and the
-//! one-off `compile` cost are reported for context but not gated — they are
-//! either deliberately slow baselines or too scheduler-noisy for a hard
-//! threshold.
+//! model the 512-node tuning horizon depends on) or **serving-layer
+//! throughput** entry (name containing `/serve/` — the worker-normalized
+//! ns/request of the concurrent `ServiceSelector` request path, the
+//! core-count-robust statistic) regresses by more than the threshold, the
+//! gate fails and CI goes red. Interpreter baselines
+//! (`reference`, `sequential`, `sim-reference`, the single-threaded
+//! `/serial/` selector), the thread pool, the one-off `compile` cost and
+//! the `/serve-latency/` p99 tail are reported for context but not gated —
+//! they are either deliberately slow baselines or too scheduler-noisy for
+//! a hard threshold (tail latency in particular depends on the runner's
+//! core count and co-scheduled load).
 //!
 //! The gate is exercised end to end by `tests/` below: a synthetic 2×
 //! slowdown of a compiled entry must fail it, anything inside the threshold
@@ -59,9 +64,11 @@ pub fn parse_bench_json(text: &str) -> Result<Vec<BenchEntry>, String> {
 
 /// Whether an entry is hard-gated (see the module docs). `/sim-reference/`
 /// entries deliberately do not match `/sim/`: the reference simulator is a
-/// baseline, not a perf surface.
+/// baseline, not a perf surface. Likewise `/serial/` (the single-threaded
+/// selector baseline) and `/serve-latency/` (scheduler-noisy p99 tail) do
+/// not match `/serve/`.
 pub fn is_gated(name: &str) -> bool {
-    name.contains("/compiled/") || name.contains("/sim/")
+    name.contains("/compiled/") || name.contains("/sim/") || name.contains("/serve/")
 }
 
 /// Verdict for one benchmark entry present in the baseline.
@@ -221,7 +228,10 @@ mod tests {
     "allreduce-bine-large/pool/64": 2000.0,
     "allreduce-bine-large/compile/64": 500.0,
     "allreduce-bine-large/sim/64": 300000.0,
-    "allreduce-bine-large/sim-reference/64": 9000000.0
+    "allreduce-bine-large/sim-reference/64": 9000000.0,
+    "select-mix/serve/worker-ns-per-req": 500.0,
+    "select-mix/serve-latency/p99-ns": 1500.0,
+    "select-mix/serial/ns-per-req": 450.0
   },
   "unit": "ns/op (median)"
 }
@@ -234,20 +244,39 @@ mod tests {
     #[test]
     fn parses_the_bench_exec_format() {
         let e = entries();
-        assert_eq!(e.len(), 6);
+        assert_eq!(e.len(), 9);
         assert_eq!(e[1].0, "allreduce-bine-large/compiled/64");
         assert_eq!(e[1].1, 1000.0);
         assert!(parse_bench_json("{}").is_err());
     }
 
     #[test]
-    fn only_compiled_executor_and_des_entries_are_gated() {
+    fn only_compiled_des_and_serve_entries_are_gated() {
         assert!(is_gated("allreduce-bine-large/compiled/256"));
         assert!(is_gated("allreduce-bine-large/sim/256"));
+        assert!(is_gated("select-mix/serve/worker-ns-per-req"));
         assert!(!is_gated("allreduce-bine-large/reference/256"));
         assert!(!is_gated("allreduce-bine-large/sim-reference/256"));
         assert!(!is_gated("allreduce-bine-large/pool/256"));
         assert!(!is_gated("allreduce-bine-large/compile/256"));
+        assert!(!is_gated("select-mix/serial/ns-per-req"));
+        assert!(!is_gated("select-mix/serve-latency/p99-ns"));
+    }
+
+    #[test]
+    fn a_serve_throughput_slowdown_fails_but_the_p99_tail_may_drift() {
+        let mut slowed = entries();
+        for e in &mut slowed {
+            if e.0.contains("/serve/") || e.0.contains("/serve-latency/") {
+                e.1 *= 2.0;
+            }
+        }
+        let outcome = gate(&entries(), &slowed, DEFAULT_THRESHOLD);
+        assert!(!outcome.passed());
+        assert_eq!(
+            outcome.failures(),
+            vec!["select-mix/serve/worker-ns-per-req"]
+        );
     }
 
     #[test]

@@ -19,8 +19,9 @@ use bine_sched::{binomial_default, Collective};
 use bine_tune::{DecisionTable, ScoreModel, Selector, Tuner, TunerConfig};
 
 fn committed_table(system: &System) -> DecisionTable {
-    let path =
-        bine_tune::default_tuning_dir().join(format!("{}.json", bine_tune::slug(system.name)));
+    let path = bine_tune::default_tuning_dir()
+        .expect("tuning dir")
+        .join(format!("{}.json", bine_tune::slug(system.name)));
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("missing committed table {}: {e}", path.display()));
     DecisionTable::from_json(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()))

@@ -17,6 +17,11 @@
 //!   `choose(collective, nodes, bytes)` answers in two allocation-free
 //!   binary searches, and `compiled(..)` memoises the picked schedule's
 //!   compiled form in a small LRU;
+//! * [`service`] — the concurrent [`service::ServiceSelector`]: the same
+//!   lookups `&self` end-to-end over shared immutable indexes, a sharded
+//!   compiled-schedule cache with single-flight compilation, and batch
+//!   execution on the shared [`bine_exec::ExecutorPool`] — the serving
+//!   front-end for many threads where [`selector::Selector`] serves one;
 //! * [`gate`] — the CI drift gate that regenerates the tables on every
 //!   push and fails on any silent change of policy.
 //!
@@ -50,11 +55,13 @@
 
 pub mod gate;
 pub mod selector;
+pub mod service;
 pub mod table;
 pub mod tuner;
 
 pub use gate::{drift, DriftOutcome, DriftRow};
-pub use selector::{default_tuning_dir, Selector, Tuned};
+pub use selector::{default_tuning_dir, Selector, SelectorIndex, Tuned};
+pub use service::ServiceSelector;
 pub use table::{slug, DecisionTable, Entry, ScoreModel};
 pub use tuner::{
     candidates, pruned_best, tuned_name, Candidate, CellBest, Target, TunePoint, Tuner, TunerConfig,

@@ -1,7 +1,14 @@
 //! The runtime selection API: O(log n) breakpoint lookup over a loaded
 //! decision table, plus a small LRU of compiled schedules so repeated
 //! invocations of the tuned pick pay the schedule build + compile cost once.
+//!
+//! The lookup structure itself — [`SelectorIndex`] — is immutable after
+//! construction and shared behind an `Arc`, so the single-threaded
+//! [`Selector`] and the concurrent [`crate::service::ServiceSelector`]
+//! resolve every query through literally the same code and data: a pick can
+//! never differ between the serial and the serving path.
 
+use std::ffi::OsString;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -38,30 +45,34 @@ type NodeIndex = Vec<(usize, Vec<(u64, u32)>)>;
 /// size of one sweep at a fixed node count without eviction.
 pub const DEFAULT_CACHE_CAPACITY: usize = 16;
 
-/// Runtime algorithm selector over one system's decision table.
-///
-/// [`Selector::choose`] is allocation-free: the table is pre-indexed at
-/// load time and lookups are two binary searches returning borrowed names
-/// (covered by an allocation-counting test). [`Selector::compiled`]
-/// additionally builds + compiles the picked schedule, memoised in an LRU.
-pub struct Selector {
+/// The immutable pre-indexed form of one system's decision table: slots in
+/// canonical order plus the two-level breakpoint index. Never mutated after
+/// construction, so it is freely shared (`Arc`) between threads.
+pub struct SelectorIndex {
     system: String,
     slots: Vec<Slot>,
     index: Vec<(Collective, NodeIndex)>,
-    cache: Vec<CacheLine>,
-    cache_capacity: usize,
-    clock: u64,
 }
 
-struct CacheLine {
-    key: (Collective, usize, u32),
-    compiled: Arc<CompiledSchedule>,
-    last_used: u64,
-}
-
-impl Selector {
-    /// Builds a selector from an in-memory decision table.
-    pub fn from_table(table: &DecisionTable) -> Selector {
+impl SelectorIndex {
+    /// Builds the index from an in-memory decision table.
+    ///
+    /// # Panics
+    ///
+    /// On duplicate `(collective, nodes, bytes)` grid points: a table with
+    /// duplicate keys has no well-defined policy (the resolved pick would
+    /// depend on sort stability). Tables loaded through
+    /// [`DecisionTable::from_json`] are already rejected there with an
+    /// `Err`; this guards tables built programmatically.
+    pub fn from_table(table: &DecisionTable) -> SelectorIndex {
+        if let Some((c, n, b)) = table.duplicate_key() {
+            panic!(
+                "decision table {:?} has duplicate entries for \
+                 (collective: {}, nodes: {n}, bytes: {b})",
+                table.system,
+                c.name()
+            );
+        }
         let mut slots = Vec::with_capacity(table.entries.len());
         let mut index: Vec<(Collective, NodeIndex)> = Vec::new();
         // Entries are kept in canonical order, so grouping is a linear scan.
@@ -81,33 +92,14 @@ impl Selector {
                 _ => coll.push((e.nodes, vec![(e.vector_bytes, slot)])),
             }
         }
-        Selector {
+        SelectorIndex {
             system: sorted.system,
             slots,
             index,
-            cache: Vec::new(),
-            cache_capacity: DEFAULT_CACHE_CAPACITY,
-            clock: 0,
         }
     }
 
-    /// Loads the committed decision table for `system` (display name or
-    /// slug, e.g. `"MareNostrum 5"` or `"marenostrum5"`) from the
-    /// repository's `tuning/` directory.
-    pub fn load(system: &str) -> Result<Selector, String> {
-        Self::load_from(&default_tuning_dir().join(format!("{}.json", slug(system))))
-    }
-
-    /// Loads a decision table from an explicit path.
-    pub fn load_from(path: &Path) -> Result<Selector, String> {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read decision table {}: {e}", path.display()))?;
-        let table = DecisionTable::from_json(&text)
-            .map_err(|e| format!("cannot parse {}: {e}", path.display()))?;
-        Ok(Self::from_table(&table))
-    }
-
-    /// The system this selector was tuned for.
+    /// The system this index was tuned for.
     pub fn system(&self) -> &str {
         &self.system
     }
@@ -126,15 +118,122 @@ impl Selector {
         })
     }
 
-    /// The floor-breakpoint lookup shared by [`Selector::choose`] and
-    /// [`Selector::compiled`]: both must always resolve a query to the same
-    /// table entry.
-    fn slot_index(&self, collective: Collective, nodes: usize, bytes: u64) -> Option<u32> {
+    /// The floor-breakpoint lookup shared by every `choose`/`compiled`
+    /// entry point (serial and concurrent): all of them must always resolve
+    /// a query to the same table entry.
+    pub(crate) fn slot_index(
+        &self,
+        collective: Collective,
+        nodes: usize,
+        bytes: u64,
+    ) -> Option<u32> {
         let (_, node_index) = self.index.iter().find(|(c, _)| *c == collective)?;
         let ni = floor_index(node_index, |&(n, _)| n <= nodes);
         let (_, sizes) = &node_index[ni];
         let si = floor_index(sizes, |&(b, _)| b <= bytes);
         Some(sizes[si].1)
+    }
+
+    /// Builds and compiles the schedule of slot `slot_idx` at `nodes` ranks
+    /// (rooted collectives use root 0, the root used throughout the harness
+    /// and the tuning sweeps). `None` if the committed pick is not
+    /// buildable at this rank count.
+    pub(crate) fn compile_slot(
+        &self,
+        collective: Collective,
+        nodes: usize,
+        slot_idx: u32,
+    ) -> Option<Arc<CompiledSchedule>> {
+        let slot = &self.slots[slot_idx as usize];
+        let sched = build(collective, &slot.pick, nodes, 0)?;
+        Some(Arc::new(sched.compile()))
+    }
+}
+
+/// Runtime algorithm selector over one system's decision table.
+///
+/// [`Selector::choose`] is allocation-free: the table is pre-indexed at
+/// load time and lookups are two binary searches returning borrowed names
+/// (covered by an allocation-counting test). [`Selector::compiled`]
+/// additionally builds + compiles the picked schedule, memoised in an LRU.
+///
+/// The selector is single-threaded (`compiled` takes `&mut self`); for a
+/// shared, concurrent serving front-end over the same index see
+/// [`crate::service::ServiceSelector`].
+pub struct Selector {
+    index: Arc<SelectorIndex>,
+    cache: Vec<CacheLine>,
+    cache_capacity: usize,
+    clock: u64,
+}
+
+struct CacheLine {
+    key: (Collective, usize, u32),
+    compiled: Arc<CompiledSchedule>,
+    last_used: u64,
+}
+
+impl Selector {
+    /// Builds a selector from an in-memory decision table.
+    pub fn from_table(table: &DecisionTable) -> Selector {
+        Self::from_index(Arc::new(SelectorIndex::from_table(table)))
+    }
+
+    /// Builds a selector over an existing shared index.
+    pub fn from_index(index: Arc<SelectorIndex>) -> Selector {
+        Selector {
+            index,
+            cache: Vec::new(),
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            clock: 0,
+        }
+    }
+
+    /// Sets the compiled-schedule LRU capacity. A capacity of 0 is clamped
+    /// to 1 (a cache that can hold nothing cannot satisfy `compiled`, and
+    /// the eviction scan requires at least one line to pick a victim from).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Selector {
+        self.cache_capacity = capacity.max(1);
+        // Shrinking below the current population evicts the oldest lines
+        // immediately so the invariant `len ≤ capacity` holds from here on.
+        while self.cache.len() > self.cache_capacity {
+            if let Some(evict) = self.lru_victim() {
+                self.cache.swap_remove(evict);
+            }
+        }
+        self
+    }
+
+    /// Loads the committed decision table for `system` (display name or
+    /// slug, e.g. `"MareNostrum 5"` or `"marenostrum5"`) from the tuning
+    /// directory resolved by [`default_tuning_dir`].
+    pub fn load(system: &str) -> Result<Selector, String> {
+        Self::load_from(&default_tuning_dir()?.join(format!("{}.json", slug(system))))
+    }
+
+    /// Loads a decision table from an explicit path.
+    pub fn load_from(path: &Path) -> Result<Selector, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read decision table {}: {e}", path.display()))?;
+        let table = DecisionTable::from_json(&text)
+            .map_err(|e| format!("cannot parse {}: {e}", path.display()))?;
+        Ok(Self::from_table(&table))
+    }
+
+    /// The system this selector was tuned for.
+    pub fn system(&self) -> &str {
+        self.index.system()
+    }
+
+    /// The shared immutable index behind this selector.
+    pub fn index(&self) -> &Arc<SelectorIndex> {
+        &self.index
+    }
+
+    /// The tuned `(algorithm, segments)` for a configuration; see
+    /// [`SelectorIndex::choose`] for the floor-breakpoint semantics.
+    pub fn choose(&self, collective: Collective, nodes: usize, bytes: u64) -> Option<Tuned<'_>> {
+        self.index.choose(collective, nodes, bytes)
     }
 
     /// The compiled schedule of the tuned pick at `nodes` ranks, built on
@@ -152,7 +251,7 @@ impl Selector {
         nodes: usize,
         bytes: u64,
     ) -> Option<Arc<CompiledSchedule>> {
-        let slot_idx = self.slot_index(collective, nodes, bytes)?;
+        let slot_idx = self.index.slot_index(collective, nodes, bytes)?;
 
         self.clock += 1;
         let clock = self.clock;
@@ -161,18 +260,14 @@ impl Selector {
             line.last_used = clock;
             return Some(line.compiled.clone());
         }
-        let slot = &self.slots[slot_idx as usize];
-        let sched = build(collective, &slot.pick, nodes, 0)?;
-        let compiled = Arc::new(sched.compile());
-        if self.cache.len() >= self.cache_capacity {
-            let evict = self
-                .cache
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.last_used)
-                .map(|(i, _)| i)
-                .expect("capacity > 0");
-            self.cache.swap_remove(evict);
+        let compiled = self.index.compile_slot(collective, nodes, slot_idx)?;
+        while self.cache.len() >= self.cache_capacity {
+            match self.lru_victim() {
+                Some(evict) => {
+                    self.cache.swap_remove(evict);
+                }
+                None => break,
+            }
         }
         self.cache.push(CacheLine {
             key,
@@ -180,6 +275,16 @@ impl Selector {
             last_used: clock,
         });
         Some(compiled)
+    }
+
+    /// Index of the least-recently-used cache line, `None` on an empty
+    /// cache (so eviction can never panic, whatever the capacity).
+    fn lru_victim(&self) -> Option<usize> {
+        self.cache
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.last_used)
+            .map(|(i, _)| i)
     }
 
     /// Number of compiled schedules currently cached.
@@ -204,16 +309,69 @@ fn floor_index<T>(sorted: &[T], below: impl FnMut(&T) -> bool) -> usize {
     sorted.partition_point(below).saturating_sub(1)
 }
 
-/// The committed `tuning/` directory: the `BINE_TUNING_DIR` environment
-/// variable when set, otherwise the repository checkout this binary was
-/// built from (two levels above this crate's manifest — a compile-time
-/// path, so binaries deployed off the build machine must either set the
-/// variable or use [`Selector::load_from`] with an explicit path).
-pub fn default_tuning_dir() -> PathBuf {
-    match std::env::var_os("BINE_TUNING_DIR") {
-        Some(dir) if !dir.is_empty() => PathBuf::from(dir),
-        _ => Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tuning"),
+/// Resolves the `tuning/` directory holding the committed decision tables.
+///
+/// Probes, in order, and returns the first that exists:
+///
+/// 1. the `BINE_TUNING_DIR` environment variable (when set and non-empty —
+///    and authoritative: pointing it at a directory that does not exist is
+///    an error, never a silent fall-through to the other probes),
+/// 2. a `tuning/` directory next to the running executable (so deployed
+///    binaries find tables shipped alongside them),
+/// 3. the repository checkout this binary was built from (two levels above
+///    this crate's manifest — a compile-time path, only meaningful on the
+///    build machine).
+///
+/// When the resolution fails the error lists every probed location, so a
+/// mis-deployed binary says exactly where it looked.
+pub fn default_tuning_dir() -> Result<PathBuf, String> {
+    resolve_tuning_dir(
+        std::env::var_os("BINE_TUNING_DIR"),
+        std::env::current_exe()
+            .ok()
+            .and_then(|exe| exe.parent().map(Path::to_path_buf)),
+    )
+}
+
+/// The probe order behind [`default_tuning_dir`], with the process-global
+/// inputs (environment, executable path) passed in so it is unit-testable
+/// without mutating the test process's environment.
+fn resolve_tuning_dir(
+    env_dir: Option<OsString>,
+    exe_dir: Option<PathBuf>,
+) -> Result<PathBuf, String> {
+    let mut probed: Vec<String> = Vec::new();
+    if let Some(dir) = env_dir.filter(|d| !d.is_empty()) {
+        let dir = PathBuf::from(dir);
+        if dir.is_dir() {
+            return Ok(dir);
+        }
+        // Explicitly configured but wrong: error out rather than silently
+        // serving tables from somewhere the operator did not point at.
+        return Err(format!(
+            "BINE_TUNING_DIR is set to {} but that is not a directory; \
+             create it or unset the variable",
+            dir.display()
+        ));
     }
+    if let Some(exe_dir) = exe_dir {
+        let dir = exe_dir.join("tuning");
+        if dir.is_dir() {
+            return Ok(dir);
+        }
+        probed.push(format!("{} (next to the executable)", dir.display()));
+    }
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tuning");
+    if dir.is_dir() {
+        return Ok(dir);
+    }
+    probed.push(format!("{} (build-machine checkout)", dir.display()));
+    Err(format!(
+        "no tuning/ directory with committed decision tables found; probed: {}. \
+         Set BINE_TUNING_DIR, place a tuning/ directory next to the executable, \
+         or load an explicit path with Selector::load_from",
+        probed.join(", ")
+    ))
 }
 
 #[cfg(test)]
@@ -276,8 +434,7 @@ mod tests {
 
     #[test]
     fn lru_evicts_the_least_recently_used_line() {
-        let mut s = Selector::from_table(&table());
-        s.cache_capacity = 2;
+        let mut s = Selector::from_table(&table()).with_cache_capacity(2);
         s.compiled(Collective::Allreduce, 16, 32).unwrap();
         s.compiled(Collective::Allreduce, 32, 32).unwrap();
         // Touch the first line so the second is the LRU victim.
@@ -289,5 +446,90 @@ mod tests {
             .iter()
             .any(|l| l.key == (Collective::Allreduce, 16, 0)));
         assert!(!s.cache.iter().any(|l| l.key.1 == 32));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_and_never_panics() {
+        // Regression: the old eviction scan `expect("capacity > 0")`
+        // panicked on the very first insert at capacity 0.
+        let mut s = Selector::from_table(&table()).with_cache_capacity(0);
+        let a = s.compiled(Collective::Allreduce, 16, 32).unwrap();
+        assert_eq!(s.cached_schedules(), 1, "capacity 0 is clamped to 1");
+        let b = s.compiled(Collective::Allreduce, 16, 32).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn capacity_one_caches_exactly_the_last_entry() {
+        let mut s = Selector::from_table(&table()).with_cache_capacity(1);
+        let a = s.compiled(Collective::Allreduce, 16, 32).unwrap();
+        let b = s.compiled(Collective::Allreduce, 32, 32).unwrap();
+        assert_eq!(s.cached_schedules(), 1);
+        assert!(!Arc::ptr_eq(&a, &b));
+        // Re-querying the evicted entry recompiles rather than panicking.
+        let c = s.compiled(Collective::Allreduce, 16, 32).unwrap();
+        assert_eq!(s.cached_schedules(), 1);
+        assert!(!Arc::ptr_eq(&a, &c), "the line was evicted and rebuilt");
+    }
+
+    #[test]
+    fn shrinking_the_capacity_evicts_down_to_the_new_bound() {
+        let mut s = Selector::from_table(&table());
+        s.compiled(Collective::Allreduce, 16, 32).unwrap();
+        s.compiled(Collective::Allreduce, 32, 32).unwrap();
+        s.compiled(Collective::Allreduce, 64, 32).unwrap();
+        assert_eq!(s.cached_schedules(), 3);
+        let s = s.with_cache_capacity(1);
+        assert_eq!(s.cached_schedules(), 1);
+    }
+
+    #[test]
+    fn tuning_dir_probe_order_and_error() {
+        // The committed checkout path resolves (this test runs on the build
+        // machine), whatever the exe dir holds.
+        let dir = resolve_tuning_dir(None, None).unwrap();
+        assert!(dir.ends_with("tuning") || dir.is_dir());
+
+        // An existing env dir wins over everything.
+        let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let env_dir = manifest.join("src");
+        let got = resolve_tuning_dir(Some(env_dir.clone().into_os_string()), None).unwrap();
+        assert_eq!(got, env_dir);
+
+        // A missing env dir is an error (the operator pointed somewhere
+        // explicit; silently serving other tables would be worse), naming
+        // the variable and the bad path.
+        let err = resolve_tuning_dir(Some("/definitely/not/here".into()), None).unwrap_err();
+        assert!(err.contains("BINE_TUNING_DIR"), "{err}");
+        assert!(err.contains("/definitely/not/here"), "{err}");
+
+        // An exe dir with a tuning/ sibling is preferred over the
+        // compile-time fallback.
+        let repo_root = manifest.join("../..").canonicalize().unwrap();
+        let got = resolve_tuning_dir(None, Some(repo_root.clone())).unwrap();
+        assert_eq!(got, repo_root.join("tuning"));
+    }
+
+    #[test]
+    fn tuning_dir_error_lists_the_probed_locations() {
+        // With no env override and a bogus exe dir, the probe list in a
+        // failing error must name the exe-relative location. The
+        // compile-time fallback exists on the build machine, so the full
+        // everything-missing error is only reachable off-checkout; what is
+        // testable here is that a bad exe probe is reported when it loses.
+        let got = resolve_tuning_dir(None, Some(PathBuf::from("/nonexistent/exe"))).unwrap();
+        assert!(got.is_dir(), "checkout fallback must resolve in-repo");
+
+        let err = resolve_tuning_dir(Some("/nonexistent/env".into()), None).unwrap_err();
+        assert!(err.contains("/nonexistent/env"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate entries")]
+    fn building_an_index_from_a_duplicated_table_panics() {
+        let mut t = table();
+        let dup = t.entries[0].clone();
+        t.entries.push(dup);
+        let _ = SelectorIndex::from_table(&t);
     }
 }

@@ -1,0 +1,632 @@
+//! The concurrent serving layer over the decision tables.
+//!
+//! [`crate::selector::Selector`] is a single-client API: `compiled` takes
+//! `&mut self`, so one thread at a time can resolve a pick into an
+//! executable schedule. A selection *service* — thousands of callers
+//! hitting the Sec. 5.2.2 tables per collective call — needs the opposite
+//! shape, and [`ServiceSelector`] provides it, `&self` end to end:
+//!
+//! * **immutable indexes** — every loaded system's table is pre-indexed
+//!   once into an `Arc<`[`SelectorIndex`]`>`; lookups are the exact binary
+//!   searches the serial selector runs, on literally shared data, so a
+//!   concurrent pick can never diverge from the serial one (pinned by a
+//!   proptest in `tests/service.rs`);
+//! * **a sharded, lock-striped compiled-schedule cache** — the LRU is split
+//!   into [`ServiceSelector::num_shards`] independently locked shards, each
+//!   with its own capacity and LRU clock, keyed by
+//!   `(system, collective, nodes, slot)`; concurrent hits on different
+//!   entries take different locks and never serialise on a global one;
+//! * **single-flight compilation** — a cache miss registers an in-flight
+//!   handle in its shard before compiling *outside* the lock; concurrent
+//!   requests for the same entry find the handle and block on it instead of
+//!   compiling again, so an entry is compiled exactly once however many
+//!   threads race for it cold (the stress test counts compilations);
+//! * **shared execution** — [`ServiceSelector::execute`] runs the resolved
+//!   schedule on the process-wide [`bine_exec::ExecutorPool`], turning a
+//!   `(system, collective, nodes, bytes, data)` request into finished block
+//!   stores without the caller touching schedules at all.
+
+use std::path::Path;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+use bine_exec::{BlockStore, ExecutorPool};
+use bine_sched::{Collective, CompiledSchedule};
+
+use crate::selector::{SelectorIndex, Tuned, DEFAULT_CACHE_CAPACITY};
+use crate::table::{slug, DecisionTable};
+
+/// Default number of cache shards. More shards than typical worker counts,
+/// so two concurrent requests rarely contend on one stripe.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Cache key: `(system index, collective, nodes, resolved slot)`. Distinct
+/// byte sizes resolving to one table entry share a compiled schedule;
+/// off-grid node counts get their own compilation.
+type Key = (u32, Collective, usize, u32);
+
+struct CacheLine {
+    key: Key,
+    compiled: Arc<CompiledSchedule>,
+    last_used: u64,
+}
+
+/// The single-flight handle one leader publishes per in-flight compile.
+/// Followers block on the condvar until the leader settles the result.
+struct Flight {
+    state: Mutex<FlightState>,
+    done: Condvar,
+}
+
+enum FlightState {
+    Pending,
+    /// `None` when the pick was deterministically not buildable at this
+    /// rank count — a follower would have reached the same `None`.
+    Done(Option<Arc<CompiledSchedule>>),
+    /// The leader panicked mid-compile: the outcome is *unknown*, not
+    /// "unbuildable". Followers re-enter the request path and retry
+    /// (typically becoming the next leader and hitting the same panic in
+    /// their own thread), so a crash is never misreported as a permanently
+    /// unservable configuration.
+    Abandoned,
+}
+
+/// What a follower observed when its flight settled.
+enum FlightOutcome {
+    Done(Option<Arc<CompiledSchedule>>),
+    Abandoned,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            state: Mutex::new(FlightState::Pending),
+            done: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) -> FlightOutcome {
+        let mut state = lock_any(&self.state);
+        loop {
+            match &*state {
+                FlightState::Done(result) => return FlightOutcome::Done(result.clone()),
+                FlightState::Abandoned => return FlightOutcome::Abandoned,
+                FlightState::Pending => state = wait_any(&self.done, state),
+            }
+        }
+    }
+
+    fn settle(&self, state: FlightState) {
+        *lock_any(&self.state) = state;
+        self.done.notify_all();
+    }
+}
+
+/// Locks a mutex, tolerating poison: a panicking compile must not turn
+/// every later request on the same shard into a secondary panic.
+fn lock_any<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn wait_any<'a, T>(
+    cv: &Condvar,
+    guard: std::sync::MutexGuard<'a, T>,
+) -> std::sync::MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+struct ShardState {
+    lines: Vec<CacheLine>,
+    in_flight: Vec<(Key, Arc<Flight>)>,
+    clock: u64,
+    /// Stats live per shard, as plain integers under the stripe lock the
+    /// hot path already holds — global atomic counters would put one cache
+    /// line ping-ponging between every core on every request.
+    hits: u64,
+    misses: u64,
+    compilations: u64,
+}
+
+impl ShardState {
+    fn new() -> Mutex<ShardState> {
+        Mutex::new(ShardState {
+            lines: Vec::new(),
+            in_flight: Vec::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            compilations: 0,
+        })
+    }
+
+    /// Evicts least-recently-used lines until at most `max_lines` remain.
+    /// Never panics: an empty cache simply has no victim.
+    fn evict_down_to(&mut self, max_lines: usize) {
+        while self.lines.len() > max_lines {
+            let victim = self
+                .lines
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_used)
+                .map(|(i, _)| i);
+            match victim {
+                Some(i) => {
+                    self.lines.swap_remove(i);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Inserts a line, first evicting down to `capacity − 1` so the cache
+    /// never exceeds `capacity` lines.
+    fn insert(&mut self, key: Key, compiled: Arc<CompiledSchedule>, capacity: usize) {
+        self.clock += 1;
+        self.evict_down_to(capacity.saturating_sub(1));
+        self.lines.push(CacheLine {
+            key,
+            compiled,
+            last_used: self.clock,
+        });
+    }
+}
+
+/// Leader-side completion guard: however the leader exits — success, an
+/// unbuildable pick, or a panic inside `compile` — the in-flight handle is
+/// removed from the shard and settled, so followers can never deadlock on
+/// an abandoned flight. On success the compiled schedule is inserted into
+/// the shard cache *in the same lock acquisition* that retires the flight:
+/// there is no window in which a third thread sees neither the cache line
+/// nor the in-flight handle and compiles a second time. On unwind the
+/// flight settles as [`FlightState::Abandoned`], sending followers back to
+/// retry rather than handing them a false "unbuildable".
+struct FlightGuard<'a> {
+    shard: &'a Mutex<ShardState>,
+    key: Key,
+    flight: Arc<Flight>,
+    capacity: usize,
+    /// Set by the leader on completion; still unset on unwind.
+    result: Option<Option<Arc<CompiledSchedule>>>,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        let result = self.result.take();
+        {
+            let mut shard = lock_any(self.shard);
+            shard.in_flight.retain(|(k, _)| *k != self.key);
+            if let Some(Some(compiled)) = &result {
+                shard.insert(self.key, Arc::clone(compiled), self.capacity);
+            }
+        }
+        self.flight.settle(match result {
+            Some(result) => FlightState::Done(result),
+            None => FlightState::Abandoned,
+        });
+    }
+}
+
+/// A thread-safe selection service over one or more systems' decision
+/// tables: `&self` end-to-end lookup, a sharded compiled-schedule cache
+/// with single-flight compilation, and batch execution on the shared
+/// executor pool. See the [module docs](crate::service) for the design.
+pub struct ServiceSelector {
+    /// One immutable pre-indexed table per loaded system, in load order.
+    systems: Vec<Arc<SelectorIndex>>,
+    /// Slugs of the loaded systems (parallel to `systems`), for by-name
+    /// resolution without re-slugging the stored display names per query.
+    slugs: Vec<String>,
+    shards: Vec<Mutex<ShardState>>,
+    shard_capacity: usize,
+}
+
+impl ServiceSelector {
+    /// Builds a service over pre-indexed tables (shared with any existing
+    /// [`crate::Selector`]s via the `Arc`s).
+    pub fn from_indexes(indexes: Vec<Arc<SelectorIndex>>) -> ServiceSelector {
+        let slugs = indexes.iter().map(|i| slug(i.system())).collect();
+        ServiceSelector {
+            systems: indexes,
+            slugs,
+            shards: (0..DEFAULT_SHARDS).map(|_| ShardState::new()).collect(),
+            shard_capacity: DEFAULT_CACHE_CAPACITY,
+        }
+    }
+
+    /// Builds a service from in-memory decision tables.
+    pub fn from_tables(tables: &[DecisionTable]) -> ServiceSelector {
+        Self::from_indexes(
+            tables
+                .iter()
+                .map(|t| Arc::new(SelectorIndex::from_table(t)))
+                .collect(),
+        )
+    }
+
+    /// Loads every committed decision table (`*.json`) from the tuning
+    /// directory resolved by [`crate::default_tuning_dir`] — all four paper
+    /// systems in the stock checkout.
+    pub fn load_default() -> Result<ServiceSelector, String> {
+        Self::load_dir(&crate::default_tuning_dir()?)
+    }
+
+    /// Loads every `*.json` decision table under `dir`, sorted by file name
+    /// so system indices are deterministic.
+    pub fn load_dir(dir: &Path) -> Result<ServiceSelector, String> {
+        let mut paths: Vec<_> = std::fs::read_dir(dir)
+            .map_err(|e| format!("cannot read tuning directory {}: {e}", dir.display()))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+            .collect();
+        paths.sort();
+        if paths.is_empty() {
+            return Err(format!("no decision tables (*.json) in {}", dir.display()));
+        }
+        let mut tables = Vec::with_capacity(paths.len());
+        for path in &paths {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read decision table {}: {e}", path.display()))?;
+            tables.push(
+                DecisionTable::from_json(&text)
+                    .map_err(|e| format!("cannot parse {}: {e}", path.display()))?,
+            );
+        }
+        Ok(Self::from_tables(&tables))
+    }
+
+    /// Sets the number of cache shards (clamped to ≥ 1). Call before
+    /// serving: rebuilding the stripes drops any cached schedules.
+    pub fn with_shards(mut self, shards: usize) -> ServiceSelector {
+        self.shards = (0..shards.max(1)).map(|_| ShardState::new()).collect();
+        self
+    }
+
+    /// Sets the per-shard LRU capacity (clamped to ≥ 1, like
+    /// [`crate::Selector::with_cache_capacity`]).
+    pub fn with_shard_capacity(mut self, capacity: usize) -> ServiceSelector {
+        self.shard_capacity = capacity.max(1);
+        for shard in &self.shards {
+            lock_any(shard).evict_down_to(self.shard_capacity);
+        }
+        self
+    }
+
+    /// Display names of the loaded systems, in index order.
+    pub fn system_names(&self) -> Vec<&str> {
+        self.systems.iter().map(|i| i.system()).collect()
+    }
+
+    /// Index of a system by display name or slug (`"MareNostrum 5"` and
+    /// `"marenostrum5"` both resolve).
+    pub fn system_index(&self, system: &str) -> Option<usize> {
+        let wanted = slug(system);
+        self.slugs.iter().position(|s| *s == wanted)
+    }
+
+    /// The shared index of system `sys`, if loaded.
+    pub fn index(&self, sys: usize) -> Option<&Arc<SelectorIndex>> {
+        self.systems.get(sys)
+    }
+
+    /// The tuned `(algorithm, segments)` for a query against `system`
+    /// (by name or slug) — same floor-breakpoint semantics, same code and
+    /// data as the serial [`crate::Selector::choose`].
+    pub fn choose(
+        &self,
+        system: &str,
+        collective: Collective,
+        nodes: usize,
+        bytes: u64,
+    ) -> Option<Tuned<'_>> {
+        self.choose_at(self.system_index(system)?, collective, nodes, bytes)
+    }
+
+    /// [`ServiceSelector::choose`] by system index (skips the name lookup
+    /// on hot paths).
+    pub fn choose_at(
+        &self,
+        sys: usize,
+        collective: Collective,
+        nodes: usize,
+        bytes: u64,
+    ) -> Option<Tuned<'_>> {
+        self.systems.get(sys)?.choose(collective, nodes, bytes)
+    }
+
+    /// The compiled schedule of the tuned pick, from the sharded cache or
+    /// compiled once under single-flight. `&self`: safe to call from any
+    /// number of threads over one shared service.
+    ///
+    /// Rooted collectives are built with root 0, exactly as in
+    /// [`crate::Selector::compiled`].
+    pub fn compiled(
+        &self,
+        system: &str,
+        collective: Collective,
+        nodes: usize,
+        bytes: u64,
+    ) -> Option<Arc<CompiledSchedule>> {
+        self.compiled_at(self.system_index(system)?, collective, nodes, bytes)
+    }
+
+    /// [`ServiceSelector::compiled`] by system index.
+    pub fn compiled_at(
+        &self,
+        sys: usize,
+        collective: Collective,
+        nodes: usize,
+        bytes: u64,
+    ) -> Option<Arc<CompiledSchedule>> {
+        let index = self.systems.get(sys)?;
+        let slot = index.slot_index(collective, nodes, bytes)?;
+        let key: Key = (sys as u32, collective, nodes, slot);
+        let shard = &self.shards[self.shard_of(&key)];
+
+        enum Role {
+            Leader(Arc<Flight>),
+            Follower(Arc<Flight>),
+        }
+        loop {
+            let role = {
+                let mut state = lock_any(shard);
+                state.clock += 1;
+                let clock = state.clock;
+                if let Some(pos) = state.lines.iter().position(|l| l.key == key) {
+                    state.lines[pos].last_used = clock;
+                    state.hits += 1;
+                    return Some(state.lines[pos].compiled.clone());
+                }
+                state.misses += 1;
+                match state.in_flight.iter().find(|(k, _)| *k == key) {
+                    Some((_, flight)) => Role::Follower(Arc::clone(flight)),
+                    None => {
+                        let flight = Arc::new(Flight::new());
+                        state.in_flight.push((key, Arc::clone(&flight)));
+                        state.compilations += 1;
+                        Role::Leader(flight)
+                    }
+                }
+            };
+            match role {
+                Role::Follower(flight) => match flight.wait() {
+                    FlightOutcome::Done(result) => return result,
+                    // The leader panicked: its outcome says nothing about
+                    // this entry. Retry — typically becoming the next
+                    // leader and surfacing the same panic in this thread.
+                    FlightOutcome::Abandoned => continue,
+                },
+                Role::Leader(flight) => {
+                    let mut guard = FlightGuard {
+                        shard,
+                        key,
+                        flight,
+                        capacity: self.shard_capacity,
+                        result: None,
+                    };
+                    // Outside the shard lock: other entries of this shard
+                    // stay servable while this one compiles.
+                    let compiled = index.compile_slot(collective, nodes, slot);
+                    guard.result = Some(compiled.clone());
+                    drop(guard); // retire the flight + publish the cache line
+                    return compiled;
+                }
+            }
+        }
+    }
+
+    /// Resolves the tuned pick, compiles (or fetches) its schedule and
+    /// executes it over `initial` block stores on `pool`. `None` when the
+    /// query resolves to no table entry or the pick is not buildable at
+    /// this rank count.
+    pub fn execute_on(
+        &self,
+        pool: &ExecutorPool,
+        system: &str,
+        collective: Collective,
+        nodes: usize,
+        bytes: u64,
+        initial: Vec<BlockStore>,
+    ) -> Option<Vec<BlockStore>> {
+        let compiled = self.compiled(system, collective, nodes, bytes)?;
+        Some(pool.run(&compiled, initial))
+    }
+
+    /// [`ServiceSelector::execute_on`] over the process-wide
+    /// [`ExecutorPool::global`].
+    pub fn execute(
+        &self,
+        system: &str,
+        collective: Collective,
+        nodes: usize,
+        bytes: u64,
+        initial: Vec<BlockStore>,
+    ) -> Option<Vec<BlockStore>> {
+        self.execute_on(
+            ExecutorPool::global(),
+            system,
+            collective,
+            nodes,
+            bytes,
+            initial,
+        )
+    }
+
+    fn shard_of(&self, key: &Key) -> usize {
+        // A cheap splitmix-style integer mix instead of the std SipHash:
+        // the stripe choice runs on every request and only needs to spread
+        // a handful of small integers, not resist collision attacks.
+        let (sys, collective, nodes, slot) = *key;
+        let mut h = (sys as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (collective as u64).wrapping_mul(0xD1B5_4A32_D192_ED03)
+            ^ (nodes as u64).wrapping_mul(0x94D0_49BB_1331_11EB)
+            ^ (slot as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 29;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 32;
+        (h % self.shards.len() as u64) as usize
+    }
+
+    /// Number of cache shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard LRU capacity.
+    pub fn shard_capacity(&self) -> usize {
+        self.shard_capacity
+    }
+
+    /// Number of compiled schedules currently cached, across all shards.
+    pub fn cached_schedules(&self) -> usize {
+        self.shard_lens().iter().sum()
+    }
+
+    /// Current line count of every shard (for capacity-invariant tests).
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| lock_any(s).lines.len())
+            .collect()
+    }
+
+    /// Cache hits served so far, across all shards.
+    pub fn hits(&self) -> u64 {
+        self.shards.iter().map(|s| lock_any(s).hits).sum()
+    }
+
+    /// Cache misses across all shards (followers waiting on an in-flight
+    /// compile count as misses, not as compilations).
+    pub fn misses(&self) -> u64 {
+        self.shards.iter().map(|s| lock_any(s).misses).sum()
+    }
+
+    /// Compilations started (single-flight leaderships taken) — with a
+    /// warm-enough cache this equals the number of distinct
+    /// `(system, collective, nodes, slot)` entries ever requested, however
+    /// many threads raced for them; evicted entries recompile on
+    /// re-request.
+    pub fn compilations(&self) -> u64 {
+        self.shards.iter().map(|s| lock_any(s).compilations).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{Entry, ScoreModel};
+    use crate::Selector;
+
+    fn table(system: &str) -> DecisionTable {
+        let e = |collective, nodes: usize, bytes: u64, pick: &str| Entry {
+            collective,
+            nodes,
+            vector_bytes: bytes,
+            pick: pick.into(),
+            model: ScoreModel::Sync,
+            time_us: 1.0,
+        };
+        DecisionTable {
+            system: system.into(),
+            entries: vec![
+                e(Collective::Allreduce, 16, 32, "recursive-doubling"),
+                e(Collective::Allreduce, 16, 1 << 20, "bine-large"),
+                e(Collective::Allreduce, 64, 32, "recursive-doubling"),
+                e(Collective::Allreduce, 64, 1 << 20, "bine-large+seg8"),
+                e(Collective::Broadcast, 16, 32, "bine-tree"),
+            ],
+        }
+    }
+
+    #[test]
+    fn choose_matches_the_serial_selector() {
+        let t = table("Testbox");
+        let serial = Selector::from_table(&t);
+        let service = ServiceSelector::from_tables(&[t]);
+        for nodes in [4usize, 16, 40, 64, 100] {
+            for bytes in [1u64, 32, 4096, 1 << 20, 1 << 26] {
+                assert_eq!(
+                    service.choose("Testbox", Collective::Allreduce, nodes, bytes),
+                    serial.choose(Collective::Allreduce, nodes, bytes),
+                );
+            }
+        }
+        assert!(service
+            .choose("Testbox", Collective::Alltoall, 16, 32)
+            .is_none());
+        assert!(service
+            .choose("nosuch", Collective::Allreduce, 16, 32)
+            .is_none());
+    }
+
+    #[test]
+    fn systems_resolve_by_name_or_slug() {
+        let service = ServiceSelector::from_tables(&[table("MareNostrum 5"), table("LUMI")]);
+        assert_eq!(service.system_index("MareNostrum 5"), Some(0));
+        assert_eq!(service.system_index("marenostrum5"), Some(0));
+        assert_eq!(service.system_index("lumi"), Some(1));
+        assert_eq!(service.system_index("Frontier"), None);
+        assert_eq!(service.system_names(), vec!["MareNostrum 5", "LUMI"]);
+    }
+
+    #[test]
+    fn compiled_hits_the_cache_on_repeat() {
+        let service = ServiceSelector::from_tables(&[table("Testbox")]);
+        let a = service
+            .compiled("Testbox", Collective::Allreduce, 16, 32)
+            .unwrap();
+        let b = service
+            .compiled("Testbox", Collective::Allreduce, 16, 32)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second call must hit the cache");
+        assert_eq!(service.compilations(), 1);
+        assert_eq!(service.hits(), 1);
+        assert_eq!(service.misses(), 1);
+        assert_eq!(service.cached_schedules(), 1);
+        // Distinct node counts compile separately even for one entry.
+        let c = service
+            .compiled("Testbox", Collective::Allreduce, 32, 32)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(c.num_ranks, 32);
+        assert_eq!(service.compilations(), 2);
+    }
+
+    #[test]
+    fn per_shard_capacity_is_respected_even_at_zero() {
+        let service = ServiceSelector::from_tables(&[table("Testbox")])
+            .with_shards(1)
+            .with_shard_capacity(0); // clamped to 1
+        assert_eq!(service.shard_capacity(), 1);
+        service
+            .compiled("Testbox", Collective::Allreduce, 16, 32)
+            .unwrap();
+        service
+            .compiled("Testbox", Collective::Allreduce, 32, 32)
+            .unwrap();
+        assert_eq!(service.cached_schedules(), 1);
+        assert!(service.shard_lens().iter().all(|&len| len <= 1));
+    }
+
+    #[test]
+    fn execute_runs_the_tuned_pick_end_to_end() {
+        use bine_exec::state::Workload;
+        use bine_sched::build;
+
+        let t = table("Testbox");
+        let service = ServiceSelector::from_tables(&[t]);
+        // The pick at (allreduce, 16, 32) is recursive-doubling; run it and
+        // cross-check against the serial reference executor.
+        let sched = build(Collective::Allreduce, "recursive-doubling", 16, 0).unwrap();
+        let w = Workload::for_schedule(&sched, 2);
+        let expected = bine_exec::sequential::run_reference(&sched, w.initial_state(&sched));
+        let finals = service
+            .execute(
+                "Testbox",
+                Collective::Allreduce,
+                16,
+                32,
+                w.initial_state(&sched),
+            )
+            .unwrap();
+        assert_eq!(finals, expected);
+    }
+}

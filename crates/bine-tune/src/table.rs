@@ -149,7 +149,36 @@ impl DecisionTable {
         if entries.is_empty() {
             return Err("no entries".into());
         }
-        Ok(DecisionTable { system, entries })
+        let table = DecisionTable { system, entries };
+        // Duplicate grid points would give the selector two breakpoints for
+        // one (collective, nodes, bytes) key, and which pick wins would then
+        // depend on sort stability — reject them here so a corrupt or
+        // hand-merged table fails loudly at load instead.
+        if let Some((c, n, b)) = table.duplicate_key() {
+            return Err(format!(
+                "duplicate entry for (collective: {}, nodes: {n}, bytes: {b}); \
+                 each grid point may appear at most once",
+                c.name()
+            ));
+        }
+        Ok(table)
+    }
+
+    /// The first `(collective, nodes, bytes)` grid point that appears more
+    /// than once, if any. A table with duplicate keys has no well-defined
+    /// selection policy (which pick wins would depend on sort stability):
+    /// [`DecisionTable::from_json`] rejects such tables at parse time and
+    /// the selector index refuses to build from them.
+    pub fn duplicate_key(&self) -> Option<(Collective, usize, u64)> {
+        let mut keys: Vec<(Collective, usize, u64)> = self
+            .entries
+            .iter()
+            .map(|e| (e.collective, e.nodes, e.vector_bytes))
+            .collect();
+        keys.sort_by_key(|&(c, n, b)| {
+            (Collective::ALL.iter().position(|&x| x == c).unwrap(), n, b)
+        });
+        keys.windows(2).find(|w| w[0] == w[1]).map(|w| w[0])
     }
 
     /// The entry at an exact grid point, if present.
@@ -281,6 +310,30 @@ mod tests {
         );
         let bad = sample().to_json().replace("allreduce", "allred");
         assert!(DecisionTable::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn duplicate_grid_points_are_rejected_with_the_offending_key() {
+        // Regression: duplicates used to parse fine and silently make the
+        // resolved pick depend on sort stability.
+        let mut table = sample();
+        let mut dup = table.entries[0].clone();
+        dup.pick = "ring".into(); // same key, conflicting pick
+        table.entries.push(dup);
+        let err = DecisionTable::from_json(&table.to_json()).unwrap_err();
+        assert!(err.contains("duplicate entry"), "{err}");
+        assert!(
+            err.contains("allreduce") && err.contains("16") && err.contains("32"),
+            "{err}"
+        );
+        // Non-adjacent duplicates (different sort position in the file) are
+        // caught too: detection is over canonically sorted keys.
+        let mut table = sample();
+        let dup = table.entries[1].clone();
+        table.entries.insert(0, dup);
+        assert!(DecisionTable::from_json(&table.to_json())
+            .unwrap_err()
+            .contains("duplicate entry"));
     }
 
     #[test]

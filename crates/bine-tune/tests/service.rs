@@ -1,0 +1,361 @@
+//! Concurrency pins for the serving layer: [`ServiceSelector`] must answer
+//! every query stream — cold, warm, or hammered from many threads at once —
+//! with picks bit-identical to the serial [`Selector`], while respecting
+//! the per-shard cache capacity and compiling each entry exactly once under
+//! single-flight.
+
+use std::sync::{Arc, Barrier, Mutex};
+use std::thread;
+
+use bine_sched::Collective;
+use bine_tune::{DecisionTable, Entry, ScoreModel, Selector, ServiceSelector};
+use proptest::prelude::*;
+
+/// A two-collective table with enough breakpoints that random queries
+/// exercise clamping, floor lookup and multiple distinct slots. Picks are
+/// all buildable at power-of-two rank counts.
+fn table() -> DecisionTable {
+    let e = |collective, nodes: usize, bytes: u64, pick: &str| Entry {
+        collective,
+        nodes,
+        vector_bytes: bytes,
+        pick: pick.into(),
+        model: ScoreModel::Sync,
+        time_us: 1.0,
+    };
+    DecisionTable {
+        system: "Stressbox".into(),
+        entries: vec![
+            e(Collective::Allreduce, 8, 32, "recursive-doubling"),
+            e(Collective::Allreduce, 8, 1 << 20, "bine-large"),
+            e(Collective::Allreduce, 32, 32, "recursive-doubling"),
+            e(Collective::Allreduce, 32, 1 << 16, "bine-large+seg2"),
+            e(Collective::Allreduce, 32, 1 << 20, "bine-large+seg8"),
+            e(Collective::Broadcast, 8, 32, "bine-tree"),
+            e(Collective::Broadcast, 32, 1 << 20, "bine-scatter-allgather"),
+        ],
+    }
+}
+
+/// The query grid the stress threads draw from: power-of-two node counts
+/// (every pick above is buildable there) across both collectives and sizes
+/// spanning all byte breakpoints.
+fn queries() -> Vec<(Collective, usize, u64)> {
+    let mut q = Vec::new();
+    for &collective in &[Collective::Allreduce, Collective::Broadcast] {
+        for &nodes in &[4usize, 8, 16, 32, 64] {
+            for &bytes in &[1u64, 32, 4096, 1 << 16, 1 << 20, 1 << 24] {
+                q.push((collective, nodes, bytes));
+            }
+        }
+    }
+    q
+}
+
+/// What the serial selector answers for every query: the pick, plus the
+/// compiled schedule's identity-relevant fields (algorithm name carries the
+/// segment suffix; rank count and step count pin the build).
+struct Expected {
+    algorithm: String,
+    segments: usize,
+    compiled_name: String,
+    num_ranks: usize,
+    num_steps: usize,
+}
+
+fn expectations(queries: &[(Collective, usize, u64)]) -> Vec<Expected> {
+    // Capacity large enough that the serial baseline never evicts — every
+    // query's compiled result is the freshly- or cache-built truth.
+    let mut serial = Selector::from_table(&table()).with_cache_capacity(queries.len());
+    queries
+        .iter()
+        .map(|&(collective, nodes, bytes)| {
+            let t = serial.choose(collective, nodes, bytes).expect("pick");
+            let (algorithm, segments) = (t.algorithm.to_string(), t.segments);
+            let compiled = serial.compiled(collective, nodes, bytes).expect("compiled");
+            Expected {
+                algorithm,
+                segments,
+                compiled_name: compiled.algorithm.clone(),
+                num_ranks: compiled.num_ranks,
+                num_steps: compiled.num_steps(),
+            }
+        })
+        .collect()
+}
+
+/// N threads hammer one shared service with interleaved query streams;
+/// every answer must match the serial selector, the per-shard cache must
+/// stay within capacity throughout, and — because the capacity covers the
+/// whole working set — every distinct entry must compile exactly once.
+#[test]
+fn stress_matches_serial_and_respects_capacity() {
+    let queries = Arc::new(queries());
+    let expected = Arc::new(expectations(&queries));
+    // Distinct (collective, nodes, slot) keys: count via the serial pick of
+    // each query (compiled entries are keyed by resolved slot + rank count).
+    let distinct = {
+        let mut keys: Vec<(&str, usize, String)> = queries
+            .iter()
+            .zip(expected.iter())
+            .map(|(&(c, n, _), e)| (c.name(), n, e.compiled_name.clone()))
+            .collect();
+        keys.sort();
+        keys.dedup();
+        keys.len()
+    };
+
+    let service = Arc::new(
+        ServiceSelector::from_tables(&[table()])
+            .with_shards(4)
+            .with_shard_capacity(distinct), // warm: no evictions, exact compile count
+    );
+    let threads = 8;
+    let rounds = 6;
+    let barrier = Arc::new(Barrier::new(threads));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            let queries = Arc::clone(&queries);
+            let expected = Arc::clone(&expected);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                for round in 0..rounds {
+                    // Every thread walks the full grid, each from its own
+                    // offset, so cold entries are raced from many threads.
+                    for i in 0..queries.len() {
+                        let j = (i + t * 7 + round * 3) % queries.len();
+                        let (collective, nodes, bytes) = queries[j];
+                        let want = &expected[j];
+                        let got = service
+                            .choose_at(0, collective, nodes, bytes)
+                            .expect("service pick");
+                        assert_eq!(got.algorithm, want.algorithm);
+                        assert_eq!(got.segments, want.segments);
+                        let compiled = service
+                            .compiled_at(0, collective, nodes, bytes)
+                            .expect("service compiled");
+                        assert_eq!(compiled.algorithm, want.compiled_name);
+                        assert_eq!(compiled.num_ranks, want.num_ranks);
+                        assert_eq!(compiled.num_steps(), want.num_steps);
+                    }
+                    // Capacity invariant, checked live under contention.
+                    assert!(service
+                        .shard_lens()
+                        .iter()
+                        .all(|&len| len <= service.shard_capacity()));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("stress thread panicked");
+    }
+
+    // Warm cache held every entry: single-flight means each distinct entry
+    // compiled exactly once across all 8 threads × 6 rounds.
+    assert_eq!(service.compilations(), distinct as u64);
+    assert_eq!(service.cached_schedules(), distinct);
+    let total = (threads * rounds * queries.len()) as u64;
+    assert_eq!(service.hits() + service.misses(), total);
+    assert!(service.hits() >= total - distinct as u64 * threads as u64);
+}
+
+/// All threads release on a barrier straight into the same cold entry: one
+/// compiles, the rest wait on the in-flight handle — and everyone gets the
+/// same `Arc`.
+#[test]
+fn single_flight_dedupes_concurrent_compiles() {
+    let service = Arc::new(ServiceSelector::from_tables(&[table()]).with_shards(1));
+    let threads = 8;
+    let barrier = Arc::new(Barrier::new(threads));
+    let results = Arc::new(Mutex::new(Vec::new()));
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let service = Arc::clone(&service);
+            let barrier = Arc::clone(&barrier);
+            let results = Arc::clone(&results);
+            thread::spawn(move || {
+                barrier.wait();
+                let compiled = service
+                    .compiled_at(0, Collective::Allreduce, 32, 1 << 20)
+                    .expect("compiled");
+                results.lock().unwrap().push(compiled);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("thread panicked");
+    }
+    let results = results.lock().unwrap();
+    assert_eq!(results.len(), threads);
+    assert!(
+        results.iter().all(|c| Arc::ptr_eq(c, &results[0])),
+        "all racers must share the one compiled schedule"
+    );
+    assert_eq!(
+        service.compilations(),
+        1,
+        "the cold entry must compile exactly once, not once per racer"
+    );
+    // Racers that lost the race to the *completed* compile are hits; every
+    // request is one or the other, and at least the leader missed.
+    assert_eq!(service.hits() + service.misses(), threads as u64);
+    assert!(service.misses() >= 1);
+}
+
+/// A tiny cache under contention: per-shard capacity 1 forces constant
+/// eviction + recompilation, and the capacity bound and the serial-equality
+/// of picks must both survive it.
+#[test]
+fn contended_evictions_keep_answers_serial_identical() {
+    let queries = queries();
+    let expected = expectations(&queries);
+    let service = Arc::new(
+        ServiceSelector::from_tables(&[table()])
+            .with_shards(2)
+            .with_shard_capacity(1),
+    );
+    let threads = 4;
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            let queries = queries.clone();
+            let pinned: Vec<(Collective, usize, u64, String, usize)> = queries
+                .iter()
+                .zip(expected.iter())
+                .map(|(&(c, n, b), e)| (c, n, b, e.compiled_name.clone(), e.num_ranks))
+                .collect();
+            thread::spawn(move || {
+                for round in 0..4 {
+                    for i in 0..pinned.len() {
+                        let (collective, nodes, bytes, ref name, num_ranks) =
+                            pinned[(i + t + round) % pinned.len()];
+                        let compiled = service
+                            .compiled_at(0, collective, nodes, bytes)
+                            .expect("compiled");
+                        assert_eq!(compiled.algorithm, *name);
+                        assert_eq!(compiled.num_ranks, num_ranks);
+                        assert!(service.shard_lens().iter().all(|&len| len <= 1));
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("thread panicked");
+    }
+    assert!(service.cached_schedules() <= 2);
+    // Thrashing forces recompiles: far more compilations than distinct
+    // entries, yet never more than total misses.
+    assert!(service.compilations() >= 2);
+    assert!(service.compilations() <= service.misses());
+}
+
+/// Decodes one random `u64` into a query: collective (including one absent
+/// from the table, which must be `None` on both paths), a power-of-two node
+/// count (every pick is buildable there) and an arbitrary byte size.
+fn decode(seed: u64) -> (Collective, usize, u64) {
+    let collective = [
+        Collective::Allreduce,
+        Collective::Broadcast,
+        Collective::Alltoall, // absent from the table
+    ][(seed % 3) as usize];
+    let nodes = [4usize, 8, 16, 32, 64][((seed >> 2) % 5) as usize];
+    let bytes = 1 + ((seed >> 5) % (1 << 22));
+    (collective, nodes, bytes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Cold cache, arbitrary query streams: the service's pick equals the
+    // serial selector's for every query, and the compiled schedule is the
+    // same build (name, rank count, step count).
+    #[test]
+    fn random_streams_resolve_bit_identical_to_serial(
+        seeds in prop::collection::vec(0u64..(1 << 62), 1..24),
+    ) {
+        let stream: Vec<(Collective, usize, u64)> = seeds.iter().map(|&s| decode(s)).collect();
+        let t = table();
+        let mut serial = Selector::from_table(&t).with_cache_capacity(64);
+        let service = ServiceSelector::from_tables(&[t]);
+        for &(collective, nodes, bytes) in &stream {
+            let want = serial.choose(collective, nodes, bytes);
+            let got = service.choose_at(0, collective, nodes, bytes);
+            prop_assert_eq!(got, want);
+            let want_compiled = serial.compiled(collective, nodes, bytes);
+            let got_compiled = service.compiled_at(0, collective, nodes, bytes);
+            prop_assert_eq!(want_compiled.is_some(), got_compiled.is_some());
+            if let (Some(a), Some(b)) = (want_compiled, got_compiled) {
+                prop_assert_eq!(&a.algorithm, &b.algorithm);
+                prop_assert_eq!(a.num_ranks, b.num_ranks);
+                prop_assert_eq!(a.num_steps(), b.num_steps());
+            }
+        }
+    }
+
+    // Contended caches: four threads replay one random stream against a
+    // shared service (small shard capacity, so eviction races happen);
+    // every thread's answers must equal the serial selector's.
+    #[test]
+    fn contended_random_streams_stay_serial_identical(
+        seeds in prop::collection::vec(0u64..(1 << 62), 1..12),
+        capacity in 1usize..4,
+        shards in 1usize..4,
+    ) {
+        // Restrict to collectives present in the table and ≤ 32 nodes so the
+        // 4-way replay stays cheap in debug builds.
+        let stream: Vec<(Collective, usize, u64)> = seeds
+            .iter()
+            .map(|&s| {
+                let (c, n, b) = decode(s);
+                let c = if c == Collective::Alltoall { Collective::Allreduce } else { c };
+                (c, n.min(32), b)
+            })
+            .collect();
+        let t = table();
+        let mut serial = Selector::from_table(&t).with_cache_capacity(64);
+        let expected: Vec<Option<(String, usize, String)>> = stream
+            .iter()
+            .map(|&(collective, nodes, bytes)| {
+                serial.compiled(collective, nodes, bytes).map(|c| {
+                    let pick = serial.choose(collective, nodes, bytes).unwrap();
+                    (pick.algorithm.to_string(), pick.segments, c.algorithm.clone())
+                })
+            })
+            .collect();
+        let service = Arc::new(
+            ServiceSelector::from_tables(&[t])
+                .with_shards(shards)
+                .with_shard_capacity(capacity),
+        );
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let service = Arc::clone(&service);
+                let stream = stream.clone();
+                let expected = expected.clone();
+                thread::spawn(move || {
+                    for (&(collective, nodes, bytes), want) in stream.iter().zip(&expected) {
+                        let got = service
+                            .compiled_at(0, collective, nodes, bytes)
+                            .map(|c| {
+                                let pick =
+                                    service.choose_at(0, collective, nodes, bytes).unwrap();
+                                (pick.algorithm.to_string(), pick.segments, c.algorithm.clone())
+                            });
+                        assert_eq!(&got, want);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("contended thread panicked");
+        }
+        prop_assert!(service
+            .shard_lens()
+            .iter()
+            .all(|&len| len <= capacity));
+    }
+}
