@@ -16,7 +16,11 @@
 //! * [`perfgate`] — the CI perf-regression gate over `BENCH_exec.json`,
 //! * [`serve`] — the serving-layer benchmark: requests/sec and p99 latency
 //!   of the concurrent `bine_tune::ServiceSelector` against the
-//!   single-threaded selector baseline (the `serve_bench` bin front-end).
+//!   single-threaded selector baseline (the `serve_bench` bin front-end),
+//! * [`chaos`] — the failure-injection harness: a request storm with seeded
+//!   compile panics and a faulted-DES verification pass, asserting 100%
+//!   answer availability with fallback answers bit-identical to the
+//!   binomial baseline (the `chaos_bench` bin front-end, a CI smoke step).
 //!
 //! The `tune` binary regenerates the committed `tuning/*.json` decision
 //! tables from [`runner::tune_target`]; the `tune_gate` binary is the CI
@@ -43,6 +47,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod perfgate;
 pub mod report;
 pub mod runner;

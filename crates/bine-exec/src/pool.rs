@@ -19,6 +19,7 @@
 //! cannot reorder floating-point reductions.
 
 use std::collections::VecDeque;
+use std::fmt;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
@@ -29,6 +30,62 @@ use crate::compiled::{self, DenseState};
 use crate::state::{Block, BlockStore};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The panic payload a worker caught, before conversion to [`ExecError`].
+type PanicPayload = Box<dyn std::any::Any + Send>;
+
+/// Typed failure of a pool execution: the panic contract of the executor.
+///
+/// A rank job that panics inside a worker (a reduce op applied to
+/// mismatched block lengths, a send of a block the rank does not hold, a
+/// user-provided op gone wrong) is caught *at the worker*, the batch drains
+/// fully so no in-flight job still references the run's state, and the
+/// failure is surfaced to the caller — as this error from
+/// [`ExecutorPool::try_run`] / [`ExecutorPool::try_run_dense`], or re-raised
+/// verbatim by the panicking entry points. The pool itself remains fully
+/// usable afterwards: no poisoned pool locks, no leaked jobs, no dead
+/// workers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A job panicked on a worker thread; `message` is the panic payload
+    /// (`"opaque panic payload"` when it was not a string).
+    JobPanicked {
+        /// The panic message of the first failing job of the run.
+        message: String,
+    },
+}
+
+impl ExecError {
+    fn from_panic(payload: PanicPayload) -> Self {
+        let message = match payload.downcast::<String>() {
+            Ok(s) => *s,
+            Err(payload) => match payload.downcast::<&'static str>() {
+                Ok(s) => (*s).to_owned(),
+                Err(_) => "opaque panic payload".to_owned(),
+            },
+        };
+        ExecError::JobPanicked { message }
+    }
+
+    /// The panic message of the failing job.
+    pub fn message(&self) -> &str {
+        match self {
+            ExecError::JobPanicked { message } => message,
+        }
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::JobPanicked { message } => {
+                write!(f, "executor job panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
 
 /// Locks a mutex, tolerating poison.
 ///
@@ -113,12 +170,13 @@ impl ExecutorPool {
         self.workers.len()
     }
 
-    /// Runs a batch of jobs to completion. If a job panics, the panic is
-    /// re-raised here (after the whole batch has drained, so the pool stays
-    /// consistent).
-    fn run_batch(&self, jobs: Vec<Job>) {
+    /// Runs a batch of jobs to completion, returning the first panic payload
+    /// instead of unwinding. The batch always drains fully — even after a
+    /// panic every remaining job runs (or has run) before this returns, so
+    /// no job still holding state references is in flight afterwards.
+    fn try_run_batch(&self, jobs: Vec<Job>) -> Result<(), PanicPayload> {
         if jobs.is_empty() {
-            return;
+            return Ok(());
         }
         let batch = Arc::new(BatchStatus {
             state: Mutex::new((jobs.len(), None)),
@@ -146,9 +204,9 @@ impl ExecutorPool {
         while state.0 > 0 {
             state = batch.done.wait(state).expect("batch poisoned");
         }
-        if let Some(panic) = state.1.take() {
-            drop(state);
-            resume_unwind(panic);
+        match state.1.take() {
+            Some(panic) => Err(panic),
+            None => Ok(()),
         }
     }
 
@@ -157,6 +215,10 @@ impl ExecutorPool {
     ///
     /// The schedule is taken as an `Arc` so repeated runs (and the worker
     /// jobs) share one compiled form without re-copying it.
+    ///
+    /// # Panics
+    /// Re-raises the first panic of any rank job (the pool itself stays
+    /// usable); see [`ExecutorPool::try_run`] for the non-panicking variant.
     pub fn run(
         &self,
         compiled: &Arc<CompiledSchedule>,
@@ -167,16 +229,58 @@ impl ExecutorPool {
         compiled::from_dense(compiled, finals)
     }
 
+    /// [`ExecutorPool::run`] with the executor panic contract surfaced as a
+    /// typed error: a panicking rank job (e.g. a reduce op applied to
+    /// mismatched block lengths) is caught at the worker and returned as
+    /// [`ExecError`] after the whole batch has drained. The pool remains
+    /// fully usable afterwards.
+    pub fn try_run(
+        &self,
+        compiled: &Arc<CompiledSchedule>,
+        initial: Vec<BlockStore>,
+    ) -> Result<Vec<BlockStore>, ExecError> {
+        let dense = compiled::to_dense(compiled, initial);
+        let finals = self.try_run_dense(compiled, dense)?;
+        Ok(compiled::from_dense(compiled, finals))
+    }
+
     /// Executes `compiled` over dense states on this pool.
+    ///
+    /// # Panics
+    /// Re-raises the first panic of any rank job (the pool itself stays
+    /// usable); see [`ExecutorPool::try_run_dense`] for the non-panicking
+    /// variant.
     pub fn run_dense(
         &self,
         compiled: &Arc<CompiledSchedule>,
         states: Vec<DenseState>,
     ) -> Vec<DenseState> {
+        match self.run_dense_impl(compiled, states) {
+            Ok(finals) => finals,
+            Err(panic) => resume_unwind(panic),
+        }
+    }
+
+    /// [`ExecutorPool::run_dense`] with panics surfaced as [`ExecError`]
+    /// instead of unwinding.
+    pub fn try_run_dense(
+        &self,
+        compiled: &Arc<CompiledSchedule>,
+        states: Vec<DenseState>,
+    ) -> Result<Vec<DenseState>, ExecError> {
+        self.run_dense_impl(compiled, states)
+            .map_err(ExecError::from_panic)
+    }
+
+    fn run_dense_impl(
+        &self,
+        compiled: &Arc<CompiledSchedule>,
+        states: Vec<DenseState>,
+    ) -> Result<Vec<DenseState>, PanicPayload> {
         let p = compiled.num_ranks;
         assert_eq!(states.len(), p, "one dense state per rank required");
         if p == 0 {
-            return states;
+            return Ok(states);
         }
         let states: Arc<Vec<Mutex<DenseState>>> =
             Arc::new(states.into_iter().map(Mutex::new).collect());
@@ -231,7 +335,7 @@ impl ExecutorPool {
                     *lock_any(&partial[w]) = out;
                 }));
             }
-            self.run_batch(jobs);
+            self.try_run_batch(jobs)?;
 
             // Assemble the staging buffer (moves Arcs, no payload copies).
             let mut staging: Vec<Option<Block>> = vec![None; payload_count];
@@ -274,17 +378,20 @@ impl ExecutorPool {
                     }
                 }));
             }
-            self.run_batch(jobs);
+            self.try_run_batch(jobs)?;
         }
 
+        // Batches drain fully even on a panic, so no in-flight job can still
+        // hold a reference here — on success *or* on the early-error paths
+        // above, where `states` is simply dropped.
         let states = Arc::try_unwrap(states).expect("worker kept a state reference");
-        states
+        Ok(states
             .into_iter()
             .map(|m| {
                 m.into_inner()
                     .unwrap_or_else(std::sync::PoisonError::into_inner)
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -374,6 +481,104 @@ mod tests {
         let w = Workload::for_schedule(&sched, 2);
         let finals = pool.run(&compiled, w.initial_state(&sched));
         assert!(crate::verify::verify(&w, &finals).is_ok());
+    }
+
+    /// An initial state whose rank-3 payloads are one element too long: any
+    /// reduce combining them with a healthy block trips `compiled::apply`'s
+    /// length assertion *inside a worker* — the injected panicking reduce op.
+    fn corrupted_initial(w: &Workload, sched: &bine_sched::Schedule) -> Vec<BlockStore> {
+        let mut initial = w.initial_state(sched);
+        let store = &mut initial[3];
+        let ids: Vec<_> = store.iter().map(|(id, _)| *id).collect();
+        for id in ids {
+            let mut long = store.get(&id).expect("just listed").clone();
+            long.push(0.0);
+            store.insert(id, long);
+        }
+        initial
+    }
+
+    #[test]
+    fn try_run_surfaces_worker_panics_as_typed_errors() {
+        let pool = ExecutorPool::new(2);
+        let sched = allreduce(8, AllreduceAlg::RecursiveDoubling);
+        let compiled = Arc::new(sched.compile());
+        let w = Workload::for_schedule(&sched, 2);
+
+        // Injected panicking reduce op: mismatched block lengths.
+        let err = pool
+            .try_run(&compiled, corrupted_initial(&w, &sched))
+            .expect_err("mismatched lengths must fail");
+        assert!(
+            err.message().contains("block length mismatch"),
+            "unexpected error: {err}"
+        );
+        assert!(err.to_string().starts_with("executor job panicked:"));
+
+        // Missing blocks (gather-phase panic) are typed too.
+        let empty: Vec<BlockStore> = (0..8).map(|_| BlockStore::new()).collect();
+        let err = pool
+            .try_run(&compiled, empty)
+            .expect_err("missing blocks must fail");
+        assert!(err.message().contains("does not hold"), "{err}");
+
+        // The pool is fully usable afterwards and still bit-identical to the
+        // sequential reference.
+        let reference = sequential::run_reference(&sched, w.initial_state(&sched));
+        let finals = pool
+            .try_run(&compiled, w.initial_state(&sched))
+            .expect("healthy run");
+        assert_eq!(finals, reference);
+    }
+
+    #[test]
+    fn stress_racing_panicking_reduce_ops_against_healthy_runs() {
+        // 8 caller threads share one 4-worker pool for several rounds; half
+        // inject the panicking reduce op, half run healthy workloads. Every
+        // injected run must fail typed, every healthy run must stay
+        // bit-identical to the sequential reference, and the pool must end
+        // the stress fully usable — no poisoned locks, no leaked jobs.
+        let pool = Arc::new(ExecutorPool::new(4));
+        let sched = Arc::new(allreduce(16, AllreduceAlg::BineSmall));
+        let compiled = Arc::new(sched.compile());
+        let w = Arc::new(Workload::for_schedule(&sched, 2));
+        let reference = Arc::new(sequential::run_reference(&sched, w.initial_state(&sched)));
+
+        let handles: Vec<_> = (0..8)
+            .map(|caller| {
+                let pool = Arc::clone(&pool);
+                let sched = Arc::clone(&sched);
+                let compiled = Arc::clone(&compiled);
+                let w = Arc::clone(&w);
+                let reference = Arc::clone(&reference);
+                thread::spawn(move || {
+                    for _round in 0..6 {
+                        if caller % 2 == 0 {
+                            let finals = pool
+                                .try_run(&compiled, w.initial_state(&sched))
+                                .expect("healthy run must succeed");
+                            assert_eq!(finals, *reference);
+                        } else {
+                            let err = pool
+                                .try_run(&compiled, corrupted_initial(&w, &sched))
+                                .expect_err("corrupted run must fail");
+                            assert!(
+                                err.message().contains("block length mismatch"),
+                                "unexpected error: {err}"
+                            );
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("caller thread must not die");
+        }
+
+        // Still healthy after the stress.
+        let finals = pool.run(&compiled, w.initial_state(&sched));
+        assert_eq!(finals, *reference);
+        assert_eq!(pool.num_workers(), 4);
     }
 
     #[test]

@@ -1,0 +1,336 @@
+//! Deterministic fault injection for the discrete-event simulator.
+//!
+//! Production fabrics are not the healthy networks the paper evaluates on:
+//! links run degraded after lane failures, latencies spike under adaptive
+//! rerouting, and individual nodes straggle (thermal throttling, background
+//! daemons, failing DIMMs). A [`FaultPlan`] describes such a scenario as
+//! explicit, deterministic data — no randomness at simulation time — so a
+//! faulted run is exactly reproducible and the optimized simulator stays
+//! pinned bit-identical to [`crate::sim::simulate_reference`] under faults.
+//!
+//! Three fault families are modelled, mirroring how the cost parameters
+//! enter the DES:
+//!
+//! * **link bandwidth degradation** — a per-link factor in `(0, 1]`
+//!   multiplying the link's capacity before max–min fair sharing. Asymmetric
+//!   factors turn a symmetric topology into a heterogeneous one, which is
+//!   precisely what exercises the incremental fair-share rebuild.
+//! * **link latency spikes** — extra microseconds added to every message
+//!   routed over the link.
+//! * **straggler ranks** — a per-rank compute slowdown `>= 1` dividing the
+//!   rank's local copy and reduction bandwidth.
+//!
+//! A [`FaultPlan`] with no entries behaves as identity values (factor `1.0`,
+//! spike `0.0`, slowdown `1.0`); the simulator applies those values through
+//! bit-exact IEEE 754 identities (`x * 1.0`, `x / 1.0`, `x + 0.0` for
+//! non-negative latencies), so a zero-fault plan is **bit-identical** to the
+//! plan-free path — property-tested in `tests/proptests.rs`.
+//!
+//! [`FaultSpec`] draws a plan from a seed with a tiny splitmix64-based
+//! hash (no RNG dependency): the same `(seed, topology size, rank count)`
+//! always yields the same plan, on every platform.
+
+/// Degradation of one link: a capacity factor and/or a latency spike.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkFault {
+    /// Link id in the topology's `0..num_links()` space.
+    pub link: usize,
+    /// Multiplier on the link's bandwidth, in `(0, 1]`. `1.0` = healthy.
+    pub bandwidth_factor: f64,
+    /// Extra latency charged per message routed over the link, in µs.
+    pub extra_latency_us: f64,
+}
+
+/// A straggling rank: its local copy and reduce bandwidths are divided by
+/// `compute_slowdown`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Straggler {
+    /// Rank id in the schedule's `0..num_ranks` space.
+    pub rank: usize,
+    /// Divisor on the rank's compute bandwidth, `>= 1.0`. `1.0` = healthy.
+    pub compute_slowdown: f64,
+}
+
+/// A deterministic fault scenario for one simulation: which links are
+/// degraded or spiked and which ranks straggle. See the module docs for the
+/// semantics of each fault family.
+///
+/// Entries are kept sorted by id and deduplicated (last write wins), so two
+/// plans describing the same scenario compare equal — the simulator's static
+/// cache uses that equality to decide whether cached link capacities are
+/// still valid.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    link_faults: Vec<LinkFault>,
+    stragglers: Vec<Straggler>,
+}
+
+impl FaultPlan {
+    /// The empty (zero-fault) plan: every accessor returns its identity
+    /// value and simulation results are bit-identical to the plan-free path.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or overwrites) a bandwidth degradation for `link`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < factor <= 1`.
+    pub fn degrade_link(mut self, link: usize, factor: f64) -> Self {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "bandwidth factor must be in (0, 1], got {factor}"
+        );
+        self.link_entry(link).bandwidth_factor = factor;
+        self
+    }
+
+    /// Adds (or overwrites) a latency spike for `link`.
+    ///
+    /// # Panics
+    /// Panics unless `extra_us` is finite and non-negative.
+    pub fn spike_link(mut self, link: usize, extra_us: f64) -> Self {
+        assert!(
+            extra_us.is_finite() && extra_us >= 0.0,
+            "latency spike must be finite and >= 0, got {extra_us}"
+        );
+        self.link_entry(link).extra_latency_us = extra_us;
+        self
+    }
+
+    /// Adds (or overwrites) a compute slowdown for `rank`.
+    ///
+    /// # Panics
+    /// Panics unless `slowdown` is finite and `>= 1`.
+    pub fn straggler(mut self, rank: usize, slowdown: f64) -> Self {
+        assert!(
+            slowdown.is_finite() && slowdown >= 1.0,
+            "compute slowdown must be finite and >= 1, got {slowdown}"
+        );
+        match self.stragglers.binary_search_by_key(&rank, |s| s.rank) {
+            Ok(i) => self.stragglers[i].compute_slowdown = slowdown,
+            Err(i) => self.stragglers.insert(
+                i,
+                Straggler {
+                    rank,
+                    compute_slowdown: slowdown,
+                },
+            ),
+        }
+        self
+    }
+
+    fn link_entry(&mut self, link: usize) -> &mut LinkFault {
+        let i = match self.link_faults.binary_search_by_key(&link, |f| f.link) {
+            Ok(i) => i,
+            Err(i) => {
+                self.link_faults.insert(
+                    i,
+                    LinkFault {
+                        link,
+                        bandwidth_factor: 1.0,
+                        extra_latency_us: 0.0,
+                    },
+                );
+                i
+            }
+        };
+        &mut self.link_faults[i]
+    }
+
+    /// Bandwidth multiplier for `link` (`1.0` when healthy).
+    pub fn bandwidth_factor(&self, link: usize) -> f64 {
+        match self.link_faults.binary_search_by_key(&link, |f| f.link) {
+            Ok(i) => self.link_faults[i].bandwidth_factor,
+            Err(_) => 1.0,
+        }
+    }
+
+    /// Extra per-message latency for `link` in µs (`0.0` when healthy).
+    pub fn extra_latency_us(&self, link: usize) -> f64 {
+        match self.link_faults.binary_search_by_key(&link, |f| f.link) {
+            Ok(i) => self.link_faults[i].extra_latency_us,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Compute-bandwidth divisor for `rank` (`1.0` when healthy).
+    pub fn compute_slowdown(&self, rank: usize) -> f64 {
+        match self.stragglers.binary_search_by_key(&rank, |s| s.rank) {
+            Ok(i) => self.stragglers[i].compute_slowdown,
+            Err(_) => 1.0,
+        }
+    }
+
+    /// Whether every entry is an identity (or there are no entries at all) —
+    /// a zero plan simulates bit-identically to no plan.
+    pub fn is_zero(&self) -> bool {
+        self.link_faults
+            .iter()
+            .all(|f| f.bandwidth_factor == 1.0 && f.extra_latency_us == 0.0)
+            && self.stragglers.iter().all(|s| s.compute_slowdown == 1.0)
+    }
+
+    /// The link fault entries, sorted by link id.
+    pub fn link_faults(&self) -> &[LinkFault] {
+        &self.link_faults
+    }
+
+    /// The straggler entries, sorted by rank id.
+    pub fn stragglers(&self) -> &[Straggler] {
+        &self.stragglers
+    }
+}
+
+/// Seeded recipe for drawing a [`FaultPlan`]: per-family incidence
+/// fractions and severity bounds. [`FaultSpec::plan`] hashes
+/// `(seed, family, id)` with splitmix64 — fully deterministic and
+/// platform-independent, with no RNG dependency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Seed for the per-entry hash; same seed, same plan.
+    pub seed: u64,
+    /// Fraction of links drawn as bandwidth-degraded, in `[0, 1]`.
+    pub degraded_link_fraction: f64,
+    /// Lower bound of the degraded bandwidth factor, in `(0, 1]`; a degraded
+    /// link's factor is drawn uniformly from `[min_bandwidth_factor, 1)`.
+    pub min_bandwidth_factor: f64,
+    /// Fraction of links drawn as latency-spiked, in `[0, 1]`.
+    pub spiked_link_fraction: f64,
+    /// Upper bound of the latency spike in µs; drawn uniformly from
+    /// `[0, max_latency_spike_us)`.
+    pub max_latency_spike_us: f64,
+    /// Fraction of ranks drawn as stragglers, in `[0, 1]`.
+    pub straggler_fraction: f64,
+    /// Upper bound of the straggler slowdown; drawn uniformly from
+    /// `[1, max_compute_slowdown)`.
+    pub max_compute_slowdown: f64,
+}
+
+impl FaultSpec {
+    /// A moderately hostile default scenario: a tenth of the links at
+    /// degraded bandwidth, a twentieth spiked, a sixteenth of ranks
+    /// straggling up to 4x.
+    pub fn moderate(seed: u64) -> Self {
+        Self {
+            seed,
+            degraded_link_fraction: 0.10,
+            min_bandwidth_factor: 0.25,
+            spiked_link_fraction: 0.05,
+            max_latency_spike_us: 20.0,
+            straggler_fraction: 0.0625,
+            max_compute_slowdown: 4.0,
+        }
+    }
+
+    /// Draws the plan for a system with `num_links` links and `num_ranks`
+    /// ranks. Deterministic in `(self, num_links, num_ranks)`.
+    pub fn plan(&self, num_links: usize, num_ranks: usize) -> FaultPlan {
+        let mut plan = FaultPlan::none();
+        for link in 0..num_links {
+            if unit(self.seed, 0, link) < self.degraded_link_fraction {
+                let f = self.min_bandwidth_factor
+                    + (1.0 - self.min_bandwidth_factor) * unit(self.seed, 1, link);
+                plan = plan.degrade_link(link, f.min(1.0));
+            }
+            if unit(self.seed, 2, link) < self.spiked_link_fraction {
+                plan = plan.spike_link(link, self.max_latency_spike_us * unit(self.seed, 3, link));
+            }
+        }
+        for rank in 0..num_ranks {
+            if unit(self.seed, 4, rank) < self.straggler_fraction {
+                let s = 1.0 + (self.max_compute_slowdown - 1.0) * unit(self.seed, 5, rank);
+                plan = plan.straggler(rank, s.max(1.0));
+            }
+        }
+        plan
+    }
+}
+
+/// splitmix64 of `x` — the standard finalizer, used as a stateless hash.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw in `[0, 1)` from `(seed, family, id)`.
+fn unit(seed: u64, family: u64, id: usize) -> f64 {
+    let h = splitmix64(seed ^ splitmix64(family ^ splitmix64(id as u64)));
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_zero_and_returns_identities() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_zero());
+        assert_eq!(plan.bandwidth_factor(7), 1.0);
+        assert_eq!(plan.extra_latency_us(7), 0.0);
+        assert_eq!(plan.compute_slowdown(7), 1.0);
+    }
+
+    #[test]
+    fn builders_sort_dedupe_and_overwrite() {
+        let plan = FaultPlan::none()
+            .degrade_link(5, 0.5)
+            .degrade_link(2, 0.75)
+            .spike_link(5, 10.0)
+            .degrade_link(5, 0.25)
+            .straggler(3, 2.0)
+            .straggler(1, 3.0)
+            .straggler(3, 4.0);
+        assert_eq!(plan.bandwidth_factor(5), 0.25);
+        assert_eq!(plan.extra_latency_us(5), 10.0);
+        assert_eq!(plan.bandwidth_factor(2), 0.75);
+        assert_eq!(plan.compute_slowdown(3), 4.0);
+        assert_eq!(plan.compute_slowdown(1), 3.0);
+        assert!(!plan.is_zero());
+        let links: Vec<usize> = plan.link_faults().iter().map(|f| f.link).collect();
+        assert_eq!(links, vec![2, 5]);
+        let ranks: Vec<usize> = plan.stragglers().iter().map(|s| s.rank).collect();
+        assert_eq!(ranks, vec![1, 3]);
+    }
+
+    #[test]
+    fn equal_scenarios_compare_equal_regardless_of_insertion_order() {
+        let a = FaultPlan::none().degrade_link(1, 0.5).degrade_link(9, 0.5);
+        let b = FaultPlan::none().degrade_link(9, 0.5).degrade_link(1, 0.5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spec_is_deterministic_and_respects_bounds() {
+        let spec = FaultSpec::moderate(42);
+        let a = spec.plan(256, 64);
+        let b = spec.plan(256, 64);
+        assert_eq!(a, b);
+        assert_ne!(a, FaultSpec::moderate(43).plan(256, 64));
+        for f in a.link_faults() {
+            assert!(f.bandwidth_factor > 0.0 && f.bandwidth_factor <= 1.0);
+            assert!(f.extra_latency_us >= 0.0 && f.extra_latency_us < 20.0);
+        }
+        for s in a.stragglers() {
+            assert!(s.compute_slowdown >= 1.0 && s.compute_slowdown < 4.0);
+        }
+        // The moderate fractions must actually draw faults at this size.
+        assert!(!a.link_faults().is_empty());
+        assert!(!a.stragglers().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth factor")]
+    fn zero_bandwidth_factor_is_rejected() {
+        let _ = FaultPlan::none().degrade_link(0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "compute slowdown")]
+    fn sub_unit_slowdown_is_rejected() {
+        let _ = FaultPlan::none().straggler(0, 0.5);
+    }
+}

@@ -33,6 +33,7 @@
 pub mod allocation;
 pub mod cost;
 pub mod event;
+pub mod fault;
 pub mod sim;
 pub mod topology;
 pub mod trace;
@@ -41,8 +42,10 @@ pub mod traffic;
 pub use allocation::Allocation;
 pub use cost::{CostBreakdown, CostModel, CostSummary, LowerBounds};
 pub use event::EventQueue;
+pub use fault::{FaultPlan, FaultSpec, LinkFault, Straggler};
 pub use sim::{
-    sim_time_in, sim_time_us, simulate, simulate_in, simulate_reference, simulate_schedule,
+    sim_time_in, sim_time_in_faulted, sim_time_us, simulate, simulate_faulted, simulate_in,
+    simulate_in_faulted, simulate_reference, simulate_reference_faulted, simulate_schedule,
     SimArena, SimReport,
 };
 pub use topology::{

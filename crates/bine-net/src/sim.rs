@@ -69,6 +69,18 @@
 //!   (schedule, topology, allocation, cost model), not on the vector size,
 //!   and are cached in the arena keyed by [`CompiledSchedule::identity`].
 //!   A sweep over vector sizes re-resolves only the per-send byte counts.
+//!
+//! ## Fault injection
+//!
+//! Both implementations accept an optional [`FaultPlan`] (see
+//! [`crate::fault`]): per-link bandwidth factors scale the capacities fed to
+//! the fair share, per-link latency spikes add to the summed message
+//! latency, and per-rank compute slowdowns divide the copy and reduce
+//! bandwidths. The plan is applied through bit-exact IEEE 754 identities, so
+//! a zero-fault plan simulates **bit-identically** to no plan, and the
+//! optimized path stays pinned to the reference under faults — asymmetric
+//! link capacities are exactly what stresses the incremental fair-share
+//! rebuild.
 
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
@@ -78,6 +90,7 @@ use bine_sched::{CompiledSchedule, Schedule, TransferKind};
 use crate::allocation::Allocation;
 use crate::cost::{CostModel, GIB_PER_US};
 use crate::event::EventQueue;
+use crate::fault::FaultPlan;
 use crate::topology::{LinkInfo, Topology};
 
 /// Outcome of simulating one schedule.
@@ -152,20 +165,37 @@ pub fn simulate_reference(
     topo: &dyn Topology,
     alloc: &Allocation,
 ) -> SimReport {
-    simulate_reference_impl(model, schedule, n, topo, alloc, None)
+    simulate_reference_impl(model, schedule, n, topo, alloc, None, None)
+}
+
+/// [`simulate_reference`] under a [`FaultPlan`]: degraded link capacities,
+/// latency spikes and straggler slowdowns enter the exact expressions the
+/// healthy path evaluates, so a zero plan is bit-identical to
+/// [`simulate_reference`].
+pub fn simulate_reference_faulted(
+    model: &CostModel,
+    schedule: &CompiledSchedule,
+    n: u64,
+    topo: &dyn Topology,
+    alloc: &Allocation,
+    plan: &FaultPlan,
+) -> SimReport {
+    simulate_reference_impl(model, schedule, n, topo, alloc, Some(plan), None)
 }
 
 /// [`simulate_reference`] with a [`RateProbe`] invoked after every
-/// fair-share recomputation (a verification hook for the property tests).
+/// fair-share recomputation (a verification hook for the property tests),
+/// under an optional [`FaultPlan`].
 pub fn simulate_reference_probed(
     model: &CostModel,
     schedule: &CompiledSchedule,
     n: u64,
     topo: &dyn Topology,
     alloc: &Allocation,
+    plan: Option<&FaultPlan>,
     probe: RateProbe<'_>,
 ) -> SimReport {
-    simulate_reference_impl(model, schedule, n, topo, alloc, Some(probe))
+    simulate_reference_impl(model, schedule, n, topo, alloc, plan, Some(probe))
 }
 
 fn simulate_reference_impl(
@@ -174,6 +204,7 @@ fn simulate_reference_impl(
     n: u64,
     topo: &dyn Topology,
     alloc: &Allocation,
+    plan: Option<&FaultPlan>,
     mut probe: Option<RateProbe<'_>>,
 ) -> SimReport {
     let p = schedule.num_ranks;
@@ -182,9 +213,17 @@ fn simulate_reference_impl(
         "allocation has {} ranks, schedule needs {p}",
         alloc.num_ranks()
     );
+    let zero_plan = FaultPlan::none();
+    let plan = plan.unwrap_or(&zero_plan);
     let num_sends = schedule.num_sends();
-    let copy_rate = model.copy_bandwidth_gib_s * GIB_PER_US;
-    let reduce_rate = model.reduce_bandwidth_gib_s * GIB_PER_US;
+    // Straggler slowdowns divide the compute rates; dividing by the identity
+    // 1.0 reproduces the healthy rate bit for bit.
+    let copy_rates: Vec<f64> = (0..p)
+        .map(|r| model.copy_bandwidth_gib_s * GIB_PER_US / plan.compute_slowdown(r))
+        .collect();
+    let reduce_rates: Vec<f64> = (0..p)
+        .map(|r| model.reduce_bandwidth_gib_s * GIB_PER_US / plan.compute_slowdown(r))
+        .collect();
 
     // ---- Static resolution: bytes, routes, latencies. ----------------------
     let mut infos: Vec<SendInfo> = Vec::with_capacity(num_sends);
@@ -210,7 +249,9 @@ fn simulate_reference_impl(
                 let route =
                     topo.route(alloc.node_of(s.src as usize), alloc.node_of(s.dst as usize));
                 for &l in &route {
-                    latency_us += topo.link(l).latency_us;
+                    // A zero spike adds 0.0 — bit-exact for the
+                    // non-negative latencies topologies produce.
+                    latency_us += topo.link(l).latency_us + plan.extra_latency_us(l);
                 }
                 route
             };
@@ -305,7 +346,9 @@ fn simulate_reference_impl(
     // Worklist for cascading write completions (avoids recursion).
     let mut finish_stack: Vec<u32> = Vec::new();
 
-    let link_cap = |l: usize| -> f64 { topo.link(l).bandwidth_gib_s * GIB_PER_US };
+    // A healthy link's factor is the identity 1.0 — bit-exact.
+    let link_cap =
+        |l: usize| -> f64 { topo.link(l).bandwidth_gib_s * GIB_PER_US * plan.bandwidth_factor(l) };
 
     // Starts every eligible send at time `t`; returns whether a flow was
     // added (rates must then be recomputed).
@@ -326,7 +369,7 @@ fn simulate_reference_impl(
                 let info = &infos[send as usize];
                 next_idx[r] += 1;
                 if info.local {
-                    let done = t + info.bytes / copy_rate;
+                    let done = t + info.bytes / copy_rates[r];
                     port_free[r] = done;
                     heap.push(done, Ev::WriteDone(send));
                 } else if info.links.is_empty() {
@@ -467,7 +510,7 @@ fn simulate_reference_impl(
                     rank_finish[info.dst] = rank_finish[info.dst].max(t);
                     if info.reduce {
                         let start = compute_free[info.dst].max(t);
-                        let done = start + info.bytes / reduce_rate;
+                        let done = start + info.bytes / reduce_rates[info.dst];
                         compute_free[info.dst] = done;
                         heap.push(done, Ev::WriteDone(send));
                     } else {
@@ -545,6 +588,7 @@ struct CachedStatic {
     topo_groups: usize,
     link_table: Vec<LinkInfo>,
     alloc: Allocation,
+    fault: FaultPlan,
 
     num_ranks: usize,
     num_sends: usize,
@@ -572,8 +616,15 @@ struct CachedStatic {
     rank_flat: Vec<u32>,
 
     /// Per-link capacity in bytes/us — the same product the reference's
-    /// `link_cap` closure computes, precomputed once (bit-identical).
+    /// `link_cap` closure computes (fault factor included), precomputed once
+    /// (bit-identical).
     link_cap: Vec<f64>,
+
+    /// Per-rank copy and reduce rates in bytes/us: the model's bandwidths
+    /// divided by the fault plan's compute slowdowns (identity 1.0 when
+    /// healthy — bit-exact).
+    copy_rates: Vec<f64>,
+    reduce_rates: Vec<f64>,
 
     /// The vector size the `bytes` column currently resolves, if any.
     bytes_n: Option<u64>,
@@ -607,8 +658,15 @@ impl CachedStatic {
     /// Whether this entry was built for the same context. Allocation-free:
     /// the topology is revalidated by shape (node/group/link counts and the
     /// full per-link table) instead of its heap-allocated `name()`.
-    fn matches(&self, model: &CostModel, topo: &dyn Topology, alloc: &Allocation) -> bool {
+    fn matches(
+        &self,
+        model: &CostModel,
+        topo: &dyn Topology,
+        alloc: &Allocation,
+        plan: &FaultPlan,
+    ) -> bool {
         self.model == *model
+            && self.fault == *plan
             && self.topo_nodes == topo.num_nodes()
             && self.topo_groups == topo.num_groups()
             && self.link_table.len() == topo.num_links()
@@ -652,6 +710,7 @@ fn build_static(
     schedule: &CompiledSchedule,
     topo: &dyn Topology,
     alloc: &Allocation,
+    plan: &FaultPlan,
 ) -> CachedStatic {
     let p = schedule.num_ranks;
     let num_sends = schedule.num_sends();
@@ -679,7 +738,7 @@ fn build_static(
                 let route =
                     topo.route(alloc.node_of(s.src as usize), alloc.node_of(s.dst as usize));
                 for &l in &route {
-                    lat += topo.link(l).latency_us;
+                    lat += topo.link(l).latency_us + plan.extra_latency_us(l);
                 }
                 links_flat.extend(route.iter().map(|&l| l as u32));
             }
@@ -762,7 +821,14 @@ fn build_static(
     let link_table: Vec<LinkInfo> = (0..topo.num_links()).map(|l| topo.link(l)).collect();
     let link_cap: Vec<f64> = link_table
         .iter()
-        .map(|info| info.bandwidth_gib_s * GIB_PER_US)
+        .enumerate()
+        .map(|(l, info)| info.bandwidth_gib_s * GIB_PER_US * plan.bandwidth_factor(l))
+        .collect();
+    let copy_rates: Vec<f64> = (0..p)
+        .map(|r| model.copy_bandwidth_gib_s * GIB_PER_US / plan.compute_slowdown(r))
+        .collect();
+    let reduce_rates: Vec<f64> = (0..p)
+        .map(|r| model.reduce_bandwidth_gib_s * GIB_PER_US / plan.compute_slowdown(r))
         .collect();
 
     CachedStatic {
@@ -771,6 +837,7 @@ fn build_static(
         topo_groups: topo.num_groups(),
         link_table,
         alloc: alloc.clone(),
+        fault: plan.clone(),
         num_ranks: p,
         num_sends,
         network_messages,
@@ -790,6 +857,8 @@ fn build_static(
         rank_off,
         rank_flat,
         link_cap,
+        copy_rates,
+        reduce_rates,
         bytes_n: None,
         bytes: Vec::new(),
     }
@@ -934,6 +1003,22 @@ pub fn simulate(
     simulate_in(&mut arena, model, schedule, n, topo, alloc)
 }
 
+/// [`simulate`] under a [`FaultPlan`] (see [`crate::fault`]): the optimized
+/// path with degraded link capacities, latency spikes and straggler
+/// slowdowns, pinned bit-identical to [`simulate_reference_faulted`]. A zero
+/// plan is bit-identical to [`simulate`].
+pub fn simulate_faulted(
+    model: &CostModel,
+    schedule: &CompiledSchedule,
+    n: u64,
+    topo: &dyn Topology,
+    alloc: &Allocation,
+    plan: &FaultPlan,
+) -> SimReport {
+    let mut arena = SimArena::new();
+    simulate_in_faulted(&mut arena, model, schedule, n, topo, alloc, plan)
+}
+
 /// [`simulate`] with caller-owned scratch: repeated calls reuse `arena`'s
 /// buffers and cached static resolution, allocating only the returned
 /// report's per-rank vector. See [`sim_time_in`] for the fully
@@ -946,7 +1031,25 @@ pub fn simulate_in(
     topo: &dyn Topology,
     alloc: &Allocation,
 ) -> SimReport {
-    let makespan_us = run_optimized(arena, model, schedule, n, topo, alloc, None);
+    let makespan_us = run_optimized(arena, model, schedule, n, topo, alloc, None, None);
+    report_from(&arena.scratch, makespan_us)
+}
+
+/// [`simulate_in`] under a [`FaultPlan`]: caller-owned scratch plus fault
+/// injection. Switching plans (like switching topologies) rebuilds the
+/// cached static resolution for the schedule; reusing the same plan is
+/// allocation-free after warmup.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_in_faulted(
+    arena: &mut SimArena,
+    model: &CostModel,
+    schedule: &CompiledSchedule,
+    n: u64,
+    topo: &dyn Topology,
+    alloc: &Allocation,
+    plan: &FaultPlan,
+) -> SimReport {
+    let makespan_us = run_optimized(arena, model, schedule, n, topo, alloc, Some(plan), None);
     report_from(&arena.scratch, makespan_us)
 }
 
@@ -961,12 +1064,29 @@ pub fn sim_time_in(
     topo: &dyn Topology,
     alloc: &Allocation,
 ) -> f64 {
-    run_optimized(arena, model, schedule, n, topo, alloc, None)
+    run_optimized(arena, model, schedule, n, topo, alloc, None, None)
+}
+
+/// [`sim_time_in`] under a [`FaultPlan`]: the allocation-free hot entry
+/// point with fault injection, for sweeps over faulted scenarios.
+#[allow(clippy::too_many_arguments)]
+pub fn sim_time_in_faulted(
+    arena: &mut SimArena,
+    model: &CostModel,
+    schedule: &CompiledSchedule,
+    n: u64,
+    topo: &dyn Topology,
+    alloc: &Allocation,
+    plan: &FaultPlan,
+) -> f64 {
+    run_optimized(arena, model, schedule, n, topo, alloc, Some(plan), None)
 }
 
 /// [`simulate_in`] with a [`RateProbe`] invoked after every fair-share
 /// recomputation — the verification hook the property tests use to pin the
-/// incremental rates to the reference at every event.
+/// incremental rates to the reference at every event — under an optional
+/// [`FaultPlan`].
+#[allow(clippy::too_many_arguments)]
 pub fn simulate_probed(
     arena: &mut SimArena,
     model: &CostModel,
@@ -974,9 +1094,10 @@ pub fn simulate_probed(
     n: u64,
     topo: &dyn Topology,
     alloc: &Allocation,
+    plan: Option<&FaultPlan>,
     probe: RateProbe<'_>,
 ) -> SimReport {
-    let makespan_us = run_optimized(arena, model, schedule, n, topo, alloc, Some(probe));
+    let makespan_us = run_optimized(arena, model, schedule, n, topo, alloc, plan, Some(probe));
     report_from(&arena.scratch, makespan_us)
 }
 
@@ -1002,7 +1123,6 @@ fn report_from(sc: &Scratch, makespan_us: f64) -> SimReport {
 #[allow(clippy::too_many_arguments)]
 fn start_eligible(
     st: &CachedStatic,
-    copy_rate: f64,
     t: f64,
     candidates: &[u32],
     next_idx: &mut [u32],
@@ -1022,7 +1142,7 @@ fn start_eligible(
             }
             next_idx[r] += 1;
             if st.local[send as usize] {
-                let done = t + st.bytes[send as usize] / copy_rate;
+                let done = t + st.bytes[send as usize] / st.copy_rates[r];
                 port_free[r] = done;
                 pending.push((done, Ev::WriteDone(send)));
             } else if st.links(send).is_empty() {
@@ -1245,6 +1365,7 @@ fn run_optimized(
     n: u64,
     topo: &dyn Topology,
     alloc: &Allocation,
+    plan: Option<&FaultPlan>,
     mut probe: Option<RateProbe<'_>>,
 ) -> f64 {
     let p = schedule.num_ranks;
@@ -1253,24 +1374,24 @@ fn run_optimized(
         "allocation has {} ranks, schedule needs {p}",
         alloc.num_ranks()
     );
+    let zero_plan = FaultPlan::none();
+    let plan = plan.unwrap_or(&zero_plan);
 
     // ---- Cache lookup / rebuild of the static resolution. ------------------
     let key = schedule.identity();
     let rebuild = match arena.cache.get(&key) {
-        Some(entry) => !entry.matches(model, topo, alloc),
+        Some(entry) => !entry.matches(model, topo, alloc, plan),
         None => true,
     };
     if rebuild {
         arena
             .cache
-            .insert(key, build_static(model, schedule, topo, alloc));
+            .insert(key, build_static(model, schedule, topo, alloc, plan));
     }
     let entry = arena.cache.get_mut(&key).expect("just ensured");
     entry.ensure_bytes(schedule, n);
     let st: &CachedStatic = entry;
 
-    let copy_rate = model.copy_bandwidth_gib_s * GIB_PER_US;
-    let reduce_rate = model.reduce_bandwidth_gib_s * GIB_PER_US;
     let num_sends = st.num_sends;
     let num_links = st.link_cap.len();
 
@@ -1366,7 +1487,7 @@ fn run_optimized(
     // ---- Initial ready-send seeding (bulk heap insert). --------------------
     cand_ranks.extend(0..p as u32);
     let mut flows_changed = start_eligible(
-        st, copy_rate, t, cand_ranks, next_idx, port_free, read_deps, active, pending,
+        st, t, cand_ranks, next_idx, port_free, read_deps, active, pending,
     );
     cand_ranks.clear();
     heap.push_many(pending.drain(..));
@@ -1478,7 +1599,7 @@ fn run_optimized(
                     rank_finish[d] = rank_finish[d].max(t);
                     if st.reduce[send as usize] {
                         let start = compute_free[d].max(t);
-                        let done = start + st.bytes[send as usize] / reduce_rate;
+                        let done = start + st.bytes[send as usize] / st.reduce_rates[d];
                         compute_free[d] = done;
                         heap.push(done, Ev::WriteDone(send));
                     } else {
@@ -1532,7 +1653,7 @@ fn run_optimized(
         // the reference's full 0..p scan pushes flows in.
         cand_ranks.sort_unstable();
         if start_eligible(
-            st, copy_rate, t, cand_ranks, next_idx, port_free, read_deps, active, pending,
+            st, t, cand_ranks, next_idx, port_free, read_deps, active, pending,
         ) {
             flows_changed = true;
         }
@@ -1709,6 +1830,72 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn faults_slow_the_congestion_free_simulation_deterministically() {
+        // On an ideal full mesh no flows ever share a link, so fault effects
+        // are monotone: halving every link's bandwidth doubles each flow's
+        // serialisation, and a straggling rank only delays its own chain.
+        let p = 16;
+        let topo = IdealFullMesh::new(p);
+        let alloc = Allocation::block(p);
+        let model = CostModel::default();
+        let compiled = allreduce(p, AllreduceAlg::RecursiveDoubling).compile();
+        let n = 1u64 << 20;
+        let healthy = simulate(&model, &compiled, n, &topo, &alloc);
+
+        let mut degraded_plan = crate::fault::FaultPlan::none();
+        for l in 0..topo.num_links() {
+            degraded_plan = degraded_plan.degrade_link(l, 0.5);
+        }
+        let degraded = simulate_faulted(&model, &compiled, n, &topo, &alloc, &degraded_plan);
+        assert!(
+            degraded.makespan_us > healthy.makespan_us,
+            "halved links: {} should exceed healthy {}",
+            degraded.makespan_us,
+            healthy.makespan_us
+        );
+        let again = simulate_faulted(&model, &compiled, n, &topo, &alloc, &degraded_plan);
+        assert_eq!(degraded.makespan_us.to_bits(), again.makespan_us.to_bits());
+
+        let straggler_plan = crate::fault::FaultPlan::none().straggler(3, 4.0);
+        let straggled = simulate_faulted(&model, &compiled, n, &topo, &alloc, &straggler_plan);
+        assert!(
+            straggled.makespan_us > healthy.makespan_us,
+            "straggler: {} should exceed healthy {}",
+            straggled.makespan_us,
+            healthy.makespan_us
+        );
+    }
+
+    #[test]
+    fn switching_fault_plans_revalidates_the_cached_statics() {
+        // One arena alternating between plans (including back to zero-fault)
+        // must match fresh-arena runs bit for bit — the plan participates in
+        // cache validation exactly like the topology does.
+        let p = 16;
+        let topo = FatTree::new(p, 4, 1);
+        let alloc = Allocation::block(p);
+        let model = CostModel::default();
+        let compiled = allreduce(p, AllreduceAlg::BineLarge).compile();
+        let n = 1u64 << 20;
+        let plan_a = crate::fault::FaultPlan::none()
+            .degrade_link(0, 0.5)
+            .spike_link(1, 5.0);
+        let plan_b = crate::fault::FaultPlan::none().straggler(0, 2.0);
+        let zero = crate::fault::FaultPlan::none();
+        let mut arena = SimArena::new();
+        for plan in [&plan_a, &plan_b, &zero, &plan_a, &zero] {
+            let fresh = simulate_faulted(&model, &compiled, n, &topo, &alloc, plan);
+            let reused = simulate_in_faulted(&mut arena, &model, &compiled, n, &topo, &alloc, plan);
+            assert_eq!(fresh.makespan_us.to_bits(), reused.makespan_us.to_bits());
+            assert_eq!(fresh, reused);
+        }
+        // And the plain entry point equals the zero plan on the same arena.
+        let bare = simulate_in(&mut arena, &model, &compiled, n, &topo, &alloc);
+        let zeroed = simulate_faulted(&model, &compiled, n, &topo, &alloc, &zero);
+        assert_eq!(bare.makespan_us.to_bits(), zeroed.makespan_us.to_bits());
     }
 
     #[test]

@@ -9,9 +9,10 @@
 
 use bine_net::allocation::Allocation;
 use bine_net::cost::CostModel;
+use bine_net::fault::{FaultPlan, FaultSpec};
 use bine_net::sim::{
-    sim_time_us, simulate_in, simulate_probed, simulate_reference, simulate_reference_probed,
-    SimArena,
+    sim_time_us, simulate_in, simulate_in_faulted, simulate_probed, simulate_reference,
+    simulate_reference_faulted, simulate_reference_probed, SimArena,
 };
 use bine_net::topology::{Dragonfly, FatTree, IdealFullMesh, Topology, Torus};
 use bine_net::traffic;
@@ -220,6 +221,196 @@ proptest! {
         }
     }
 
+    // Fault-injection pin 1 (satellite): a zero-fault plan — both the empty
+    // plan and a plan whose entries are all explicit identities — leaves the
+    // DES makespan, the per-rank finish times and `peak_active_flows`
+    // bit-identical to the plan-free path, for every collective, any catalog
+    // algorithm, any segmentation, on all three pinned topology classes.
+    #[test]
+    fn zero_fault_plan_is_bit_identical_to_no_plan(
+        collective in any_collective(),
+        s in 2u32..=5,
+        alg_seed in 0usize..100,
+        chunks in 1usize..=4,
+        root_seed in 0usize..1000,
+        n in any_vector_bytes(),
+        identity_entries in prop::sample::select(vec![false, true]),
+    ) {
+        let p = 1usize << s;
+        let alg = pick_algorithm(collective, alg_seed);
+        let compiled = build(collective, alg.name, p, root_seed % p)
+            .expect(alg.name)
+            .segmented(chunks)
+            .compile();
+        let model = CostModel::default();
+        let alloc = Allocation::block(p);
+        let plan = if identity_entries {
+            // Identity values spelled out explicitly: factor 1.0, spike
+            // 0.0, slowdown 1.0 must all be bit-exact no-ops.
+            FaultPlan::none()
+                .degrade_link(0, 1.0)
+                .spike_link(1, 0.0)
+                .straggler(p - 1, 1.0)
+        } else {
+            FaultPlan::none()
+        };
+        prop_assert!(plan.is_zero());
+        let mut arena = SimArena::new();
+        for topo in [
+            Box::new(IdealFullMesh::new(p)) as Box<dyn Topology>,
+            Box::new(Torus::new(torus_dims(p))),
+            Box::new(FatTree::new(p, 4, 1)),
+        ] {
+            let bare = simulate_in(&mut arena, &model, &compiled, n, topo.as_ref(), &alloc);
+            let faulted = simulate_in_faulted(
+                &mut arena, &model, &compiled, n, topo.as_ref(), &alloc, &plan,
+            );
+            prop_assert_eq!(
+                bare.makespan_us.to_bits(), faulted.makespan_us.to_bits(),
+                "{:?}/{} p={p} n={n} chunks={chunks} on {}: bare {} vs zero-fault {}",
+                collective, alg.name, topo.name(), bare.makespan_us, faulted.makespan_us
+            );
+            prop_assert_eq!(bare.network_messages, faulted.network_messages);
+            prop_assert_eq!(bare.peak_active_flows, faulted.peak_active_flows);
+            for (r, (a, b)) in bare.rank_finish_us.iter().zip(&faulted.rank_finish_us).enumerate() {
+                prop_assert_eq!(
+                    a.to_bits(), b.to_bits(),
+                    "{:?}/{} rank {r} finish: bare {} vs zero-fault {}",
+                    collective, alg.name, a, b
+                );
+            }
+            // The reference agrees under the same zero plan.
+            let reference = simulate_reference_faulted(
+                &model, &compiled, n, topo.as_ref(), &alloc, &plan,
+            );
+            prop_assert_eq!(reference.makespan_us.to_bits(), faulted.makespan_us.to_bits());
+        }
+    }
+
+    // Fault-injection pin 2 (tentpole): under a seeded fault plan —
+    // asymmetric link capacities, latency spikes, stragglers — the optimized
+    // path stays bit-identical to the reference. Asymmetric link speeds are
+    // exactly what stresses the incremental fair-share rebuild: water-filling
+    // levels now differ per link even on symmetric topologies.
+    #[test]
+    fn optimized_des_stays_pinned_to_the_reference_under_faults(
+        collective in any_collective(),
+        s in 2u32..=5,
+        alg_seed in 0usize..100,
+        chunks in 1usize..=4,
+        fault_seed in 0u64..1000,
+        n in any_vector_bytes(),
+    ) {
+        let p = 1usize << s;
+        let alg = pick_algorithm(collective, alg_seed);
+        let compiled = build(collective, alg.name, p, 0)
+            .expect(alg.name)
+            .segmented(chunks)
+            .compile();
+        let model = CostModel::default();
+        let alloc = Allocation::block(p);
+        // A harsh spec so faults are actually drawn at small link counts.
+        let spec = FaultSpec {
+            seed: fault_seed,
+            degraded_link_fraction: 0.5,
+            min_bandwidth_factor: 0.2,
+            spiked_link_fraction: 0.25,
+            max_latency_spike_us: 15.0,
+            straggler_fraction: 0.25,
+            max_compute_slowdown: 5.0,
+        };
+        let mut arena = SimArena::new();
+        for topo in [
+            Box::new(IdealFullMesh::new(p)) as Box<dyn Topology>,
+            Box::new(Torus::new(torus_dims(p))),
+            Box::new(FatTree::new(p, 4, 1)),
+        ] {
+            let plan = spec.plan(topo.num_links(), p);
+            let reference = simulate_reference_faulted(
+                &model, &compiled, n, topo.as_ref(), &alloc, &plan,
+            );
+            let fast = simulate_in_faulted(
+                &mut arena, &model, &compiled, n, topo.as_ref(), &alloc, &plan,
+            );
+            prop_assert_eq!(
+                reference.makespan_us.to_bits(), fast.makespan_us.to_bits(),
+                "{:?}/{} p={p} n={n} chunks={chunks} seed={fault_seed} on {}: \
+                 reference {} vs fast {}",
+                collective, alg.name, topo.name(), reference.makespan_us, fast.makespan_us
+            );
+            prop_assert_eq!(reference.network_messages, fast.network_messages);
+            prop_assert_eq!(reference.peak_active_flows, fast.peak_active_flows);
+            for (r, (a, b)) in reference.rank_finish_us.iter().zip(&fast.rank_finish_us).enumerate() {
+                prop_assert_eq!(
+                    a.to_bits(), b.to_bits(),
+                    "{:?}/{} rank {r} finish under faults: reference {} vs fast {}",
+                    collective, alg.name, a, b
+                );
+            }
+        }
+    }
+
+    // Fault-injection pin 3: the incremental fair share equals the reference
+    // at every rate event under faults too — the per-event analogue of the
+    // report-level pin above, on the congested topology classes.
+    #[test]
+    fn incremental_rates_stay_pinned_under_faults(
+        collective in any_collective(),
+        s in 2u32..=4,
+        alg_seed in 0usize..100,
+        fault_seed in 0u64..1000,
+        n in any_vector_bytes(),
+    ) {
+        let p = 1usize << s;
+        let alg = pick_algorithm(collective, alg_seed);
+        let compiled = build(collective, alg.name, p, 0).expect(alg.name).compile();
+        let model = CostModel::default();
+        let alloc = Allocation::block(p);
+        let spec = FaultSpec {
+            seed: fault_seed,
+            degraded_link_fraction: 0.5,
+            min_bandwidth_factor: 0.2,
+            spiked_link_fraction: 0.25,
+            max_latency_spike_us: 15.0,
+            straggler_fraction: 0.25,
+            max_compute_slowdown: 5.0,
+        };
+        for topo in [
+            Box::new(FatTree::new(p, 4, 1)) as Box<dyn Topology>,
+            Box::new(Torus::new(torus_dims(p))),
+        ] {
+            let plan = spec.plan(topo.num_links(), p);
+            type Trace = Vec<(u64, Vec<(u32, u64)>)>;
+            fn entry(t: f64, rates: &[(u32, f64)]) -> (u64, Vec<(u32, u64)>) {
+                (
+                    t.to_bits(),
+                    rates.iter().map(|&(send, r)| (send, r.to_bits())).collect(),
+                )
+            }
+            let mut ref_trace: Trace = Vec::new();
+            let mut ref_probe = |t: f64, rates: &[(u32, f64)]| ref_trace.push(entry(t, rates));
+            simulate_reference_probed(
+                &model, &compiled, n, topo.as_ref(), &alloc, Some(&plan), &mut ref_probe,
+            );
+            let mut fast_trace: Trace = Vec::new();
+            let mut fast_probe = |t: f64, rates: &[(u32, f64)]| fast_trace.push(entry(t, rates));
+            let mut arena = SimArena::new();
+            simulate_probed(
+                &mut arena, &model, &compiled, n, topo.as_ref(), &alloc, Some(&plan),
+                &mut fast_probe,
+            );
+            prop_assert_eq!(ref_trace.len(), fast_trace.len());
+            for (i, (a, b)) in ref_trace.iter().zip(&fast_trace).enumerate() {
+                prop_assert_eq!(a.0, b.0, "faulted event {i}: time diverged");
+                prop_assert_eq!(
+                    &a.1, &b.1,
+                    "{:?}/{} p={p} n={n} faulted event {i} at t={}: rates diverged",
+                    collective, alg.name, f64::from_bits(a.0)
+                );
+            }
+        }
+    }
+
     // The incremental fair share equals the reference fair share at *every*
     // rate event, not just in the final completion times: both simulators
     // are probed after each recomputation and must report the same event
@@ -256,12 +447,14 @@ proptest! {
             }
             let mut ref_trace: Trace = Vec::new();
             let mut ref_probe = |t: f64, rates: &[(u32, f64)]| ref_trace.push(entry(t, rates));
-            simulate_reference_probed(&model, &compiled, n, topo.as_ref(), &alloc, &mut ref_probe);
+            simulate_reference_probed(
+                &model, &compiled, n, topo.as_ref(), &alloc, None, &mut ref_probe,
+            );
             let mut fast_trace: Trace = Vec::new();
             let mut fast_probe = |t: f64, rates: &[(u32, f64)]| fast_trace.push(entry(t, rates));
             let mut arena = SimArena::new();
             simulate_probed(
-                &mut arena, &model, &compiled, n, topo.as_ref(), &alloc, &mut fast_probe,
+                &mut arena, &model, &compiled, n, topo.as_ref(), &alloc, None, &mut fast_probe,
             );
             prop_assert_eq!(
                 ref_trace.len(), fast_trace.len(),

@@ -19,9 +19,12 @@
 //!   compiled form in a small LRU;
 //! * [`service`] — the concurrent [`service::ServiceSelector`]: the same
 //!   lookups `&self` end-to-end over shared immutable indexes, a sharded
-//!   compiled-schedule cache with single-flight compilation, and batch
-//!   execution on the shared [`bine_exec::ExecutorPool`] — the serving
-//!   front-end for many threads where [`selector::Selector`] serves one;
+//!   compiled-schedule cache with single-flight compilation, graceful
+//!   degradation under compile failures (bounded waits, capped-backoff
+//!   retries, a per-entry circuit breaker serving the binomial baseline),
+//!   and batch execution on the shared [`bine_exec::ExecutorPool`] — the
+//!   serving front-end for many threads where [`selector::Selector`]
+//!   serves one;
 //! * [`gate`] — the CI drift gate that regenerates the tables on every
 //!   push and fails on any silent change of policy.
 //!
@@ -60,8 +63,11 @@ pub mod table;
 pub mod tuner;
 
 pub use gate::{drift, DriftOutcome, DriftRow};
-pub use selector::{default_tuning_dir, Selector, SelectorIndex, Tuned};
-pub use service::ServiceSelector;
+pub use selector::{available_systems, default_tuning_dir, Selector, SelectorIndex, Tuned};
+pub use service::{
+    fallback_pick, CompileAttempt, CompileHook, DegradePolicy, ServiceSelector,
+    FALLBACK_SMALL_VECTOR_THRESHOLD,
+};
 pub use table::{slug, DecisionTable, Entry, ScoreModel};
 pub use tuner::{
     candidates, pruned_best, tuned_name, Candidate, CellBest, Target, TunePoint, Tuner, TunerConfig,

@@ -207,8 +207,26 @@ impl Selector {
     /// Loads the committed decision table for `system` (display name or
     /// slug, e.g. `"MareNostrum 5"` or `"marenostrum5"`) from the tuning
     /// directory resolved by [`default_tuning_dir`].
+    ///
+    /// An unknown system is an `Err` listing every system that *does* have
+    /// a committed table in the resolved directory, so a typo'd name says
+    /// what it could have been instead of a bare file-not-found.
     pub fn load(system: &str) -> Result<Selector, String> {
-        Self::load_from(&default_tuning_dir()?.join(format!("{}.json", slug(system))))
+        let dir = default_tuning_dir()?;
+        let path = dir.join(format!("{}.json", slug(system)));
+        if !path.is_file() {
+            let available = available_systems(&dir);
+            let available = if available.is_empty() {
+                "none".to_string()
+            } else {
+                available.join(", ")
+            };
+            return Err(format!(
+                "no decision table for system {system:?} in {}; available systems: {available}",
+                dir.display()
+            ));
+        }
+        Self::load_from(&path)
     }
 
     /// Loads a decision table from an explicit path.
@@ -307,6 +325,21 @@ fn push_slot(slots: &mut Vec<Slot>, e: &Entry) -> u32 {
 /// to the first element when the query is below every breakpoint.
 fn floor_index<T>(sorted: &[T], below: impl FnMut(&T) -> bool) -> usize {
     sorted.partition_point(below).saturating_sub(1)
+}
+
+/// Slugs of the systems with a committed decision table (`*.json`) under
+/// `dir`, sorted — the "did you mean" list of [`Selector::load`]'s
+/// unknown-system error. An unreadable directory yields an empty list.
+pub fn available_systems(dir: &Path) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .filter_map(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .collect();
+    names.sort();
+    names
 }
 
 /// Resolves the `tuning/` directory holding the committed decision tables.

@@ -21,16 +21,25 @@
 //!   requests for the same entry find the handle and block on it instead of
 //!   compiling again, so an entry is compiled exactly once however many
 //!   threads race for it cold (the stress test counts compilations);
+//! * **graceful degradation** — followers bound their wait on an in-flight
+//!   compile with [`DegradePolicy::flight_timeout`]; a leader whose compile
+//!   panics retries with capped exponential backoff, and repeated failures
+//!   trip a per-entry circuit breaker that serves the always-buildable
+//!   binomial baseline ([`fallback_pick`]) while the breaker half-opens in
+//!   the background — so every request gets *an* answer, and the per-shard
+//!   fallback/timeout/retry counters make degraded mode observable;
 //! * **shared execution** — [`ServiceSelector::execute`] runs the resolved
 //!   schedule on the process-wide [`bine_exec::ExecutorPool`], turning a
 //!   `(system, collective, nodes, bytes, data)` request into finished block
 //!   stores without the caller touching schedules at all.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 use bine_exec::{BlockStore, ExecutorPool};
-use bine_sched::{Collective, CompiledSchedule};
+use bine_sched::{binomial_default, build, Collective, CompiledSchedule};
 
 use crate::selector::{SelectorIndex, Tuned, DEFAULT_CACHE_CAPACITY};
 use crate::table::{slug, DecisionTable};
@@ -43,6 +52,98 @@ pub const DEFAULT_SHARDS: usize = 16;
 /// byte sizes resolving to one table entry share a compiled schedule;
 /// off-grid node counts get their own compilation.
 type Key = (u32, Collective, usize, u32);
+
+/// Vector sizes up to this many bytes take the small-vector fallback
+/// algorithms — the same switch point the benchmark harness uses for its
+/// binomial baselines, so a degraded answer and the harness baseline are
+/// literally the same schedule.
+pub const FALLBACK_SMALL_VECTOR_THRESHOLD: u64 = 32 * 1024;
+
+/// Distinguished cache slots for the small-/large-vector fallback
+/// schedules. Real slots index into a table's entry list and can never
+/// reach these values.
+const FALLBACK_SLOT_SMALL: u32 = u32::MAX;
+const FALLBACK_SLOT_LARGE: u32 = u32::MAX - 1;
+
+/// The binomial-baseline algorithm served while an entry's circuit breaker
+/// is open: [`bine_sched::binomial_default`] at the harness's small-vector
+/// switch point. Always buildable at the rank counts the tables cover, so
+/// a degraded request gets the textbook MPI default instead of an error.
+pub fn fallback_pick(collective: Collective, bytes: u64) -> &'static str {
+    binomial_default(collective, bytes <= FALLBACK_SMALL_VECTOR_THRESHOLD)
+}
+
+/// Knobs of the degradation ladder in [`ServiceSelector::compiled`]:
+/// bounded follower waits, leader retries with capped exponential backoff,
+/// and a per-entry circuit breaker guarding the binomial fallback. The
+/// defaults are generous enough that a healthy service never degrades.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradePolicy {
+    /// How long a follower blocks on another thread's in-flight compile
+    /// before giving up and serving the fallback pick. A timed-out wait
+    /// also counts one failure against the entry's breaker: a permanently
+    /// stalled leader must eventually trip it.
+    pub flight_timeout: Duration,
+    /// How many times a leader retries a panicking compile before the
+    /// leadership counts as failed (0 = no retries).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per retry up to
+    /// [`DegradePolicy::backoff_cap`].
+    pub backoff_base: Duration,
+    /// Upper bound of the exponential backoff.
+    pub backoff_cap: Duration,
+    /// Consecutive failed leaderships (not individual retries) that trip
+    /// the entry's breaker open.
+    pub breaker_threshold: u32,
+    /// How long an open breaker serves the fallback unconditionally before
+    /// a single request is let through as a half-open probe.
+    pub breaker_cooldown: Duration,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> DegradePolicy {
+        DegradePolicy {
+            flight_timeout: Duration::from_secs(5),
+            max_retries: 2,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(50),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(250),
+        }
+    }
+}
+
+/// One compile attempt about to run, handed to the hook installed with
+/// [`ServiceSelector::with_compile_hook`]. The hook runs inside the
+/// leader's `catch_unwind` scope, so a panicking hook is exactly an
+/// injected compile failure (and a blocking hook a stalled leader) — the
+/// levers the chaos tests and `chaos_bench` pull. Fallback compiles never
+/// run the hook: the degraded path must stay unkillable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileAttempt {
+    /// Index of the system the entry belongs to.
+    pub system: usize,
+    /// Collective of the entry.
+    pub collective: Collective,
+    /// Rank count the schedule is being built for.
+    pub nodes: usize,
+    /// 0 on the leadership's first try, `k` on its `k`-th retry.
+    pub attempt: u32,
+}
+
+/// Observer invoked before every primary compile attempt; see
+/// [`CompileAttempt`].
+pub type CompileHook = Arc<dyn Fn(&CompileAttempt) + Send + Sync>;
+
+/// Backoff slept before the `attempt`-th retry (1-based):
+/// `base · 2^(attempt−1)`, capped.
+fn backoff(policy: &DegradePolicy, attempt: u32) -> Duration {
+    let doublings = attempt.saturating_sub(1).min(20);
+    policy
+        .backoff_base
+        .saturating_mul(1u32 << doublings)
+        .min(policy.backoff_cap)
+}
 
 struct CacheLine {
     key: Key,
@@ -70,10 +171,13 @@ enum FlightState {
     Abandoned,
 }
 
-/// What a follower observed when its flight settled.
+/// What a follower observed when its flight settled (or didn't).
 enum FlightOutcome {
     Done(Option<Arc<CompiledSchedule>>),
     Abandoned,
+    /// The flight was still pending when the follower's bounded wait
+    /// expired: the leader is stalled (or just slower than the budget).
+    TimedOut,
 }
 
 impl Flight {
@@ -84,13 +188,23 @@ impl Flight {
         }
     }
 
-    fn wait(&self) -> FlightOutcome {
+    /// Blocks until the flight settles or `timeout` elapses. The deadline
+    /// is absolute: spurious condvar wakeups re-wait only for the
+    /// remainder, so a stalled leader can never strand a follower past it.
+    fn wait_timeout(&self, timeout: Duration) -> FlightOutcome {
+        let deadline = Instant::now() + timeout;
         let mut state = lock_any(&self.state);
         loop {
             match &*state {
                 FlightState::Done(result) => return FlightOutcome::Done(result.clone()),
                 FlightState::Abandoned => return FlightOutcome::Abandoned,
-                FlightState::Pending => state = wait_any(&self.done, state),
+                FlightState::Pending => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return FlightOutcome::TimedOut;
+                    }
+                    state = wait_any_timeout(&self.done, state, deadline - now);
+                }
             }
         }
     }
@@ -101,22 +215,50 @@ impl Flight {
     }
 }
 
+/// Per-entry circuit-breaker state, kept in the entry's shard.
+enum Breaker {
+    /// Normal service, counting consecutive failed leaderships.
+    Closed { consecutive_failures: u32 },
+    /// Tripped: requests serve the fallback until the cooldown elapses,
+    /// when one request is let through as a half-open probe.
+    Open { since: Instant },
+    /// A probe compile is running; everyone else keeps getting the
+    /// fallback so a still-broken entry cannot re-stall the service.
+    HalfOpen,
+}
+
+/// How one request participates in resolving a cache miss.
+enum Role {
+    Leader(Arc<Flight>),
+    Follower(Arc<Flight>),
+    /// The entry's breaker is open (or probing): skip straight to the
+    /// fallback pick without touching the flight machinery.
+    Degraded,
+}
+
 /// Locks a mutex, tolerating poison: a panicking compile must not turn
 /// every later request on the same shard into a secondary panic.
 fn lock_any<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-fn wait_any<'a, T>(
+fn wait_any_timeout<'a, T>(
     cv: &Condvar,
     guard: std::sync::MutexGuard<'a, T>,
+    timeout: Duration,
 ) -> std::sync::MutexGuard<'a, T> {
-    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+    cv.wait_timeout(guard, timeout)
+        .unwrap_or_else(PoisonError::into_inner)
+        .0
 }
 
 struct ShardState {
     lines: Vec<CacheLine>,
     in_flight: Vec<(Key, Arc<Flight>)>,
+    /// Circuit breakers of entries that have failed recently. An entry with
+    /// no record here is healthy; successful compiles remove the record, so
+    /// the vector stays as small as the set of currently-broken entries.
+    breakers: Vec<(Key, Breaker)>,
     clock: u64,
     /// Stats live per shard, as plain integers under the stripe lock the
     /// hot path already holds — global atomic counters would put one cache
@@ -124,6 +266,9 @@ struct ShardState {
     hits: u64,
     misses: u64,
     compilations: u64,
+    fallbacks: u64,
+    timeouts: u64,
+    retries: u64,
 }
 
 impl ShardState {
@@ -131,11 +276,57 @@ impl ShardState {
         Mutex::new(ShardState {
             lines: Vec::new(),
             in_flight: Vec::new(),
+            breakers: Vec::new(),
             clock: 0,
             hits: 0,
             misses: 0,
             compilations: 0,
+            fallbacks: 0,
+            timeouts: 0,
+            retries: 0,
         })
+    }
+
+    /// Records one failed leadership (or timed-out follower wait) against
+    /// `key`'s breaker, tripping it open at `threshold` consecutive
+    /// failures. A failure while half-open re-opens with a fresh cooldown.
+    fn record_failure(&mut self, key: Key, threshold: u32) {
+        let breaker = match self.breakers.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, b)) => b,
+            None => {
+                self.breakers.push((
+                    key,
+                    Breaker::Closed {
+                        consecutive_failures: 0,
+                    },
+                ));
+                &mut self.breakers.last_mut().unwrap().1
+            }
+        };
+        *breaker = match *breaker {
+            Breaker::Closed {
+                consecutive_failures,
+            } => {
+                let failures = consecutive_failures + 1;
+                if failures >= threshold {
+                    Breaker::Open {
+                        since: Instant::now(),
+                    }
+                } else {
+                    Breaker::Closed {
+                        consecutive_failures: failures,
+                    }
+                }
+            }
+            Breaker::HalfOpen | Breaker::Open { .. } => Breaker::Open {
+                since: Instant::now(),
+            },
+        };
+    }
+
+    /// A successful compile closes and forgets the entry's breaker.
+    fn clear_breaker(&mut self, key: &Key) {
+        self.breakers.retain(|(k, _)| k != key);
     }
 
     /// Evicts least-recently-used lines until at most `max_lines` remain.
@@ -217,6 +408,8 @@ pub struct ServiceSelector {
     slugs: Vec<String>,
     shards: Vec<Mutex<ShardState>>,
     shard_capacity: usize,
+    policy: DegradePolicy,
+    compile_hook: Option<CompileHook>,
 }
 
 impl ServiceSelector {
@@ -229,6 +422,8 @@ impl ServiceSelector {
             slugs,
             shards: (0..DEFAULT_SHARDS).map(|_| ShardState::new()).collect(),
             shard_capacity: DEFAULT_CACHE_CAPACITY,
+            policy: DegradePolicy::default(),
+            compile_hook: None,
         }
     }
 
@@ -290,6 +485,27 @@ impl ServiceSelector {
         self
     }
 
+    /// Sets the degradation policy: follower wait bound, retry/backoff
+    /// schedule and circuit-breaker thresholds. See [`DegradePolicy`].
+    pub fn with_policy(mut self, policy: DegradePolicy) -> ServiceSelector {
+        self.policy = policy;
+        self
+    }
+
+    /// Installs an observer run before every *primary* compile attempt
+    /// (never before fallback compiles). A panicking hook is an injected
+    /// compile failure, a blocking one a stalled leader — the fault levers
+    /// of the chaos tests and the `chaos_bench` binary.
+    pub fn with_compile_hook(mut self, hook: CompileHook) -> ServiceSelector {
+        self.compile_hook = Some(hook);
+        self
+    }
+
+    /// The active degradation policy.
+    pub fn policy(&self) -> &DegradePolicy {
+        &self.policy
+    }
+
     /// Display names of the loaded systems, in index order.
     pub fn system_names(&self) -> Vec<&str> {
         self.systems.iter().map(|i| i.system()).collect()
@@ -300,6 +516,18 @@ impl ServiceSelector {
     pub fn system_index(&self, system: &str) -> Option<usize> {
         let wanted = slug(system);
         self.slugs.iter().position(|s| *s == wanted)
+    }
+
+    /// Like [`ServiceSelector::system_index`], but an unknown system is an
+    /// `Err` naming every loaded system — so a typo'd request says what the
+    /// service can actually answer for instead of a bare `None`.
+    pub fn resolve_system(&self, system: &str) -> Result<usize, String> {
+        self.system_index(system).ok_or_else(|| {
+            format!(
+                "unknown system {system:?}; loaded systems: {}",
+                self.system_names().join(", ")
+            )
+        })
     }
 
     /// The shared index of system `sys`, if loaded.
@@ -336,6 +564,12 @@ impl ServiceSelector {
     /// compiled once under single-flight. `&self`: safe to call from any
     /// number of threads over one shared service.
     ///
+    /// Degradation: when the entry's circuit breaker is open (repeated
+    /// compile failures) or a follower's bounded wait times out, the
+    /// binomial [`fallback_pick`] is served instead of the tuned pick —
+    /// the request still gets a correct, executable schedule. See
+    /// [`DegradePolicy`] and the fallback/timeout/retry counters.
+    ///
     /// Rooted collectives are built with root 0, exactly as in
     /// [`crate::Selector::compiled`].
     pub fn compiled(
@@ -361,10 +595,170 @@ impl ServiceSelector {
         let key: Key = (sys as u32, collective, nodes, slot);
         let shard = &self.shards[self.shard_of(&key)];
 
-        enum Role {
-            Leader(Arc<Flight>),
-            Follower(Arc<Flight>),
+        loop {
+            let role = {
+                let mut state = lock_any(shard);
+                state.clock += 1;
+                let clock = state.clock;
+                if let Some(pos) = state.lines.iter().position(|l| l.key == key) {
+                    state.lines[pos].last_used = clock;
+                    state.hits += 1;
+                    return Some(state.lines[pos].compiled.clone());
+                }
+                // Breaker consult, after the cache: a published line is
+                // always a successful compile and safe to serve.
+                let mut degraded = false;
+                if let Some((_, breaker)) = state.breakers.iter_mut().find(|(k, _)| *k == key) {
+                    match *breaker {
+                        Breaker::Open { since }
+                            if since.elapsed() >= self.policy.breaker_cooldown =>
+                        {
+                            // Cooldown over: this request becomes the
+                            // half-open probe and runs a real compile;
+                            // concurrent requests keep degrading until the
+                            // probe settles the breaker one way or the other.
+                            *breaker = Breaker::HalfOpen;
+                        }
+                        Breaker::Open { .. } | Breaker::HalfOpen => degraded = true,
+                        Breaker::Closed { .. } => {}
+                    }
+                }
+                if degraded {
+                    state.fallbacks += 1;
+                    Role::Degraded
+                } else {
+                    state.misses += 1;
+                    match state.in_flight.iter().find(|(k, _)| *k == key) {
+                        Some((_, flight)) => Role::Follower(Arc::clone(flight)),
+                        None => {
+                            let flight = Arc::new(Flight::new());
+                            state.in_flight.push((key, Arc::clone(&flight)));
+                            state.compilations += 1;
+                            Role::Leader(flight)
+                        }
+                    }
+                }
+            };
+            match role {
+                Role::Degraded => return self.fallback_compiled(sys, collective, nodes, bytes),
+                Role::Follower(flight) => {
+                    match flight.wait_timeout(self.policy.flight_timeout) {
+                        FlightOutcome::Done(result) => return result,
+                        // The leader panicked: its outcome says nothing
+                        // about this entry. Retry — re-checking the breaker,
+                        // and typically becoming the next leader.
+                        FlightOutcome::Abandoned => continue,
+                        // The leader is stalled past the wait budget. Count
+                        // the timeout as a failure against the entry — a
+                        // permanently stalled leader must eventually trip
+                        // the breaker — and serve the fallback now.
+                        FlightOutcome::TimedOut => {
+                            {
+                                let mut state = lock_any(shard);
+                                state.timeouts += 1;
+                                state.fallbacks += 1;
+                                state.record_failure(key, self.policy.breaker_threshold);
+                            }
+                            return self.fallback_compiled(sys, collective, nodes, bytes);
+                        }
+                    }
+                }
+                Role::Leader(flight) => {
+                    let mut guard = FlightGuard {
+                        shard,
+                        key,
+                        flight,
+                        capacity: self.shard_capacity,
+                        result: None,
+                    };
+                    // Outside the shard lock: other entries of this shard
+                    // stay servable while this one compiles.
+                    match self.compile_with_retries(sys, index, collective, nodes, slot, shard) {
+                        Ok(compiled) => {
+                            guard.result = Some(compiled.clone());
+                            drop(guard); // retire the flight + publish the line
+                            lock_any(shard).clear_breaker(&key);
+                            return compiled;
+                        }
+                        // Every attempt panicked. Record the failure
+                        // *before* abandoning the flight, so followers wake
+                        // into an up-to-date breaker; then this thread
+                        // degrades too. The cache is never touched, so a
+                        // poisoned compile can never be published.
+                        Err(()) => {
+                            {
+                                let mut state = lock_any(shard);
+                                state.fallbacks += 1;
+                                state.record_failure(key, self.policy.breaker_threshold);
+                            }
+                            drop(guard); // abandon: wake followers to re-enter
+                            return self.fallback_compiled(sys, collective, nodes, bytes);
+                        }
+                    }
+                }
+            }
         }
+    }
+
+    /// Runs the leader's compile, retrying panics up to
+    /// [`DegradePolicy::max_retries`] times with capped exponential
+    /// backoff. `Ok` carries the compile's own verdict (`None` = pick not
+    /// buildable at this rank count — deterministic, never retried); `Err`
+    /// means every attempt panicked.
+    fn compile_with_retries(
+        &self,
+        sys: usize,
+        index: &SelectorIndex,
+        collective: Collective,
+        nodes: usize,
+        slot: u32,
+        shard: &Mutex<ShardState>,
+    ) -> Result<Option<Arc<CompiledSchedule>>, ()> {
+        for attempt in 0..=self.policy.max_retries {
+            if attempt > 0 {
+                // Count the retry exactly when it starts; back off holding
+                // no locks (followers are parked on the flight condvar).
+                lock_any(shard).retries += 1;
+                std::thread::sleep(backoff(&self.policy, attempt));
+            }
+            let probe = CompileAttempt {
+                system: sys,
+                collective,
+                nodes,
+                attempt,
+            };
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if let Some(hook) = &self.compile_hook {
+                    hook(&probe);
+                }
+                index.compile_slot(collective, nodes, slot)
+            }));
+            if let Ok(result) = outcome {
+                return Ok(result);
+            }
+        }
+        Err(())
+    }
+
+    /// Compiles (or fetches) the binomial fallback for a degraded request.
+    /// Cached under distinguished slots in the regular sharded cache and
+    /// compiled under single-flight like any other entry — but without the
+    /// compile hook or retries, so the degraded path cannot itself be
+    /// fault-injected or stalled indefinitely.
+    fn fallback_compiled(
+        &self,
+        sys: usize,
+        collective: Collective,
+        nodes: usize,
+        bytes: u64,
+    ) -> Option<Arc<CompiledSchedule>> {
+        let slot = if bytes <= FALLBACK_SMALL_VECTOR_THRESHOLD {
+            FALLBACK_SLOT_SMALL
+        } else {
+            FALLBACK_SLOT_LARGE
+        };
+        let key: Key = (sys as u32, collective, nodes, slot);
+        let shard = &self.shards[self.shard_of(&key)];
         loop {
             let role = {
                 let mut state = lock_any(shard);
@@ -387,13 +781,19 @@ impl ServiceSelector {
                 }
             };
             match role {
-                Role::Follower(flight) => match flight.wait() {
-                    FlightOutcome::Done(result) => return result,
-                    // The leader panicked: its outcome says nothing about
-                    // this entry. Retry — typically becoming the next
-                    // leader and surfacing the same panic in this thread.
-                    FlightOutcome::Abandoned => continue,
-                },
+                Role::Degraded => unreachable!("the fallback path has no breaker"),
+                Role::Follower(flight) => {
+                    match flight.wait_timeout(self.policy.flight_timeout) {
+                        FlightOutcome::Done(result) => return result,
+                        FlightOutcome::Abandoned => continue,
+                        // Nothing further to degrade to: compile privately
+                        // (cheap, uncached) rather than wait any longer.
+                        FlightOutcome::TimedOut => {
+                            return build(collective, fallback_pick(collective, bytes), nodes, 0)
+                                .map(|s| Arc::new(s.compile()));
+                        }
+                    }
+                }
                 Role::Leader(flight) => {
                     let mut guard = FlightGuard {
                         shard,
@@ -402,11 +802,10 @@ impl ServiceSelector {
                         capacity: self.shard_capacity,
                         result: None,
                     };
-                    // Outside the shard lock: other entries of this shard
-                    // stay servable while this one compiles.
-                    let compiled = index.compile_slot(collective, nodes, slot);
+                    let compiled = build(collective, fallback_pick(collective, bytes), nodes, 0)
+                        .map(|s| Arc::new(s.compile()));
                     guard.result = Some(compiled.clone());
-                    drop(guard); // retire the flight + publish the cache line
+                    drop(guard);
                     return compiled;
                 }
             }
@@ -507,6 +906,25 @@ impl ServiceSelector {
     pub fn compilations(&self) -> u64 {
         self.shards.iter().map(|s| lock_any(s).compilations).sum()
     }
+
+    /// Requests answered with the binomial fallback pick — open breaker,
+    /// failed leadership, or timed-out follower wait — across all shards.
+    /// Zero on a healthy service.
+    pub fn fallbacks(&self) -> u64 {
+        self.shards.iter().map(|s| lock_any(s).fallbacks).sum()
+    }
+
+    /// Follower waits that hit [`DegradePolicy::flight_timeout`] before
+    /// their leader settled, across all shards.
+    pub fn timeouts(&self) -> u64 {
+        self.shards.iter().map(|s| lock_any(s).timeouts).sum()
+    }
+
+    /// Compile retries after a panicking attempt, across all shards (the
+    /// first try of each leadership is not a retry).
+    pub fn retries(&self) -> u64 {
+        self.shards.iter().map(|s| lock_any(s).retries).sum()
+    }
 }
 
 #[cfg(test)]
@@ -604,6 +1022,168 @@ mod tests {
             .unwrap();
         assert_eq!(service.cached_schedules(), 1);
         assert!(service.shard_lens().iter().all(|&len| len <= 1));
+    }
+
+    #[test]
+    fn fallback_pick_switches_at_the_harness_threshold() {
+        use bine_sched::build;
+        assert_eq!(
+            fallback_pick(Collective::Allreduce, 32),
+            "recursive-doubling"
+        );
+        assert_eq!(
+            fallback_pick(Collective::Allreduce, FALLBACK_SMALL_VECTOR_THRESHOLD),
+            "recursive-doubling"
+        );
+        assert_eq!(
+            fallback_pick(Collective::Allreduce, FALLBACK_SMALL_VECTOR_THRESHOLD + 1),
+            "rabenseifner"
+        );
+        assert_eq!(
+            fallback_pick(Collective::Broadcast, 1 << 20),
+            "scatter-allgather"
+        );
+        // "Always buildable": every collective's fallback builds at the
+        // table's rank counts, on both sides of the switch point.
+        for collective in Collective::ALL {
+            for bytes in [32u64, 1 << 20] {
+                for nodes in [16usize, 64] {
+                    assert!(
+                        build(collective, fallback_pick(collective, bytes), nodes, 0).is_some(),
+                        "{} fallback must build at {nodes} ranks",
+                        collective.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_system_lists_the_loaded_systems_on_a_miss() {
+        let service = ServiceSelector::from_tables(&[table("MareNostrum 5"), table("LUMI")]);
+        assert_eq!(service.resolve_system("lumi"), Ok(1));
+        let err = service.resolve_system("Frontier").unwrap_err();
+        assert!(err.contains("Frontier"), "{err}");
+        assert!(err.contains("MareNostrum 5"), "{err}");
+        assert!(err.contains("LUMI"), "{err}");
+    }
+
+    /// Injected compile panics walk the whole degradation ladder: each
+    /// failed leadership retries `max_retries` times, consecutive failures
+    /// trip the per-entry breaker, and every degraded request is answered
+    /// with the binomial fallback — while other entries stay healthy.
+    #[test]
+    fn compile_failures_retry_then_trip_the_breaker_to_the_fallback() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let hook_calls = Arc::new(AtomicU64::new(0));
+        let calls = Arc::clone(&hook_calls);
+        let service = ServiceSelector::from_tables(&[table("Testbox")])
+            .with_policy(DegradePolicy {
+                flight_timeout: Duration::from_secs(30),
+                max_retries: 1,
+                backoff_base: Duration::ZERO,
+                backoff_cap: Duration::ZERO,
+                breaker_threshold: 2,
+                breaker_cooldown: Duration::from_secs(3600),
+            })
+            .with_compile_hook(Arc::new(move |a: &CompileAttempt| {
+                if a.collective == Collective::Allreduce {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    panic!("injected compile failure");
+                }
+            }));
+
+        // Leadership 1: first try + one retry both panic; not yet at the
+        // breaker threshold, but the answer is already the fallback.
+        let c = service
+            .compiled("Testbox", Collective::Allreduce, 16, 1 << 20)
+            .expect("degraded answer");
+        assert_eq!(c.algorithm, "rabenseifner");
+        assert_eq!(c.num_ranks, 16);
+        assert_eq!(hook_calls.load(Ordering::SeqCst), 2);
+        assert_eq!(service.retries(), 1);
+        assert_eq!(service.fallbacks(), 1);
+
+        // Leadership 2 fails too → the breaker trips open.
+        let c = service
+            .compiled("Testbox", Collective::Allreduce, 16, 1 << 20)
+            .expect("degraded answer");
+        assert_eq!(c.algorithm, "rabenseifner");
+        assert_eq!(hook_calls.load(Ordering::SeqCst), 4);
+        assert_eq!(service.retries(), 2);
+
+        // Open breaker: served straight from the cached fallback line, no
+        // compile attempt at all (the cooldown is an hour).
+        let c = service
+            .compiled("Testbox", Collective::Allreduce, 16, 1 << 20)
+            .expect("degraded answer");
+        assert_eq!(c.algorithm, "rabenseifner");
+        assert_eq!(
+            hook_calls.load(Ordering::SeqCst),
+            4,
+            "breaker skips compiles"
+        );
+        assert_eq!(service.fallbacks(), 3);
+        assert_eq!(service.timeouts(), 0);
+
+        // A different entry on the same service stays fully healthy.
+        let c = service
+            .compiled("Testbox", Collective::Broadcast, 16, 32)
+            .expect("healthy answer");
+        assert_eq!(c.algorithm, "bine-tree");
+    }
+
+    /// After the cooldown, one request probes the entry half-open; a
+    /// successful probe closes the breaker and the tuned pick is served
+    /// (and cached) again.
+    #[test]
+    fn breaker_half_opens_and_recovers_after_the_cooldown() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let failing = Arc::new(AtomicBool::new(true));
+        let fail = Arc::clone(&failing);
+        let service = ServiceSelector::from_tables(&[table("Testbox")])
+            .with_policy(DegradePolicy {
+                flight_timeout: Duration::from_secs(30),
+                max_retries: 0,
+                backoff_base: Duration::ZERO,
+                backoff_cap: Duration::ZERO,
+                breaker_threshold: 1,
+                breaker_cooldown: Duration::from_millis(30),
+            })
+            .with_compile_hook(Arc::new(move |_: &CompileAttempt| {
+                if fail.load(Ordering::SeqCst) {
+                    panic!("injected compile failure");
+                }
+            }));
+
+        // One failed leadership trips the breaker (threshold 1) …
+        let c = service
+            .compiled("Testbox", Collective::Allreduce, 16, 1 << 20)
+            .expect("degraded answer");
+        assert_eq!(c.algorithm, "rabenseifner");
+        // … and within the cooldown every request degrades.
+        let c = service
+            .compiled("Testbox", Collective::Allreduce, 16, 1 << 20)
+            .expect("degraded answer");
+        assert_eq!(c.algorithm, "rabenseifner");
+        assert_eq!(service.fallbacks(), 2);
+
+        // Heal the compile path, wait out the cooldown: the next request
+        // is the half-open probe, compiles for real and closes the breaker.
+        failing.store(false, Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(60));
+        let probe = service
+            .compiled("Testbox", Collective::Allreduce, 16, 1 << 20)
+            .expect("recovered answer");
+        assert_eq!(probe.algorithm, "bine-large");
+        // Fully recovered: the tuned pick is cached and served as a hit.
+        let hit = service
+            .compiled("Testbox", Collective::Allreduce, 16, 1 << 20)
+            .expect("cached answer");
+        assert!(Arc::ptr_eq(&probe, &hit));
+        assert_eq!(service.fallbacks(), 2, "no further degradation");
     }
 
     #[test]

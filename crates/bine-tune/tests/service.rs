@@ -4,11 +4,16 @@
 //! the per-shard cache capacity and compiling each entry exactly once under
 //! single-flight.
 
-use std::sync::{Arc, Barrier, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Condvar, Mutex};
 use std::thread;
+use std::time::Duration;
 
 use bine_sched::Collective;
-use bine_tune::{DecisionTable, Entry, ScoreModel, Selector, ServiceSelector};
+use bine_tune::{
+    fallback_pick, CompileAttempt, DecisionTable, DegradePolicy, Entry, ScoreModel, Selector,
+    ServiceSelector,
+};
 use proptest::prelude::*;
 
 /// A two-collective table with enough breakpoints that random queries
@@ -251,6 +256,196 @@ fn contended_evictions_keep_answers_serial_identical() {
     // entries, yet never more than total misses.
     assert!(service.compilations() >= 2);
     assert!(service.compilations() <= service.misses());
+}
+
+/// Regression for the unbounded follower wait: a leader stalled inside its
+/// compile must not strand followers. The follower's bounded wait times
+/// out, the request is answered with the binomial fallback, and once the
+/// leader is released its (healthy) compile still publishes normally.
+#[test]
+fn stalled_leader_does_not_strand_followers() {
+    // The hook blocks Allreduce compiles until the test releases them, and
+    // flags when the leader has actually entered the compile (so the main
+    // thread is guaranteed to register as a follower, not a leader).
+    #[derive(Default)]
+    struct Gate {
+        state: Mutex<(bool, bool)>, // (leader entered, released)
+        cv: Condvar,
+    }
+    let gate = Arc::new(Gate::default());
+    let hook_gate = Arc::clone(&gate);
+    let service = Arc::new(
+        ServiceSelector::from_tables(&[table()])
+            .with_policy(DegradePolicy {
+                flight_timeout: Duration::from_millis(50),
+                max_retries: 0,
+                backoff_base: Duration::ZERO,
+                backoff_cap: Duration::ZERO,
+                breaker_threshold: 1,
+                breaker_cooldown: Duration::from_secs(3600),
+            })
+            .with_compile_hook(Arc::new(move |a: &CompileAttempt| {
+                if a.collective != Collective::Allreduce {
+                    return;
+                }
+                let mut st = hook_gate.state.lock().unwrap();
+                st.0 = true;
+                hook_gate.cv.notify_all();
+                while !st.1 {
+                    st = hook_gate.cv.wait(st).unwrap();
+                }
+            })),
+    );
+
+    let leader_service = Arc::clone(&service);
+    let leader = thread::spawn(move || {
+        leader_service
+            .compiled_at(0, Collective::Allreduce, 8, 1 << 20)
+            .expect("leader result")
+    });
+    // Wait until the leader is provably stalled inside its compile.
+    {
+        let mut st = gate.state.lock().unwrap();
+        while !st.0 {
+            st = gate.cv.wait(st).unwrap();
+        }
+    }
+
+    // The follower times out after 50 ms and degrades instead of hanging.
+    let degraded = service
+        .compiled_at(0, Collective::Allreduce, 8, 1 << 20)
+        .expect("follower must still get an answer");
+    assert_eq!(
+        degraded.algorithm,
+        fallback_pick(Collective::Allreduce, 1 << 20)
+    );
+    assert_eq!(degraded.num_ranks, 8);
+    assert_eq!(service.timeouts(), 1);
+    assert!(service.fallbacks() >= 1);
+    // The timed-out wait counted as a failure; at threshold 1 the breaker
+    // is open, so further requests degrade immediately, without waiting.
+    let degraded = service
+        .compiled_at(0, Collective::Allreduce, 8, 1 << 20)
+        .expect("degraded answer");
+    assert_eq!(
+        degraded.algorithm,
+        fallback_pick(Collective::Allreduce, 1 << 20)
+    );
+    assert_eq!(
+        service.timeouts(),
+        1,
+        "no second wait once the breaker is open"
+    );
+
+    // Release the leader: its compile completes and publishes the tuned
+    // pick; the stall was a delay, not a corruption.
+    {
+        let mut st = gate.state.lock().unwrap();
+        st.1 = true;
+        gate.cv.notify_all();
+    }
+    let led = leader.join().expect("leader thread panicked");
+    assert_eq!(led.algorithm, "bine-large");
+    // The published line is served to later requests (the open breaker is
+    // consulted only after the cache, and a cached line is always good).
+    let hit = service
+        .compiled_at(0, Collective::Allreduce, 8, 1 << 20)
+        .expect("cached answer");
+    assert!(Arc::ptr_eq(&led, &hit));
+}
+
+/// Satellite stress pin: 8 threads race injected compile panics against
+/// warm cache hits. The cache must never publish a poisoned entry (every
+/// degraded answer is exactly the binomial fallback, every healthy answer
+/// the already-published line), and retry accounting must be exactly-once:
+/// each failed leadership records precisely `max_retries` retries, however
+/// many threads race.
+#[test]
+fn racing_compile_panics_never_poison_the_cache_and_count_retries_once() {
+    let poisoned_calls = Arc::new(AtomicU64::new(0));
+    let calls = Arc::clone(&poisoned_calls);
+    let service = Arc::new(
+        ServiceSelector::from_tables(&[table()])
+            .with_policy(DegradePolicy {
+                flight_timeout: Duration::from_secs(30),
+                max_retries: 1,
+                backoff_base: Duration::ZERO,
+                backoff_cap: Duration::ZERO,
+                breaker_threshold: 3,
+                breaker_cooldown: Duration::from_secs(3600),
+            })
+            .with_compile_hook(Arc::new(move |a: &CompileAttempt| {
+                if a.collective == Collective::Allreduce && a.nodes == 8 {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    panic!("injected compile failure");
+                }
+            })),
+    );
+    // Pre-warm the healthy entry the even threads hammer.
+    let warm = service
+        .compiled_at(0, Collective::Broadcast, 8, 32)
+        .expect("warm");
+
+    let threads = 8;
+    let rounds = 16;
+    let barrier = Arc::new(Barrier::new(threads));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            let warm = Arc::clone(&warm);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                for _ in 0..rounds {
+                    if t % 2 == 0 {
+                        // Warm hits must keep returning the published line,
+                        // races with the panicking entry notwithstanding.
+                        let c = service
+                            .compiled_at(0, Collective::Broadcast, 8, 32)
+                            .expect("warm hit");
+                        assert!(Arc::ptr_eq(&c, &warm), "healthy entry must stay cached");
+                    } else {
+                        // The poisoned entry always degrades to the binomial
+                        // fallback — never a partially-compiled tuned pick,
+                        // and never an error: availability stays 100%.
+                        let c = service
+                            .compiled_at(0, Collective::Allreduce, 8, 1 << 20)
+                            .expect("degraded answer");
+                        assert_eq!(c.algorithm, fallback_pick(Collective::Allreduce, 1 << 20));
+                        assert_eq!(c.num_ranks, 8);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("stress thread panicked");
+    }
+
+    // Single-flight serialises leaderships and each failure lands in the
+    // breaker before followers wake, so exactly `breaker_threshold` (3)
+    // leaderships ran, each trying twice (first try + one retry): 6 hook
+    // calls and 3 recorded retries — exactly-once accounting under racing.
+    assert_eq!(poisoned_calls.load(Ordering::SeqCst), 6);
+    assert_eq!(service.retries(), 3);
+    assert_eq!(service.timeouts(), 0);
+    // Compilations started: the warm broadcast entry, 3 failed
+    // leaderships, and the single-flight fallback compile.
+    assert_eq!(service.compilations(), 5);
+    // The cache holds exactly the healthy line and the fallback line — the
+    // poisoned tuned pick was never published.
+    assert_eq!(service.cached_schedules(), 2);
+    // With the breaker open (hour-long cooldown), one more request degrades
+    // without attempting any compile.
+    let c = service
+        .compiled_at(0, Collective::Allreduce, 8, 1 << 20)
+        .expect("degraded answer");
+    assert_eq!(c.algorithm, fallback_pick(Collective::Allreduce, 1 << 20));
+    assert_eq!(
+        poisoned_calls.load(Ordering::SeqCst),
+        6,
+        "breaker skips compiles"
+    );
 }
 
 /// Decodes one random `u64` into a query: collective (including one absent
