@@ -7,7 +7,9 @@
 //! context only) at p ∈ {64, 256} — plus the selection serving layer
 //! at `available_parallelism` workers (gated `/serve/` aggregate
 //! ns/request of the concurrent `ServiceSelector`; ungated
-//! `/serve-latency/` p99 tail and single-threaded `/serial/` baseline) — and writes a flat
+//! `/serve-latency/` p99 tail and single-threaded `/serial/` baseline) —
+//! plus the adaptive feedback loop (gated `/adaptive/` observe and
+//! overridden-hit warm paths; ungated loop counters) — and writes a flat
 //! JSON report, so future PRs can diff the perf trajectory of the data
 //! plane without parsing criterion output.
 //!
@@ -121,11 +123,16 @@ fn bench_sim(records: &mut Vec<Record>, p: usize, iters: usize) {
     };
     let mut arena = sim::SimArena::new();
     let ns = measure(iters, || {
-        sim::sim_time_in(&mut arena, &model, &compiled_sched, n, topo, &alloc);
+        sim::SimRequest::new(&model, &compiled_sched, n, topo, &alloc)
+            .arena(&mut arena)
+            .time_only()
+            .run();
     });
     record(records, "sim", ns);
     let ns = measure(iters, || {
-        sim::simulate_reference(&model, &compiled_sched, n, topo, &alloc);
+        sim::SimRequest::new(&model, &compiled_sched, n, topo, &alloc)
+            .reference()
+            .run();
     });
     record(records, "sim-reference", ns);
 }
@@ -148,6 +155,25 @@ fn bench_serve(records: &mut Vec<Record>, iters: usize) -> bine_bench::serve::Se
         });
     }
     m
+}
+
+/// Adaptive-serving warm paths and loop counters (see
+/// `bine_bench::adaptive`): the gated `/adaptive/` observe and
+/// overridden-hit timings plus the ungated override/revert/re-eval
+/// counters. The run itself re-checks the convergence contract.
+fn bench_adaptive(records: &mut Vec<Record>, iters: usize) {
+    let opts = bine_bench::adaptive::AdaptiveOptions {
+        repeats: iters.clamp(3, 9),
+        ..Default::default()
+    };
+    let m = bine_bench::adaptive::measure(&opts).expect("adaptive benchmark failed");
+    for (name, ns) in bine_bench::adaptive::bench_entries(&m) {
+        println!("{name:<48} {ns:>14.0} ns/op");
+        records.push(Record {
+            name,
+            ns_per_op: ns,
+        });
+    }
 }
 
 fn lookup(records: &[Record], name: &str) -> f64 {
@@ -197,6 +223,7 @@ fn main() {
         bench_sim(&mut records, p, iters);
     }
     let serve = bench_serve(&mut records, iters);
+    bench_adaptive(&mut records, iters);
     // The acceptance headline: compiled vs the seed interpreter at p = 256.
     let speedup_256 = lookup(&records, "allreduce-bine-large/reference/256")
         / lookup(&records, "allreduce-bine-large/compiled/256");

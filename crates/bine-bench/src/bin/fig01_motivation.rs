@@ -7,7 +7,7 @@
 
 use bine_net::allocation::Allocation;
 use bine_net::cost::CostModel;
-use bine_net::sim::sim_time_us;
+use bine_net::sim::SimRequest;
 use bine_net::topology::FatTree;
 use bine_net::traffic::measure;
 use bine_net::Topology;
@@ -74,7 +74,9 @@ fn main() {
     ] {
         let sched = broadcast(8, 0, alg);
         let sync = model.time_us(&sched, big, &topo, &alloc);
-        let des = sim_time_us(&model, &sched, 1, big, &topo, &alloc);
+        let des = SimRequest::new(&model, &sched.compile(), big, &topo, &alloc)
+            .run()
+            .makespan_us;
         println!("{:<32} sync = {sync:>9.1}   DES = {des:>9.1}", alg.name());
     }
 }

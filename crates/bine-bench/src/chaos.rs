@@ -30,7 +30,7 @@ use std::time::Duration;
 use bine_net::allocation::Allocation;
 use bine_net::cost::CostModel;
 use bine_net::fault::FaultSpec;
-use bine_net::sim::{simulate_faulted, simulate_reference_faulted, SimReport};
+use bine_net::sim::{SimReport, SimRequest};
 use bine_sched::{build, Collective};
 use bine_tune::{fallback_pick, slug, tuned_name, CompileAttempt, DegradePolicy, ServiceSelector};
 
@@ -290,15 +290,21 @@ pub fn run(opts: &ChaosOptions) -> Result<ChaosReport, String> {
                 fallback_pick(c, b)
             ));
         };
-        let optimized = simulate_faulted(&model, &compiled, b, topo.as_ref(), &alloc, &plan);
-        let reference = simulate_reference_faulted(
+        let optimized = SimRequest::new(&model, &compiled, b, topo.as_ref(), &alloc)
+            .faults(&plan)
+            .run()
+            .into_report();
+        let reference = SimRequest::new(
             &model,
             baseline.as_ref().unwrap_or(&compiled),
             b,
             topo.as_ref(),
             &alloc,
-            &plan,
-        );
+        )
+        .reference()
+        .faults(&plan)
+        .run()
+        .into_report();
         if !reports_bit_identical(&optimized, &reference) {
             return Err(format!(
                 "faulted DES mismatch for ({}, {n}, {b}) answer {:?}: optimized \

@@ -66,18 +66,26 @@ pub fn parse_bench_json(text: &str) -> Result<Vec<BenchEntry>, String> {
 /// entries deliberately do not match `/sim/`: the reference simulator is a
 /// baseline, not a perf surface. Likewise `/serial/` (the single-threaded
 /// selector baseline) and `/serve-latency/` (scheduler-noisy p99 tail) do
-/// not match `/serve/`. `/serve/` entries whose last segment is one of the
-/// service's degradation counters (`fallbacks`, `timeouts`, `retries`) are
-/// also exempt: they are health *observations*, not perf numbers — a chaos
-/// or timing wobble that degrades a few requests must not fail the perf
-/// gate (the availability contract is enforced by `chaos_bench` instead).
+/// not match `/serve/`. `/serve/` and `/adaptive/` entries whose last
+/// segment is one of the service's health counters (`fallbacks`,
+/// `timeouts`, `retries`, and the adaptive loop's `overrides`, `reverts`,
+/// `reevals`) are also exempt: they are *observations*, not perf numbers —
+/// a chaos or timing wobble that degrades a few requests, or an adaptive
+/// run that re-checks its override once more, must not fail the perf gate
+/// (the availability and convergence contracts are enforced by
+/// `chaos_bench` and `adaptive_bench` instead).
 pub fn is_gated(name: &str) -> bool {
-    let degradation_counter = name
-        .rsplit('/')
-        .next()
-        .is_some_and(|tail| matches!(tail, "fallbacks" | "timeouts" | "retries"));
-    (name.contains("/compiled/") || name.contains("/sim/") || name.contains("/serve/"))
-        && !degradation_counter
+    let health_counter = name.rsplit('/').next().is_some_and(|tail| {
+        matches!(
+            tail,
+            "fallbacks" | "timeouts" | "retries" | "overrides" | "reverts" | "reevals"
+        )
+    });
+    (name.contains("/compiled/")
+        || name.contains("/sim/")
+        || name.contains("/serve/")
+        || name.contains("/adaptive/"))
+        && !health_counter
 }
 
 /// Verdict for one benchmark entry present in the baseline.
@@ -279,6 +287,15 @@ mod tests {
         assert!(!is_gated("select-mix/serve/retries"));
         // The throughput statistic next to them stays hard-gated.
         assert!(is_gated("select-mix/serve/worker-ns-per-req"));
+    }
+
+    #[test]
+    fn adaptive_timings_are_gated_but_its_counters_are_not() {
+        assert!(is_gated("select-mix/adaptive/observe-ns"));
+        assert!(is_gated("select-mix/adaptive/overridden-hit-ns"));
+        assert!(!is_gated("select-mix/adaptive/overrides"));
+        assert!(!is_gated("select-mix/adaptive/reverts"));
+        assert!(!is_gated("select-mix/adaptive/reevals"));
     }
 
     #[test]

@@ -293,14 +293,11 @@ impl Evaluator {
         let compiled = self.compiled.get(&key).unwrap();
         let topo = self.topologies.get(&nodes).unwrap().as_ref();
         let alloc = self.allocations.get(&nodes).unwrap();
-        sim::sim_time_in(
-            &mut self.arena,
-            &self.model,
-            compiled,
-            vector_bytes,
-            topo,
-            alloc,
-        )
+        sim::SimRequest::new(&self.model, compiled, vector_bytes, topo, alloc)
+            .arena(&mut self.arena)
+            .time_only()
+            .run()
+            .makespan_us
     }
 
     /// The Bine algorithm name the paper would use for this configuration.

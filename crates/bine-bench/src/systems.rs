@@ -129,7 +129,7 @@ impl System {
     /// For the group-based systems the topology is the full machine (the job
     /// occupies its first `nodes` nodes under a block allocation); for the
     /// torus the job gets its own sub-torus, as on the real machine.
-    pub fn topology(&self, nodes: usize) -> Box<dyn Topology> {
+    pub fn topology(&self, nodes: usize) -> Box<dyn Topology + Send + Sync> {
         match self.kind {
             SystemKind::Lumi => Box::new(Dragonfly::lumi()),
             SystemKind::Leonardo => Box::new(Dragonfly::leonardo()),

@@ -47,6 +47,6 @@ pub mod verify;
 
 pub use comm::Cluster;
 pub use compiled::DenseState;
-pub use pool::{ExecError, ExecutorPool};
+pub use pool::{ExecError, ExecutorPool, Job};
 pub use state::{Block, BlockStore, Workload};
 pub use verify::{run_and_verify, verify, VerifyResult};

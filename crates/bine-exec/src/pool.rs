@@ -20,7 +20,7 @@
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
 
@@ -29,7 +29,9 @@ use bine_sched::CompiledSchedule;
 use crate::compiled::{self, DenseState};
 use crate::state::{Block, BlockStore};
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// One unit of work submitted to the pool via
+/// [`ExecutorPool::try_run_batch`].
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// The panic payload a worker caught, before conversion to [`ExecError`].
 type PanicPayload = Box<dyn std::any::Any + Send>;
@@ -170,11 +172,22 @@ impl ExecutorPool {
         self.workers.len()
     }
 
-    /// Runs a batch of jobs to completion, returning the first panic payload
-    /// instead of unwinding. The batch always drains fully — even after a
-    /// panic every remaining job runs (or has run) before this returns, so
-    /// no job still holding state references is in flight afterwards.
-    fn try_run_batch(&self, jobs: Vec<Job>) -> Result<(), PanicPayload> {
+    /// Runs a batch of jobs to completion, surfacing the first panic as a
+    /// typed [`ExecError`] instead of unwinding. The batch always drains
+    /// fully — even after a panic every remaining job runs (or has run)
+    /// before this returns, so no job still holding state references is in
+    /// flight afterwards.
+    ///
+    /// This is the primary fallible surface the `try_run*` schedule
+    /// executors are built on; it is public so callers with their own job
+    /// shapes get the same drain-fully panic contract.
+    pub fn try_run_batch(&self, jobs: Vec<Job>) -> Result<(), ExecError> {
+        self.run_batch_impl(jobs).map_err(ExecError::from_panic)
+    }
+
+    /// [`ExecutorPool::try_run_batch`] with the raw panic payload, so the
+    /// dense executors can convert once at their own boundary.
+    fn run_batch_impl(&self, jobs: Vec<Job>) -> Result<(), PanicPayload> {
         if jobs.is_empty() {
             return Ok(());
         }
@@ -210,30 +223,16 @@ impl ExecutorPool {
         }
     }
 
-    /// Executes `compiled` starting from symbolic `initial` stores on this
-    /// pool and returns symbolic final stores.
+    /// The primary symbolic entry point: executes `compiled` starting from
+    /// symbolic `initial` stores on this pool and returns symbolic final
+    /// stores, with the executor panic contract surfaced as a typed error —
+    /// a panicking rank job (e.g. a reduce op applied to mismatched block
+    /// lengths) is caught at the worker and returned as [`ExecError`] after
+    /// the whole batch has drained. The pool remains fully usable
+    /// afterwards.
     ///
     /// The schedule is taken as an `Arc` so repeated runs (and the worker
     /// jobs) share one compiled form without re-copying it.
-    ///
-    /// # Panics
-    /// Re-raises the first panic of any rank job (the pool itself stays
-    /// usable); see [`ExecutorPool::try_run`] for the non-panicking variant.
-    pub fn run(
-        &self,
-        compiled: &Arc<CompiledSchedule>,
-        initial: Vec<BlockStore>,
-    ) -> Vec<BlockStore> {
-        let dense = compiled::to_dense(compiled, initial);
-        let finals = self.run_dense(compiled, dense);
-        compiled::from_dense(compiled, finals)
-    }
-
-    /// [`ExecutorPool::run`] with the executor panic contract surfaced as a
-    /// typed error: a panicking rank job (e.g. a reduce op applied to
-    /// mismatched block lengths) is caught at the worker and returned as
-    /// [`ExecError`] after the whole batch has drained. The pool remains
-    /// fully usable afterwards.
     pub fn try_run(
         &self,
         compiled: &Arc<CompiledSchedule>,
@@ -244,25 +243,23 @@ impl ExecutorPool {
         Ok(compiled::from_dense(compiled, finals))
     }
 
-    /// Executes `compiled` over dense states on this pool.
+    /// Thin panicking wrapper over [`ExecutorPool::try_run`] for callers
+    /// that treat a failed rank job as a bug.
     ///
     /// # Panics
-    /// Re-raises the first panic of any rank job (the pool itself stays
-    /// usable); see [`ExecutorPool::try_run_dense`] for the non-panicking
-    /// variant.
-    pub fn run_dense(
+    /// On the first failed rank job, with the [`ExecError`] display message
+    /// (the pool itself stays usable).
+    pub fn run(
         &self,
         compiled: &Arc<CompiledSchedule>,
-        states: Vec<DenseState>,
-    ) -> Vec<DenseState> {
-        match self.run_dense_impl(compiled, states) {
-            Ok(finals) => finals,
-            Err(panic) => resume_unwind(panic),
-        }
+        initial: Vec<BlockStore>,
+    ) -> Vec<BlockStore> {
+        self.try_run(compiled, initial)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// [`ExecutorPool::run_dense`] with panics surfaced as [`ExecError`]
-    /// instead of unwinding.
+    /// The primary dense entry point: executes `compiled` over dense states
+    /// on this pool, with panics surfaced as [`ExecError`].
     pub fn try_run_dense(
         &self,
         compiled: &Arc<CompiledSchedule>,
@@ -270,6 +267,20 @@ impl ExecutorPool {
     ) -> Result<Vec<DenseState>, ExecError> {
         self.run_dense_impl(compiled, states)
             .map_err(ExecError::from_panic)
+    }
+
+    /// Thin panicking wrapper over [`ExecutorPool::try_run_dense`].
+    ///
+    /// # Panics
+    /// On the first failed rank job, with the [`ExecError`] display message
+    /// (the pool itself stays usable).
+    pub fn run_dense(
+        &self,
+        compiled: &Arc<CompiledSchedule>,
+        states: Vec<DenseState>,
+    ) -> Vec<DenseState> {
+        self.try_run_dense(compiled, states)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     fn run_dense_impl(
@@ -335,7 +346,7 @@ impl ExecutorPool {
                     *lock_any(&partial[w]) = out;
                 }));
             }
-            self.try_run_batch(jobs)?;
+            self.run_batch_impl(jobs)?;
 
             // Assemble the staging buffer (moves Arcs, no payload copies).
             let mut staging: Vec<Option<Block>> = vec![None; payload_count];
@@ -378,7 +389,7 @@ impl ExecutorPool {
                     }
                 }));
             }
-            self.try_run_batch(jobs)?;
+            self.run_batch_impl(jobs)?;
         }
 
         // Batches drain fully even on a panic, so no in-flight job can still

@@ -34,6 +34,7 @@ pub mod allocation;
 pub mod cost;
 pub mod event;
 pub mod fault;
+pub mod feedback;
 pub mod sim;
 pub mod topology;
 pub mod trace;
@@ -43,10 +44,12 @@ pub use allocation::Allocation;
 pub use cost::{CostBreakdown, CostModel, CostSummary, LowerBounds};
 pub use event::EventQueue;
 pub use fault::{FaultPlan, FaultSpec, LinkFault, Straggler};
+pub use feedback::{LogHistogram, ObservedTiming, TimingSource};
+#[allow(deprecated)]
 pub use sim::{
     sim_time_in, sim_time_in_faulted, sim_time_us, simulate, simulate_faulted, simulate_in,
     simulate_in_faulted, simulate_reference, simulate_reference_faulted, simulate_schedule,
-    SimArena, SimReport,
+    SimArena, SimOutcome, SimReport, SimRequest,
 };
 pub use topology::{
     Dragonfly, DragonflyFlavour, FatTree, IdealFullMesh, LinkClass, LinkInfo, Topology, Torus,

@@ -1,8 +1,9 @@
 //! Pins the [`bine_net::SimArena`] allocation-freedom guarantee: once a
 //! (schedule, topology, allocation, vector size) context has been simulated
-//! once, repeating the simulation through `sim_time_in` must touch the heap
-//! **zero** times — the whole point of the arena is that tuning sweeps
-//! running thousands of simulations stop being allocator-bound. Measured
+//! once, repeating the simulation through a time-only, arena-backed
+//! [`bine_net::sim::SimRequest`] must touch the heap **zero** times — the
+//! whole point of the arena is that tuning sweeps running thousands of
+//! simulations stop being allocator-bound. Measured
 //! with a counting wrapper around the system allocator, the same pattern as
 //! `bine-tune/tests/alloc_free.rs` (tests are their own crates, so the
 //! library's `#![forbid(unsafe_code)]` still holds for `bine-net` itself).
@@ -12,9 +13,26 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use bine_net::allocation::Allocation;
 use bine_net::cost::CostModel;
-use bine_net::sim::{sim_time_in, SimArena};
+use bine_net::sim::{SimArena, SimRequest};
 use bine_net::topology::FatTree;
 use bine_sched::collectives::{allreduce, AllreduceAlg};
+use bine_sched::CompiledSchedule;
+
+/// The warm-path spelling under test: a time-only, arena-backed request.
+fn sim_time(
+    arena: &mut SimArena,
+    model: &CostModel,
+    compiled: &CompiledSchedule,
+    n: u64,
+    topo: &FatTree,
+    alloc: &Allocation,
+) -> f64 {
+    SimRequest::new(model, compiled, n, topo, alloc)
+        .arena(arena)
+        .time_only()
+        .run()
+        .makespan_us
+}
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
@@ -54,20 +72,20 @@ fn repeated_simulations_are_allocation_free_after_warmup() {
     let mut arena = SimArena::new();
     // Warmup: builds the cached static resolution and grows every scratch
     // buffer to its peak size for this context.
-    let warm = sim_time_in(&mut arena, &model, &compiled, 1 << 20, &topo, &alloc);
+    let warm = sim_time(&mut arena, &model, &compiled, 1 << 20, &topo, &alloc);
     assert!(warm > 0.0);
 
     let before = ALLOCATIONS.load(Ordering::SeqCst);
     let mut identical = 0usize;
     for _ in 0..10 {
-        let t = sim_time_in(&mut arena, &model, &compiled, 1 << 20, &topo, &alloc);
+        let t = sim_time(&mut arena, &model, &compiled, 1 << 20, &topo, &alloc);
         identical += usize::from(t.to_bits() == warm.to_bits());
     }
     let after = ALLOCATIONS.load(Ordering::SeqCst);
     assert_eq!(
         after - before,
         0,
-        "sim_time_in allocated {} times over 10 warm simulations",
+        "the warm time-only request allocated {} times over 10 simulations",
         after - before
     );
     assert_eq!(identical, 10, "results drifted after warmup");
@@ -87,11 +105,11 @@ fn vector_size_changes_allocate_at_most_transiently() {
 
     let mut arena = SimArena::new();
     for &n in &sizes {
-        sim_time_in(&mut arena, &model, &compiled, n, &topo, &alloc);
+        sim_time(&mut arena, &model, &compiled, n, &topo, &alloc);
     }
     let before = ALLOCATIONS.load(Ordering::SeqCst);
     for &n in &sizes {
-        sim_time_in(&mut arena, &model, &compiled, n, &topo, &alloc);
+        sim_time(&mut arena, &model, &compiled, n, &topo, &alloc);
     }
     let after = ALLOCATIONS.load(Ordering::SeqCst);
     assert_eq!(

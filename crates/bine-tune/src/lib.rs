@@ -25,6 +25,10 @@
 //!   and batch execution on the shared [`bine_exec::ExecutorPool`] — the
 //!   serving front-end for many threads where [`selector::Selector`]
 //!   serves one;
+//! * [`adapt`] — online adaptive tuning over the serving layer: observed
+//!   per-pick timings vs the committed modelled scores, single-flight
+//!   challenger re-evaluation on divergence, and an epoch-versioned
+//!   override overlay that never mutates the committed tables;
 //! * [`gate`] — the CI drift gate that regenerates the tables on every
 //!   push and fails on any silent change of policy.
 //!
@@ -56,12 +60,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adapt;
 pub mod gate;
 pub mod selector;
 pub mod service;
 pub mod table;
 pub mod tuner;
 
+pub use adapt::{AdaptPolicy, AdaptiveOverlay, CandidatesFn, OverlayEntry, Reevaluator, ScoreFn};
 pub use gate::{drift, DriftOutcome, DriftRow};
 pub use selector::{available_systems, default_tuning_dir, Selector, SelectorIndex, Tuned};
 pub use service::{

@@ -27,14 +27,20 @@ pub struct Tuned<'a> {
 }
 
 /// One loaded entry: the owned pick name plus the split the selector hands
-/// out without allocating.
-struct Slot {
+/// out without allocating, and the committed score metadata the adaptive
+/// layer (see [`crate::adapt`]) compares observed timings against.
+pub(crate) struct Slot {
     /// Full pick name as committed (e.g. `"bine-large+seg8"`).
-    pick: String,
+    pub(crate) pick: String,
     /// Length of the base-name prefix of `pick`.
-    base_len: usize,
+    pub(crate) base_len: usize,
     /// Pipeline segment count.
-    segments: usize,
+    pub(crate) segments: usize,
+    /// The tuned grid point's vector size — the size candidates are
+    /// re-scored at when this slot's observed cost diverges.
+    pub(crate) vector_bytes: u64,
+    /// The committed modelled cost of `pick` at the grid point.
+    pub(crate) time_us: f64,
 }
 
 /// Per-collective lookup index: ascending node breakpoints, each with its
@@ -147,6 +153,12 @@ impl SelectorIndex {
         let slot = &self.slots[slot_idx as usize];
         let sched = build(collective, &slot.pick, nodes, 0)?;
         Some(Arc::new(sched.compile()))
+    }
+
+    /// The loaded slot behind `slot_idx` — the adaptive layer reads the
+    /// committed pick and its modelled score from here.
+    pub(crate) fn slot(&self, slot_idx: u32) -> &Slot {
+        &self.slots[slot_idx as usize]
     }
 }
 
@@ -317,6 +329,8 @@ fn push_slot(slots: &mut Vec<Slot>, e: &Entry) -> u32 {
         pick: e.pick.clone(),
         base_len,
         segments: e.segments(),
+        vector_bytes: e.vector_bytes,
+        time_us: e.time_us,
     });
     (slots.len() - 1) as u32
 }

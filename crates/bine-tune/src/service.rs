@@ -35,12 +35,15 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
-use bine_exec::{BlockStore, ExecutorPool};
+use bine_exec::{BlockStore, ExecError, ExecutorPool};
+use bine_net::feedback::{LogHistogram, ObservedTiming};
 use bine_sched::{binomial_default, build, Collective, CompiledSchedule};
 
+use crate::adapt::{AdaptPolicy, AdaptiveOverlay, OverlayEntry, Reevaluator};
 use crate::selector::{SelectorIndex, Tuned, DEFAULT_CACHE_CAPACITY};
 use crate::table::{slug, DecisionTable};
 
@@ -236,6 +239,99 @@ enum Role {
     Degraded,
 }
 
+/// The adaptive configuration installed by
+/// [`ServiceSelector::with_adaptation`]; absent on a stock service, whose
+/// behaviour is then bit-identical to the pre-adaptive serving layer.
+struct AdaptConfig {
+    policy: AdaptPolicy,
+    reevaluator: Reevaluator,
+}
+
+/// Per-entry adaptive state, kept in the entry's shard exactly like the
+/// compile breakers: observed-cost histogram, the active override (if any),
+/// the single-flight re-evaluation marker and the re-evaluation circuit
+/// breaker. All mutations happen under the stripe lock the hot path
+/// already holds; re-evaluations themselves run outside it.
+struct AdaptEntry {
+    key: Key,
+    /// Observed per-pick costs since the last promotion/revert/vindication.
+    hist: LogHistogram,
+    override_state: Option<OverrideState>,
+    /// Single-flight marker: while one observer re-evaluates this entry,
+    /// concurrent observers skip — they never block on the re-evaluation.
+    reeval_in_flight: bool,
+    /// Re-evaluation circuit breaker — the same [`Breaker`] machinery as
+    /// the compile path, driven by the same [`DegradePolicy`] thresholds:
+    /// repeated failed (panicking or unscorable) re-evaluations trip it
+    /// open and the entry stops adapting until the cooldown lets one
+    /// half-open probe through. The entry keeps *serving* throughout.
+    breaker: Breaker,
+}
+
+impl AdaptEntry {
+    fn new(key: Key) -> AdaptEntry {
+        AdaptEntry {
+            key,
+            hist: LogHistogram::new(),
+            override_state: None,
+            reeval_in_flight: false,
+            breaker: Breaker::Closed {
+                consecutive_failures: 0,
+            },
+        }
+    }
+
+    /// One failed re-evaluation against this entry's breaker; trips it
+    /// open at `threshold` consecutive failures (a half-open probe that
+    /// fails re-opens immediately).
+    fn record_reeval_failure(&mut self, threshold: u32) {
+        self.breaker = match self.breaker {
+            Breaker::Closed {
+                consecutive_failures,
+            } => {
+                let failures = consecutive_failures + 1;
+                if failures >= threshold {
+                    Breaker::Open {
+                        since: Instant::now(),
+                    }
+                } else {
+                    Breaker::Closed {
+                        consecutive_failures: failures,
+                    }
+                }
+            }
+            Breaker::HalfOpen | Breaker::Open { .. } => Breaker::Open {
+                since: Instant::now(),
+            },
+        };
+    }
+}
+
+/// A challenger currently shadowing the committed pick of one cache entry.
+/// The pre-compiled schedule makes the overridden warm path an `Arc` clone
+/// — no allocation, no rebuild.
+struct OverrideState {
+    pick: String,
+    compiled: Arc<CompiledSchedule>,
+    epoch: u64,
+    samples: u64,
+    observed_mean_us: f64,
+    modelled_us: f64,
+    challenger_us: f64,
+    /// Observations since the last committed-pick re-check.
+    since_recheck: u64,
+}
+
+/// What [`ServiceSelector::observe_at`] decided under the stripe lock, to
+/// be acted on outside it.
+enum ObserveAction {
+    /// Nothing to do (healthy entry, in-flight re-eval, open breaker, …).
+    None,
+    /// Run a re-evaluation: a fresh divergence, or an override's periodic
+    /// committed-pick re-check.
+    Reevaluate,
+}
+
 /// Locks a mutex, tolerating poison: a panicking compile must not turn
 /// every later request on the same shard into a secondary panic.
 fn lock_any<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -259,6 +355,9 @@ struct ShardState {
     /// no record here is healthy; successful compiles remove the record, so
     /// the vector stays as small as the set of currently-broken entries.
     breakers: Vec<(Key, Breaker)>,
+    /// Adaptive state of this shard's entries (empty unless adaptation is
+    /// enabled and an entry has been observed).
+    adapt: Vec<AdaptEntry>,
     clock: u64,
     /// Stats live per shard, as plain integers under the stripe lock the
     /// hot path already holds — global atomic counters would put one cache
@@ -269,6 +368,9 @@ struct ShardState {
     fallbacks: u64,
     timeouts: u64,
     retries: u64,
+    overrides: u64,
+    reverts: u64,
+    reevals: u64,
 }
 
 impl ShardState {
@@ -277,6 +379,7 @@ impl ShardState {
             lines: Vec::new(),
             in_flight: Vec::new(),
             breakers: Vec::new(),
+            adapt: Vec::new(),
             clock: 0,
             hits: 0,
             misses: 0,
@@ -284,7 +387,21 @@ impl ShardState {
             fallbacks: 0,
             timeouts: 0,
             retries: 0,
+            overrides: 0,
+            reverts: 0,
+            reevals: 0,
         })
+    }
+
+    /// The adaptive state of `key`, created on first observation.
+    fn adapt_entry_mut(&mut self, key: Key) -> &mut AdaptEntry {
+        match self.adapt.iter().position(|e| e.key == key) {
+            Some(i) => &mut self.adapt[i],
+            None => {
+                self.adapt.push(AdaptEntry::new(key));
+                self.adapt.last_mut().unwrap()
+            }
+        }
     }
 
     /// Records one failed leadership (or timed-out follower wait) against
@@ -410,6 +527,12 @@ pub struct ServiceSelector {
     shard_capacity: usize,
     policy: DegradePolicy,
     compile_hook: Option<CompileHook>,
+    /// Adaptive tuning, off by default; see
+    /// [`ServiceSelector::with_adaptation`].
+    adapt: Option<AdaptConfig>,
+    /// Service-wide override epoch: every promotion gets the next value,
+    /// so overlay dumps order deterministically across shards.
+    adapt_epoch: AtomicU64,
 }
 
 impl ServiceSelector {
@@ -424,6 +547,8 @@ impl ServiceSelector {
             shard_capacity: DEFAULT_CACHE_CAPACITY,
             policy: DegradePolicy::default(),
             compile_hook: None,
+            adapt: None,
+            adapt_epoch: AtomicU64::new(0),
         }
     }
 
@@ -499,6 +624,34 @@ impl ServiceSelector {
     pub fn with_compile_hook(mut self, hook: CompileHook) -> ServiceSelector {
         self.compile_hook = Some(hook);
         self
+    }
+
+    /// Enables online adaptive tuning: the service records per-pick
+    /// observed timings (fed by [`ServiceSelector::observe`] and the
+    /// `execute` family), compares them against the committed modelled
+    /// scores, and when an entry diverges past [`AdaptPolicy::divergence`]
+    /// re-evaluates challengers through `reevaluator` — promoting a winner
+    /// into an epoch-versioned overlay on top of the immutable committed
+    /// tables. The tables themselves are never mutated; see
+    /// [`crate::adapt`] for the invariants and
+    /// [`ServiceSelector::overlay`] for the observability dump.
+    pub fn with_adaptation(
+        mut self,
+        policy: AdaptPolicy,
+        reevaluator: Reevaluator,
+    ) -> ServiceSelector {
+        self.adapt = Some(AdaptConfig {
+            policy,
+            reevaluator,
+        });
+        self
+    }
+
+    /// `true` when [`ServiceSelector::with_adaptation`] was called. A
+    /// service without adaptation never consults the overlay: its picks
+    /// are bit-identical to the serial [`crate::Selector`]'s.
+    pub fn adaptation_enabled(&self) -> bool {
+        self.adapt.is_some()
     }
 
     /// The active degradation policy.
@@ -600,6 +753,22 @@ impl ServiceSelector {
                 let mut state = lock_any(shard);
                 state.clock += 1;
                 let clock = state.clock;
+                // Adaptive override, ahead of the committed cache line: an
+                // entry the feedback loop has overridden serves its
+                // pre-compiled challenger (an `Arc` clone, no allocation)
+                // until the override is reverted.
+                if self.adapt.is_some() {
+                    let overridden = state
+                        .adapt
+                        .iter()
+                        .find(|e| e.key == key)
+                        .and_then(|e| e.override_state.as_ref())
+                        .map(|ov| Arc::clone(&ov.compiled));
+                    if let Some(compiled) = overridden {
+                        state.hits += 1;
+                        return Some(compiled);
+                    }
+                }
                 if let Some(pos) = state.lines.iter().position(|l| l.key == key) {
                     state.lines[pos].last_used = clock;
                     state.hits += 1;
@@ -812,10 +981,254 @@ impl ServiceSelector {
         }
     }
 
+    /// Feeds one observed per-pick cost into the adaptive feedback loop:
+    /// the execution wall time of a served schedule, or the simulated cost
+    /// when the caller runs picks through the DES. A no-op unless
+    /// [`ServiceSelector::with_adaptation`] enabled adaptation (and on
+    /// unresolvable queries). The `execute` family calls this itself;
+    /// callers that resolve schedules via [`ServiceSelector::compiled`]
+    /// and run them elsewhere report their timings here.
+    ///
+    /// The warm path is allocation-free: the observation lands in a
+    /// fixed-bucket histogram under the stripe lock the request path
+    /// already uses. When the entry's observed mean diverges past
+    /// [`AdaptPolicy::divergence`], this call runs the re-evaluation
+    /// before returning (single-flight: concurrent observers skip rather
+    /// than block, and repeated failures trip a per-entry breaker).
+    pub fn observe(
+        &self,
+        system: &str,
+        collective: Collective,
+        nodes: usize,
+        bytes: u64,
+        timing: ObservedTiming,
+    ) {
+        if let Some(sys) = self.system_index(system) {
+            self.observe_at(sys, collective, nodes, bytes, timing);
+        }
+    }
+
+    /// [`ServiceSelector::observe`] by system index.
+    pub fn observe_at(
+        &self,
+        sys: usize,
+        collective: Collective,
+        nodes: usize,
+        bytes: u64,
+        timing: ObservedTiming,
+    ) {
+        let Some(cfg) = &self.adapt else { return };
+        let Some(index) = self.systems.get(sys) else {
+            return;
+        };
+        let Some(slot_idx) = index.slot_index(collective, nodes, bytes) else {
+            return;
+        };
+        let modelled = index.slot(slot_idx).time_us;
+        let key: Key = (sys as u32, collective, nodes, slot_idx);
+        let shard = &self.shards[self.shard_of(&key)];
+        let reevaluate = {
+            let mut state = lock_any(shard);
+            let action = {
+                let e = state.adapt_entry_mut(key);
+                e.hist.record(timing.time_us);
+                if e.reeval_in_flight {
+                    // Single-flight: someone is already re-evaluating this
+                    // entry; never block the observer behind it.
+                    ObserveAction::None
+                } else if let Some(ov) = &mut e.override_state {
+                    ov.since_recheck += 1;
+                    if ov.since_recheck >= cfg.policy.recheck_interval {
+                        ov.since_recheck = 0;
+                        e.reeval_in_flight = true;
+                        ObserveAction::Reevaluate
+                    } else {
+                        ObserveAction::None
+                    }
+                } else {
+                    let diverged = e.hist.count() >= cfg.policy.min_samples
+                        && modelled.is_finite()
+                        && modelled > 0.0
+                        && e.hist.mean_us() >= cfg.policy.divergence * modelled;
+                    let allowed = diverged
+                        && match e.breaker {
+                            Breaker::Closed { .. } => true,
+                            Breaker::Open { since }
+                                if since.elapsed() >= self.policy.breaker_cooldown =>
+                            {
+                                // Cooldown over: this observation becomes
+                                // the half-open re-evaluation probe.
+                                e.breaker = Breaker::HalfOpen;
+                                true
+                            }
+                            Breaker::Open { .. } | Breaker::HalfOpen => false,
+                        };
+                    if allowed {
+                        e.reeval_in_flight = true;
+                        ObserveAction::Reevaluate
+                    } else {
+                        ObserveAction::None
+                    }
+                }
+            };
+            match action {
+                ObserveAction::Reevaluate => {
+                    state.reevals += 1;
+                    true
+                }
+                ObserveAction::None => false,
+            }
+        };
+        if reevaluate {
+            // Outside the stripe lock: the entry (and its whole shard)
+            // keeps serving while challengers are scored.
+            self.run_reevaluation(cfg, key, index, collective, nodes, slot_idx, shard);
+        }
+    }
+
+    /// Runs one single-flight re-evaluation of a diverged (or periodically
+    /// re-checked) entry and settles the outcome under the stripe lock:
+    /// install a winning challenger as an override, refresh or revert an
+    /// existing override, or count a failure against the entry's breaker.
+    /// The challenger search runs under `catch_unwind`, so a panicking
+    /// scorer degrades into a breaker strike instead of poisoning serving.
+    #[allow(clippy::too_many_arguments)]
+    fn run_reevaluation(
+        &self,
+        cfg: &AdaptConfig,
+        key: Key,
+        index: &SelectorIndex,
+        collective: Collective,
+        nodes: usize,
+        slot_idx: u32,
+        shard: &Mutex<ShardState>,
+    ) {
+        let slot = index.slot(slot_idx);
+        let committed = slot.pick.clone();
+        let grid_bytes = slot.vector_bytes;
+        let modelled = slot.time_us;
+        // Score challengers at the committed grid point's vector size and
+        // pre-compile a non-incumbent winner, all outside any lock.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let (winner, score) = cfg
+                .reevaluator
+                .best(&committed, collective, nodes, grid_bytes)?;
+            if winner == committed {
+                Some((winner, score, None))
+            } else {
+                let compiled = Arc::new(build(collective, &winner, nodes, 0)?.compile());
+                Some((winner, score, Some(compiled)))
+            }
+        }));
+        let mut state = lock_any(shard);
+        let mut installed = false;
+        let mut reverted = false;
+        {
+            let e = state.adapt_entry_mut(key);
+            e.reeval_in_flight = false;
+            match outcome {
+                Ok(Some((winner, score, compiled))) => {
+                    e.breaker = Breaker::Closed {
+                        consecutive_failures: 0,
+                    };
+                    if winner == committed {
+                        // The committed pick won: revert any override and
+                        // start a fresh observation window.
+                        reverted = e.override_state.take().is_some();
+                        e.hist.reset();
+                    } else if let Some(ov) =
+                        e.override_state.as_mut().filter(|ov| ov.pick == winner)
+                    {
+                        // Recheck confirmed the active override.
+                        ov.challenger_us = score;
+                        e.hist.reset();
+                    } else {
+                        let samples = e.hist.count();
+                        let observed_mean_us = e.hist.mean_us();
+                        e.hist.reset();
+                        e.override_state = Some(OverrideState {
+                            pick: winner,
+                            compiled: compiled.expect("non-incumbent winner is pre-compiled"),
+                            epoch: self.adapt_epoch.fetch_add(1, Ordering::Relaxed) + 1,
+                            samples,
+                            observed_mean_us,
+                            modelled_us: modelled,
+                            challenger_us: score,
+                            since_recheck: 0,
+                        });
+                        installed = true;
+                    }
+                }
+                // Nothing scorable, winner unbuildable, or the scorer
+                // panicked: a failed re-evaluation. The entry keeps serving
+                // its current pick; repeated failures trip the breaker.
+                Ok(None) | Err(_) => e.record_reeval_failure(self.policy.breaker_threshold),
+            }
+        }
+        if installed {
+            state.overrides += 1;
+        }
+        if reverted {
+            state.reverts += 1;
+        }
+    }
+
+    /// Resolves the tuned pick, compiles (or fetches) its schedule and
+    /// executes it over `initial` block stores on `pool`, reporting job
+    /// panics as [`ExecError`] instead of unwinding. `None` when the query
+    /// resolves to no table entry or the pick is not buildable at this
+    /// rank count. On success the execution wall time is fed back into the
+    /// adaptive loop (see [`ServiceSelector::observe`]).
+    pub fn try_execute_on(
+        &self,
+        pool: &ExecutorPool,
+        system: &str,
+        collective: Collective,
+        nodes: usize,
+        bytes: u64,
+        initial: Vec<BlockStore>,
+    ) -> Option<Result<Vec<BlockStore>, ExecError>> {
+        let sys = self.system_index(system)?;
+        let compiled = self.compiled_at(sys, collective, nodes, bytes)?;
+        let start = Instant::now();
+        let result = pool.try_run(&compiled, initial);
+        if result.is_ok() {
+            self.observe_at(
+                sys,
+                collective,
+                nodes,
+                bytes,
+                ObservedTiming::execution(start.elapsed().as_secs_f64() * 1e6),
+            );
+        }
+        Some(result)
+    }
+
+    /// [`ServiceSelector::try_execute_on`] over the process-wide
+    /// [`ExecutorPool::global`].
+    pub fn try_execute(
+        &self,
+        system: &str,
+        collective: Collective,
+        nodes: usize,
+        bytes: u64,
+        initial: Vec<BlockStore>,
+    ) -> Option<Result<Vec<BlockStore>, ExecError>> {
+        self.try_execute_on(
+            ExecutorPool::global(),
+            system,
+            collective,
+            nodes,
+            bytes,
+            initial,
+        )
+    }
+
     /// Resolves the tuned pick, compiles (or fetches) its schedule and
     /// executes it over `initial` block stores on `pool`. `None` when the
     /// query resolves to no table entry or the pick is not buildable at
-    /// this rank count.
+    /// this rank count. Panics if a pool job panicked; the fallible
+    /// surface is [`ServiceSelector::try_execute_on`].
     pub fn execute_on(
         &self,
         pool: &ExecutorPool,
@@ -825,8 +1238,8 @@ impl ServiceSelector {
         bytes: u64,
         initial: Vec<BlockStore>,
     ) -> Option<Vec<BlockStore>> {
-        let compiled = self.compiled(system, collective, nodes, bytes)?;
-        Some(pool.run(&compiled, initial))
+        self.try_execute_on(pool, system, collective, nodes, bytes, initial)
+            .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
     }
 
     /// [`ServiceSelector::execute_on`] over the process-wide
@@ -839,14 +1252,8 @@ impl ServiceSelector {
         bytes: u64,
         initial: Vec<BlockStore>,
     ) -> Option<Vec<BlockStore>> {
-        self.execute_on(
-            ExecutorPool::global(),
-            system,
-            collective,
-            nodes,
-            bytes,
-            initial,
-        )
+        self.try_execute(system, collective, nodes, bytes, initial)
+            .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
     }
 
     fn shard_of(&self, key: &Key) -> usize {
@@ -924,6 +1331,55 @@ impl ServiceSelector {
     /// first try of each leadership is not a retry).
     pub fn retries(&self) -> u64 {
         self.shards.iter().map(|s| lock_any(s).retries).sum()
+    }
+
+    /// A point-in-time dump of every active adaptive override, ordered by
+    /// installation epoch. Empty on a service without adaptation, or one
+    /// whose observations all match the committed model.
+    pub fn overlay(&self) -> AdaptiveOverlay {
+        let mut entries = Vec::new();
+        for shard in &self.shards {
+            let state = lock_any(shard);
+            for e in &state.adapt {
+                if let Some(ov) = &e.override_state {
+                    let (sys, collective, nodes, slot_idx) = e.key;
+                    let index = &self.systems[sys as usize];
+                    entries.push(OverlayEntry {
+                        system: index.system().to_string(),
+                        collective,
+                        nodes,
+                        committed: index.slot(slot_idx).pick.clone(),
+                        pick: ov.pick.clone(),
+                        epoch: ov.epoch,
+                        samples: ov.samples,
+                        observed_mean_us: ov.observed_mean_us,
+                        modelled_us: ov.modelled_us,
+                        challenger_us: ov.challenger_us,
+                    });
+                }
+            }
+        }
+        entries.sort_by_key(|e| e.epoch);
+        AdaptiveOverlay { entries }
+    }
+
+    /// Overrides installed by the adaptive loop so far (promotions, not
+    /// currently-active overrides — see [`ServiceSelector::overlay`] for
+    /// those), across all shards.
+    pub fn overrides(&self) -> u64 {
+        self.shards.iter().map(|s| lock_any(s).overrides).sum()
+    }
+
+    /// Overrides reverted after the committed pick won a re-check, across
+    /// all shards.
+    pub fn reverts(&self) -> u64 {
+        self.shards.iter().map(|s| lock_any(s).reverts).sum()
+    }
+
+    /// Re-evaluations started (divergence triggers plus override
+    /// re-checks), across all shards.
+    pub fn reevals(&self) -> u64 {
+        self.shards.iter().map(|s| lock_any(s).reevals).sum()
     }
 }
 

@@ -328,14 +328,17 @@ impl Tuner {
                 // `Target::point` borrows only `self.target`, so the arena
                 // can be borrowed mutably alongside the cached schedule.
                 let point = self.target.point(nodes);
-                sim::sim_time_in(
-                    &mut self.arena,
+                sim::SimRequest::new(
                     &self.target.model,
                     compiled,
                     vector_bytes,
                     point.topology.as_ref(),
                     &point.allocation,
                 )
+                .arena(&mut self.arena)
+                .time_only()
+                .run()
+                .makespan_us
             }
         }
     }

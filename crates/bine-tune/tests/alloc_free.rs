@@ -1,15 +1,20 @@
-//! Pins the `Selector::choose` allocation-freedom guarantee: after load,
-//! breakpoint lookups must be pure binary searches — no heap traffic — so a
-//! hot collective-dispatch path can consult the selector per call without
-//! allocator pressure. Measured with a counting wrapper around the system
-//! allocator (tests are their own crates, so the library's
+//! Pins the allocation-freedom guarantees of the hot selection paths:
+//! after load, `Selector::choose` must be pure binary searches, and the
+//! adaptive `ServiceSelector`'s warm pick + observe loop must stay heap-free
+//! too — so a hot collective-dispatch path can consult either per call
+//! without allocator pressure. Measured with a counting wrapper around the
+//! system allocator (tests are their own crates, so the library's
 //! `#![forbid(unsafe_code)]` still holds for `bine-tune` itself).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
+use bine_net::ObservedTiming;
 use bine_sched::Collective;
-use bine_tune::{DecisionTable, Entry, ScoreModel, Selector};
+use bine_tune::{
+    AdaptPolicy, DecisionTable, Entry, Reevaluator, ScoreModel, Selector, ServiceSelector,
+};
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
@@ -82,4 +87,62 @@ fn choose_never_allocates_after_load() {
         after - before
     );
     assert!(checksum > 0);
+}
+
+/// The adaptive serving loop's steady state — a warm `compiled_at` hit
+/// followed by an `observe_at` that records into the per-entry histogram
+/// without diverging — must be allocation-free: the histogram is a fixed
+/// array, the cache hit is an `Arc` clone, and the adapt entry is found
+/// (not inserted) once warm. Divergence is parked out of reach so the
+/// re-evaluation path (which does allocate, off the warm path) never runs.
+#[test]
+fn warm_service_pick_and_observe_never_allocate() {
+    let service = ServiceSelector::from_tables(&[table()]).with_adaptation(
+        AdaptPolicy {
+            min_samples: 1,
+            divergence: 1e12,
+            recheck_interval: 16,
+        },
+        Reevaluator::new(Arc::new(|_, _, _| Vec::new()), Arc::new(|_, _, _, _| None)),
+    );
+    // Warm up: the first pick compiles and caches the schedule, the first
+    // observation inserts the entry's histogram. Both allocate — once.
+    let compiled = service
+        .compiled_at(0, Collective::Allreduce, 16, 1 << 20)
+        .expect("compiled");
+    service.observe_at(
+        0,
+        Collective::Allreduce,
+        16,
+        1 << 20,
+        ObservedTiming::execution(1.0),
+    );
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut steps = 0usize;
+    for _ in 0..100 {
+        let t = service
+            .choose_at(0, Collective::Allreduce, 16, 1 << 20)
+            .expect("pick");
+        steps += t.segments;
+        let warm = service
+            .compiled_at(0, Collective::Allreduce, 16, 1 << 20)
+            .expect("warm hit");
+        assert!(Arc::ptr_eq(&warm, &compiled), "same cached schedule");
+        service.observe_at(
+            0,
+            Collective::Allreduce,
+            16,
+            1 << 20,
+            ObservedTiming::execution(1.0),
+        );
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "warm pick + observe allocated {} times over 100 rounds",
+        after - before
+    );
+    assert!(steps > 0);
 }

@@ -9,12 +9,8 @@
 //!
 //! Run with: `cargo run --release --example gradient_allreduce`
 
-use bine_exec::comm::Cluster;
-use bine_net::allocation::Allocation;
-use bine_net::cost::CostModel;
-use bine_net::trace::JobTraceGenerator;
-use bine_net::Topology;
-use bine_sched::collectives::{allreduce, AllreduceAlg};
+use bine::net::trace::JobTraceGenerator;
+use bine::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -40,7 +36,7 @@ fn main() {
 
     // --- 2. Modelled time on 512 Leonardo nodes, sweeping bucket size. ------
     let nodes = 512;
-    let topo = bine_net::topology::Dragonfly::leonardo();
+    let topo = Dragonfly::leonardo();
     let mut rng = StdRng::seed_from_u64(11);
     let alloc: Allocation =
         JobTraceGenerator::default().sample(&topo, nodes, 1, &mut rng)[0].allocation();

@@ -4,11 +4,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use bine_exec::comm::Cluster;
-use bine_net::allocation::Allocation;
-use bine_net::topology::FatTree;
-use bine_net::traffic::global_bytes;
-use bine_sched::collectives::{allreduce, broadcast, AllreduceAlg, BroadcastAlg};
+use bine::net::traffic::global_bytes;
+use bine::prelude::*;
 
 fn main() {
     // --- 1. Correctness: the collectives produce real results. -------------

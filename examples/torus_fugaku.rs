@@ -8,13 +8,9 @@
 //!
 //! Run with: `cargo run --release --example torus_fugaku`
 
-use bine_core::butterfly::{Butterfly, ButterflyKind};
-use bine_core::torus::{TorusButterfly, TorusShape};
-use bine_net::allocation::Allocation;
-use bine_net::cost::CostModel;
-use bine_net::sim::sim_time_us;
-use bine_net::topology::Torus;
-use bine_sched::collectives::{allreduce, AllreduceAlg};
+use bine::core::butterfly::{Butterfly, ButterflyKind};
+use bine::core::torus::{TorusButterfly, TorusShape};
+use bine::prelude::*;
 
 fn main() {
     let shape = TorusShape::new(vec![8, 8, 8]);
@@ -71,8 +67,12 @@ fn main() {
         ("ring", AllreduceAlg::Ring),
     ] {
         let sched = allreduce(p, alg);
-        let flat = sim_time_us(&model, &sched, 1, n, &topo, &alloc);
-        let piped = sim_time_us(&model, &sched, 8, n, &topo, &alloc);
+        let flat = SimRequest::new(&model, &sched.compile(), n, &topo, &alloc)
+            .run()
+            .makespan_us;
+        let piped = SimRequest::new(&model, &sched.segmented(8).compile(), n, &topo, &alloc)
+            .run()
+            .makespan_us;
         println!("  {name:<34} DES: {flat:>9.0}   DES + 8 chunks: {piped:>9.0}");
     }
 

@@ -7,10 +7,9 @@
 //!
 //! Run with: `cargo run --release --example traffic_analysis`
 
-use bine_net::topology::{Dragonfly, Topology};
-use bine_net::trace::JobTraceGenerator;
-use bine_net::traffic::measure;
-use bine_sched::{bine_default, binomial_default, build, Collective};
+use bine::net::trace::JobTraceGenerator;
+use bine::net::traffic::measure;
+use bine::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
