@@ -280,6 +280,7 @@ pub fn measure(opts: &AdaptiveOptions) -> Result<AdaptiveReport, String> {
         entries: vec![
             Entry {
                 collective,
+                dist: None,
                 nodes,
                 vector_bytes: bytes,
                 pick: committed.clone(),
@@ -288,6 +289,7 @@ pub fn measure(opts: &AdaptiveOptions) -> Result<AdaptiveReport, String> {
             },
             Entry {
                 collective,
+                dist: None,
                 nodes: sibling_nodes,
                 vector_bytes: bytes,
                 pick: committed.clone(),

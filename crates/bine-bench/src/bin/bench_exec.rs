@@ -2,7 +2,9 @@
 //!
 //! Measures ns/op of the four executors on the BineLarge allreduce at
 //! p ∈ {64, 256, 1024} (the same configurations as `benches/execution.rs`),
-//! plus the discrete-event simulator — optimized fast path (`/sim/`, gated
+//! plus the post-seed collective surfaces at p = 256 — dual-root pipelined
+//! allreduce and two irregular v-variant schedules, each with a gated
+//! `/compiled/` entry — plus the discrete-event simulator — optimized fast path (`/sim/`, gated
 //! by `perf_gate`) against the from-scratch reference (`/sim-reference/`,
 //! context only) at p ∈ {64, 256} — plus the selection serving layer
 //! at `available_parallelism` workers (gated `/serve/` aggregate
@@ -95,6 +97,61 @@ fn bench_all_executors(records: &mut Vec<Record>, sched: &Schedule, p: usize, it
         name,
         ns_per_op: ns,
     });
+}
+
+/// The collective surfaces added after the seed four: the dual-root
+/// pipelined allreduce and the counts-aware irregular schedules. Each gets
+/// a gated `/compiled/` entry (plus an ungated `/sequential/` context line)
+/// on its own workload — non-uniform block sizes drive different layout and
+/// copy paths through the compiled executor than the uniform seed
+/// collectives, so a regression there would be invisible to the
+/// `allreduce-bine-large` entries above.
+fn bench_new_paths(records: &mut Vec<Record>, p: usize, iters: usize) {
+    let one_heavy = bine_sched::SizeDist::OneHeavy.counts(p, p / 2 + 1);
+    let cases: [(&str, Schedule); 3] = [
+        (
+            "allreduce-dual-root",
+            bine_sched::build(bine_sched::Collective::Allreduce, "dual-root", p, 0)
+                .expect("dual-root builds at pow2"),
+        ),
+        (
+            "gatherv-traff-one-heavy",
+            bine_sched::build_irregular(bine_sched::Collective::Gather, "traff", p, 0, &one_heavy)
+                .expect("traff gatherv builds"),
+        ),
+        (
+            "allgatherv-bine-linear",
+            bine_sched::build_irregular(
+                bine_sched::Collective::Allgather,
+                "bine",
+                p,
+                0,
+                &bine_sched::SizeDist::Linear.counts(p, 0),
+            )
+            .expect("bine allgatherv builds at pow2"),
+        ),
+    ];
+    for (label, sched) in &cases {
+        let workload = Workload::for_schedule(sched, bine_bench::exec_bench_elems(p));
+        let initial = workload.initial_state(sched);
+        let compiled_sched = Arc::new(sched.compile());
+        let record = |records: &mut Vec<Record>, executor: &str, ns: f64| {
+            let name = format!("{label}/{executor}/{p}");
+            println!("{name:<48} {ns:>14.0} ns/op");
+            records.push(Record {
+                name,
+                ns_per_op: ns,
+            });
+        };
+        let ns = measure(iters, || {
+            sequential::run(sched, initial.clone());
+        });
+        record(records, "sequential", ns);
+        let ns = measure(iters, || {
+            compiled::run(&compiled_sched, initial.clone());
+        });
+        record(records, "compiled", ns);
+    }
 }
 
 /// DES ns/op on the tuner's workload shape: the optimized arena-backed
@@ -219,6 +276,7 @@ fn main() {
         let sched = allreduce(p, AllreduceAlg::BineLarge);
         bench_all_executors(&mut records, &sched, p, iters);
     }
+    bench_new_paths(&mut records, 256, iters);
     for p in [64usize, 256] {
         bench_sim(&mut records, p, iters);
     }

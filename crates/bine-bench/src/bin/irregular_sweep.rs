@@ -1,0 +1,159 @@
+//! Smoke sweep over the extended collective space: the tuned alltoall and
+//! the irregular (v-variant) grids.
+//!
+//! For every paper system hosting the requested node count this binary
+//!
+//! * sweeps the alltoall catalog (bine / bruck / pairwise) across the
+//!   paper's vector sizes with the synchronous model and the DES,
+//! * sweeps every v-variant collective × size distribution × irregular
+//!   algorithm with the synchronous model (the model the irregular tuning
+//!   grids are scored with) and simulates the per-cell winner once with
+//!   the DES — exercising the counts-aware byte sizing end to end,
+//! * cross-checks the committed decision tables: for every swept cell the
+//!   selector's dist-aware pick must be buildable via `build_irregular`.
+//!
+//! Usage: `cargo run --release -p bine-bench --bin irregular_sweep [nodes]`
+//! (default 16). CI runs this as the v-variant/alltoall smoke.
+
+use bine_bench::report::{format_bytes, render_table};
+use bine_bench::runner::Evaluator;
+use bine_bench::systems::System;
+use bine_net::allocation::Allocation;
+use bine_net::sim::SimRequest;
+use bine_sched::{
+    build_irregular, irregular_algorithms, Collective, SizeDist, IRREGULAR_COLLECTIVES,
+};
+use bine_tune::Selector;
+
+const ALLTOALL_ALGS: [&str; 3] = ["bine", "bruck", "pairwise"];
+
+fn main() {
+    let nodes: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("nodes must be an integer"))
+        .unwrap_or(16);
+    for system in System::all() {
+        if !system.node_counts.contains(&nodes) {
+            continue;
+        }
+        let mut eval = Evaluator::new(system.clone());
+        let sizes = system.vector_sizes.clone();
+
+        // Alltoall: synchronous and simulated times per catalog algorithm.
+        println!(
+            "=== {} ({nodes} nodes, {}) — alltoall, times in us ===",
+            system.name,
+            eval.system().topology(nodes).name()
+        );
+        let mut rows = Vec::new();
+        for &n in &sizes {
+            let mut row = vec![format_bytes(n)];
+            for alg in ALLTOALL_ALGS {
+                if eval.skip_algorithm(alg, nodes) {
+                    row.push("-".into());
+                    continue;
+                }
+                let sync = eval.evaluate_time(Collective::Alltoall, alg, nodes, n);
+                let des = eval.simulate(Collective::Alltoall, alg, nodes, n, 1);
+                row.push(format!("{sync:.1} / {des:.1}"));
+            }
+            rows.push(row);
+        }
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "size",
+                    "bine (sync/des)",
+                    "bruck (sync/des)",
+                    "pairwise (sync/des)"
+                ],
+                &rows
+            )
+        );
+
+        // V-variant grids: the synchronous sweep the tuner runs, plus one
+        // DES simulation of each cell's winner.
+        let topo = system.topology(nodes);
+        let alloc = Allocation::block(nodes);
+        let model = eval.cost_model().clone();
+        let n = 1u64 << 20;
+        println!(
+            "=== {} ({nodes} nodes) — v-variants at {}, sync times in us (DES of winner) ===",
+            system.name,
+            format_bytes(n)
+        );
+        let mut rows = Vec::new();
+        for collective in IRREGULAR_COLLECTIVES {
+            for dist in SizeDist::ALL {
+                let counts = dist.counts(nodes, 0);
+                let mut row = vec![format!("{}v@{}", collective.name(), dist.name())];
+                let mut best: Option<(&'static str, f64)> = None;
+                let mut cands = Vec::new();
+                for alg in irregular_algorithms(collective) {
+                    if eval.skip_algorithm(alg.name(), nodes) {
+                        continue;
+                    }
+                    let sched = build_irregular(collective, alg.name(), nodes, 0, &counts)
+                        .unwrap_or_else(|| panic!("{collective:?}/{} did not build", alg.name()));
+                    let t = model.time_us(&sched, n, topo.as_ref(), &alloc);
+                    if best.is_none_or(|(_, bt)| t < bt) {
+                        best = Some((alg.name(), t));
+                    }
+                    cands.push(format!("{}={t:.1}", alg.name()));
+                }
+                row.push(cands.join("  "));
+                let (winner, _) = best.expect("every cell has a candidate");
+                let compiled = build_irregular(collective, winner, nodes, 0, &counts)
+                    .expect(winner)
+                    .compile();
+                let des = SimRequest::new(&model, &compiled, n, topo.as_ref(), &alloc)
+                    .time_only()
+                    .run()
+                    .makespan_us;
+                row.push(format!("{winner} ({des:.1})"));
+                rows.push(row);
+            }
+        }
+        println!(
+            "{}",
+            render_table(&["cell", "candidates (sync us)", "winner (des us)"], &rows)
+        );
+
+        // Committed-table cross-check: every dist-aware pick must build.
+        let selector = Selector::load(system.name)
+            .unwrap_or_else(|e| panic!("{}: cannot load committed table: {e}", system.name));
+        let mut checked = 0usize;
+        for collective in IRREGULAR_COLLECTIVES {
+            for dist in SizeDist::ALL {
+                for &bytes in &sizes {
+                    let tuned = selector
+                        .choose_irregular(collective, dist, nodes, bytes)
+                        .unwrap_or_else(|| {
+                            panic!(
+                                "{}: no pick for {collective:?}@{}/{nodes}/{bytes}",
+                                system.name,
+                                dist.name()
+                            )
+                        });
+                    let counts = dist.counts(nodes, 0);
+                    build_irregular(collective, tuned.algorithm, nodes, 0, &counts).unwrap_or_else(
+                        || {
+                            panic!(
+                                "{}: committed pick {} for {collective:?}@{} is not buildable",
+                                system.name,
+                                tuned.algorithm,
+                                dist.name()
+                            )
+                        },
+                    );
+                    checked += 1;
+                }
+            }
+        }
+        println!(
+            "{}: {checked} committed v-variant picks resolved and built\n",
+            system.name
+        );
+    }
+}

@@ -1,7 +1,10 @@
 //! Regenerates the committed `tuning/*.json` decision tables: one offline
 //! tuning sweep per paper system over {allreduce, allgather,
-//! reduce-scatter, bcast} (the four collectives the paper's algorithm-flip
-//! analysis centres on), with the default `bine-tune` configuration.
+//! reduce-scatter, bcast, alltoall, gather, scatter} (see
+//! `bine_bench::runner::tuned_collectives`), with the default `bine-tune`
+//! configuration. The v-variant collectives additionally get irregular
+//! grids keyed by size distribution (`"dist"` entries, synchronous-model
+//! scored).
 //!
 //! Usage:
 //! `cargo run --release -p bine-bench --bin tune [-- --out DIR] [--system NAME] [--max-nodes N]`
@@ -15,11 +18,13 @@
 //!   back to the largest tuned breakpoint via the selector's floor lookup.
 
 use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::Instant;
 
 use bine_bench::runner::{tune_target, tuned_collectives, MAX_TUNED_NODES};
 use bine_bench::systems::System;
-use bine_tune::{slug, Tuner, TunerConfig};
+use bine_sched::Collective;
+use bine_tune::{slug, DecisionTable, Entry, Tuner, TunerConfig};
 
 fn main() {
     let mut out_dir: Option<PathBuf> = None;
@@ -66,48 +71,76 @@ fn main() {
         })
         .collect();
     let tuned = systems.len();
-    // The four systems' sweeps are independent (each tuner owns its
-    // schedules, topologies and DES arena), so they run on one thread each:
-    // wall time is the slowest system instead of the sum — which is what
-    // keeps full regeneration inside the CI drift gate's 5-minute budget at
-    // the 512-node DES cap. Results print in system order after joining.
+    let systems: Vec<System> = systems
+        .into_iter()
+        .map(|mut system| {
+            system.node_counts.retain(|&n| n <= max_nodes);
+            system
+        })
+        .collect();
+
+    // Every (system, collective) sweep is independent: the tuner drops its
+    // schedule caches between collectives anyway, and the per-collective
+    // entry lists merge into a table whose `sort` is a total order over the
+    // grid key — so splitting one system's sweep across workers is
+    // byte-identical to tuning it on one thread. That split is what keeps
+    // full regeneration inside the CI drift gate's 5-minute budget: one
+    // system (Leonardo, 8 node counts × 7 collectives + 4 irregular grids)
+    // costs more serial time than the budget allows, but its collectives
+    // pack onto the worker pool alongside everyone else's. Items are queued
+    // heaviest-system-first so the long poles start immediately.
+    // `pop` drains from the back, so the heaviest system is pushed last.
+    let mut items: Vec<(usize, Collective)> = Vec::new();
+    let mut order: Vec<usize> = (0..systems.len()).collect();
+    order.sort_by_key(|&i| systems[i].node_counts.iter().sum::<usize>());
+    for &i in &order {
+        for collective in tuned_collectives() {
+            items.push((i, collective));
+        }
+    }
+    let queue = Mutex::new(items);
+    let results: Mutex<Vec<(usize, Vec<Entry>, f64)>> = Mutex::new(Vec::new());
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
     std::thread::scope(|scope| {
-        let out_dir = &out_dir;
-        let handles: Vec<_> = systems
-            .into_iter()
-            .map(|mut system| {
-                scope.spawn(move || {
-                    let start = Instant::now();
-                    system.node_counts.retain(|&n| n <= max_nodes);
-                    let target = tune_target(&system, tuned_collectives());
-                    let mut tuner = Tuner::new(target, TunerConfig::default());
-                    let table = tuner.tune();
-                    let path = out_dir.join(format!("{}.json", slug(system.name)));
-                    std::fs::write(&path, table.to_json())
-                        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
-                    let des = table
-                        .entries
-                        .iter()
-                        .filter(|e| e.model == bine_tune::ScoreModel::Des)
-                        .count();
-                    (
-                        system.name,
-                        table.entries.len(),
-                        des,
-                        start.elapsed().as_secs_f64(),
-                        path,
-                    )
-                })
-            })
-            .collect();
-        for handle in handles {
-            let (name, points, des, secs, path) = handle.join().expect("tuner thread panicked");
-            println!(
-                "{name:<14} {points:>4} grid points ({des} DES-refined) in {secs:>6.1}s -> {}",
-                path.display()
-            );
+        for _ in 0..workers.min(tuned * tuned_collectives().len()) {
+            scope.spawn(|| loop {
+                let item = queue.lock().unwrap().pop();
+                let Some((idx, collective)) = item else { break };
+                let start = Instant::now();
+                let target = tune_target(&systems[idx], vec![collective]);
+                let mut tuner = Tuner::new(target, TunerConfig::default());
+                let table = tuner.tune();
+                let secs = start.elapsed().as_secs_f64();
+                results.lock().unwrap().push((idx, table.entries, secs));
+            });
         }
     });
+    let mut merged: Vec<(Vec<Entry>, f64)> = systems.iter().map(|_| (Vec::new(), 0.0)).collect();
+    for (idx, entries, secs) in results.into_inner().unwrap() {
+        merged[idx].0.extend(entries);
+        merged[idx].1 += secs;
+    }
+    for (system, (entries, secs)) in systems.iter().zip(merged) {
+        let mut table = DecisionTable {
+            system: system.name.to_string(),
+            entries,
+        };
+        table.sort();
+        let path = out_dir.join(format!("{}.json", slug(system.name)));
+        std::fs::write(&path, table.to_json())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        let des = table
+            .entries
+            .iter()
+            .filter(|e| e.model == bine_tune::ScoreModel::Des)
+            .count();
+        println!(
+            "{:<14} {:>4} grid points ({des} DES-refined) in {secs:>6.1}s of worker time -> {}",
+            system.name,
+            table.entries.len(),
+            path.display()
+        );
+    }
     if tuned == 0 {
         let known: Vec<String> = System::all().iter().map(|s| slug(s.name)).collect();
         panic!(

@@ -32,15 +32,23 @@ pub const MAX_LINEAR_NODES: usize = 1024;
 /// Shared by the `tune` bin and the table-coverage tests.
 pub const MAX_TUNED_NODES: usize = 2048;
 
-/// The collectives with committed `tuning/` decision tables (the four the
-/// paper's algorithm-flip analysis centres on). Shared by the `tune` bin
-/// and the table-coverage tests.
+/// The collectives with committed `tuning/` decision tables: the four the
+/// paper's algorithm-flip analysis centres on, plus alltoall (whose
+/// bine/bruck/pairwise flip is just as placement-sensitive — its p²-block
+/// schedules simply kept it out of the tables until the summary-based
+/// sweeps made tuning it affordable) and the rooted gather/scatter pair.
+/// Shared by the `tune` bin and the table-coverage tests. The v-variant
+/// collectives among these (gather, scatter, allgather, reduce-scatter)
+/// additionally carry irregular grids keyed by size distribution.
 pub fn tuned_collectives() -> Vec<Collective> {
     vec![
         Collective::Allreduce,
         Collective::Allgather,
         Collective::ReduceScatter,
         Collective::Broadcast,
+        Collective::Alltoall,
+        Collective::Gather,
+        Collective::Scatter,
     ]
 }
 

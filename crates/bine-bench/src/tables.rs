@@ -300,8 +300,15 @@ mod tests {
             t.contains("tuning/marenostrum5.json"),
             "missing tuned grid:\n{t}"
         );
-        // Alltoall has no committed table: no companion grid, no noise.
+        // Alltoall is tuned since the collective-space extension, so its
+        // heatmap carries the companion grid too.
         let t = heatmap_table(System::marenostrum5(), Collective::Alltoall);
+        assert!(
+            t.contains("tuning/marenostrum5.json"),
+            "missing tuned alltoall grid:\n{t}"
+        );
+        // Reduce has no committed table: no companion grid, no noise.
+        let t = heatmap_table(System::marenostrum5(), Collective::Reduce);
         assert!(!t.contains("tuning/"));
     }
 }

@@ -15,7 +15,9 @@ use proptest::prelude::*;
 
 use bine_bench::runner::{tune_target, tuned_collectives, MAX_TUNED_NODES};
 use bine_bench::systems::System;
-use bine_sched::{binomial_default, Collective};
+use bine_sched::{
+    binomial_default, irregular_algorithms, Collective, SizeDist, IRREGULAR_COLLECTIVES,
+};
 use bine_tune::{DecisionTable, ScoreModel, Selector, Tuner, TunerConfig};
 
 fn committed_table(system: &System) -> DecisionTable {
@@ -49,11 +51,54 @@ fn committed_tables_cover_all_four_systems_and_collectives() {
             for &nodes in &tuned_node_counts(&system) {
                 for &bytes in &system.vector_sizes {
                     assert!(
-                        table.at(collective, nodes, bytes).is_some(),
+                        table.at(collective, None, nodes, bytes).is_some(),
                         "{}: missing grid point {collective:?}/{nodes}/{bytes}",
                         system.name
                     );
                     assert!(selector.choose(collective, nodes, bytes).is_some());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn committed_tables_cover_the_irregular_grids() {
+    // Every v-variant collective carries a full dist-keyed grid on every
+    // system: each (dist, nodes, bytes) point exists, its pick is a valid
+    // irregular algorithm for that collective, and the selector's
+    // dist-aware lookup resolves to it.
+    for system in System::all() {
+        let table = committed_table(&system);
+        let selector = Selector::load(system.name).unwrap();
+        for collective in IRREGULAR_COLLECTIVES {
+            for dist in SizeDist::ALL {
+                for &nodes in &tuned_node_counts(&system) {
+                    for &bytes in &system.vector_sizes {
+                        let entry = table
+                            .at(collective, Some(dist), nodes, bytes)
+                            .unwrap_or_else(|| {
+                                panic!(
+                                    "{}: missing irregular point {collective:?}@{}/{nodes}/{bytes}",
+                                    system.name,
+                                    dist.name()
+                                )
+                            });
+                        assert!(
+                            irregular_algorithms(collective)
+                                .iter()
+                                .any(|a| a.name() == entry.algorithm()),
+                            "{}: {collective:?}@{} pick {} is not a v-variant algorithm",
+                            system.name,
+                            dist.name(),
+                            entry.pick
+                        );
+                        let tuned = selector
+                            .choose_irregular(collective, dist, nodes, bytes)
+                            .unwrap();
+                        assert_eq!(tuned.algorithm, entry.algorithm());
+                        assert_eq!(tuned.segments, entry.segments());
+                    }
                 }
             }
         }
@@ -79,7 +124,7 @@ fn tuned_pick_reproduces_the_ring_to_bine_large_crossover_shift() {
         );
 
         let table = committed_table(&system);
-        let entry = table.at(Collective::Allreduce, 64, 64 << 20).unwrap();
+        let entry = table.at(Collective::Allreduce, None, 64, 64 << 20).unwrap();
         assert_eq!(
             entry.algorithm(),
             "bine-large",
@@ -96,7 +141,9 @@ fn tuned_pick_reproduces_the_ring_to_bine_large_crossover_shift() {
 
         // At 512 MiB the tuned pick stays a pipelined (segmented)
         // algorithm on every system.
-        let entry = table.at(Collective::Allreduce, 64, 512 << 20).unwrap();
+        let entry = table
+            .at(Collective::Allreduce, None, 64, 512 << 20)
+            .unwrap();
         assert!(
             entry.segments() > 1,
             "{}: 512 MiB pick {} is unsegmented",
@@ -110,11 +157,11 @@ fn tuned_pick_reproduces_the_ring_to_bine_large_crossover_shift() {
 /// flat index over (system, collective, node index, size index), decoded
 /// modulo the actual grid lengths inside each test.
 fn grid_point() -> impl Strategy<Value = usize> {
-    0usize..(4 * 4 * 8 * 9)
+    0usize..(4 * 7 * 8 * 9)
 }
 
 fn decode(point: usize) -> (usize, usize, usize, usize) {
-    (point % 4, (point / 4) % 4, (point / 16) % 8, point / 128)
+    (point % 4, (point / 4) % 7, (point / 28) % 8, point / 224)
 }
 
 proptest! {
@@ -138,7 +185,7 @@ proptest! {
         let bytes = system.vector_sizes[vi % system.vector_sizes.len()];
 
         let table = committed_table(&system);
-        let entry = table.at(collective, nodes, bytes).unwrap().clone();
+        let entry = table.at(collective, None, nodes, bytes).unwrap().clone();
         let mut tuner = Tuner::new(
             tune_target(&system, vec![collective]),
             TunerConfig::default(),
@@ -185,7 +232,7 @@ proptest! {
         let bytes = system.vector_sizes[vi % system.vector_sizes.len()];
 
         let committed = committed_table(&system);
-        let entry = committed.at(collective, nodes, bytes).unwrap().clone();
+        let entry = committed.at(collective, None, nodes, bytes).unwrap().clone();
         let mut brute = Tuner::new(
             tune_target(&system, vec![collective]),
             TunerConfig {
@@ -206,6 +253,51 @@ proptest! {
         // entry.
         let selector = Selector::load(system.name).unwrap();
         let tuned = selector.choose(collective, nodes, bytes).unwrap();
+        prop_assert_eq!(tuned.algorithm, entry.algorithm());
+        prop_assert_eq!(tuned.segments, entry.segments());
+    }
+
+    // The irregular grids agree with a from-scratch re-score: the
+    // irregular sweep is unpruned and sync-only by design, so every
+    // committed dist point is reproducible everywhere — no node band needs
+    // skipping. The dist-aware selector lookup returns exactly the
+    // committed entry.
+    #[test]
+    fn irregular_table_agrees_with_the_brute_force_argmin(
+        point in 0usize..(4 * 4 * 3 * 8 * 9),
+    ) {
+        let si = point % 4;
+        let ci = (point / 4) % 4;
+        let di = (point / 16) % 3;
+        let ni = (point / 48) % 8;
+        let vi = point / 384;
+        let system = System::all().into_iter().nth(si).unwrap();
+        let collective = IRREGULAR_COLLECTIVES[ci];
+        let dist = SizeDist::ALL[di];
+        let nodes = {
+            let counts = tuned_node_counts(&system);
+            counts[ni % counts.len()]
+        };
+        let bytes = system.vector_sizes[vi % system.vector_sizes.len()];
+
+        let committed = committed_table(&system);
+        let entry = committed.at(collective, Some(dist), nodes, bytes).unwrap().clone();
+        let mut tuner = Tuner::new(
+            tune_target(&system, vec![collective]),
+            TunerConfig::default(),
+        );
+        let fresh = tuner.tune_irregular_point(collective, dist, nodes, bytes);
+        prop_assert_eq!(&fresh.pick, &entry.pick,
+            "{}/{:?}@{}/{}/{}", system.name, collective, dist.name(), nodes, bytes);
+        prop_assert_eq!(fresh.model, entry.model);
+        let tol = 1e-9 * entry.time_us.abs() + 1e-6;
+        prop_assert!(
+            (fresh.time_us - entry.time_us).abs() <= tol,
+            "{}/{:?}@{}/{}/{}: committed {:.6} vs brute-force {:.6}",
+            system.name, collective, dist.name(), nodes, bytes, entry.time_us, fresh.time_us
+        );
+        let selector = Selector::load(system.name).unwrap();
+        let tuned = selector.choose_irregular(collective, dist, nodes, bytes).unwrap();
         prop_assert_eq!(tuned.algorithm, entry.algorithm());
         prop_assert_eq!(tuned.segments, entry.segments());
     }

@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use bine_sched::{BlockId, Collective, Schedule};
+use bine_sched::{BlockId, Collective, Counts, Schedule};
 
 /// A shared, immutable-until-owned block payload.
 ///
@@ -126,6 +126,11 @@ pub struct Workload {
     pub collective: Collective,
     /// The root rank for rooted collectives.
     pub root: usize,
+    /// Per-rank counts for irregular (v-variant) schedules: segment `i`
+    /// holds `counts[i] * elems_per_block` elements, so zero-count segments
+    /// are genuinely empty vectors. `None` for regular workloads, where
+    /// every segment holds `elems_per_block` elements.
+    pub counts: Option<Counts>,
 }
 
 impl Workload {
@@ -142,17 +147,48 @@ impl Workload {
             elems_per_block,
             collective,
             root,
+            counts: None,
         }
     }
 
-    /// Creates the workload matching a schedule.
+    /// Creates the workload matching a schedule, inheriting the schedule's
+    /// irregular counts when present.
     pub fn for_schedule(schedule: &Schedule, elems_per_block: usize) -> Self {
-        Self::new(
+        let mut w = Self::new(
             schedule.num_ranks,
             elems_per_block,
             schedule.collective,
             schedule.root,
-        )
+        );
+        w.counts = schedule.counts.clone();
+        w
+    }
+
+    /// Attaches irregular per-rank counts.
+    ///
+    /// # Panics
+    /// Panics if the counts do not cover exactly `num_ranks` ranks.
+    pub fn with_counts(mut self, counts: Counts) -> Self {
+        assert_eq!(counts.num_ranks(), self.num_ranks);
+        self.counts = Some(counts);
+        self
+    }
+
+    /// Elements of segment `i`.
+    pub fn seg_elems(&self, i: usize) -> usize {
+        match &self.counts {
+            Some(c) => c.count(i) as usize * self.elems_per_block,
+            None => self.elems_per_block,
+        }
+    }
+
+    /// The element range segment `i` occupies in the logical vector.
+    pub fn seg_range(&self, i: usize) -> std::ops::Range<usize> {
+        let start = match &self.counts {
+            Some(c) => c.per_rank()[..i].iter().sum::<u64>() as usize * self.elems_per_block,
+            None => i * self.elems_per_block,
+        };
+        start..start + self.seg_elems(i)
     }
 
     /// The deterministic contribution of `rank` for element `j` of the
@@ -167,9 +203,13 @@ impl Workload {
         origin as f64 * 1000.0 + dest as f64 + j as f64 * 0.25
     }
 
-    /// Length of the logical vector (`p` blocks of `elems_per_block`).
+    /// Length of the logical vector: `p` blocks of `elems_per_block`, or the
+    /// counts-weighted total for irregular workloads.
     pub fn vector_len(&self) -> usize {
-        self.num_ranks * self.elems_per_block
+        match &self.counts {
+            Some(c) => c.total() as usize * self.elems_per_block,
+            None => self.num_ranks * self.elems_per_block,
+        }
     }
 
     /// The full input vector of `rank`.
@@ -179,10 +219,10 @@ impl Workload {
             .collect()
     }
 
-    /// Segment `i` of the input vector of `rank`.
+    /// Segment `i` of the input vector of `rank` (empty for a zero-count
+    /// segment of an irregular workload).
     pub fn segment(&self, rank: usize, i: usize) -> Vec<f64> {
-        let start = i * self.elems_per_block;
-        (start..start + self.elems_per_block)
+        self.seg_range(i)
             .map(|j| self.contribution(rank, j))
             .collect()
     }
@@ -190,6 +230,11 @@ impl Workload {
     /// The elementwise sum of all ranks' contributions for element `j`.
     pub fn reduced(&self, j: usize) -> f64 {
         (0..self.num_ranks).map(|r| self.contribution(r, j)).sum()
+    }
+
+    /// The fully reduced values of segment `i`.
+    pub fn reduced_segment(&self, i: usize) -> Vec<f64> {
+        self.seg_range(i).map(|j| self.reduced(j)).collect()
     }
 
     /// Builds the initial per-rank block stores required by `schedule`.

@@ -82,9 +82,7 @@ pub fn verify(workload: &Workload, finals: &[BlockStore]) -> VerifyResult {
                 expect_block(store, workload.root, BlockId::Full, &expected, "reduce")
             } else {
                 for i in 0..p {
-                    let expected: Vec<f64> = (0..workload.elems_per_block)
-                        .map(|k| workload.reduced(i * workload.elems_per_block + k))
-                        .collect();
+                    let expected = workload.reduced_segment(i);
                     expect_block(
                         store,
                         workload.root,
@@ -105,9 +103,7 @@ pub fn verify(workload: &Workload, finals: &[BlockStore]) -> VerifyResult {
                     expect_block(store, r, BlockId::Full, &expected, "allreduce")?;
                 } else {
                     for i in 0..p {
-                        let expected: Vec<f64> = (0..workload.elems_per_block)
-                            .map(|k| workload.reduced(i * workload.elems_per_block + k))
-                            .collect();
+                        let expected = workload.reduced_segment(i);
                         expect_block(store, r, BlockId::Segment(i as u32), &expected, "allreduce")?;
                     }
                 }
@@ -116,9 +112,7 @@ pub fn verify(workload: &Workload, finals: &[BlockStore]) -> VerifyResult {
         }
         Collective::ReduceScatter => {
             for (r, store) in finals.iter().enumerate() {
-                let expected: Vec<f64> = (0..workload.elems_per_block)
-                    .map(|k| workload.reduced(r * workload.elems_per_block + k))
-                    .collect();
+                let expected = workload.reduced_segment(r);
                 expect_block(
                     store,
                     r,
@@ -212,6 +206,19 @@ mod tests {
         finals[3].insert(BlockId::Full, v);
         let err = verify(&w, &finals).unwrap_err();
         assert!(err.contains("rank 3"), "{err}");
+    }
+
+    #[test]
+    fn irregular_schedules_execute_and_verify_end_to_end() {
+        use bine_sched::collectives::{gatherv, reduce_scatterv, IrregularAlg, SizeDist};
+        let p = 8;
+        for dist in SizeDist::ALL {
+            let sched = gatherv(p, 0, dist.counts(p, 0), IrregularAlg::Traff);
+            assert!(run_and_verify(&sched, 3).is_ok(), "gatherv {}", dist.name());
+        }
+        // A zero-total segment on some ranks through the reduce path.
+        let sched = reduce_scatterv(p, SizeDist::Linear.counts(p, 0), IrregularAlg::Ring);
+        assert!(run_and_verify(&sched, 2).is_ok());
     }
 
     #[test]

@@ -7,7 +7,10 @@ use std::sync::Arc;
 
 use bine_exec::state::Workload;
 use bine_exec::{compiled, sequential, threaded, verify, ExecutorPool};
-use bine_sched::{algorithms, build, Collective};
+use bine_sched::{
+    algorithms, build, build_irregular, irregular_algorithms, Collective, SizeDist,
+    IRREGULAR_COLLECTIVES,
+};
 
 #[test]
 fn every_algorithm_is_correct_on_the_sequential_executor() {
@@ -119,6 +122,57 @@ fn reduce_scatter_strategy_variants_are_all_correct() {
                 verify::run_and_verify(&sched, 2).is_ok(),
                 "strategy {name} failed at p = {p}"
             );
+        }
+    }
+}
+
+#[test]
+fn irregular_edge_cases_execute_identically_on_every_executor() {
+    // Deterministic edge-case matrix for the v-variants: zero-count ranks
+    // (the one-heavy distribution), equal counts (the regular special
+    // case), a linear skew, each plain and under segmentation — where a
+    // zero-count segment splits into chunks that are all empty. Every
+    // executor must agree with the reference bit for bit and satisfy the
+    // counts-weighted post-condition.
+    let p = 16;
+    let root = 5;
+    for collective in IRREGULAR_COLLECTIVES {
+        for alg in irregular_algorithms(collective) {
+            for dist in SizeDist::ALL {
+                let counts = dist.counts(p, root);
+                for name in [alg.name().to_string(), format!("{}+seg3", alg.name())] {
+                    let sched = build_irregular(collective, &name, p, root, &counts)
+                        .unwrap_or_else(|| panic!("{collective:?}/{name} did not build"));
+                    assert!(sched.validate().is_ok(), "{collective:?}/{name}");
+                    let workload = Workload::for_schedule(&sched, 2);
+                    let reference =
+                        sequential::run_reference(&sched, workload.initial_state(&sched));
+                    let seq = sequential::run(&sched, workload.initial_state(&sched));
+                    assert_eq!(
+                        seq,
+                        reference,
+                        "sequential: {collective:?}/{name} dist={}",
+                        dist.name()
+                    );
+                    let comp = compiled::run(&sched.compile(), workload.initial_state(&sched));
+                    assert_eq!(
+                        comp,
+                        reference,
+                        "compiled: {collective:?}/{name} dist={}",
+                        dist.name()
+                    );
+                    let thr = threaded::run(&sched, workload.initial_state(&sched));
+                    assert_eq!(
+                        thr,
+                        reference,
+                        "pool: {collective:?}/{name} dist={}",
+                        dist.name()
+                    );
+                    if let Err(e) = verify::verify(&workload, &reference) {
+                        panic!("{collective:?}/{name} dist={}: {e}", dist.name());
+                    }
+                }
+            }
         }
     }
 }

@@ -6,11 +6,22 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use bine_exec::state::Workload;
 use bine_exec::{compiled, sequential, threaded, verify};
-use bine_sched::{algorithms, build, Collective, Schedule};
+use bine_sched::{
+    algorithms, build, build_irregular, irregular_algorithms, Collective, Schedule, SizeDist,
+    IRREGULAR_COLLECTIVES,
+};
 use proptest::prelude::*;
 
 fn any_collective() -> impl Strategy<Value = Collective> {
     prop::sample::select(Collective::ALL.to_vec())
+}
+
+fn any_irregular_collective() -> impl Strategy<Value = Collective> {
+    prop::sample::select(IRREGULAR_COLLECTIVES.to_vec())
+}
+
+fn any_dist() -> impl Strategy<Value = SizeDist> {
+    prop::sample::select(SizeDist::ALL.to_vec())
 }
 
 /// Rank counts the executor-equivalence property is checked at: powers of
@@ -142,6 +153,112 @@ proptest! {
         }
         if let Err(e) = verify::verify(&workload, &reference) {
             return Err(TestCaseError::fail(format!("{:?}/{}: {e}", collective, alg.name)));
+        }
+    }
+
+    // The irregular (v-variant) leg of the equivalence matrix: every
+    // buildable v-variant schedule — any size distribution, any root, any
+    // segmentation, pow2 and non-pow2 rank counts alike — executes
+    // bit-identically on all three executors and satisfies the collective's
+    // counts-weighted post-condition. Zero-count segments (the one-heavy
+    // distribution) must flow through every executor the same way as any
+    // other block.
+    #[test]
+    fn irregular_schedules_execute_identically_on_all_executors(
+        collective in any_irregular_collective(),
+        p in any_rank_count(),
+        dist in any_dist(),
+        alg_seed in 0usize..100,
+        root_seed in 0usize..1000,
+        chunks in 1usize..=4,
+        elems in 1usize..4,
+    ) {
+        let algs = irregular_algorithms(collective);
+        let alg = algs[alg_seed % algs.len()];
+        let root = root_seed % p;
+        let counts = dist.counts(p, root);
+        let name = if chunks > 1 {
+            format!("{}+seg{chunks}", alg.name())
+        } else {
+            alg.name().to_string()
+        };
+        // The butterfly-backed variants only exist at pow2 rank counts — a
+        // build panic skips the case, exactly as in the regular matrix.
+        let built: Option<Schedule> = catch_unwind(AssertUnwindSafe(|| {
+            build_irregular(collective, &name, p, root, &counts)
+        })).ok().flatten();
+        let Some(sched) = built else { return Ok(()) };
+        if sched.validate().is_err() {
+            return Ok(());
+        }
+        prop_assert!(sched.counts.is_some(), "irregular schedule lost its counts");
+        let workload = Workload::for_schedule(&sched, elems);
+        let reference = catch_unwind(AssertUnwindSafe(|| {
+            sequential::run_reference(&sched, workload.initial_state(&sched))
+        }));
+        let Ok(reference) = reference else {
+            for (exec, outcome) in [
+                ("sequential", catch_unwind(AssertUnwindSafe(|| sequential::run(&sched, workload.initial_state(&sched))))),
+                ("compiled", catch_unwind(AssertUnwindSafe(|| compiled::run(&sched.compile(), workload.initial_state(&sched))))),
+                ("pool", catch_unwind(AssertUnwindSafe(|| threaded::run(&sched, workload.initial_state(&sched))))),
+            ] {
+                prop_assert!(
+                    outcome.is_err(),
+                    "{exec} accepted an irregular schedule the reference rejects \
+                     ({:?}/{name} p={p} dist={})",
+                    collective, dist.name()
+                );
+            }
+            return Ok(());
+        };
+        for (exec, finals) in [
+            ("sequential", sequential::run(&sched, workload.initial_state(&sched))),
+            ("compiled", compiled::run(&sched.compile(), workload.initial_state(&sched))),
+            ("pool", threaded::run(&sched, workload.initial_state(&sched))),
+        ] {
+            prop_assert_eq!(
+                &finals, &reference,
+                "{} on {:?}/{} p={} root={} dist={}",
+                exec, collective, &name, p, root, dist.name()
+            );
+        }
+        if let Err(e) = verify::verify(&workload, &reference) {
+            return Err(TestCaseError::fail(format!(
+                "{:?}/{name} p={p} dist={}: {e}", collective, dist.name()
+            )));
+        }
+    }
+
+    // The doubly-pipelined dual-root allreduce, pinned explicitly: the two
+    // interleaved trees reduce and broadcast concurrently, which makes its
+    // step structure unlike anything else in the catalog — every executor
+    // and every segmentation must still agree with the reference bit for
+    // bit, at every power-of-two rank count.
+    #[test]
+    fn dual_root_allreduce_is_bit_identical_across_executors(
+        s in 1u32..=6,
+        chunks in 1usize..=6,
+        elems in 1usize..4,
+    ) {
+        let p = 1usize << s;
+        let sched = build(Collective::Allreduce, "dual-root", p, 0).expect("dual-root");
+        let seg = sched.segmented(chunks);
+        prop_assert!(seg.validate().is_ok(), "dual-root+seg{chunks} p={p}");
+        let workload = Workload::for_schedule(&sched, elems);
+        let reference = sequential::run_reference(&sched, workload.initial_state(&sched));
+        for (exec, finals) in [
+            ("reference", sequential::run_reference(&seg, workload.initial_state(&seg))),
+            ("sequential", sequential::run(&seg, workload.initial_state(&seg))),
+            ("compiled", compiled::run(&seg.compile(), workload.initial_state(&seg))),
+            ("pool", threaded::run(&seg, workload.initial_state(&seg))),
+        ] {
+            prop_assert_eq!(
+                &finals, &reference,
+                "{} on dual-root+seg{}: p={}", exec, chunks, p
+            );
+        }
+        if let Err(e) = verify::verify(&workload, &reference) {
+            return Err(TestCaseError::fail(format!("dual-root p={p}: {e}")));
         }
     }
 }

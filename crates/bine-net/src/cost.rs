@@ -77,7 +77,6 @@ impl CostModel {
         alloc: &Allocation,
     ) -> CostBreakdown {
         assert!(alloc.num_ranks() >= schedule.num_ranks);
-        let p = schedule.num_ranks;
         let mut out = CostBreakdown::default();
         let mut link_bytes = vec![0u64; topo.num_links()];
         let mut link_msgs = vec![0u32; topo.num_links()];
@@ -96,7 +95,8 @@ impl CostModel {
             }
 
             for m in &step.messages {
-                let bytes = m.bytes(n, p) as f64;
+                let byte_count = schedule.message_bytes(m, n);
+                let bytes = byte_count as f64;
                 if m.is_local() {
                     max_local = max_local.max(bytes / (self.copy_bandwidth_gib_s * GIB_PER_US));
                     continue;
@@ -109,7 +109,7 @@ impl CostModel {
                     if link_msgs[link] == 0 {
                         touched.push(link);
                     }
-                    link_bytes[link] += m.bytes(n, p);
+                    link_bytes[link] += byte_count;
                     link_msgs[link] += 1;
                 }
                 max_latency = max_latency.max(path_latency);
@@ -171,11 +171,15 @@ impl CostModel {
 #[derive(Debug, Clone)]
 pub struct CostSummary {
     num_ranks: usize,
+    /// Sum of the schedule's per-rank counts, for sizing the
+    /// `counted_blocks` of irregular schedules. `0` for regular schedules
+    /// (which carry no counted blocks).
+    counts_total: u64,
     /// Per step, per message: everything `estimate` reads.
     steps: Vec<Vec<SummaryMessage>>,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct SummaryMessage {
     src: u32,
     dst: u32,
@@ -183,15 +187,27 @@ struct SummaryMessage {
     segments: u32,
     /// Number of [`bine_sched::BlockId::Full`] blocks carried.
     full_blocks: u64,
-    /// Number of segment-sized (`Segment`/`Pairwise`) blocks carried.
+    /// Number of segment-sized (`Segment`/`Pairwise`) blocks carried at the
+    /// uniform `ceil(n/p)` size.
     seg_blocks: u64,
+    /// For irregular schedules: `Segment` blocks grouped by their per-rank
+    /// count value as `(count, multiplicity)` pairs. Empty for regular
+    /// schedules, where every segment block lands in `seg_blocks` instead.
+    counted_blocks: Vec<(u64, u64)>,
 }
 
 impl SummaryMessage {
-    fn bytes(&self, n: u64, p: usize) -> u64 {
-        // Exactly BlockId::bytes summed over the message's blocks: Full
-        // blocks contribute n each, segment blocks ceil(n/p) (min 1) each.
-        self.full_blocks * n + self.seg_blocks * n.div_ceil(p as u64).max(1)
+    fn bytes(&self, n: u64, p: usize, counts_total: u64) -> u64 {
+        // Exactly Schedule::message_bytes: Full blocks contribute n each,
+        // uniform segment blocks ceil(n/p) (min 1) each, counted segment
+        // blocks their count-proportional share. Grouping by count value
+        // preserves the u64 sum exactly (integer addition is associative),
+        // which is what keeps estimate_summary bit-identical to estimate.
+        let mut total = self.full_blocks * n + self.seg_blocks * n.div_ceil(p as u64).max(1);
+        for &(count, mult) in &self.counted_blocks {
+            total += mult * bine_sched::Counts::share_bytes(count, counts_total, n);
+        }
+        total
     }
 
     fn is_local(&self) -> bool {
@@ -203,6 +219,7 @@ impl CostSummary {
     /// Summarises one schedule.
     pub fn of(schedule: &Schedule) -> CostSummary {
         use bine_sched::BlockId;
+        let counts = schedule.counts.as_ref();
         let steps = schedule
             .steps
             .iter()
@@ -210,18 +227,26 @@ impl CostSummary {
                 step.messages
                     .iter()
                     .map(|m| {
-                        let full_blocks = m
-                            .blocks
-                            .iter()
-                            .filter(|b| matches!(b, BlockId::Full))
-                            .count() as u64;
+                        let mut full_blocks = 0u64;
+                        let mut seg_blocks = 0u64;
+                        let mut by_count = std::collections::BTreeMap::new();
+                        for b in &m.blocks {
+                            match (counts, b) {
+                                (_, BlockId::Full) => full_blocks += 1,
+                                (Some(c), BlockId::Segment(i)) => {
+                                    *by_count.entry(c.count(*i as usize)).or_insert(0u64) += 1;
+                                }
+                                _ => seg_blocks += 1,
+                            }
+                        }
                         SummaryMessage {
                             src: m.src as u32,
                             dst: m.dst as u32,
                             reduce: m.kind == TransferKind::Reduce,
                             segments: m.segments,
                             full_blocks,
-                            seg_blocks: m.blocks.len() as u64 - full_blocks,
+                            seg_blocks,
+                            counted_blocks: by_count.into_iter().collect(),
                         }
                     })
                     .collect()
@@ -229,6 +254,7 @@ impl CostSummary {
             .collect();
         CostSummary {
             num_ranks: schedule.num_ranks,
+            counts_total: counts.map_or(0, |c| c.total()),
             steps,
         }
     }
@@ -269,7 +295,8 @@ impl CostModel {
             }
 
             for m in step {
-                let bytes = m.bytes(n, p) as f64;
+                let byte_count = m.bytes(n, p, summary.counts_total);
+                let bytes = byte_count as f64;
                 if m.is_local() {
                     max_local = max_local.max(bytes / (self.copy_bandwidth_gib_s * GIB_PER_US));
                     continue;
@@ -282,7 +309,7 @@ impl CostModel {
                     if link_msgs[link] == 0 {
                         touched.push(link);
                     }
-                    link_bytes[link] += m.bytes(n, p);
+                    link_bytes[link] += byte_count;
                     link_msgs[link] += 1;
                 }
                 max_latency = max_latency.max(path_latency);

@@ -259,7 +259,7 @@ fn simulate_reference_impl(
             let bytes: u64 = schedule
                 .block_index_slice(s)
                 .iter()
-                .map(|&b| schedule.blocks().resolve(b).bytes(n, p))
+                .map(|&b| schedule.block_bytes(schedule.blocks().resolve(b), n))
                 .sum();
             let local = s.is_local();
             let mut latency_us = if local {
@@ -615,7 +615,6 @@ struct CachedStatic {
     alloc: Allocation,
     fault: FaultPlan,
 
-    num_ranks: usize,
     num_sends: usize,
     network_messages: u64,
 
@@ -709,7 +708,6 @@ impl CachedStatic {
         if self.bytes_n == Some(n) {
             return;
         }
-        let p = self.num_ranks;
         self.bytes.clear();
         for step in 0..schedule.num_steps() {
             for i in schedule.step_send_range(step) {
@@ -717,7 +715,7 @@ impl CachedStatic {
                 let bytes: u64 = schedule
                     .block_index_slice(s)
                     .iter()
-                    .map(|&b| schedule.blocks().resolve(b).bytes(n, p))
+                    .map(|&b| schedule.block_bytes(schedule.blocks().resolve(b), n))
                     .sum();
                 self.bytes.push(bytes as f64);
             }
@@ -863,7 +861,6 @@ fn build_static(
         link_table,
         alloc: alloc.clone(),
         fault: plan.clone(),
-        num_ranks: p,
         num_sends,
         network_messages,
         latency_us,

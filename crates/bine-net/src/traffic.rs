@@ -60,7 +60,6 @@ pub fn measure(
         alloc.num_ranks(),
         schedule.num_ranks
     );
-    let p = schedule.num_ranks;
     let mut report = TrafficReport {
         total_bytes: 0,
         global_bytes: 0,
@@ -75,7 +74,7 @@ pub fn measure(
         if m.is_local() {
             continue;
         }
-        let bytes = m.bytes(n, p);
+        let bytes = schedule.message_bytes(m, n);
         let (src, dst) = (alloc.node_of(m.src), alloc.node_of(m.dst));
         report.total_bytes += bytes;
         report.messages += 1;

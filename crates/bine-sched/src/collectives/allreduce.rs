@@ -4,8 +4,8 @@ use bine_core::butterfly::{Butterfly, ButterflyKind};
 
 use super::builders::{
     butterfly_allgather, butterfly_allgather_permute, butterfly_allreduce_small,
-    butterfly_reduce_scatter_composed, compose, mark_noncontiguous, ring_allgather,
-    ring_reduce_scatter,
+    butterfly_reduce_scatter_composed, compose, dual_root_allreduce, mark_noncontiguous,
+    ring_allgather, ring_reduce_scatter,
 };
 use crate::schedule::{Collective, Schedule};
 
@@ -28,17 +28,23 @@ pub enum AllreduceAlg {
     /// Swing allreduce: the Bine-large peer sequence with Swing's
     /// non-contiguous block handling.
     Swing,
+    /// Träff's dual-root reduction-to-all: two interleaved binomial trees
+    /// rooted at ranks `0` and `p/2`, each reducing and re-broadcasting one
+    /// half of the vector. Pipelines via the `+segS` transform ("doubly
+    /// pipelined" in the paper's terms).
+    DualRootPipelined,
 }
 
 impl AllreduceAlg {
     /// All allreduce algorithms.
-    pub const ALL: [AllreduceAlg; 6] = [
+    pub const ALL: [AllreduceAlg; 7] = [
         AllreduceAlg::BineSmall,
         AllreduceAlg::BineLarge,
         AllreduceAlg::RecursiveDoubling,
         AllreduceAlg::Rabenseifner,
         AllreduceAlg::Ring,
         AllreduceAlg::Swing,
+        AllreduceAlg::DualRootPipelined,
     ];
 
     /// Harness name.
@@ -50,6 +56,7 @@ impl AllreduceAlg {
             AllreduceAlg::Rabenseifner => "rabenseifner",
             AllreduceAlg::Ring => "ring",
             AllreduceAlg::Swing => "swing",
+            AllreduceAlg::DualRootPipelined => "dual-root",
         }
     }
 
@@ -112,6 +119,7 @@ pub fn allreduce(p: usize, alg: AllreduceAlg) -> Schedule {
             ));
             compose(Collective::Allreduce, alg.name(), 0, rs, ag)
         }
+        AllreduceAlg::DualRootPipelined => dual_root_allreduce(p, alg.name()),
     }
 }
 
@@ -138,6 +146,29 @@ mod tests {
         assert_eq!(allreduce(p, AllreduceAlg::BineLarge).num_steps(), 16);
         assert_eq!(allreduce(p, AllreduceAlg::Rabenseifner).num_steps(), 16);
         assert_eq!(allreduce(p, AllreduceAlg::Ring).num_steps(), 2 * (p - 1));
+        // Dual-root: log2(p) tree levels per phase, two interleaved trees.
+        assert_eq!(
+            allreduce(p, AllreduceAlg::DualRootPipelined).num_steps(),
+            4 * 8
+        );
+    }
+
+    #[test]
+    fn dual_root_halves_the_full_vector_tree_traffic() {
+        let p = 64;
+        let n = 1 << 20u64;
+        let dual = allreduce(p, AllreduceAlg::DualRootPipelined);
+        // Each phase crosses every edge of both trees once with a half
+        // vector: 2 trees * (p - 1) edges * n/2 per phase, two phases.
+        assert_eq!(dual.total_network_bytes(n), 2 * (p as u64 - 1) * n);
+        // A single-tree reduce + broadcast at full vector size moves the
+        // same volume but with every message twice as large — the dual-root
+        // variant's advantage is concurrency, not volume.
+        // The halves pipeline: each half is a multi-block message, so the
+        // segmentation transform genuinely splits it.
+        let seg = dual.segmented(4);
+        assert!(seg.messages().count() > dual.messages().count());
+        assert!(seg.validate().is_ok());
     }
 
     #[test]

@@ -455,6 +455,66 @@ pub fn ring_allgather(p: usize, algorithm: &str) -> Schedule {
     sched
 }
 
+/// Träff's dual-root reduction-to-all ("A Doubly-pipelined, Dual-root
+/// Reduction-to-all Algorithm and Implementation"): the vector is split in
+/// two halves, each reduced up and broadcast down its own tree — tree 0
+/// rooted at rank 0 owns segments `[0, p/2)`, tree 1 rooted at rank `p/2`
+/// owns `[p/2, p)`. The two trees are step-interleaved (tree 0 on even
+/// steps, tree 1 on odd) so every rank stays single-ported per step while
+/// each half-vector travels concurrently with the other. The *doubly
+/// pipelined* behaviour of the paper is recovered by applying the standard
+/// `+segS` segmentation transform on top — each half is itself a multi-block
+/// message the pipeline can split.
+pub fn dual_root_allreduce(p: usize, algorithm: &str) -> Schedule {
+    use bine_core::tree::BinomialTreeDd;
+    assert!(
+        p >= 2 && p.is_power_of_two(),
+        "dual-root allreduce needs a power-of-two rank count >= 2, got {p}"
+    );
+    let trees = [BinomialTreeDd::new(p, 0), BinomialTreeDd::new(p, p / 2)];
+    let halves: [Vec<BlockId>; 2] = [
+        (0..p as u32 / 2).map(BlockId::Segment).collect(),
+        (p as u32 / 2..p as u32).map(BlockId::Segment).collect(),
+    ];
+    let s = trees[0].num_steps();
+    let mut sched = Schedule::new(p, Collective::Allreduce, algorithm, 0);
+    // Phase 1: reduce each half up its tree, in reverse tree-step order.
+    for gather_step in 0..s {
+        let tree_step = s - 1 - gather_step;
+        for (tree, half) in trees.iter().zip(&halves) {
+            let mut st = Step::new();
+            for r in 0..p {
+                if tree.recv_step(r) == Some(tree_step) {
+                    let parent = tree.parent(r).expect("non-root rank has a parent");
+                    st.push(Message::new(
+                        r,
+                        parent,
+                        half.clone(),
+                        TransferKind::Reduce,
+                        p,
+                    ));
+                }
+            }
+            sched.push_step(st);
+        }
+    }
+    // Phase 2: broadcast each reduced half back down its tree.
+    for step in 0..s {
+        for (tree, half) in trees.iter().zip(&halves) {
+            let mut st = Step::new();
+            for r in 0..p {
+                if step >= tree.first_send_step(r) && is_active(tree, r, step) {
+                    if let Some(c) = tree.partner(r, step) {
+                        st.push(Message::new(r, c, half.clone(), TransferKind::Copy, p));
+                    }
+                }
+            }
+            sched.push_step(st);
+        }
+    }
+    sched
+}
+
 /// Composes two schedules into a new one for `collective`, concatenating the
 /// steps (e.g. reduce-scatter + allgather = allreduce).
 pub fn compose(

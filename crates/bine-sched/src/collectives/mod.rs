@@ -8,6 +8,7 @@ pub mod alltoall;
 pub mod bcast;
 pub mod builders;
 pub mod gather;
+pub mod irregular;
 pub mod reduce;
 pub mod reduce_scatter;
 pub mod scatter;
@@ -17,6 +18,10 @@ pub use allreduce::{allreduce, AllreduceAlg};
 pub use alltoall::{alltoall, AlltoallAlg};
 pub use bcast::{broadcast, BroadcastAlg};
 pub use gather::{gather, GatherAlg};
+pub use irregular::{
+    allgatherv, build_irregular, gatherv, irregular_algorithms, reduce_scatterv, scatterv,
+    IrregularAlg, SizeDist, TraffTree, IRREGULAR_COLLECTIVES,
+};
 pub use reduce::{reduce, ReduceAlg};
 pub use reduce_scatter::{reduce_scatter, ReduceScatterAlg};
 pub use scatter::{scatter, ScatterAlg};

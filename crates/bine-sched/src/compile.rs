@@ -25,7 +25,7 @@ use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::schedule::{BlockId, Collective, Rank, Schedule, TransferKind};
+use crate::schedule::{BlockId, Collective, Counts, Rank, Schedule, TransferKind};
 
 /// Source of process-unique [`CompiledSchedule`] identities.
 static NEXT_IDENTITY: AtomicU64 = AtomicU64::new(0);
@@ -146,6 +146,10 @@ pub struct CompiledSchedule {
     /// Per step, per destination rank: range into `recv_lists`.
     /// Length `num_steps * (num_ranks + 1)`.
     recv_offsets: Vec<u32>,
+    /// Irregular per-rank counts, carried over from the schedule (`None`
+    /// for regular collectives). Byte-resolving consumers (cost model, DES)
+    /// must go through [`CompiledSchedule::block_bytes`].
+    counts: Option<Counts>,
 }
 
 impl CompiledSchedule {
@@ -221,6 +225,7 @@ impl CompiledSchedule {
             send_offsets,
             recv_lists,
             recv_offsets,
+            counts: schedule.counts.clone(),
         }
     }
 
@@ -241,6 +246,21 @@ impl CompiledSchedule {
     /// The dense block interning.
     pub fn blocks(&self) -> &BlockInterner {
         &self.blocks
+    }
+
+    /// Irregular per-rank counts, if the originating schedule had any.
+    pub fn counts(&self) -> Option<&Counts> {
+        self.counts.as_ref()
+    }
+
+    /// Size of block `b` in bytes for vector size `n`, honouring the
+    /// irregular per-rank counts when present (the compiled-side twin of
+    /// [`Schedule::block_bytes`]).
+    pub fn block_bytes(&self, b: BlockId, n: u64) -> u64 {
+        match (&self.counts, b) {
+            (Some(c), BlockId::Segment(i)) => c.segment_bytes(i, n),
+            _ => b.bytes(n, self.num_ranks),
+        }
     }
 
     /// Number of distinct blocks referenced anywhere in the schedule.

@@ -39,7 +39,10 @@ pub mod schedule;
 pub mod segment;
 
 pub use catalog::{algorithms, bine_default, binomial_default, build, split_segments, AlgorithmId};
+pub use collectives::{
+    build_irregular, irregular_algorithms, IrregularAlg, SizeDist, IRREGULAR_COLLECTIVES,
+};
 pub use compile::{BlockInterner, CompiledSchedule, CompiledSend};
 pub use noncontig::NonContigStrategy;
-pub use schedule::{BlockId, Collective, Message, Schedule, Step, TransferKind};
+pub use schedule::{BlockId, Collective, Counts, Message, Schedule, Step, TransferKind};
 pub use segment::segment_schedule;

@@ -11,6 +11,8 @@
 //! model runtime for every algorithm on every topology with a single code
 //! path.
 
+use std::sync::Arc;
+
 use bine_core::block::linear_segments;
 
 /// A rank identifier.
@@ -110,6 +112,81 @@ impl BlockId {
             BlockId::Full => n,
             BlockId::Segment(_) | BlockId::Pairwise { .. } => n.div_ceil(p as u64).max(1),
         }
+    }
+}
+
+/// Per-rank element counts of an irregular (v-variant) collective.
+///
+/// Regular collectives split the `n`-byte vector into `p` equal segments;
+/// the v-variants (`gatherv`, `scatterv`, `allgatherv`, `reduce_scatterv`)
+/// instead let rank `i` own a share proportional to `counts[i]`. The counts
+/// are dimensionless weights: segment `i` of an `n`-byte operation carries
+/// `ceil(n · cᵢ / Σc)` bytes (zero when `cᵢ = 0`), which degenerates
+/// *bit-exactly* to the regular `ceil(n / p)` sizing when all counts are
+/// equal — the equivalence the irregular regression tests pin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counts {
+    per_rank: Arc<Vec<u64>>,
+    total: u64,
+}
+
+impl Counts {
+    /// Creates a count vector.
+    ///
+    /// # Panics
+    /// Panics on an empty vector or when every count is zero (an operation
+    /// moving no data has no meaningful schedule).
+    pub fn new(per_rank: Vec<u64>) -> Self {
+        assert!(!per_rank.is_empty(), "counts must cover at least one rank");
+        let total: u64 = per_rank.iter().sum();
+        assert!(total > 0, "at least one rank must contribute data");
+        Self {
+            per_rank: Arc::new(per_rank),
+            total,
+        }
+    }
+
+    /// Number of ranks covered.
+    pub fn num_ranks(&self) -> usize {
+        self.per_rank.len()
+    }
+
+    /// The count of rank `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.per_rank[i]
+    }
+
+    /// The per-rank counts.
+    pub fn per_rank(&self) -> &[u64] {
+        &self.per_rank
+    }
+
+    /// Sum of all counts.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether every rank has the same count (the regular special case).
+    pub fn is_uniform(&self) -> bool {
+        self.per_rank.iter().all(|&c| c == self.per_rank[0])
+    }
+
+    /// Bytes of segment `i` when the whole operation moves `n` bytes:
+    /// `0` for a zero-count rank, otherwise `max(1, ceil(n · cᵢ / Σc))`.
+    pub fn segment_bytes(&self, i: u32, n: u64) -> u64 {
+        Counts::share_bytes(self.per_rank[i as usize], self.total, n)
+    }
+
+    /// The [`Counts::segment_bytes`] formula on raw values, for callers that
+    /// cache `(count, total)` pairs away from the `Counts` itself (the cost
+    /// summaries of `bine-net`). The product is taken in `u128` so huge
+    /// vectors times huge counts cannot overflow.
+    pub fn share_bytes(count: u64, total: u64, n: u64) -> u64 {
+        if count == 0 {
+            return 0;
+        }
+        let share = ((n as u128) * (count as u128)).div_ceil(total as u128) as u64;
+        share.max(1)
     }
 }
 
@@ -244,6 +321,12 @@ pub struct Schedule {
     pub root: Rank,
     /// The synchronous steps, in execution order.
     pub steps: Vec<Step>,
+    /// Per-rank element counts for irregular (v-variant) schedules; `None`
+    /// for the regular collectives. When set, [`BlockId::Segment`] blocks
+    /// are sized by [`Counts::segment_bytes`] instead of the uniform
+    /// `ceil(n / p)` split — resolve bytes through
+    /// [`Schedule::block_bytes`] / [`Schedule::message_bytes`].
+    pub counts: Option<Counts>,
 }
 
 impl Schedule {
@@ -260,6 +343,39 @@ impl Schedule {
             algorithm: algorithm.into(),
             root,
             steps: Vec::new(),
+            counts: None,
+        }
+    }
+
+    /// Attaches per-rank counts, turning this into an irregular schedule.
+    ///
+    /// # Panics
+    /// Panics if the count vector does not cover exactly `num_ranks` ranks.
+    pub fn with_counts(mut self, counts: Counts) -> Self {
+        assert_eq!(
+            counts.num_ranks(),
+            self.num_ranks,
+            "counts must cover every rank of the schedule"
+        );
+        self.counts = Some(counts);
+        self
+    }
+
+    /// Size of block `b` in bytes for vector size `n`, honouring the
+    /// irregular per-rank counts when present.
+    pub fn block_bytes(&self, b: BlockId, n: u64) -> u64 {
+        match (&self.counts, b) {
+            (Some(c), BlockId::Segment(i)) => c.segment_bytes(i, n),
+            _ => b.bytes(n, self.num_ranks),
+        }
+    }
+
+    /// Total payload bytes of message `m` for vector size `n`, honouring
+    /// the irregular per-rank counts when present.
+    pub fn message_bytes(&self, m: &Message, n: u64) -> u64 {
+        match &self.counts {
+            None => m.bytes(n, self.num_ranks),
+            Some(_) => m.blocks.iter().map(|&b| self.block_bytes(b, n)).sum(),
         }
     }
 
@@ -287,7 +403,7 @@ impl Schedule {
     pub fn total_network_bytes(&self, n: u64) -> u64 {
         self.messages()
             .filter(|(_, m)| !m.is_local())
-            .map(|(_, m)| m.bytes(n, self.num_ranks))
+            .map(|(_, m)| self.message_bytes(m, n))
             .sum()
     }
 
@@ -297,7 +413,7 @@ impl Schedule {
         let mut per_rank = vec![0u64; self.num_ranks];
         for (_, m) in self.messages() {
             if !m.is_local() {
-                per_rank[m.src] += m.bytes(n, self.num_ranks);
+                per_rank[m.src] += self.message_bytes(m, n);
             }
         }
         per_rank.into_iter().max().unwrap_or(0)
@@ -310,7 +426,7 @@ impl Schedule {
         let mut per_rank = vec![0u64; self.num_ranks];
         for (_, m) in self.messages() {
             if !m.is_local() {
-                per_rank[m.dst] += m.bytes(n, self.num_ranks);
+                per_rank[m.dst] += self.message_bytes(m, n);
             }
         }
         per_rank.into_iter().max().unwrap_or(0)
@@ -326,6 +442,15 @@ impl Schedule {
     /// source or destination of two different network messages within the
     /// same step (single-ported model), and no empty messages.
     pub fn validate(&self) -> Result<(), String> {
+        if let Some(c) = &self.counts {
+            if c.num_ranks() != self.num_ranks {
+                return Err(format!(
+                    "counts cover {} ranks but the schedule has {}",
+                    c.num_ranks(),
+                    self.num_ranks
+                ));
+            }
+        }
         for (i, step) in self.steps.iter().enumerate() {
             let mut sending = vec![false; self.num_ranks];
             let mut receiving = vec![false; self.num_ranks];
@@ -377,6 +502,65 @@ mod tests {
         assert_eq!(contiguity_of(&[seg(0), seg(2), seg(4)], p), 3);
         assert_eq!(contiguity_of(&[seg(6), seg(7), seg(0)], p), 2); // no wrap in memory
         assert_eq!(contiguity_of(&[BlockId::Full], p), 1);
+    }
+
+    #[test]
+    fn equal_counts_size_segments_exactly_like_the_regular_split() {
+        // The irregular sizing must degenerate bit-exactly to ceil(n/p)
+        // when every rank contributes the same count, for any common count.
+        for p in [3usize, 4, 8, 17] {
+            for k in [1u64, 2, 7, 1000] {
+                let c = Counts::new(vec![k; p]);
+                for n in [1u64, 4, 1000, 1 << 20, (8 << 20) + 17] {
+                    for i in 0..p as u32 {
+                        assert_eq!(
+                            c.segment_bytes(i, n),
+                            BlockId::Segment(i).bytes(n, p),
+                            "p={p} k={k} n={n} i={i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_count_segments_carry_no_bytes_and_heavy_ones_carry_the_rest() {
+        // One rank holds everything: its segment is the whole vector, the
+        // zero-count ranks carry nothing.
+        let c = Counts::new(vec![0, 5, 0, 0]);
+        assert_eq!(c.segment_bytes(0, 1 << 20), 0);
+        assert_eq!(c.segment_bytes(1, 1 << 20), 1 << 20);
+        assert_eq!(c.segment_bytes(2, 1 << 20), 0);
+        // Tiny vectors never round a non-zero share down to zero bytes.
+        let skew = Counts::new(vec![1, 1_000_000]);
+        assert_eq!(skew.segment_bytes(0, 4), 1);
+    }
+
+    #[test]
+    fn irregular_message_bytes_follow_the_counts() {
+        let mut sched = Schedule::new(4, Collective::Allgather, "test", 0);
+        let mut step = Step::new();
+        step.push(Message::new(
+            0,
+            1,
+            vec![BlockId::Segment(0), BlockId::Segment(2)],
+            TransferKind::Copy,
+            4,
+        ));
+        sched.push_step(step);
+        let sched = sched.with_counts(Counts::new(vec![3, 1, 0, 4]));
+        // n = 800, total = 8: segment 0 = ceil(800·3/8) = 300, segment 2 = 0.
+        assert_eq!(sched.total_network_bytes(800), 300);
+        assert_eq!(sched.max_bytes_sent_by_rank(800), 300);
+        assert!(sched.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_count_rank_mismatch() {
+        let mut sched = Schedule::new(4, Collective::Allgather, "test", 0);
+        sched.counts = Some(Counts::new(vec![1, 2]));
+        assert!(sched.validate().is_err());
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub fn segment_schedule(schedule: &Schedule, chunks: usize) -> Schedule {
         format!("{}+seg{chunks}", schedule.algorithm),
         schedule.root,
     );
+    out.counts = schedule.counts.clone();
     for step in &schedule.steps {
         let mut substeps: Vec<Step> = (0..chunks).map(|_| Step::new()).collect();
         for m in &step.messages {

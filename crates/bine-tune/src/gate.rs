@@ -91,10 +91,18 @@ pub fn drift(committed: &DecisionTable, regenerated: &DecisionTable) -> DriftOut
             what: "system name".into(),
         });
     }
-    let key =
-        |e: &crate::table::Entry| format!("{}/{}/{}", e.collective.name(), e.nodes, e.vector_bytes);
+    let key = |e: &crate::table::Entry| match e.dist {
+        Some(d) => format!(
+            "{}@{}/{}/{}",
+            e.collective.name(),
+            d.name(),
+            e.nodes,
+            e.vector_bytes
+        ),
+        None => format!("{}/{}/{}", e.collective.name(), e.nodes, e.vector_bytes),
+    };
     for c in &committed.entries {
-        match regenerated.at(c.collective, c.nodes, c.vector_bytes) {
+        match regenerated.at(c.collective, c.dist, c.nodes, c.vector_bytes) {
             None => rows.push(DriftRow {
                 key: key(c),
                 committed: Some(c.pick.clone()),
@@ -122,7 +130,7 @@ pub fn drift(committed: &DecisionTable, regenerated: &DecisionTable) -> DriftOut
     }
     for r in &regenerated.entries {
         if committed
-            .at(r.collective, r.nodes, r.vector_bytes)
+            .at(r.collective, r.dist, r.nodes, r.vector_bytes)
             .is_none()
         {
             rows.push(DriftRow {
@@ -152,6 +160,7 @@ mod tests {
             entries: vec![
                 Entry {
                     collective: Collective::Allreduce,
+                    dist: None,
                     nodes: 16,
                     vector_bytes: 32,
                     pick: "recursive-doubling".into(),
@@ -160,6 +169,7 @@ mod tests {
                 },
                 Entry {
                     collective: Collective::Allreduce,
+                    dist: None,
                     nodes: 16,
                     vector_bytes: 1 << 20,
                     pick: "bine-large+seg8".into(),
@@ -210,6 +220,7 @@ mod tests {
         let mut regen = table();
         regen.entries.push(Entry {
             collective: Collective::Broadcast,
+            dist: None,
             nodes: 4,
             vector_bytes: 32,
             pick: "bine-tree".into(),

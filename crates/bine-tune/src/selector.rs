@@ -12,7 +12,7 @@ use std::ffi::OsString;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use bine_sched::{build, Collective, CompiledSchedule};
+use bine_sched::{build, Collective, CompiledSchedule, SizeDist};
 
 use crate::table::{slug, DecisionTable, Entry};
 
@@ -43,8 +43,10 @@ pub(crate) struct Slot {
     pub(crate) time_us: f64,
 }
 
-/// Per-collective lookup index: ascending node breakpoints, each with its
-/// ascending `(bytes, slot)` breakpoints.
+/// Per-`(collective, dist)` lookup index: ascending node breakpoints, each
+/// with its ascending `(bytes, slot)` breakpoints. The regular grid of a
+/// collective lives under `dist == None`; irregular (v-variant) grids under
+/// their [`SizeDist`] descriptor.
 type NodeIndex = Vec<(usize, Vec<(u64, u32)>)>;
 
 /// Default capacity of the compiled-schedule LRU: enough for every vector
@@ -57,7 +59,7 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 16;
 pub struct SelectorIndex {
     system: String,
     slots: Vec<Slot>,
-    index: Vec<(Collective, NodeIndex)>,
+    index: Vec<((Collective, Option<SizeDist>), NodeIndex)>,
 }
 
 impl SelectorIndex {
@@ -71,7 +73,7 @@ impl SelectorIndex {
     /// [`DecisionTable::from_json`] are already rejected there with an
     /// `Err`; this guards tables built programmatically.
     pub fn from_table(table: &DecisionTable) -> SelectorIndex {
-        if let Some((c, n, b)) = table.duplicate_key() {
+        if let Some((c, _, n, b)) = table.duplicate_key() {
             panic!(
                 "decision table {:?} has duplicate entries for \
                  (collective: {}, nodes: {n}, bytes: {b})",
@@ -80,16 +82,17 @@ impl SelectorIndex {
             );
         }
         let mut slots = Vec::with_capacity(table.entries.len());
-        let mut index: Vec<(Collective, NodeIndex)> = Vec::new();
+        let mut index: Vec<((Collective, Option<SizeDist>), NodeIndex)> = Vec::new();
         // Entries are kept in canonical order, so grouping is a linear scan.
         let mut sorted = table.clone();
         sorted.sort();
         for e in &sorted.entries {
             let slot = push_slot(&mut slots, e);
-            let coll = match index.iter_mut().find(|(c, _)| *c == e.collective) {
+            let key = (e.collective, e.dist);
+            let coll = match index.iter_mut().find(|(k, _)| *k == key) {
                 Some((_, ni)) => ni,
                 None => {
-                    index.push((e.collective, Vec::new()));
+                    index.push((key, Vec::new()));
                     &mut index.last_mut().unwrap().1
                 }
             };
@@ -117,7 +120,36 @@ impl SelectorIndex {
     /// searches, no allocation. `None` only when the table has no entries
     /// for `collective`.
     pub fn choose(&self, collective: Collective, nodes: usize, bytes: u64) -> Option<Tuned<'_>> {
-        let slot = &self.slots[self.slot_index(collective, nodes, bytes)? as usize];
+        self.tuned(self.slot_index(collective, nodes, bytes)?)
+    }
+
+    /// The tuned `(algorithm, segments)` for an irregular (v-variant)
+    /// configuration, resolved against the grid tuned for `dist`. Falls
+    /// back to the regular (equal-counts) grid when the table carries no
+    /// entries for that distribution — a selector over an older table keeps
+    /// answering rather than returning `None` for every irregular query.
+    ///
+    /// On a dist-grid hit the returned pick names an
+    /// [`bine_sched::IrregularAlg`], buildable via
+    /// [`bine_sched::build_irregular`] with the caller's real counts; on
+    /// regular-grid fallback it names a catalog algorithm (the equal-counts
+    /// pick), which the caller can run as-is when the imbalance is mild or
+    /// map onto its nearest v-variant.
+    pub fn choose_irregular(
+        &self,
+        collective: Collective,
+        dist: SizeDist,
+        nodes: usize,
+        bytes: u64,
+    ) -> Option<Tuned<'_>> {
+        match self.slot_index_for(collective, Some(dist), nodes, bytes) {
+            Some(slot) => self.tuned(slot),
+            None => self.choose(collective, nodes, bytes),
+        }
+    }
+
+    fn tuned(&self, slot_idx: u32) -> Option<Tuned<'_>> {
+        let slot = &self.slots[slot_idx as usize];
         Some(Tuned {
             algorithm: &slot.pick[..slot.base_len],
             segments: slot.segments,
@@ -126,14 +158,26 @@ impl SelectorIndex {
 
     /// The floor-breakpoint lookup shared by every `choose`/`compiled`
     /// entry point (serial and concurrent): all of them must always resolve
-    /// a query to the same table entry.
+    /// a query to the same table entry. Compiled paths resolve against the
+    /// regular grid (irregular schedules need real per-rank counts, which a
+    /// `(nodes, bytes)` key cannot carry).
     pub(crate) fn slot_index(
         &self,
         collective: Collective,
         nodes: usize,
         bytes: u64,
     ) -> Option<u32> {
-        let (_, node_index) = self.index.iter().find(|(c, _)| *c == collective)?;
+        self.slot_index_for(collective, None, nodes, bytes)
+    }
+
+    fn slot_index_for(
+        &self,
+        collective: Collective,
+        dist: Option<SizeDist>,
+        nodes: usize,
+        bytes: u64,
+    ) -> Option<u32> {
+        let (_, node_index) = self.index.iter().find(|(k, _)| *k == (collective, dist))?;
         let ni = floor_index(node_index, |&(n, _)| n <= nodes);
         let (_, sizes) = &node_index[ni];
         let si = floor_index(sizes, |&(b, _)| b <= bytes);
@@ -264,6 +308,19 @@ impl Selector {
     /// [`SelectorIndex::choose`] for the floor-breakpoint semantics.
     pub fn choose(&self, collective: Collective, nodes: usize, bytes: u64) -> Option<Tuned<'_>> {
         self.index.choose(collective, nodes, bytes)
+    }
+
+    /// The tuned pick for an irregular (v-variant) configuration; see
+    /// [`SelectorIndex::choose_irregular`] for the dist-grid and fallback
+    /// semantics.
+    pub fn choose_irregular(
+        &self,
+        collective: Collective,
+        dist: SizeDist,
+        nodes: usize,
+        bytes: u64,
+    ) -> Option<Tuned<'_>> {
+        self.index.choose_irregular(collective, dist, nodes, bytes)
     }
 
     /// The compiled schedule of the tuned pick at `nodes` ranks, built on
@@ -429,6 +486,7 @@ mod tests {
     fn table() -> DecisionTable {
         let e = |nodes: usize, bytes: u64, pick: &str| Entry {
             collective: Collective::Allreduce,
+            dist: None,
             nodes,
             vector_bytes: bytes,
             pick: pick.into(),
@@ -463,6 +521,37 @@ mod tests {
         assert_eq!((t.algorithm, t.segments), ("recursive-doubling", 1));
         // Unknown collective: None.
         assert!(s.choose(Collective::Broadcast, 16, 32).is_none());
+    }
+
+    #[test]
+    fn irregular_queries_hit_the_dist_grid_and_fall_back_to_regular() {
+        let mut t = table();
+        t.entries[0].collective = Collective::Allgather; // regular fallback row
+        t.entries[1].collective = Collective::Allgather;
+        t.entries.push(Entry {
+            collective: Collective::Allgather,
+            dist: Some(SizeDist::OneHeavy),
+            nodes: 16,
+            vector_bytes: 32,
+            pick: "ring".into(),
+            model: ScoreModel::Sync,
+            time_us: 2.0,
+        });
+        let s = Selector::from_table(&t);
+        // The dist grid answers dist-keyed queries (floor semantics apply).
+        let i = s
+            .choose_irregular(Collective::Allgather, SizeDist::OneHeavy, 64, 1 << 20)
+            .unwrap();
+        assert_eq!((i.algorithm, i.segments), ("ring", 1));
+        // A distribution the table never tuned falls back to the regular
+        // grid instead of answering None.
+        let f = s
+            .choose_irregular(Collective::Allgather, SizeDist::Linear, 16, 32)
+            .unwrap();
+        assert_eq!((f.algorithm, f.segments), ("recursive-doubling", 1));
+        // The regular choose path never sees the dist rows.
+        let r = s.choose(Collective::Allgather, 16, 32).unwrap();
+        assert_eq!(r.algorithm, "recursive-doubling");
     }
 
     #[test]

@@ -713,6 +713,36 @@ impl ServiceSelector {
         self.systems.get(sys)?.choose(collective, nodes, bytes)
     }
 
+    /// The tuned pick for an irregular (v-variant) query against `system`:
+    /// resolved on the grid tuned for `dist`, falling back to the regular
+    /// grid when the table carries none (see
+    /// [`crate::SelectorIndex::choose_irregular`]). `&self` and
+    /// allocation-free, like [`ServiceSelector::choose`].
+    pub fn choose_irregular(
+        &self,
+        system: &str,
+        collective: Collective,
+        dist: bine_sched::SizeDist,
+        nodes: usize,
+        bytes: u64,
+    ) -> Option<Tuned<'_>> {
+        self.choose_irregular_at(self.system_index(system)?, collective, dist, nodes, bytes)
+    }
+
+    /// [`ServiceSelector::choose_irregular`] by system index.
+    pub fn choose_irregular_at(
+        &self,
+        sys: usize,
+        collective: Collective,
+        dist: bine_sched::SizeDist,
+        nodes: usize,
+        bytes: u64,
+    ) -> Option<Tuned<'_>> {
+        self.systems
+            .get(sys)?
+            .choose_irregular(collective, dist, nodes, bytes)
+    }
+
     /// The compiled schedule of the tuned pick, from the sharded cache or
     /// compiled once under single-flight. `&self`: safe to call from any
     /// number of threads over one shared service.
@@ -1392,6 +1422,7 @@ mod tests {
     fn table(system: &str) -> DecisionTable {
         let e = |collective, nodes: usize, bytes: u64, pick: &str| Entry {
             collective,
+            dist: None,
             nodes,
             vector_bytes: bytes,
             pick: pick.into(),

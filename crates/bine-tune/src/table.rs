@@ -14,7 +14,7 @@
 //! strict format is what makes the CI drift gate's diff trivial and the
 //! committed files merge-friendly.
 
-use bine_sched::{split_segments, Collective};
+use bine_sched::{split_segments, Collective, SizeDist};
 
 /// Which time model produced a winning score.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,11 +46,17 @@ impl ScoreModel {
 }
 
 /// One tuned grid point: the winning `(algorithm, segments)` for a
-/// `(collective, nodes, bytes)` configuration.
+/// `(collective, nodes, bytes)` configuration — or, for irregular
+/// (v-variant) grid points, a `(collective, dist, nodes, bytes)` one.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Entry {
     /// The collective being tuned.
     pub collective: Collective,
+    /// The per-rank size-distribution descriptor of an irregular (v-variant)
+    /// grid point; `None` for the regular equal-counts grid. Serialised as
+    /// an optional `"dist"` field, so regular entries keep their historical
+    /// byte-exact line format.
+    pub dist: Option<SizeDist>,
     /// Node count of the grid point.
     pub nodes: usize,
     /// Vector size in bytes of the grid point.
@@ -98,11 +104,20 @@ pub fn slug(system: &str) -> String {
 
 impl DecisionTable {
     /// Canonical entry order, so serialisation (and the drift gate's diff)
-    /// is deterministic.
+    /// is deterministic. The regular (no-`dist`) grid of a collective sorts
+    /// before its irregular grids, and entries of one `(collective, dist)`
+    /// group stay contiguous — the selector index's grouping scan relies on
+    /// this.
     pub fn sort(&mut self) {
         let coll_idx = |c: Collective| Collective::ALL.iter().position(|&x| x == c).unwrap();
-        self.entries
-            .sort_by_key(|e| (coll_idx(e.collective), e.nodes, e.vector_bytes));
+        self.entries.sort_by_key(|e| {
+            (
+                coll_idx(e.collective),
+                dist_idx(e.dist),
+                e.nodes,
+                e.vector_bytes,
+            )
+        });
     }
 
     /// Serialises the table to the committed `tuning/*.json` format.
@@ -113,8 +128,12 @@ impl DecisionTable {
         out.push_str("  \"entries\": [\n");
         for (i, e) in self.entries.iter().enumerate() {
             let comma = if i + 1 == self.entries.len() { "" } else { "," };
+            let dist = match e.dist {
+                Some(d) => format!(" \"dist\": \"{}\",", d.name()),
+                None => String::new(),
+            };
             out.push_str(&format!(
-                "    {{\"collective\": \"{}\", \"nodes\": {}, \"bytes\": {}, \"pick\": \"{}\", \"model\": \"{}\", \"time_us\": {:.6}}}{comma}\n",
+                "    {{\"collective\": \"{}\",{dist} \"nodes\": {}, \"bytes\": {}, \"pick\": \"{}\", \"model\": \"{}\", \"time_us\": {:.6}}}{comma}\n",
                 e.collective.name(),
                 e.nodes,
                 e.vector_bytes,
@@ -154,38 +173,67 @@ impl DecisionTable {
         // one (collective, nodes, bytes) key, and which pick wins would then
         // depend on sort stability — reject them here so a corrupt or
         // hand-merged table fails loudly at load instead.
-        if let Some((c, n, b)) = table.duplicate_key() {
+        if let Some((c, d, n, b)) = table.duplicate_key() {
             return Err(format!(
-                "duplicate entry for (collective: {}, nodes: {n}, bytes: {b}); \
+                "duplicate entry for (collective: {}{}, nodes: {n}, bytes: {b}); \
                  each grid point may appear at most once",
-                c.name()
+                c.name(),
+                match d {
+                    Some(d) => format!(", dist: {}", d.name()),
+                    None => String::new(),
+                }
             ));
         }
         Ok(table)
     }
 
-    /// The first `(collective, nodes, bytes)` grid point that appears more
-    /// than once, if any. A table with duplicate keys has no well-defined
-    /// selection policy (which pick wins would depend on sort stability):
-    /// [`DecisionTable::from_json`] rejects such tables at parse time and
-    /// the selector index refuses to build from them.
-    pub fn duplicate_key(&self) -> Option<(Collective, usize, u64)> {
-        let mut keys: Vec<(Collective, usize, u64)> = self
+    /// The first `(collective, dist, nodes, bytes)` grid point that appears
+    /// more than once, if any. A table with duplicate keys has no
+    /// well-defined selection policy (which pick wins would depend on sort
+    /// stability): [`DecisionTable::from_json`] rejects such tables at parse
+    /// time and the selector index refuses to build from them.
+    pub fn duplicate_key(&self) -> Option<(Collective, Option<SizeDist>, usize, u64)> {
+        let mut keys: Vec<(Collective, Option<SizeDist>, usize, u64)> = self
             .entries
             .iter()
-            .map(|e| (e.collective, e.nodes, e.vector_bytes))
+            .map(|e| (e.collective, e.dist, e.nodes, e.vector_bytes))
             .collect();
-        keys.sort_by_key(|&(c, n, b)| {
-            (Collective::ALL.iter().position(|&x| x == c).unwrap(), n, b)
+        keys.sort_by_key(|&(c, d, n, b)| {
+            (
+                Collective::ALL.iter().position(|&x| x == c).unwrap(),
+                dist_idx(d),
+                n,
+                b,
+            )
         });
         keys.windows(2).find(|w| w[0] == w[1]).map(|w| w[0])
     }
 
-    /// The entry at an exact grid point, if present.
-    pub fn at(&self, collective: Collective, nodes: usize, vector_bytes: u64) -> Option<&Entry> {
+    /// The entry at an exact grid point, if present. Regular grid points
+    /// have `dist == None`; irregular (v-variant) ones carry their
+    /// distribution descriptor.
+    pub fn at(
+        &self,
+        collective: Collective,
+        dist: Option<SizeDist>,
+        nodes: usize,
+        vector_bytes: u64,
+    ) -> Option<&Entry> {
         self.entries.iter().find(|e| {
-            e.collective == collective && e.nodes == nodes && e.vector_bytes == vector_bytes
+            e.collective == collective
+                && e.dist == dist
+                && e.nodes == nodes
+                && e.vector_bytes == vector_bytes
         })
+    }
+}
+
+/// Canonical sort position of a dist key: the regular grid first, then the
+/// irregular grids in [`SizeDist::ALL`] order.
+fn dist_idx(dist: Option<SizeDist>) -> usize {
+    match dist {
+        None => 0,
+        Some(d) => 1 + SizeDist::ALL.iter().position(|&x| x == d).unwrap(),
     }
 }
 
@@ -209,6 +257,11 @@ fn parse_entry(line: &str) -> Result<Entry, String> {
     let collective = field(line, "collective")?;
     let collective =
         Collective::from_name(collective).ok_or(format!("unknown collective {collective}"))?;
+    // The dist field is optional: regular grid points omit it entirely.
+    let dist = match field(line, "dist") {
+        Ok(name) => Some(SizeDist::from_name(name).ok_or(format!("unknown dist {name}"))?),
+        Err(_) => None,
+    };
     let nodes: usize = field(line, "nodes")?
         .parse()
         .map_err(|e| format!("bad nodes: {e}"))?;
@@ -223,6 +276,7 @@ fn parse_entry(line: &str) -> Result<Entry, String> {
         .map_err(|e| format!("bad time_us: {e}"))?;
     Ok(Entry {
         collective,
+        dist,
         nodes,
         vector_bytes,
         pick,
@@ -241,6 +295,7 @@ mod tests {
             entries: vec![
                 Entry {
                     collective: Collective::Allreduce,
+                    dist: None,
                     nodes: 16,
                     vector_bytes: 32,
                     pick: "recursive-doubling".into(),
@@ -249,6 +304,7 @@ mod tests {
                 },
                 Entry {
                     collective: Collective::Allreduce,
+                    dist: None,
                     nodes: 16,
                     vector_bytes: 64 << 20,
                     pick: "bine-large+seg8".into(),
@@ -281,6 +337,7 @@ mod tests {
         table.entries.reverse();
         table.entries.push(Entry {
             collective: Collective::Broadcast,
+            dist: None,
             nodes: 4,
             vector_bytes: 32,
             pick: "bine-tree".into(),
@@ -292,6 +349,85 @@ mod tests {
         assert_eq!(table.entries[0].collective, Collective::Broadcast);
         assert_eq!(table.entries[1].vector_bytes, 32);
         assert_eq!(table.entries[2].vector_bytes, 64 << 20);
+    }
+
+    #[test]
+    fn irregular_entries_round_trip_and_keep_regular_lines_stable() {
+        let regular_json = sample().to_json();
+        let mut table = sample();
+        table.entries.push(Entry {
+            collective: Collective::Allreduce,
+            dist: Some(SizeDist::Linear),
+            nodes: 16,
+            vector_bytes: 32, // same (nodes, bytes) as entry 0: distinct key by dist
+            pick: "ring".into(),
+            model: ScoreModel::Sync,
+            time_us: 3.5,
+        });
+        let json = table.to_json();
+        // Regular entry lines are byte-identical with or without irregular
+        // rows in the table (older committed files stay parseable and
+        // diff-stable).
+        for line in regular_json.lines().filter(|l| l.contains("\"pick\"")) {
+            assert!(json.contains(line), "regular line changed: {line}");
+        }
+        assert!(json.contains("\"dist\": \"linear\""), "{json}");
+        let parsed = DecisionTable::from_json(&json).unwrap();
+        assert_eq!(parsed, table);
+        assert_eq!(
+            parsed.at(Collective::Allreduce, Some(SizeDist::Linear), 16, 32),
+            Some(&table.entries[2])
+        );
+        // The dist-keyed row never shadows the regular grid point.
+        assert_eq!(
+            parsed.at(Collective::Allreduce, None, 16, 32).unwrap().pick,
+            "recursive-doubling"
+        );
+    }
+
+    #[test]
+    fn sort_places_irregular_grids_after_the_regular_grid() {
+        let mut table = sample();
+        table.entries.insert(
+            0,
+            Entry {
+                collective: Collective::Allreduce,
+                dist: Some(SizeDist::Uniform),
+                nodes: 4,
+                vector_bytes: 32,
+                pick: "ring".into(),
+                model: ScoreModel::Sync,
+                time_us: 1.0,
+            },
+        );
+        table.sort();
+        assert_eq!(table.entries[0].dist, None);
+        assert_eq!(table.entries[1].dist, None);
+        assert_eq!(table.entries[2].dist, Some(SizeDist::Uniform));
+    }
+
+    #[test]
+    fn duplicate_detection_is_dist_aware() {
+        // Same (collective, nodes, bytes) under two dists: not a duplicate.
+        let mut table = sample();
+        for dist in [Some(SizeDist::Linear), Some(SizeDist::OneHeavy)] {
+            table.entries.push(Entry {
+                collective: Collective::Allreduce,
+                dist,
+                nodes: 16,
+                vector_bytes: 32,
+                pick: "ring".into(),
+                model: ScoreModel::Sync,
+                time_us: 1.0,
+            });
+        }
+        assert!(table.duplicate_key().is_none());
+        // The same dist twice is one, and the error names the dist.
+        let dup = table.entries.last().unwrap().clone();
+        table.entries.push(dup);
+        assert!(table.duplicate_key().is_some());
+        let err = DecisionTable::from_json(&table.to_json()).unwrap_err();
+        assert!(err.contains("dist: one-heavy"), "{err}");
     }
 
     #[test]
@@ -339,8 +475,8 @@ mod tests {
     #[test]
     fn exact_lookup_finds_grid_points() {
         let table = sample();
-        assert!(table.at(Collective::Allreduce, 16, 32).is_some());
-        assert!(table.at(Collective::Allreduce, 16, 33).is_none());
-        assert!(table.at(Collective::Broadcast, 16, 32).is_none());
+        assert!(table.at(Collective::Allreduce, None, 16, 32).is_some());
+        assert!(table.at(Collective::Allreduce, None, 16, 33).is_none());
+        assert!(table.at(Collective::Broadcast, None, 16, 32).is_none());
     }
 }

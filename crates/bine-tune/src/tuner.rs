@@ -35,12 +35,13 @@
 use std::collections::HashMap;
 
 use bine_net::allocation::Allocation;
-use bine_net::cost::{CostModel, LowerBounds};
+use bine_net::cost::{CostModel, CostSummary, LowerBounds};
 use bine_net::sim;
 use bine_net::topology::Topology;
 use bine_sched::{
-    algorithms, binomial_default, build, split_segments, AlgorithmId, Collective, CompiledSchedule,
-    Schedule,
+    algorithms, binomial_default, build, build_irregular, irregular_algorithms, split_segments,
+    AlgorithmId, Collective, CompiledSchedule, IrregularAlg, Schedule, SizeDist,
+    IRREGULAR_COLLECTIVES,
 };
 
 use crate::table::{DecisionTable, Entry, ScoreModel};
@@ -102,6 +103,13 @@ pub struct TunerConfig {
     /// points) stays synchronous-only to keep full-table regeneration inside
     /// the CI drift gate's wall-time budget.
     pub des_max_nodes: usize,
+    /// Alltoall-specific DES ceiling, tighter than [`Self::des_max_nodes`].
+    /// An alltoall simulation carries Θ(p²) data blocks — and with the
+    /// linear `pairwise` candidate, Θ(p) steps of Θ(p) concurrent flows —
+    /// so the general 512-node cap that is affordable for the Θ(p·log p)
+    /// collectives would blow the drift gate's wall-time budget here. Above
+    /// this cap alltoall records its stage-1 (synchronous) winner directly.
+    pub des_alltoall_max_nodes: usize,
     /// Largest node count at which the Θ(p)-step algorithms (ring,
     /// pairwise) are candidates at all, mirroring the benchmark harness's
     /// exclusion: they are both impractically large to build and — as the
@@ -123,6 +131,7 @@ impl Default for TunerConfig {
             segment_counts: vec![2, 4, 8, 16],
             des_top_k: 4,
             des_max_nodes: 512,
+            des_alltoall_max_nodes: 128,
             max_linear_nodes: 1024,
             min_segment_bytes: 1 << 20,
             prune: true,
@@ -235,6 +244,12 @@ pub struct Tuner {
     target: Target,
     config: TunerConfig,
     schedules: HashMap<(Collective, String, usize), Schedule>,
+    /// Per-schedule [`CostSummary`], so the synchronous stage re-scores a
+    /// cached schedule at each vector size in O(messages) instead of
+    /// walking its block lists again — bit-identical to scoring the
+    /// schedule directly, and the difference between minutes and seconds
+    /// for the Θ(p²·log p)-block alltoall schedules at 1024+ nodes.
+    summaries: HashMap<(Collective, String, usize), CostSummary>,
     compiled: HashMap<(Collective, String, usize, usize), CompiledSchedule>,
     arena: sim::SimArena,
 }
@@ -246,6 +261,7 @@ impl Tuner {
             target,
             config,
             schedules: HashMap::new(),
+            summaries: HashMap::new(),
             compiled: HashMap::new(),
             arena: sim::SimArena::new(),
         }
@@ -305,14 +321,21 @@ impl Tuner {
         match model {
             ScoreModel::Sync => {
                 self.ensure_schedule(collective, name, nodes);
-                let sched = &self.schedules[&(collective, name.to_string(), nodes)];
-                let point = self.point(nodes);
-                self.target.model.time_us(
-                    sched,
-                    vector_bytes,
-                    point.topology.as_ref(),
-                    &point.allocation,
-                )
+                let key = (collective, name.to_string(), nodes);
+                let summary = self
+                    .summaries
+                    .entry(key.clone())
+                    .or_insert_with(|| CostSummary::of(&self.schedules[&key]));
+                let point = self.target.point(nodes);
+                self.target
+                    .model
+                    .estimate_summary(
+                        summary,
+                        vector_bytes,
+                        point.topology.as_ref(),
+                        &point.allocation,
+                    )
+                    .total_us
             }
             ScoreModel::Des => {
                 let (base, chunks) = split_segments(name);
@@ -365,6 +388,19 @@ impl Tuner {
         })
     }
 
+    /// The largest node count whose grid points get DES refinement for
+    /// `collective` — [`TunerConfig::des_max_nodes`], tightened to
+    /// [`TunerConfig::des_alltoall_max_nodes`] for the quadratic alltoall.
+    pub fn des_node_cap(&self, collective: Collective) -> usize {
+        match collective {
+            Collective::Alltoall => self
+                .config
+                .des_max_nodes
+                .min(self.config.des_alltoall_max_nodes),
+            _ => self.config.des_max_nodes,
+        }
+    }
+
     /// Tunes one grid point into its decision-table entry.
     pub fn tune_point(&mut self, collective: Collective, nodes: usize, vector_bytes: u64) -> Entry {
         let lbs = self.lower_bounds(nodes);
@@ -383,7 +419,7 @@ impl Tuner {
         // best: a candidate that cannot win stage 1 may still belong to the
         // stage-2 top-K, and pruning must never change what stage 2 sees —
         // that is what keeps pruned and exhaustive runs byte-identical.
-        let des_eligible = nodes <= self.config.des_max_nodes;
+        let des_eligible = nodes <= self.des_node_cap(collective);
         let mut scored: Vec<(AlgorithmId, f64, usize)> = Vec::new();
         let mut top_scores: Vec<f64> = Vec::new();
         let mut best: Option<(AlgorithmId, f64, usize)> = None;
@@ -419,9 +455,10 @@ impl Tuner {
         }
         let (sync_winner, sync_time, _) = best.expect("at least one candidate per grid point");
 
-        if nodes > self.config.des_max_nodes {
+        if !des_eligible {
             return Entry {
                 collective,
+                dist: None,
                 nodes,
                 vector_bytes,
                 pick: sync_winner.name.to_string(),
@@ -496,6 +533,7 @@ impl Tuner {
         let (name, seg, t, _) = best_des.expect("DES stage always has candidates");
         Entry {
             collective,
+            dist: None,
             nodes,
             vector_bytes,
             pick: tuned_name(name, seg),
@@ -504,9 +542,126 @@ impl Tuner {
         }
     }
 
-    /// Tunes the full grid into a decision table. Schedule caches are
-    /// dropped between collectives to bound peak memory on the largest
-    /// systems, exactly as the benchmark runner does.
+    /// Tunes one irregular (v-variant) grid point: every applicable
+    /// [`IrregularAlg`] is built with `dist`'s synthetic counts (root 0,
+    /// heavy rank 0 — the placement the harness evaluates) and scored flat
+    /// with the synchronous model; the argmin becomes the entry.
+    ///
+    /// Deliberately **unpruned** and synchronous-only: the catalog's cheap
+    /// lower bounds assume equal per-rank counts, which skewed
+    /// distributions violate (a one-heavy gatherv moves `n` bytes over one
+    /// edge per tree level, nothing like `n/p` per rank), so a bound-driven
+    /// skip could silently change an argmin. The candidate sets are tiny
+    /// (2–3 algorithms), which keeps the exhaustive sweep cheap.
+    pub fn tune_irregular_point(
+        &mut self,
+        collective: Collective,
+        dist: SizeDist,
+        nodes: usize,
+        vector_bytes: u64,
+    ) -> Entry {
+        let built = self.irregular_candidates(collective, dist, nodes);
+        self.score_irregular(collective, dist, nodes, vector_bytes, &built)
+    }
+
+    /// Scores pre-built irregular candidates at one vector size and returns
+    /// the argmin entry (ties resolve by candidate order, exactly as the
+    /// regular sweep resolves them by catalog order).
+    fn score_irregular(
+        &self,
+        collective: Collective,
+        dist: SizeDist,
+        nodes: usize,
+        vector_bytes: u64,
+        built: &[(IrregularAlg, CostSummary)],
+    ) -> Entry {
+        let point = self.target.point(nodes);
+        let mut best: Option<(&'static str, f64)> = None;
+        for (alg, summary) in built {
+            let t = self
+                .target
+                .model
+                .estimate_summary(
+                    summary,
+                    vector_bytes,
+                    point.topology.as_ref(),
+                    &point.allocation,
+                )
+                .total_us;
+            if best.is_none_or(|(_, bt)| t < bt) {
+                best = Some((alg.name(), t));
+            }
+        }
+        let (pick, time_us) = best.expect("every v-variant collective has candidates");
+        Entry {
+            collective,
+            dist: Some(dist),
+            nodes,
+            vector_bytes,
+            pick: pick.to_string(),
+            model: ScoreModel::Sync,
+            time_us,
+        }
+    }
+
+    /// Builds the irregular candidate schedules of one
+    /// `(collective, dist, nodes)` cell and summarises each for repeated
+    /// per-size scoring (the schedule itself is dropped immediately — the
+    /// synchronous model reads nothing a [`CostSummary`] does not carry).
+    /// The linear-step ring is excluded above
+    /// [`TunerConfig::max_linear_nodes`], mirroring the regular sweep.
+    fn irregular_candidates(
+        &mut self,
+        collective: Collective,
+        dist: SizeDist,
+        nodes: usize,
+    ) -> Vec<(IrregularAlg, CostSummary)> {
+        let counts = dist.counts(nodes, 0);
+        irregular_algorithms(collective)
+            .into_iter()
+            .filter(|&alg| alg != IrregularAlg::Ring || nodes <= self.config.max_linear_nodes)
+            .map(|alg| {
+                let sched = build_irregular(collective, alg.name(), nodes, 0, &counts)
+                    .expect("catalog algorithm builds for its own collective");
+                (alg, CostSummary::of(&sched))
+            })
+            .collect()
+    }
+
+    /// Sweeps the irregular grids of every tunable v-variant collective in
+    /// the target: `(collective, dist, nodes, bytes)` with `dist` ranging
+    /// over [`SizeDist::ALL`]. Candidate schedules live only for the sizes
+    /// loop of one `(collective, dist, nodes)` cell, bounding peak memory.
+    pub fn tune_irregular(&mut self) -> Vec<Entry> {
+        let collectives: Vec<Collective> = self
+            .target
+            .collectives
+            .iter()
+            .copied()
+            .filter(|c| IRREGULAR_COLLECTIVES.contains(c))
+            .collect();
+        let node_counts: Vec<usize> = self.target.points.iter().map(|p| p.nodes).collect();
+        let sizes = self.target.vector_sizes.clone();
+        let mut entries = Vec::new();
+        for &collective in &collectives {
+            for &nodes in &node_counts {
+                for dist in SizeDist::ALL {
+                    let built = self.irregular_candidates(collective, dist, nodes);
+                    for &n in &sizes {
+                        entries.push(self.score_irregular(collective, dist, nodes, n, &built));
+                    }
+                }
+            }
+        }
+        entries
+    }
+
+    /// Tunes the full grid into a decision table: the regular
+    /// `(collective, nodes, bytes)` grid of every target collective plus
+    /// the irregular `(collective, dist, nodes, bytes)` grids of the
+    /// v-variant collectives among them. Schedule caches are dropped
+    /// between collectives to bound peak memory on the largest systems,
+    /// exactly as the benchmark runner does.
     pub fn tune(&mut self) -> DecisionTable {
         let collectives = self.target.collectives.clone();
         let node_counts: Vec<usize> = self.target.points.iter().map(|p| p.nodes).collect();
@@ -519,9 +674,11 @@ impl Tuner {
                 }
             }
             self.schedules.clear();
+            self.summaries.clear();
             self.compiled.clear();
             self.arena.clear();
         }
+        entries.extend(self.tune_irregular());
         let mut table = DecisionTable {
             system: self.target.system.clone(),
             entries,
@@ -538,5 +695,72 @@ pub fn tuned_name(base: &str, segments: usize) -> String {
         format!("{base}+seg{segments}")
     } else {
         base.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bine_net::topology::IdealFullMesh;
+
+    fn target(node_counts: &[usize]) -> Target {
+        Target {
+            system: "Irrbox".into(),
+            model: CostModel::default(),
+            collectives: vec![
+                Collective::Gather,
+                Collective::Allgather,
+                Collective::Broadcast,
+            ],
+            points: node_counts
+                .iter()
+                .map(|&n| TunePoint {
+                    nodes: n,
+                    topology: Box::new(IdealFullMesh::new(n)),
+                    allocation: Allocation::block(n),
+                })
+                .collect(),
+            vector_sizes: vec![32, 1 << 20],
+        }
+    }
+
+    #[test]
+    fn irregular_sweep_covers_the_v_variant_grid_and_skips_the_rest() {
+        let mut tuner = Tuner::new(target(&[8, 16]), TunerConfig::default());
+        let entries = tuner.tune_irregular();
+        // Gather and allgather have v-variants, broadcast does not:
+        // 2 collectives x 2 node counts x 3 dists x 2 sizes.
+        assert_eq!(entries.len(), 24);
+        for e in &entries {
+            assert!(e.dist.is_some());
+            assert_eq!(e.model, ScoreModel::Sync);
+            let alg = IrregularAlg::from_name(&e.pick)
+                .unwrap_or_else(|| panic!("{} is not an irregular algorithm", e.pick));
+            assert!(
+                irregular_algorithms(e.collective).contains(&alg),
+                "{} picked for {:?}",
+                e.pick,
+                e.collective
+            );
+        }
+    }
+
+    #[test]
+    fn full_tune_appends_irregular_grids_and_round_trips() {
+        let mut tuner = Tuner::new(target(&[8]), TunerConfig::default());
+        let table = tuner.tune();
+        // Regular grid: 3 collectives x 1 node count x 2 sizes. Irregular:
+        // 2 v-variant collectives x 3 dists x 2 sizes.
+        assert_eq!(table.entries.len(), 6 + 12);
+        let parsed = DecisionTable::from_json(&table.to_json()).unwrap();
+        assert_eq!(parsed.system, table.system);
+        assert_eq!(parsed.entries.len(), table.entries.len());
+        // A re-tuned single irregular point reproduces its table entry
+        // exactly (the sweep is deterministic).
+        let committed = table
+            .at(Collective::Gather, Some(SizeDist::OneHeavy), 8, 32)
+            .unwrap();
+        let fresh = tuner.tune_irregular_point(Collective::Gather, SizeDist::OneHeavy, 8, 32);
+        assert_eq!(&fresh, committed);
     }
 }

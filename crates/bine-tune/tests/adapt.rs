@@ -29,6 +29,7 @@ const CHALLENGER: &str = "ring";
 fn table() -> DecisionTable {
     let e = |collective, nodes: usize, pick: &str| Entry {
         collective,
+        dist: None,
         nodes,
         vector_bytes: 1 << 20,
         pick: pick.into(),

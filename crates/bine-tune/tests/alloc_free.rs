@@ -47,6 +47,7 @@ fn table() -> DecisionTable {
         for &bytes in &[32u64, 4096, 1 << 20, 64 << 20] {
             entries.push(Entry {
                 collective: Collective::Allreduce,
+                dist: None,
                 nodes,
                 vector_bytes: bytes,
                 pick: if bytes >= 1 << 20 {

@@ -9,7 +9,7 @@ use std::sync::{Arc, Barrier, Condvar, Mutex};
 use std::thread;
 use std::time::Duration;
 
-use bine_sched::Collective;
+use bine_sched::{Collective, SizeDist};
 use bine_tune::{
     fallback_pick, CompileAttempt, DecisionTable, DegradePolicy, Entry, ScoreModel, Selector,
     ServiceSelector,
@@ -22,6 +22,7 @@ use proptest::prelude::*;
 fn table() -> DecisionTable {
     let e = |collective, nodes: usize, bytes: u64, pick: &str| Entry {
         collective,
+        dist: None,
         nodes,
         vector_bytes: bytes,
         pick: pick.into(),
@@ -165,6 +166,116 @@ fn stress_matches_serial_and_respects_capacity() {
     let total = (threads * rounds * queries.len()) as u64;
     assert_eq!(service.hits() + service.misses(), total);
     assert!(service.hits() >= total - distinct as u64 * threads as u64);
+}
+
+/// Irregular grids through the serving layer: many threads hammer
+/// `choose_irregular_at` across every size distribution — dist-grid hits
+/// and regular-grid fallbacks alike — and every answer must stay equal to
+/// the serial selector's, including the `None`s for collectives the table
+/// does not carry at all.
+#[test]
+fn irregular_queries_stay_serial_identical_under_contention() {
+    let e = |collective, dist, nodes: usize, bytes: u64, pick: &str| Entry {
+        collective,
+        dist,
+        nodes,
+        vector_bytes: bytes,
+        pick: pick.into(),
+        model: ScoreModel::Sync,
+        time_us: 1.0,
+    };
+    let table = DecisionTable {
+        system: "Stressbox".into(),
+        entries: vec![
+            // The regular grid the dist misses fall back to.
+            e(Collective::Allgather, None, 8, 32, "recursive-doubling"),
+            e(Collective::Allgather, None, 8, 1 << 20, "ring"),
+            e(Collective::Gather, None, 8, 32, "binomial-dd"),
+            // Two dist grids with their own breakpoints.
+            e(
+                Collective::Allgather,
+                Some(SizeDist::OneHeavy),
+                8,
+                32,
+                "ring",
+            ),
+            e(
+                Collective::Allgather,
+                Some(SizeDist::OneHeavy),
+                8,
+                1 << 20,
+                "bine",
+            ),
+            e(Collective::Gather, Some(SizeDist::Linear), 8, 32, "traff"),
+        ],
+    };
+    let mut queries = Vec::new();
+    for &collective in &[
+        Collective::Allgather,
+        Collective::Gather,
+        Collective::Scatter,
+    ] {
+        for dist in SizeDist::ALL {
+            for &nodes in &[4usize, 8, 16, 64] {
+                for &bytes in &[1u64, 32, 4096, 1 << 20, 1 << 24] {
+                    queries.push((collective, dist, nodes, bytes));
+                }
+            }
+        }
+    }
+    let serial = Selector::from_table(&table);
+    let expected: Vec<Option<(String, usize)>> = queries
+        .iter()
+        .map(|&(collective, dist, nodes, bytes)| {
+            serial
+                .choose_irregular(collective, dist, nodes, bytes)
+                .map(|t| (t.algorithm.to_string(), t.segments))
+        })
+        .collect();
+    // Scatter has no rows at all: the fallback must be a clean None, and at
+    // least one dist-grid query and one fallback query must resolve.
+    assert!(expected.iter().any(|e| e.is_none()));
+    assert!(expected
+        .iter()
+        .any(|e| matches!(e, Some((a, _)) if a == "traff")));
+    assert!(expected
+        .iter()
+        .any(|e| matches!(e, Some((a, _)) if a == "recursive-doubling")));
+
+    let service = Arc::new(ServiceSelector::from_tables(&[table]).with_shards(4));
+    let queries = Arc::new(queries);
+    let expected = Arc::new(expected);
+    let threads = 8;
+    let barrier = Arc::new(Barrier::new(threads));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            let queries = Arc::clone(&queries);
+            let expected = Arc::clone(&expected);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                for round in 0..6 {
+                    for i in 0..queries.len() {
+                        let j = (i + t * 11 + round * 5) % queries.len();
+                        let (collective, dist, nodes, bytes) = queries[j];
+                        let got = service
+                            .choose_irregular_at(0, collective, dist, nodes, bytes)
+                            .map(|t| (t.algorithm.to_string(), t.segments));
+                        assert_eq!(
+                            got,
+                            expected[j],
+                            "{collective:?} dist={} nodes={nodes} bytes={bytes}",
+                            dist.name()
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("irregular stress thread panicked");
+    }
 }
 
 /// All threads release on a barrier straight into the same cold entry: one
