@@ -134,7 +134,7 @@ fn des_cost(
         Some(plan) => req.faults(plan),
         None => req,
     };
-    Some(req.run().makespan_us)
+    Some(req.run().makespan_us())
 }
 
 /// First strict minimum over the catalog of `collective` (the same

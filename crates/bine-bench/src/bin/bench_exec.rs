@@ -9,7 +9,8 @@
 //! context only) at p ∈ {64, 256} — plus the selection serving layer
 //! at `available_parallelism` workers (gated `/serve/` aggregate
 //! ns/request of the concurrent `ServiceSelector`; ungated
-//! `/serve-latency/` p99 tail and single-threaded `/serial/` baseline) —
+//! `/serve-latency/` p99 and p999 tails and single-threaded `/serial/`
+//! baseline) —
 //! plus the adaptive feedback loop (gated `/adaptive/` observe and
 //! overridden-hit warm paths; ungated loop counters) — and writes a flat
 //! JSON report, so future PRs can diff the perf trajectory of the data
@@ -195,8 +196,8 @@ fn bench_sim(records: &mut Vec<Record>, p: usize, iters: usize) {
 }
 
 /// Serving-layer throughput and tail latency (see `bine_bench::serve`):
-/// the gated `/serve/` throughput entry plus the ungated p99 tail and
-/// single-threaded selector baseline. Returns the measurement for the
+/// the gated `/serve/` throughput entry plus the ungated p99/p999 tails
+/// and single-threaded selector baseline. Returns the measurement for the
 /// summary fields.
 fn bench_serve(records: &mut Vec<Record>, iters: usize) -> bine_bench::serve::ServeMeasurement {
     let opts = bine_bench::serve::ServeOptions {

@@ -76,7 +76,7 @@ fn main() {
         let sync = model.time_us(&sched, big, &topo, &alloc);
         let des = SimRequest::new(&model, &sched.compile(), big, &topo, &alloc)
             .run()
-            .makespan_us;
+            .makespan_us();
         println!("{:<32} sync = {sync:>9.1}   DES = {des:>9.1}", alg.name());
     }
 }

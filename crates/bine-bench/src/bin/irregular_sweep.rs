@@ -110,7 +110,7 @@ fn main() {
                 let des = SimRequest::new(&model, &compiled, n, topo.as_ref(), &alloc)
                     .time_only()
                     .run()
-                    .makespan_us;
+                    .makespan_us();
                 row.push(format!("{winner} ({des:.1})"));
                 rows.push(row);
             }

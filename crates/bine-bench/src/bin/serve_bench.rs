@@ -2,7 +2,7 @@
 //!
 //! Hammers a shared [`bine_tune::ServiceSelector`] with the standard query
 //! mix from `available_parallelism` worker threads (override with
-//! `--threads`), reports requests/sec, mean and p99 request latency, the
+//! `--threads`), reports requests/sec, mean, p99 and p999 request latency, the
 //! single-threaded [`bine_tune::Selector`] baseline, and the single-flight
 //! compile statistics — then runs one tuned pick end to end on the shared
 //! executor pool as a smoke of the full request path.
@@ -54,6 +54,7 @@ fn main() {
         m.worker_ns_per_req, m.threads
     );
     println!("p99 request latency   {:>14.0} ns", m.p99_ns);
+    println!("p999 request latency  {:>14.0} ns", m.p999_ns);
     println!(
         "serial ns/request     {:>14.1}  (single-threaded Selector)",
         m.serial_ns_per_req

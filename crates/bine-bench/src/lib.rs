@@ -14,13 +14,18 @@
 //!   rendering,
 //! * [`tables`] — the shared table/figure builders,
 //! * [`perfgate`] — the CI perf-regression gate over `BENCH_exec.json`,
-//! * [`serve`] — the serving-layer benchmark: requests/sec and p99 latency
+//! * [`serve`] — the serving-layer benchmark: requests/sec and p99/p999 latency
 //!   of the concurrent `bine_tune::ServiceSelector` against the
 //!   single-threaded selector baseline (the `serve_bench` bin front-end),
 //! * [`chaos`] — the failure-injection harness: a request storm with seeded
 //!   compile panics and a faulted-DES verification pass, asserting 100%
 //!   answer availability with fallback answers bit-identical to the
-//!   binomial baseline (the `chaos_bench` bin front-end, a CI smoke step).
+//!   binomial baseline (the `chaos_bench` bin front-end, a CI smoke step),
+//! * [`crash`] — the crash-fault harness: a storm of executions under
+//!   seeded dead-rank plans, asserting that every stall either recovers by
+//!   shrink-and-retry bit-identically to a direct survivor-communicator
+//!   run (finals and traffic) or surfaces as a typed error (the
+//!   `crash_chaos` bin front-end, a CI smoke step).
 //!
 //! The `tune` binary regenerates the committed `tuning/*.json` decision
 //! tables from [`runner::tune_target`]; the `tune_gate` binary is the CI
@@ -49,6 +54,7 @@
 
 pub mod adaptive;
 pub mod chaos;
+pub mod crash;
 pub mod perfgate;
 pub mod report;
 pub mod runner;

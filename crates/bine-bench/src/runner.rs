@@ -305,7 +305,7 @@ impl Evaluator {
             .arena(&mut self.arena)
             .time_only()
             .run()
-            .makespan_us
+            .makespan_us()
     }
 
     /// The Bine algorithm name the paper would use for this configuration.

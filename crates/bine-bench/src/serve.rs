@@ -69,6 +69,10 @@ pub struct ServeMeasurement {
     pub worker_ns_per_req: f64,
     /// Best 99th-percentile single-request latency over the repeats.
     pub p99_ns: f64,
+    /// Best 99.9th-percentile single-request latency over the repeats —
+    /// the deep tail where lock convoys and single-flight follower waits
+    /// live; recorded next to the p99, equally ungated.
+    pub p999_ns: f64,
     /// Throughput of the best repeat, requests per second.
     pub requests_per_sec: f64,
     /// Single-threaded `Selector::compiled` baseline, ns per request
@@ -105,9 +109,10 @@ pub fn queries() -> Vec<(Collective, usize, u64)> {
     q
 }
 
-/// Index of the p99 element of a sorted latency vector.
-fn p99_index(len: usize) -> usize {
-    ((len as f64 * 0.99).ceil() as usize).clamp(1, len) - 1
+/// Index of the `q`-quantile element of a sorted latency vector
+/// (`q = 0.99` for the p99, `0.999` for the p999).
+fn tail_index(len: usize, q: f64) -> usize {
+    ((len as f64 * q).ceil() as usize).clamp(1, len) - 1
 }
 
 /// Runs the serving benchmark: a warmed single-threaded [`Selector`]
@@ -151,6 +156,7 @@ pub fn measure(opts: &ServeOptions) -> Result<ServeMeasurement, String> {
     let total_requests = (threads * requests_per_thread) as u64;
     let mut best_wall = f64::INFINITY;
     let mut best_p99 = f64::INFINITY;
+    let mut best_p999 = f64::INFINITY;
     for _ in 0..repeats {
         // Throughput phase: no per-request clocks — two `Instant` reads per
         // request would dominate a ~50 ns warm hit. Wall time is taken from
@@ -207,8 +213,8 @@ pub fn measure(opts: &ServeOptions) -> Result<ServeMeasurement, String> {
         });
         let mut lat = latencies.into_inner().unwrap();
         lat.sort_unstable();
-        let p99 = lat[p99_index(lat.len())] as f64;
-        best_p99 = best_p99.min(p99);
+        best_p99 = best_p99.min(lat[tail_index(lat.len(), 0.99)] as f64);
+        best_p999 = best_p999.min(lat[tail_index(lat.len(), 0.999)] as f64);
     }
 
     let ns_per_req = best_wall / total_requests as f64;
@@ -219,6 +225,7 @@ pub fn measure(opts: &ServeOptions) -> Result<ServeMeasurement, String> {
         ns_per_req,
         worker_ns_per_req: ns_per_req * threads as f64,
         p99_ns: best_p99,
+        p999_ns: best_p999,
         requests_per_sec: 1e9 / ns_per_req,
         serial_ns_per_req: serial_best,
         speedup_vs_serial: serial_best / ns_per_req,
@@ -231,8 +238,8 @@ pub fn measure(opts: &ServeOptions) -> Result<ServeMeasurement, String> {
 /// The `/serve/` entry is the **worker-normalized** request cost — the
 /// core-count-robust throughput statistic (see
 /// [`ServeMeasurement::worker_ns_per_req`]) — and is hard-gated by
-/// `perf_gate`. The p99 tail and the serial baseline are recorded for
-/// context but ungated (`/serve-latency/` deliberately does not match
+/// `perf_gate`. The p99/p999 tails and the serial baseline are recorded
+/// for context but ungated (`/serve-latency/` deliberately does not match
 /// `/serve/`, like `/sim-reference/` vs `/sim/`): the tail is
 /// thread-count- and scheduler-dependent, exactly the noise class the
 /// gate excludes. Raw aggregate throughput lands in the report's
@@ -244,6 +251,7 @@ pub fn bench_entries(m: &ServeMeasurement) -> Vec<(String, f64)> {
             m.worker_ns_per_req,
         ),
         ("select-mix/serve-latency/p99-ns".into(), m.p99_ns),
+        ("select-mix/serve-latency/p999-ns".into(), m.p999_ns),
         ("select-mix/serial/ns-per-req".into(), m.serial_ns_per_req),
     ]
 }
@@ -266,10 +274,17 @@ mod tests {
     }
 
     #[test]
-    fn p99_index_is_sane() {
-        assert_eq!(p99_index(1), 0);
-        assert_eq!(p99_index(100), 98);
-        assert_eq!(p99_index(1000), 989);
+    fn tail_index_is_sane() {
+        assert_eq!(tail_index(1, 0.99), 0);
+        assert_eq!(tail_index(100, 0.99), 98);
+        assert_eq!(tail_index(1000, 0.99), 989);
+        assert_eq!(tail_index(1, 0.999), 0);
+        assert_eq!(tail_index(1000, 0.999), 998);
+        assert_eq!(tail_index(10_000, 0.999), 9989);
+        // The p999 never precedes the p99 in the sorted vector.
+        for len in [1usize, 7, 100, 1000, 4096] {
+            assert!(tail_index(len, 0.999) >= tail_index(len, 0.99));
+        }
     }
 
     #[test]
@@ -284,11 +299,13 @@ mod tests {
         assert_eq!(m.threads, 2);
         assert_eq!(m.total_requests, 2 * 64);
         assert!(m.ns_per_req > 0.0 && m.p99_ns > 0.0);
+        assert!(m.p999_ns >= m.p99_ns);
         assert!(m.requests_per_sec > 0.0);
         assert!(m.distinct > 0);
         // Warm cache + single-flight: one compile per distinct entry.
         assert_eq!(m.compilations, m.distinct as u64);
         let entries = bench_entries(&m);
         assert!(entries.iter().any(|(n, _)| n.contains("/serve/")));
+        assert!(entries.iter().any(|(n, _)| n.ends_with("/p999-ns")));
     }
 }

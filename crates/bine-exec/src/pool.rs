@@ -55,6 +55,20 @@ pub enum ExecError {
         /// The panic message of the first failing job of the run.
         message: String,
     },
+    /// A surviving rank blocked forever on a receive whose sender is dead
+    /// (deterministic dead-rank injection, see
+    /// [`ExecutorPool::try_run_with_dead`]). Detected by the per-step
+    /// bounded-progress watchdog: the step barrier was reached with the
+    /// receive still unsatisfiable, which in a real run means the rank
+    /// hangs.
+    RankDead {
+        /// Step at which the stall was detected.
+        step: usize,
+        /// The dead sending rank the receive waited on.
+        src: usize,
+        /// The surviving rank that blocked.
+        dst: usize,
+    },
 }
 
 impl ExecError {
@@ -69,10 +83,13 @@ impl ExecError {
         ExecError::JobPanicked { message }
     }
 
-    /// The panic message of the failing job.
+    /// The panic message of the failing job, or a static description for
+    /// non-panic failures (the step and rank numbers of
+    /// [`ExecError::RankDead`] are in its `Display` form).
     pub fn message(&self) -> &str {
         match self {
             ExecError::JobPanicked { message } => message,
+            ExecError::RankDead { .. } => "rank blocked forever on a receive from a dead rank",
         }
     }
 }
@@ -82,6 +99,12 @@ impl fmt::Display for ExecError {
         match self {
             ExecError::JobPanicked { message } => {
                 write!(f, "executor job panicked: {message}")
+            }
+            ExecError::RankDead { step, src, dst } => {
+                write!(
+                    f,
+                    "step {step}: rank {dst} blocked forever on a receive from dead rank {src}"
+                )
             }
         }
     }
@@ -238,8 +261,29 @@ impl ExecutorPool {
         compiled: &Arc<CompiledSchedule>,
         initial: Vec<BlockStore>,
     ) -> Result<Vec<BlockStore>, ExecError> {
+        self.try_run_with_dead(compiled, initial, &[])
+    }
+
+    /// [`ExecutorPool::try_run`] with deterministic dead-rank injection: the
+    /// `dead` ranks crash before the collective starts — their sends never
+    /// leave, their receives are never posted, their state is returned
+    /// untouched. Sends *into* a dead rank complete eagerly at the sender.
+    /// A surviving rank whose scheduled receive has no payload (its sender
+    /// is dead) would block forever in a real run; the per-step watchdog
+    /// detects this at the step barrier and aborts the run with
+    /// [`ExecError::RankDead`] naming the earliest blocked receive. An empty
+    /// `dead` slice is exactly the healthy path.
+    ///
+    /// # Panics
+    /// Panics if a dead rank is out of range.
+    pub fn try_run_with_dead(
+        &self,
+        compiled: &Arc<CompiledSchedule>,
+        initial: Vec<BlockStore>,
+        dead: &[usize],
+    ) -> Result<Vec<BlockStore>, ExecError> {
         let dense = compiled::to_dense(compiled, initial);
-        let finals = self.try_run_dense(compiled, dense)?;
+        let finals = self.try_run_dense_with_dead(compiled, dense, dead)?;
         Ok(compiled::from_dense(compiled, finals))
     }
 
@@ -265,8 +309,22 @@ impl ExecutorPool {
         compiled: &Arc<CompiledSchedule>,
         states: Vec<DenseState>,
     ) -> Result<Vec<DenseState>, ExecError> {
-        self.run_dense_impl(compiled, states)
-            .map_err(ExecError::from_panic)
+        self.run_dense_impl(compiled, states, &[])
+    }
+
+    /// [`ExecutorPool::try_run_dense`] with deterministic dead-rank
+    /// injection (see [`ExecutorPool::try_run_with_dead`] for the fault
+    /// semantics).
+    ///
+    /// # Panics
+    /// Panics if a dead rank is out of range.
+    pub fn try_run_dense_with_dead(
+        &self,
+        compiled: &Arc<CompiledSchedule>,
+        states: Vec<DenseState>,
+        dead: &[usize],
+    ) -> Result<Vec<DenseState>, ExecError> {
+        self.run_dense_impl(compiled, states, dead)
     }
 
     /// Thin panicking wrapper over [`ExecutorPool::try_run_dense`].
@@ -287,12 +345,24 @@ impl ExecutorPool {
         &self,
         compiled: &Arc<CompiledSchedule>,
         states: Vec<DenseState>,
-    ) -> Result<Vec<DenseState>, PanicPayload> {
+        dead: &[usize],
+    ) -> Result<Vec<DenseState>, ExecError> {
         let p = compiled.num_ranks;
         assert_eq!(states.len(), p, "one dense state per rank required");
         if p == 0 {
             return Ok(states);
         }
+        let inject = !dead.is_empty();
+        let mut is_dead = vec![false; p];
+        for &d in dead {
+            assert!(d < p, "dead rank {d} out of range for {p} ranks");
+            is_dead[d] = true;
+        }
+        // Shared read-only across the step jobs; before the first stall the
+        // only unsatisfiable receives are those from initially-dead ranks,
+        // and the run aborts at the step that detects one, so the set never
+        // grows.
+        let is_dead = Arc::new(is_dead);
         let states: Arc<Vec<Mutex<DenseState>>> =
             Arc::new(states.into_iter().map(Mutex::new).collect());
 
@@ -323,10 +393,17 @@ impl ExecutorPool {
                 let compiled = Arc::clone(compiled);
                 let states = Arc::clone(&states);
                 let partial = Arc::clone(&partial);
+                let is_dead = Arc::clone(&is_dead);
                 jobs.push(Box::new(move || {
                     let mut out = Vec::new();
                     for send_idx in lo..hi {
                         let send = compiled.send(send_idx);
+                        if inject && is_dead[send.src as usize] {
+                            // A dead rank's sends never leave: the staging
+                            // slot stays empty and the receive is caught by
+                            // the apply-phase watchdog.
+                            continue;
+                        }
                         let src = lock_any(&states[send.src as usize]);
                         for (k, &block_idx) in compiled.block_index_slice(send).iter().enumerate() {
                             let payload = src.slot(block_idx).unwrap_or_else(|| {
@@ -346,7 +423,7 @@ impl ExecutorPool {
                     *lock_any(&partial[w]) = out;
                 }));
             }
-            self.run_batch_impl(jobs)?;
+            self.run_batch_impl(jobs).map_err(ExecError::from_panic)?;
 
             // Assemble the staging buffer (moves Arcs, no payload copies).
             let mut staging: Vec<Option<Block>> = vec![None; payload_count];
@@ -358,8 +435,11 @@ impl ExecutorPool {
             let staging = Arc::new(staging);
 
             // Apply phase: workers own disjoint destination-rank chunks.
+            // Under injection each worker reports the receives it found
+            // unsatisfiable (sender dead, nothing staged) — the watchdog.
             let workers = self.num_workers().min(p);
             let chunk = p.div_ceil(workers);
+            let stalled: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
             let mut jobs: Vec<Job> = Vec::with_capacity(workers);
             for w in 0..workers {
                 let lo = w * chunk;
@@ -367,8 +447,15 @@ impl ExecutorPool {
                 let compiled = Arc::clone(compiled);
                 let states = Arc::clone(&states);
                 let staging = Arc::clone(&staging);
+                let is_dead = Arc::clone(&is_dead);
+                let stalled = Arc::clone(&stalled);
                 jobs.push(Box::new(move || {
                     for rank in lo..hi {
+                        if inject && is_dead[rank] {
+                            // A dead rank posts no receives; its state stays
+                            // untouched.
+                            continue;
+                        }
                         let recvs = compiled.recvs_to(step, rank);
                         if recvs.is_empty() {
                             continue;
@@ -376,6 +463,13 @@ impl ExecutorPool {
                         let mut dst = lock_any(&states[rank]);
                         for &send_idx in recvs {
                             let send = compiled.send(send_idx as usize);
+                            if inject && is_dead[send.src as usize] {
+                                // Blocking receive from a dead rank: in a
+                                // real run this rank hangs here, and its
+                                // later receives are never posted.
+                                lock_any(&stalled).push(send_idx);
+                                break;
+                            }
                             for (k, &block_idx) in
                                 compiled.block_index_slice(send).iter().enumerate()
                             {
@@ -389,7 +483,18 @@ impl ExecutorPool {
                     }
                 }));
             }
-            self.run_batch_impl(jobs)?;
+            self.run_batch_impl(jobs).map_err(ExecError::from_panic)?;
+            if inject {
+                let stalled = lock_any(&stalled);
+                if let Some(&send_idx) = stalled.iter().min() {
+                    let send = compiled.send(send_idx as usize);
+                    return Err(ExecError::RankDead {
+                        step,
+                        src: send.src as usize,
+                        dst: send.dst as usize,
+                    });
+                }
+            }
         }
 
         // Batches drain fully even on a panic, so no in-flight job can still
@@ -590,6 +695,63 @@ mod tests {
         let finals = pool.run(&compiled, w.initial_state(&sched));
         assert_eq!(finals, *reference);
         assert_eq!(pool.num_workers(), 4);
+    }
+
+    #[test]
+    fn dead_rank_injection_stalls_dependents_with_a_typed_error() {
+        // Recursive-doubling allreduce: every rank exchanges with a partner
+        // each step, so killing rank 3 blocks its step-0 partner forever.
+        // The watchdog must surface that as RankDead, not hang or panic.
+        let pool = ExecutorPool::new(2);
+        let sched = allreduce(8, AllreduceAlg::RecursiveDoubling);
+        let compiled = Arc::new(sched.compile());
+        let w = Workload::for_schedule(&sched, 2);
+        let err = pool
+            .try_run_with_dead(&compiled, w.initial_state(&sched), &[3])
+            .expect_err("a dead partner must stall the exchange");
+        match err {
+            ExecError::RankDead { step, src, dst } => {
+                assert_eq!(step, 0, "the stall is detected at the first exchange");
+                assert_eq!(src, 3, "the diagnosed sender is the dead rank");
+                assert_ne!(dst, 3, "the blocked rank survived");
+            }
+            other => panic!("expected RankDead, got {other}"),
+        }
+        assert_eq!(
+            err.message(),
+            "rank blocked forever on a receive from a dead rank"
+        );
+        assert!(err.to_string().contains("dead rank 3"), "{err}");
+
+        // The pool is fully usable afterwards and still bit-identical.
+        let reference = sequential::run_reference(&sched, w.initial_state(&sched));
+        let finals = pool
+            .try_run_with_dead(&compiled, w.initial_state(&sched), &[])
+            .expect("empty dead set is the healthy path");
+        assert_eq!(finals, reference);
+    }
+
+    #[test]
+    fn a_dead_leaf_does_not_stall_the_surviving_ranks() {
+        // A broadcast leaf forwards nothing: killing it leaves every other
+        // rank's data flow intact, so the run completes and the survivors'
+        // results are bit-identical to the healthy reference.
+        let pool = ExecutorPool::new(2);
+        let sched = broadcast(8, 0, BroadcastAlg::BinomialDistanceDoubling);
+        let leaf = (0..8)
+            .find(|r| sched.messages().all(|(_, m)| m.src != *r))
+            .expect("a binomial tree has leaves");
+        let compiled = Arc::new(sched.compile());
+        let w = Workload::for_schedule(&sched, 2);
+        let reference = sequential::run_reference(&sched, w.initial_state(&sched));
+        let finals = pool
+            .try_run_with_dead(&compiled, w.initial_state(&sched), &[leaf])
+            .expect("a dead leaf stalls nobody");
+        for (rank, (got, want)) in finals.iter().zip(&reference).enumerate() {
+            if rank != leaf {
+                assert_eq!(got, want, "rank {rank} diverged");
+            }
+        }
     }
 
     #[test]

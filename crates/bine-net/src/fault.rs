@@ -30,6 +30,65 @@
 //! hash (no RNG dependency): the same `(seed, topology size, rank count)`
 //! always yields the same plan, on every platform.
 
+/// An invalid fault parameter, reported by the `try_`-builders and by
+/// [`FaultSpec::validate`] instead of panicking (or, worse, silently
+/// producing NaN simulation times).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultError {
+    /// A bandwidth factor outside `(0, 1]`, or NaN.
+    BadBandwidthFactor {
+        /// The offending value.
+        value: f64,
+    },
+    /// A latency spike that is negative, NaN or infinite.
+    BadLatencySpike {
+        /// The offending value.
+        value: f64,
+    },
+    /// A compute slowdown below `1`, NaN or infinite.
+    BadComputeSlowdown {
+        /// The offending value.
+        value: f64,
+    },
+    /// A crash or link-down time that is NaN or negative (use
+    /// `f64::INFINITY`-free plans, i.e. simply no entry, for "never").
+    BadFaultTime {
+        /// The offending value.
+        value: f64,
+    },
+    /// A [`FaultSpec`] incidence fraction outside `[0, 1]`, or NaN.
+    BadFraction {
+        /// Which fraction field is invalid.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::BadBandwidthFactor { value } => {
+                write!(f, "bandwidth factor must be in (0, 1], got {value}")
+            }
+            FaultError::BadLatencySpike { value } => {
+                write!(f, "latency spike must be finite and >= 0, got {value}")
+            }
+            FaultError::BadComputeSlowdown { value } => {
+                write!(f, "compute slowdown must be finite and >= 1, got {value}")
+            }
+            FaultError::BadFaultTime { value } => {
+                write!(f, "fault time must be finite and >= 0, got {value}")
+            }
+            FaultError::BadFraction { field, value } => {
+                write!(f, "{field} must be in [0, 1], got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
 /// Degradation of one link: a capacity factor and/or a latency spike.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LinkFault {
@@ -51,9 +110,30 @@ pub struct Straggler {
     pub compute_slowdown: f64,
 }
 
+/// A crash fault: `rank` fail-stops at `at_time_us`. From that instant the
+/// rank starts no further sends; messages already in flight are delivered
+/// (fail-stop at send granularity, the standard crash model).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankCrash {
+    /// Rank id in the schedule's `0..num_ranks` space.
+    pub rank: usize,
+    /// Crash instant in simulated µs (`0.0` = dead from the start).
+    pub at_time_us: f64,
+}
+
+/// A severed link: no message may *start* crossing `link` at or after
+/// `at_time_us`. Flows already on the link complete.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkDown {
+    /// Link id in the topology's `0..num_links()` space.
+    pub link: usize,
+    /// Cut instant in simulated µs (`0.0` = down from the start).
+    pub at_time_us: f64,
+}
+
 /// A deterministic fault scenario for one simulation: which links are
-/// degraded or spiked and which ranks straggle. See the module docs for the
-/// semantics of each fault family.
+/// degraded, spiked or severed, which ranks straggle, and which ranks crash.
+/// See the module docs for the semantics of each fault family.
 ///
 /// Entries are kept sorted by id and deduplicated (last write wins), so two
 /// plans describing the same scenario compare equal — the simulator's static
@@ -63,6 +143,8 @@ pub struct Straggler {
 pub struct FaultPlan {
     link_faults: Vec<LinkFault>,
     stragglers: Vec<Straggler>,
+    crashes: Vec<RankCrash>,
+    link_downs: Vec<LinkDown>,
 }
 
 impl FaultPlan {
@@ -76,37 +158,55 @@ impl FaultPlan {
     ///
     /// # Panics
     /// Panics unless `0 < factor <= 1`.
-    pub fn degrade_link(mut self, link: usize, factor: f64) -> Self {
-        assert!(
-            factor > 0.0 && factor <= 1.0,
-            "bandwidth factor must be in (0, 1], got {factor}"
-        );
+    pub fn degrade_link(self, link: usize, factor: f64) -> Self {
+        self.try_degrade_link(link, factor)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`FaultPlan::degrade_link`]: rejects NaN and factors
+    /// outside `(0, 1]` with a typed error.
+    pub fn try_degrade_link(mut self, link: usize, factor: f64) -> Result<Self, FaultError> {
+        if !(factor > 0.0 && factor <= 1.0) {
+            return Err(FaultError::BadBandwidthFactor { value: factor });
+        }
         self.link_entry(link).bandwidth_factor = factor;
-        self
+        Ok(self)
     }
 
     /// Adds (or overwrites) a latency spike for `link`.
     ///
     /// # Panics
     /// Panics unless `extra_us` is finite and non-negative.
-    pub fn spike_link(mut self, link: usize, extra_us: f64) -> Self {
-        assert!(
-            extra_us.is_finite() && extra_us >= 0.0,
-            "latency spike must be finite and >= 0, got {extra_us}"
-        );
+    pub fn spike_link(self, link: usize, extra_us: f64) -> Self {
+        self.try_spike_link(link, extra_us)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`FaultPlan::spike_link`]: rejects NaN, infinities
+    /// and negative spikes with a typed error.
+    pub fn try_spike_link(mut self, link: usize, extra_us: f64) -> Result<Self, FaultError> {
+        if !(extra_us.is_finite() && extra_us >= 0.0) {
+            return Err(FaultError::BadLatencySpike { value: extra_us });
+        }
         self.link_entry(link).extra_latency_us = extra_us;
-        self
+        Ok(self)
     }
 
     /// Adds (or overwrites) a compute slowdown for `rank`.
     ///
     /// # Panics
     /// Panics unless `slowdown` is finite and `>= 1`.
-    pub fn straggler(mut self, rank: usize, slowdown: f64) -> Self {
-        assert!(
-            slowdown.is_finite() && slowdown >= 1.0,
-            "compute slowdown must be finite and >= 1, got {slowdown}"
-        );
+    pub fn straggler(self, rank: usize, slowdown: f64) -> Self {
+        self.try_straggler(rank, slowdown)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`FaultPlan::straggler`]: rejects NaN, infinities
+    /// and slowdowns below `1` with a typed error.
+    pub fn try_straggler(mut self, rank: usize, slowdown: f64) -> Result<Self, FaultError> {
+        if !(slowdown.is_finite() && slowdown >= 1.0) {
+            return Err(FaultError::BadComputeSlowdown { value: slowdown });
+        }
         match self.stragglers.binary_search_by_key(&rank, |s| s.rank) {
             Ok(i) => self.stragglers[i].compute_slowdown = slowdown,
             Err(i) => self.stragglers.insert(
@@ -117,7 +217,64 @@ impl FaultPlan {
                 },
             ),
         }
-        self
+        Ok(self)
+    }
+
+    /// Adds (or overwrites) a crash fault: `rank` fail-stops at `at_us`.
+    ///
+    /// # Panics
+    /// Panics unless `at_us` is finite and non-negative.
+    pub fn crash_rank(self, rank: usize, at_us: f64) -> Self {
+        self.try_crash_rank(rank, at_us)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`FaultPlan::crash_rank`]: rejects NaN, infinities
+    /// and negative crash times with a typed error.
+    pub fn try_crash_rank(mut self, rank: usize, at_us: f64) -> Result<Self, FaultError> {
+        if !(at_us.is_finite() && at_us >= 0.0) {
+            return Err(FaultError::BadFaultTime { value: at_us });
+        }
+        match self.crashes.binary_search_by_key(&rank, |c| c.rank) {
+            Ok(i) => self.crashes[i].at_time_us = at_us,
+            Err(i) => self.crashes.insert(
+                i,
+                RankCrash {
+                    rank,
+                    at_time_us: at_us,
+                },
+            ),
+        }
+        Ok(self)
+    }
+
+    /// Adds (or overwrites) a link cut: no message may start crossing
+    /// `link` at or after `at_us`.
+    ///
+    /// # Panics
+    /// Panics unless `at_us` is finite and non-negative.
+    pub fn down_link(self, link: usize, at_us: f64) -> Self {
+        self.try_down_link(link, at_us)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`FaultPlan::down_link`]: rejects NaN, infinities
+    /// and negative cut times with a typed error.
+    pub fn try_down_link(mut self, link: usize, at_us: f64) -> Result<Self, FaultError> {
+        if !(at_us.is_finite() && at_us >= 0.0) {
+            return Err(FaultError::BadFaultTime { value: at_us });
+        }
+        match self.link_downs.binary_search_by_key(&link, |c| c.link) {
+            Ok(i) => self.link_downs[i].at_time_us = at_us,
+            Err(i) => self.link_downs.insert(
+                i,
+                LinkDown {
+                    link,
+                    at_time_us: at_us,
+                },
+            ),
+        }
+        Ok(self)
     }
 
     fn link_entry(&mut self, link: usize) -> &mut LinkFault {
@@ -162,13 +319,40 @@ impl FaultPlan {
         }
     }
 
+    /// Crash instant of `rank` in µs, `f64::INFINITY` when it never crashes.
+    /// The simulator compares send start times against this value; the
+    /// infinity identity keeps healthy ranks on the exact unfaulted path.
+    pub fn crash_time_us(&self, rank: usize) -> f64 {
+        match self.crashes.binary_search_by_key(&rank, |c| c.rank) {
+            Ok(i) => self.crashes[i].at_time_us,
+            Err(_) => f64::INFINITY,
+        }
+    }
+
+    /// Cut instant of `link` in µs, `f64::INFINITY` when it stays up.
+    pub fn link_down_time_us(&self, link: usize) -> f64 {
+        match self.link_downs.binary_search_by_key(&link, |c| c.link) {
+            Ok(i) => self.link_downs[i].at_time_us,
+            Err(_) => f64::INFINITY,
+        }
+    }
+
+    /// The ranks with a crash entry, ascending.
+    pub fn crashed_ranks(&self) -> impl Iterator<Item = usize> + '_ {
+        self.crashes.iter().map(|c| c.rank)
+    }
+
     /// Whether every entry is an identity (or there are no entries at all) —
-    /// a zero plan simulates bit-identically to no plan.
+    /// a zero plan simulates bit-identically to no plan. Crash and link-cut
+    /// entries are never identities: any finite fault time kills at least
+    /// the sends scheduled after it.
     pub fn is_zero(&self) -> bool {
         self.link_faults
             .iter()
             .all(|f| f.bandwidth_factor == 1.0 && f.extra_latency_us == 0.0)
             && self.stragglers.iter().all(|s| s.compute_slowdown == 1.0)
+            && self.crashes.is_empty()
+            && self.link_downs.is_empty()
     }
 
     /// The link fault entries, sorted by link id.
@@ -179,6 +363,16 @@ impl FaultPlan {
     /// The straggler entries, sorted by rank id.
     pub fn stragglers(&self) -> &[Straggler] {
         &self.stragglers
+    }
+
+    /// The crash entries, sorted by rank id.
+    pub fn crashes(&self) -> &[RankCrash] {
+        &self.crashes
+    }
+
+    /// The link-cut entries, sorted by link id.
+    pub fn link_downs(&self) -> &[LinkDown] {
+        &self.link_downs
     }
 }
 
@@ -223,9 +417,53 @@ impl FaultSpec {
         }
     }
 
+    /// Checks every field for NaN and out-of-range values, reporting the
+    /// first violation as a typed error. [`FaultSpec::plan`] calls this and
+    /// panics on violation; callers taking untrusted input (CLI flags,
+    /// config files) should call it directly.
+    pub fn validate(&self) -> Result<(), FaultError> {
+        let fraction = |field: &'static str, value: f64| {
+            if (0.0..=1.0).contains(&value) {
+                Ok(())
+            } else {
+                Err(FaultError::BadFraction { field, value })
+            }
+        };
+        fraction("degraded_link_fraction", self.degraded_link_fraction)?;
+        fraction("spiked_link_fraction", self.spiked_link_fraction)?;
+        fraction("straggler_fraction", self.straggler_fraction)?;
+        if !(self.min_bandwidth_factor > 0.0 && self.min_bandwidth_factor <= 1.0) {
+            return Err(FaultError::BadBandwidthFactor {
+                value: self.min_bandwidth_factor,
+            });
+        }
+        if !(self.max_latency_spike_us.is_finite() && self.max_latency_spike_us >= 0.0) {
+            return Err(FaultError::BadLatencySpike {
+                value: self.max_latency_spike_us,
+            });
+        }
+        if !(self.max_compute_slowdown.is_finite() && self.max_compute_slowdown >= 1.0) {
+            return Err(FaultError::BadComputeSlowdown {
+                value: self.max_compute_slowdown,
+            });
+        }
+        Ok(())
+    }
+
     /// Draws the plan for a system with `num_links` links and `num_ranks`
     /// ranks. Deterministic in `(self, num_links, num_ranks)`.
+    ///
+    /// # Panics
+    /// Panics when the spec fails [`FaultSpec::validate`].
     pub fn plan(&self, num_links: usize, num_ranks: usize) -> FaultPlan {
+        self.try_plan(num_links, num_ranks)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`FaultSpec::plan`]: validates the spec first and
+    /// reports the violation instead of panicking.
+    pub fn try_plan(&self, num_links: usize, num_ranks: usize) -> Result<FaultPlan, FaultError> {
+        self.validate()?;
         let mut plan = FaultPlan::none();
         for link in 0..num_links {
             if unit(self.seed, 0, link) < self.degraded_link_fraction {
@@ -243,7 +481,7 @@ impl FaultSpec {
                 plan = plan.straggler(rank, s.max(1.0));
             }
         }
-        plan
+        Ok(plan)
     }
 }
 
@@ -332,5 +570,95 @@ mod tests {
     #[should_panic(expected = "compute slowdown")]
     fn sub_unit_slowdown_is_rejected() {
         let _ = FaultPlan::none().straggler(0, 0.5);
+    }
+
+    #[test]
+    fn try_builders_reject_nan_and_out_of_range_with_typed_errors() {
+        assert!(matches!(
+            FaultPlan::none().try_degrade_link(0, f64::NAN),
+            Err(FaultError::BadBandwidthFactor { value }) if value.is_nan()
+        ));
+        assert_eq!(
+            FaultPlan::none().try_degrade_link(0, 1.5),
+            Err(FaultError::BadBandwidthFactor { value: 1.5 })
+        );
+        assert_eq!(
+            FaultPlan::none().try_spike_link(0, -1.0),
+            Err(FaultError::BadLatencySpike { value: -1.0 })
+        );
+        assert!(matches!(
+            FaultPlan::none().try_spike_link(0, f64::NAN),
+            Err(FaultError::BadLatencySpike { value }) if value.is_nan()
+        ));
+        assert_eq!(
+            FaultPlan::none().try_straggler(0, f64::INFINITY),
+            Err(FaultError::BadComputeSlowdown {
+                value: f64::INFINITY
+            })
+        );
+        assert_eq!(
+            FaultPlan::none().try_crash_rank(0, -0.5),
+            Err(FaultError::BadFaultTime { value: -0.5 })
+        );
+        assert!(matches!(
+            FaultPlan::none().try_down_link(0, f64::NAN),
+            Err(FaultError::BadFaultTime { value }) if value.is_nan()
+        ));
+        assert!(FaultPlan::none().try_crash_rank(3, 12.5).is_ok());
+    }
+
+    #[test]
+    fn nan_error_values_still_compare_equal() {
+        // FaultError derives PartialEq over f64 payloads; NaN != NaN would
+        // make the assertions above vacuous, so pin the representation.
+        let a = FaultPlan::none().try_spike_link(0, f64::NAN).unwrap_err();
+        match a {
+            FaultError::BadLatencySpike { value } => assert!(value.is_nan()),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crash_entries_sort_dedupe_and_default_to_never() {
+        let plan = FaultPlan::none()
+            .crash_rank(5, 10.0)
+            .crash_rank(1, 0.0)
+            .crash_rank(5, 7.5)
+            .down_link(9, 3.0);
+        assert_eq!(plan.crash_time_us(5), 7.5);
+        assert_eq!(plan.crash_time_us(1), 0.0);
+        assert_eq!(plan.crash_time_us(2), f64::INFINITY);
+        assert_eq!(plan.link_down_time_us(9), 3.0);
+        assert_eq!(plan.link_down_time_us(0), f64::INFINITY);
+        assert_eq!(plan.crashed_ranks().collect::<Vec<_>>(), vec![1, 5]);
+        assert!(!plan.is_zero());
+        // A crash at any finite time is a real fault, never an identity.
+        assert!(!FaultPlan::none().crash_rank(0, 1e12).is_zero());
+    }
+
+    #[test]
+    fn spec_validation_rejects_nan_fields() {
+        let mut spec = FaultSpec::moderate(1);
+        assert_eq!(spec.validate(), Ok(()));
+        spec.degraded_link_fraction = f64::NAN;
+        assert!(matches!(
+            spec.validate(),
+            Err(FaultError::BadFraction {
+                field: "degraded_link_fraction",
+                ..
+            })
+        ));
+        let mut spec = FaultSpec::moderate(1);
+        spec.min_bandwidth_factor = 0.0;
+        assert!(matches!(
+            spec.try_plan(16, 8),
+            Err(FaultError::BadBandwidthFactor { .. })
+        ));
+        let mut spec = FaultSpec::moderate(1);
+        spec.max_compute_slowdown = 0.5;
+        assert!(matches!(
+            spec.validate(),
+            Err(FaultError::BadComputeSlowdown { .. })
+        ));
     }
 }

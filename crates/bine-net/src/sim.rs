@@ -90,11 +90,29 @@
 //! optimized path stays pinned to the reference under faults — asymmetric
 //! link capacities are exactly what stresses the incremental fair-share
 //! rebuild.
+//!
+//! ## Crash faults and stall diagnosis
+//!
+//! A plan may also carry **crash faults**: `RankCrash { rank, at_time_us }`
+//! and `LinkDown { link, at_time_us }`. Each send gets a static *kill time*
+//! — the earliest crash of its endpoints or severing of a route link
+//! (`INFINITY` when healthy). A send whose eligibility moment falls at or
+//! after its kill time is *dropped*: it never occupies the port and never
+//! produces an event (fail-stop at send granularity; flows already in
+//! flight complete). Dependents of a dropped write can never start, so the
+//! event loop eventually goes quiescent with writes outstanding; instead of
+//! asserting, the run returns [`SimOutcome::Stalled`] carrying a
+//! [`StallReport`] whose diagnosis comes from
+//! `bine_sched::validate::ScheduleValidator` — which surviving ranks still
+//! met their postcondition and which pending receives form the stall cut.
+//! The kill-time comparison adds no floating-point arithmetic, so a plan
+//! with no crashes remains bit-identical to the healthy run, and the
+//! optimized path stays pinned to the reference under any crash plan.
 
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
-use bine_sched::{CompiledSchedule, Schedule, TransferKind};
+use bine_sched::{CompiledSchedule, CompletionReport, Schedule, ScheduleValidator, TransferKind};
 
 use crate::allocation::Allocation;
 use crate::cost::{CostModel, GIB_PER_US};
@@ -231,7 +249,7 @@ fn simulate_reference_impl(
     alloc: &Allocation,
     plan: Option<&FaultPlan>,
     mut probe: Option<RateProbe<'_>>,
-) -> SimReport {
+) -> Result<SimReport, Box<StallReport>> {
     let p = schedule.num_ranks;
     assert!(
         alloc.num_ranks() >= p,
@@ -250,8 +268,9 @@ fn simulate_reference_impl(
         .map(|r| model.reduce_bandwidth_gib_s * GIB_PER_US / plan.compute_slowdown(r))
         .collect();
 
-    // ---- Static resolution: bytes, routes, latencies. ----------------------
+    // ---- Static resolution: bytes, routes, latencies, kill times. ----------
     let mut infos: Vec<SendInfo> = Vec::with_capacity(num_sends);
+    let mut kill_time: Vec<f64> = Vec::with_capacity(num_sends);
     let mut network_messages = 0u64;
     for step in 0..schedule.num_steps() {
         for i in schedule.step_send_range(step) {
@@ -268,6 +287,12 @@ fn simulate_reference_impl(
                 network_messages += 1;
                 model.alpha_us + model.segment_overhead_us * (s.segments.saturating_sub(1)) as f64
             };
+            // The earliest moment a fault kills this send: either endpoint
+            // crashing or any route link going down (INFINITY when healthy —
+            // min over identities, no arithmetic, bit-exact).
+            let mut kill = plan
+                .crash_time_us(s.src as usize)
+                .min(plan.crash_time_us(s.dst as usize));
             let links = if local {
                 Vec::new()
             } else {
@@ -277,9 +302,11 @@ fn simulate_reference_impl(
                     // A zero spike adds 0.0 — bit-exact for the
                     // non-negative latencies topologies produce.
                     latency_us += topo.link(l).latency_us + plan.extra_latency_us(l);
+                    kill = kill.min(plan.link_down_time_us(l));
                 }
                 route
             };
+            kill_time.push(kill);
             infos.push(SendInfo {
                 bytes: bytes as f64,
                 latency_us,
@@ -370,19 +397,25 @@ fn simulate_reference_impl(
     let mut peak_active_flows = 0usize;
     // Worklist for cascading write completions (avoids recursion).
     let mut finish_stack: Vec<u32> = Vec::new();
+    // Sends refused because their kill time had passed when they became
+    // eligible. They count toward loop termination — their writes never
+    // happen — and a non-empty list at quiescence is a stall.
+    let mut dropped: Vec<u32> = Vec::new();
 
     // A healthy link's factor is the identity 1.0 — bit-exact.
     let link_cap =
         |l: usize| -> f64 { topo.link(l).bandwidth_gib_s * GIB_PER_US * plan.bandwidth_factor(l) };
 
     // Starts every eligible send at time `t`; returns whether a flow was
-    // added (rates must then be recomputed).
+    // added (rates must then be recomputed). Sends whose kill time has
+    // passed are dropped instead of started: no port occupancy, no event.
     let start_eligible = |t: f64,
                           next_idx: &mut [usize],
                           port_free: &mut [f64],
                           read_deps_remaining: &[u32],
                           active: &mut Vec<Flow>,
-                          heap: &mut EventQueue<Ev>|
+                          heap: &mut EventQueue<Ev>,
+                          dropped: &mut Vec<u32>|
      -> bool {
         let mut flows_changed = false;
         for r in 0..p {
@@ -393,6 +426,10 @@ fn simulate_reference_impl(
                 }
                 let info = &infos[send as usize];
                 next_idx[r] += 1;
+                if t >= kill_time[send as usize] {
+                    dropped.push(send);
+                    continue;
+                }
                 if info.local {
                     let done = t + info.bytes / copy_rates[r];
                     port_free[r] = done;
@@ -473,6 +510,7 @@ fn simulate_reference_impl(
         &read_deps_remaining,
         &mut active,
         &mut heap,
+        &mut dropped,
     ) {
         assign_rates(&mut active);
         if let Some(probe) = probe.as_mut() {
@@ -482,18 +520,18 @@ fn simulate_reference_impl(
     }
     peak_active_flows = peak_active_flows.max(active.len());
 
-    while completed < num_sends {
+    while completed + dropped.len() < num_sends {
         // Next event: earliest flow completion or queued timer.
         let t_flow = active
             .iter()
             .map(|f| t + f.remaining_bytes / f.rate)
             .fold(f64::INFINITY, f64::min);
         let t_next = t_flow.min(heap.peek_time().unwrap_or(f64::INFINITY));
-        assert!(
-            t_next.is_finite(),
-            "simulation deadlock: {} of {num_sends} writes completed",
-            completed
-        );
+        if !t_next.is_finite() {
+            // Quiescence with writes outstanding: every remaining send
+            // waits (transitively) on a dropped write. Diagnosed below.
+            break;
+        }
         let tol = 1e-9 * (1.0 + t_next.abs());
         let dt = t_next - t;
 
@@ -575,6 +613,7 @@ fn simulate_reference_impl(
             &read_deps_remaining,
             &mut active,
             &mut heap,
+            &mut dropped,
         ) {
             flows_changed = true;
         }
@@ -588,13 +627,22 @@ fn simulate_reference_impl(
         peak_active_flows = peak_active_flows.max(active.len());
     }
 
+    if !dropped.is_empty() {
+        return Err(stall_report(
+            schedule, plan, t, completed, num_sends, dropped,
+        ));
+    }
+    assert!(
+        completed == num_sends,
+        "simulation deadlock: {completed} of {num_sends} writes completed"
+    );
     let makespan_us = rank_finish.iter().copied().fold(0.0, f64::max);
-    SimReport {
+    Ok(SimReport {
         makespan_us,
         rank_finish_us: rank_finish,
         network_messages,
         peak_active_flows,
-    }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -649,6 +697,11 @@ struct CachedStatic {
     /// healthy — bit-exact).
     copy_rates: Vec<f64>,
     reduce_rates: Vec<f64>,
+
+    /// Per-send kill time: the earliest crash of an endpoint or severing of
+    /// a route link (`INFINITY` when healthy). The same min-fold the
+    /// reference computes inline — no arithmetic, bit-exact.
+    kill_time: Vec<f64>,
 
     /// The vector size the `bytes` column currently resolves, if any.
     bytes_n: Option<u64>,
@@ -745,6 +798,7 @@ fn build_static(
     let mut local = Vec::with_capacity(num_sends);
     let mut src = Vec::with_capacity(num_sends);
     let mut dst = Vec::with_capacity(num_sends);
+    let mut kill_time = Vec::with_capacity(num_sends);
     let mut network_messages = 0u64;
     links_off.push(0);
     for step in 0..schedule.num_steps() {
@@ -757,15 +811,20 @@ fn build_static(
                 network_messages += 1;
                 model.alpha_us + model.segment_overhead_us * (s.segments.saturating_sub(1)) as f64
             };
+            let mut kill = plan
+                .crash_time_us(s.src as usize)
+                .min(plan.crash_time_us(s.dst as usize));
             if !is_local {
                 let route =
                     topo.route(alloc.node_of(s.src as usize), alloc.node_of(s.dst as usize));
                 for &l in &route {
                     lat += topo.link(l).latency_us + plan.extra_latency_us(l);
+                    kill = kill.min(plan.link_down_time_us(l));
                 }
                 links_flat.extend(route.iter().map(|&l| l as u32));
             }
             links_off.push(links_flat.len() as u32);
+            kill_time.push(kill);
             latency_us.push(lat);
             reduce.push(s.kind == TransferKind::Reduce);
             local.push(is_local);
@@ -881,6 +940,7 @@ fn build_static(
         link_cap,
         copy_rates,
         reduce_rates,
+        kill_time,
         bytes_n: None,
         bytes: Vec::new(),
     }
@@ -935,6 +995,9 @@ struct Scratch {
     finish_stack: Vec<u32>,
     pending: Vec<(f64, Ev)>,
     finished_sends: Vec<u32>,
+    /// Sends refused because their kill time had passed at eligibility
+    /// (always empty under a crash-free plan — no allocation).
+    dropped: Vec<u32>,
     // Incremental fair-share state.
     /// Per link: the sends of the flows currently traversing it, in
     /// ascending active-index order (append on start, ordered removal on
@@ -1051,7 +1114,7 @@ impl SimArena {
 ///     .arena(&mut arena)
 ///     .time_only()
 ///     .run()
-///     .makespan_us;
+///     .makespan_us();
 /// assert_eq!(t.to_bits(), report.makespan_us.to_bits());
 /// ```
 pub struct SimRequest<'a> {
@@ -1067,26 +1130,135 @@ pub struct SimRequest<'a> {
     reference: bool,
 }
 
-/// Outcome of a [`SimRequest`]: the makespan, plus the full [`SimReport`]
-/// unless the request was [`SimRequest::time_only`].
+/// Diagnosis of a simulation that reached quiescence with writes still
+/// outstanding: a crash plan ([`crate::fault::RankCrash`] /
+/// [`crate::fault::LinkDown`]) killed sends the rest of the schedule
+/// depended on. Instead of hanging (or asserting, as a genuinely cyclic
+/// schedule would), the simulator stops at the last event and hands the
+/// refused sends to the schedule validator for a survivability verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StallReport {
+    /// Simulated time of the last event before quiescence.
+    pub time_us: f64,
+    /// Writes that completed before the stall.
+    pub completed_writes: usize,
+    /// Total writes in the schedule.
+    pub total_writes: usize,
+    /// Global send indices refused because an endpoint had crashed or a
+    /// route link was severed when they became eligible, ascending.
+    pub dropped_sends: Vec<u32>,
+    /// The crashed ranks of the fault plan, ascending.
+    pub dead_ranks: Vec<usize>,
+    /// The validator's survivability verdict over the dropped sends: which
+    /// ranks still satisfied their postcondition, which stalled, and the
+    /// minimal stall cut of undeliverable receives.
+    pub diagnosis: CompletionReport,
+}
+
+/// Outcome of a [`SimRequest`]: the completed simulation, or a typed stall
+/// diagnosis when a crash plan prevented completion.
 #[derive(Debug)]
-pub struct SimOutcome {
-    /// Simulated makespan in microseconds.
-    pub makespan_us: f64,
-    /// The full report; `None` exactly for `.time_only()` requests.
-    pub report: Option<SimReport>,
+pub enum SimOutcome {
+    /// Every write of the schedule completed.
+    Completed {
+        /// Simulated makespan in microseconds.
+        makespan_us: f64,
+        /// The full report; `None` exactly for `.time_only()` requests.
+        report: Option<SimReport>,
+    },
+    /// The simulation went quiescent with writes outstanding — only
+    /// possible under a crash plan.
+    Stalled(Box<StallReport>),
 }
 
 impl SimOutcome {
+    /// The simulated makespan in microseconds.
+    ///
+    /// # Panics
+    /// Panics when the simulation stalled under a crash plan; the message
+    /// carries the stall diagnosis. Callers that inject crash faults should
+    /// branch on [`SimOutcome::try_makespan`] or [`SimOutcome::stall`]
+    /// instead.
+    pub fn makespan_us(&self) -> f64 {
+        match self {
+            SimOutcome::Completed { makespan_us, .. } => *makespan_us,
+            SimOutcome::Stalled(stall) => panic!(
+                "simulation stalled at {:.3} us: {} of {} writes completed, \
+                 {} sends dropped, {} ranks dead, {} receives undeliverable",
+                stall.time_us,
+                stall.completed_writes,
+                stall.total_writes,
+                stall.dropped_sends.len(),
+                stall.dead_ranks.len(),
+                stall.diagnosis.undeliverable.len(),
+            ),
+        }
+    }
+
+    /// The makespan, or `None` when the simulation stalled.
+    pub fn try_makespan(&self) -> Option<f64> {
+        match self {
+            SimOutcome::Completed { makespan_us, .. } => Some(*makespan_us),
+            SimOutcome::Stalled(_) => None,
+        }
+    }
+
+    /// Whether the simulation stalled under a crash plan.
+    pub fn is_stalled(&self) -> bool {
+        matches!(self, SimOutcome::Stalled(_))
+    }
+
+    /// The stall diagnosis, when the simulation stalled.
+    pub fn stall(&self) -> Option<&StallReport> {
+        match self {
+            SimOutcome::Completed { .. } => None,
+            SimOutcome::Stalled(stall) => Some(stall),
+        }
+    }
+
     /// Unwraps the full report.
     ///
     /// # Panics
-    /// Panics when the request was built with [`SimRequest::time_only`] —
-    /// a time-only run never constructs a report.
+    /// Panics when the request was built with [`SimRequest::time_only`] — a
+    /// time-only run never constructs a report — or when the simulation
+    /// stalled (see [`SimOutcome::makespan_us`]).
     pub fn into_report(self) -> SimReport {
-        self.report
-            .expect("a time_only() SimRequest produces no SimReport")
+        match self {
+            SimOutcome::Completed { report, .. } => {
+                report.expect("a time_only() SimRequest produces no SimReport")
+            }
+            SimOutcome::Stalled(stall) => panic!(
+                "simulation stalled at {:.3} us with {} of {} writes completed: no report",
+                stall.time_us, stall.completed_writes, stall.total_writes,
+            ),
+        }
     }
+}
+
+/// Builds the [`StallReport`] for a quiescent-but-incomplete run: sorts the
+/// refused sends and asks the schedule validator which surviving ranks the
+/// stall actually reaches (the wedge cascade over the remaining sends).
+fn stall_report(
+    schedule: &CompiledSchedule,
+    plan: &FaultPlan,
+    time_us: f64,
+    completed_writes: usize,
+    total_writes: usize,
+    mut dropped_sends: Vec<u32>,
+) -> Box<StallReport> {
+    dropped_sends.sort_unstable();
+    let p = schedule.num_ranks;
+    let dead_ranks: Vec<usize> = plan.crashed_ranks().filter(|&r| r < p).collect();
+    let diagnosis =
+        ScheduleValidator::new(schedule).completion_with_dropped(&dropped_sends, &dead_ranks);
+    Box::new(StallReport {
+        time_us,
+        completed_writes,
+        total_writes,
+        dropped_sends,
+        dead_ranks,
+        diagnosis,
+    })
 }
 
 impl<'a> SimRequest<'a> {
@@ -1152,10 +1324,14 @@ impl<'a> SimRequest<'a> {
 
     /// Runs the request. See the module docs for the simulation semantics.
     ///
+    /// A crash plan that prevents completion yields
+    /// [`SimOutcome::Stalled`] instead of hanging.
+    ///
     /// # Panics
     /// Panics if the allocation has fewer ranks than the schedule, or if
-    /// the simulation deadlocks (a cyclic dependency graph — impossible for
-    /// schedules built by `bine-sched`).
+    /// the simulation deadlocks without any send having been dropped (a
+    /// cyclic dependency graph — impossible for schedules built by
+    /// `bine-sched`).
     pub fn run(self) -> SimOutcome {
         let SimRequest {
             model,
@@ -1170,10 +1346,12 @@ impl<'a> SimRequest<'a> {
             reference,
         } = self;
         if reference {
-            let report = simulate_reference_impl(model, schedule, n, topo, alloc, faults, probe);
-            return SimOutcome {
-                makespan_us: report.makespan_us,
-                report: (!time_only).then_some(report),
+            return match simulate_reference_impl(model, schedule, n, topo, alloc, faults, probe) {
+                Ok(report) => SimOutcome::Completed {
+                    makespan_us: report.makespan_us,
+                    report: (!time_only).then_some(report),
+                },
+                Err(stall) => SimOutcome::Stalled(stall),
             };
         }
         let mut fresh;
@@ -1184,10 +1362,12 @@ impl<'a> SimRequest<'a> {
                 &mut fresh
             }
         };
-        let makespan_us = run_optimized(arena, model, schedule, n, topo, alloc, faults, probe);
-        SimOutcome {
-            makespan_us,
-            report: (!time_only).then(|| report_from(&arena.scratch, makespan_us)),
+        match run_optimized(arena, model, schedule, n, topo, alloc, faults, probe) {
+            Ok(makespan_us) => SimOutcome::Completed {
+                makespan_us,
+                report: (!time_only).then(|| report_from(&arena.scratch, makespan_us)),
+            },
+            Err(stall) => SimOutcome::Stalled(stall),
         }
     }
 }
@@ -1291,7 +1471,7 @@ pub fn sim_time_in(
         .arena(arena)
         .time_only()
         .run()
-        .makespan_us
+        .makespan_us()
 }
 
 /// [`sim_time_in`] under a [`FaultPlan`]: the allocation-free hot entry
@@ -1314,7 +1494,7 @@ pub fn sim_time_in_faulted(
         .faults(plan)
         .time_only()
         .run()
-        .makespan_us
+        .makespan_us()
 }
 
 /// [`simulate_in`] with a [`RateProbe`] invoked after every fair-share
@@ -1371,6 +1551,7 @@ fn start_eligible(
     read_deps: &[u32],
     active: &mut Vec<Flow>,
     pending: &mut Vec<(f64, Ev)>,
+    dropped: &mut Vec<u32>,
 ) -> bool {
     let mut flows_changed = false;
     for &r in candidates {
@@ -1382,6 +1563,12 @@ fn start_eligible(
                 break;
             }
             next_idx[r] += 1;
+            if t >= st.kill_time[send as usize] {
+                // Fail-stop: the send never starts — no port occupancy, no
+                // event — mirroring the reference drop.
+                dropped.push(send);
+                continue;
+            }
             if st.local[send as usize] {
                 let done = t + st.bytes[send as usize] / st.copy_rates[r];
                 port_free[r] = done;
@@ -1608,7 +1795,7 @@ fn run_optimized(
     alloc: &Allocation,
     plan: Option<&FaultPlan>,
     mut probe: Option<RateProbe<'_>>,
-) -> f64 {
+) -> Result<f64, Box<StallReport>> {
     let p = schedule.num_ranks;
     assert!(
         alloc.num_ranks() >= p,
@@ -1650,6 +1837,7 @@ fn run_optimized(
         finish_stack,
         pending,
         finished_sends,
+        dropped,
         link_flows,
         flow_of_send,
         link_dirty,
@@ -1689,6 +1877,7 @@ fn run_optimized(
     finish_stack.clear();
     pending.clear();
     finished_sends.clear();
+    dropped.clear();
     if link_flows.len() < num_links {
         link_flows.resize_with(num_links, Vec::new);
     }
@@ -1728,7 +1917,7 @@ fn run_optimized(
     // ---- Initial ready-send seeding (bulk heap insert). --------------------
     cand_ranks.extend(0..p as u32);
     let mut flows_changed = start_eligible(
-        st, t, cand_ranks, next_idx, port_free, read_deps, active, pending,
+        st, t, cand_ranks, next_idx, port_free, read_deps, active, pending, dropped,
     );
     cand_ranks.clear();
     heap.push_many(pending.drain(..));
@@ -1763,7 +1952,7 @@ fn run_optimized(
     *peak = (*peak).max(active.len());
 
     // ---- Event loop (identical float semantics to the reference). ----------
-    while completed < num_sends {
+    while completed + dropped.len() < num_sends {
         // Next event: earliest flow completion or queued timer. The
         // per-flow completion times are stashed so the compaction pass below
         // reuses the same bits instead of paying the division again.
@@ -1775,11 +1964,11 @@ fn run_optimized(
             t_flow = t_flow.min(c);
         }
         let t_next = t_flow.min(heap.peek_time().unwrap_or(f64::INFINITY));
-        assert!(
-            t_next.is_finite(),
-            "simulation deadlock: {} of {num_sends} writes completed",
-            completed
-        );
+        if !t_next.is_finite() {
+            // Quiescence with writes outstanding: every remaining send
+            // waits (transitively) on a dropped write. Diagnosed below.
+            break;
+        }
         let tol = 1e-9 * (1.0 + t_next.abs());
         let dt = t_next - t;
 
@@ -1894,7 +2083,7 @@ fn run_optimized(
         // the reference's full 0..p scan pushes flows in.
         cand_ranks.sort_unstable();
         if start_eligible(
-            st, t, cand_ranks, next_idx, port_free, read_deps, active, pending,
+            st, t, cand_ranks, next_idx, port_free, read_deps, active, pending, dropped,
         ) {
             flows_changed = true;
         }
@@ -1936,7 +2125,21 @@ fn run_optimized(
         *peak = (*peak).max(active.len());
     }
 
-    rank_finish.iter().copied().fold(0.0, f64::max)
+    if !dropped.is_empty() {
+        return Err(stall_report(
+            schedule,
+            plan,
+            t,
+            completed,
+            num_sends,
+            std::mem::take(dropped),
+        ));
+    }
+    assert!(
+        completed == num_sends,
+        "simulation deadlock: {completed} of {num_sends} writes completed"
+    );
+    Ok(rank_finish.iter().copied().fold(0.0, f64::max))
 }
 
 /// Convenience wrapper: segments `schedule` into `chunks` pipeline chunks
@@ -1970,7 +2173,7 @@ pub fn sim_time_us(
     let compiled = schedule.segmented(chunks).compile();
     SimRequest::new(model, &compiled, n, topo, alloc)
         .run()
-        .makespan_us
+        .makespan_us()
 }
 
 #[cfg(test)]
@@ -2182,6 +2385,134 @@ mod tests {
         assert!(arena.cached_schedules() >= 2);
         arena.clear();
         assert_eq!(arena.cached_schedules(), 0);
+    }
+
+    #[test]
+    fn a_crashed_rank_stalls_the_tree_with_a_typed_diagnosis() {
+        // Killing rank 1 at t = 0 beheads its whole subtree of the binomial
+        // broadcast: the sim must go quiescent and return Stalled with the
+        // validator's exact stall cut instead of hanging.
+        let p = 16;
+        let topo = IdealFullMesh::new(p);
+        let alloc = Allocation::block(p);
+        let model = CostModel::default();
+        let compiled = broadcast(p, 0, BroadcastAlg::BinomialDistanceDoubling).compile();
+        let plan = crate::fault::FaultPlan::none().crash_rank(1, 0.0);
+        let outcome = SimRequest::new(&model, &compiled, 1 << 16, &topo, &alloc)
+            .faults(&plan)
+            .run();
+        assert!(outcome.is_stalled());
+        assert_eq!(outcome.try_makespan(), None);
+        let stall = outcome.stall().expect("stalled");
+        assert_eq!(stall.dead_ranks, vec![1]);
+        assert!(stall.completed_writes < stall.total_writes);
+        assert!(!stall.dropped_sends.is_empty());
+        // The diagnosis partitions the survivors exactly: ranks outside the
+        // dead subtree finish, the subtree stalls, and together with the
+        // dead rank they cover 0..p.
+        assert!(!stall.diagnosis.stalled.is_empty());
+        assert_eq!(
+            stall.diagnosis.completed.len() + stall.diagnosis.stalled.len() + 1,
+            p
+        );
+        assert!(stall
+            .diagnosis
+            .undeliverable
+            .iter()
+            .any(|r| r.reason == bine_sched::StallReason::Crashed));
+    }
+
+    #[test]
+    fn stalled_runs_are_bit_identical_between_optimized_and_reference() {
+        // The whole stall report — quiescence time, drop set, diagnosis —
+        // must match between the two implementations, on a congested
+        // topology and for both a rank crash and a severed link.
+        let p = 16;
+        let topo = FatTree::new(p, 4, 1);
+        let alloc = Allocation::block(p);
+        let model = CostModel::default();
+        let compiled = allreduce(p, AllreduceAlg::BineLarge).segmented(4).compile();
+        let plans = [
+            crate::fault::FaultPlan::none().crash_rank(3, 40.0),
+            crate::fault::FaultPlan::none().down_link(0, 25.0),
+            crate::fault::FaultPlan::none()
+                .crash_rank(0, 10.0)
+                .degrade_link(1, 0.5),
+        ];
+        for plan in &plans {
+            let fast = SimRequest::new(&model, &compiled, 1 << 20, &topo, &alloc)
+                .faults(plan)
+                .run();
+            let reference = SimRequest::new(&model, &compiled, 1 << 20, &topo, &alloc)
+                .faults(plan)
+                .reference()
+                .run();
+            let fast = fast.stall().expect("crash plan must stall");
+            let reference = reference.stall().expect("crash plan must stall");
+            assert_eq!(fast.time_us.to_bits(), reference.time_us.to_bits());
+            assert_eq!(fast, reference);
+        }
+    }
+
+    #[test]
+    fn a_crash_after_completion_reproduces_the_healthy_run_exactly() {
+        // A crash scheduled later than every send's eligibility moment never
+        // drops anything; the run must complete with the healthy bits (the
+        // kill-time comparison adds no floating-point arithmetic).
+        let p = 16;
+        let topo = FatTree::new(p, 4, 1);
+        let alloc = Allocation::block(p);
+        let model = CostModel::default();
+        let compiled = allreduce(p, AllreduceAlg::BineLarge).compile();
+        let healthy = simulate(&model, &compiled, 1 << 20, &topo, &alloc);
+        let plan = crate::fault::FaultPlan::none().crash_rank(5, 1e12);
+        let late = SimRequest::new(&model, &compiled, 1 << 20, &topo, &alloc)
+            .faults(&plan)
+            .run();
+        assert!(!late.is_stalled());
+        let late = late.into_report();
+        assert_eq!(healthy.makespan_us.to_bits(), late.makespan_us.to_bits());
+        assert_eq!(healthy, late);
+    }
+
+    #[test]
+    fn arenas_revalidate_across_crash_plans_and_back_to_healthy() {
+        // One arena alternating crash plan → zero plan → crash plan must
+        // match fresh-arena runs exactly, including identical stall reports.
+        let p = 16;
+        let topo = IdealFullMesh::new(p);
+        let alloc = Allocation::block(p);
+        let model = CostModel::default();
+        let compiled = allreduce(p, AllreduceAlg::RecursiveDoubling).compile();
+        let crash = crate::fault::FaultPlan::none().crash_rank(3, 0.0);
+        let zero = crate::fault::FaultPlan::none();
+        let mut arena = SimArena::new();
+        for plan in [&crash, &zero, &crash, &zero] {
+            let fresh = SimRequest::new(&model, &compiled, 1 << 20, &topo, &alloc)
+                .faults(plan)
+                .run();
+            let reused = SimRequest::new(&model, &compiled, 1 << 20, &topo, &alloc)
+                .faults(plan)
+                .arena(&mut arena)
+                .run();
+            match (fresh, reused) {
+                (
+                    SimOutcome::Completed {
+                        makespan_us: a,
+                        report: ra,
+                    },
+                    SimOutcome::Completed {
+                        makespan_us: b,
+                        report: rb,
+                    },
+                ) => {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                    assert_eq!(ra, rb);
+                }
+                (SimOutcome::Stalled(a), SimOutcome::Stalled(b)) => assert_eq!(a, b),
+                (a, b) => panic!("outcome shapes diverged: {a:?} vs {b:?}"),
+            }
+        }
     }
 
     #[test]

@@ -31,7 +31,7 @@ fn sim_time(
         .arena(arena)
         .time_only()
         .run()
-        .makespan_us
+        .makespan_us()
 }
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);

@@ -229,7 +229,7 @@ proptest! {
         let des = SimRequest::new(&model, &sched.compile(), n, &topo, &alloc)
             .time_only()
             .run()
-            .makespan_us;
+            .makespan_us();
         prop_assert!(
             des <= sync * (1.0 + 1e-9),
             "{:?}/{} dist={} p={p} n={n} chunks={chunks}: DES {des} > sync {sync}",
@@ -264,7 +264,7 @@ proptest! {
         let des = SimRequest::new(&model, &sched.compile(), n, &topo, &alloc)
             .time_only()
             .run()
-            .makespan_us;
+            .makespan_us();
         prop_assert!(
             (des - sync).abs() <= 1e-9 * sync.max(1e-12),
             "{:?}/{} p={p} n={n}: DES {des} vs sync {sync}",

@@ -104,7 +104,7 @@ proptest! {
         let des = SimRequest::new(&model, &sched.compile(), n, &topo, &alloc)
             .time_only()
             .run()
-            .makespan_us;
+            .makespan_us();
         prop_assert!(
             (des - sync).abs() <= 1e-9 * sync.max(1e-12),
             "{:?}/{} p={p} n={n}: DES {des} vs sync {sync}", collective, alg.name
@@ -166,7 +166,7 @@ proptest! {
         let des = SimRequest::new(&model, &sched.compile(), n, &topo, &alloc)
             .time_only()
             .run()
-            .makespan_us;
+            .makespan_us();
         prop_assert!(
             des <= sync * (1.0 + 1e-9),
             "{:?}/{} p={p} n={n} chunks={chunks}: DES {des} > sync {sync}", collective, alg.name
@@ -517,11 +517,11 @@ proptest! {
         let a = SimRequest::new(&model, &compiled, n, &topo, &alloc)
             .time_only()
             .run()
-            .makespan_us;
+            .makespan_us();
         let b = SimRequest::new(&model, &compiled, n, &topo, &alloc)
             .time_only()
             .run()
-            .makespan_us;
+            .makespan_us();
         prop_assert_eq!(a.to_bits(), b.to_bits(), "{}", alg.name);
     }
 
@@ -721,7 +721,7 @@ mod wrapper_parity {
             .arena(&mut arena)
             .time_only()
             .run()
-            .makespan_us;
+            .makespan_us();
         prop_assert_eq!(wrapped.to_bits(), via_builder.to_bits());
         let wrapped = sim_time_in_faulted(&mut arena, &model, &compiled, n, &topo, &alloc, &plan);
         let via_builder = SimRequest::new(&model, &compiled, n, &topo, &alloc)
@@ -729,7 +729,7 @@ mod wrapper_parity {
             .faults(&plan)
             .time_only()
             .run()
-            .makespan_us;
+            .makespan_us();
         prop_assert_eq!(wrapped.to_bits(), via_builder.to_bits());
 
         for with_plan in [false, true] {
@@ -770,7 +770,7 @@ mod wrapper_parity {
         let wrapped = sim_time_us(&model, &sched, chunks, n, &topo, &alloc);
         let via_builder = SimRequest::new(&model, &compiled, n, &topo, &alloc)
             .run()
-            .makespan_us;
+            .makespan_us();
         prop_assert_eq!(wrapped.to_bits(), via_builder.to_bits());
     }
     }
@@ -805,7 +805,7 @@ fn sync_matches_the_alpha_beta_closed_form_without_congestion() {
             let des = SimRequest::new(&model, &sched.compile(), n, &topo, &alloc)
                 .time_only()
                 .run()
-                .makespan_us;
+                .makespan_us();
             assert!(
                 (des - expected).abs() <= 1e-9 * expected,
                 "DES allreduce/rd p={p} n={n}: {des} vs closed form {expected}"

@@ -37,6 +37,7 @@ pub mod compile;
 pub mod noncontig;
 pub mod schedule;
 pub mod segment;
+pub mod validate;
 
 pub use catalog::{algorithms, bine_default, binomial_default, build, split_segments, AlgorithmId};
 pub use collectives::{
@@ -46,3 +47,7 @@ pub use compile::{BlockInterner, CompiledSchedule, CompiledSend};
 pub use noncontig::NonContigStrategy;
 pub use schedule::{BlockId, Collective, Counts, Message, Schedule, Step, TransferKind};
 pub use segment::segment_schedule;
+pub use validate::{
+    validate_schedule, CompletionReport, PendingRecv, RankMap, ScheduleValidator, StallReason,
+    ValidationError,
+};

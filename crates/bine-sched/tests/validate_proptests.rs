@@ -1,0 +1,200 @@
+//! Property tests for the schedule validator.
+//!
+//! Two directions, both fuzzed over the whole catalog:
+//!
+//! * **soundness on real schedules** — every schedule the catalog builds
+//!   (all collectives × algorithms × segmentations × irregular
+//!   distributions, power-of-two and non-power-of-two rank counts where
+//!   the builder supports them) passes [`bine_sched::ScheduleValidator`]
+//!   end to end. The validator is the gate the CI sweep runs over the
+//!   committed catalog; a false positive here would block good schedules.
+//! * **sensitivity to seeded corruption** — schedules mutated in ways
+//!   real bugs produce (a dropped send, reordered tree steps, a count
+//!   vector that does not match the rank count) are rejected, and with
+//!   the *right* diagnosis, not just any error.
+//!
+//! Builders panic (rather than return `None`) on unsupported rank counts,
+//! so every probe runs under `catch_unwind` — a skipped configuration is
+//! one the catalog genuinely cannot build, never a silenced failure.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use bine_sched::{
+    algorithms, build, build_irregular, irregular_algorithms, validate_schedule, Collective,
+    Schedule, SizeDist, ValidationError, IRREGULAR_COLLECTIVES,
+};
+use proptest::prelude::*;
+
+fn any_collective() -> impl Strategy<Value = Collective> {
+    prop::sample::select(Collective::ALL.to_vec())
+}
+
+/// Builds `name` at `p` ranks, treating a builder panic (unsupported rank
+/// count) the same as `None`.
+fn try_build(collective: Collective, name: &str, p: usize, root: usize) -> Option<Schedule> {
+    catch_unwind(AssertUnwindSafe(|| build(collective, name, p, root)))
+        .ok()
+        .flatten()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Soundness: whatever the catalog builds — any collective, any
+    // algorithm, any segmentation, any rank count (power of two or not),
+    // any root — the validator accepts it.
+    #[test]
+    fn every_catalog_schedule_validates(
+        collective in any_collective(),
+        alg_seed in 0usize..100,
+        p in 2usize..=33,
+        chunks in prop::sample::select(vec![1usize, 2, 4]),
+        root_seed in 0usize..1000,
+    ) {
+        let algs = algorithms(collective);
+        let alg = algs[alg_seed % algs.len()];
+        let Some(sched) = try_build(collective, alg.name, p, root_seed % p) else {
+            return Ok(());
+        };
+        let sched = sched.segmented(chunks);
+        prop_assert!(
+            validate_schedule(&sched).is_ok(),
+            "{}/{} p={p} chunks={chunks}: {:?}",
+            collective.name(), alg.name, validate_schedule(&sched)
+        );
+    }
+
+    // Soundness over the irregular (v-variant) catalog, including the
+    // one-heavy distribution whose zero-count segments are the classic
+    // edge case for delivery accounting.
+    #[test]
+    fn every_irregular_schedule_validates(
+        coll_seed in 0usize..4,
+        alg_seed in 0usize..100,
+        dist in prop::sample::select(SizeDist::ALL.to_vec()),
+        p in 2usize..=17,
+        chunks in prop::sample::select(vec![1usize, 2]),
+    ) {
+        let collective = IRREGULAR_COLLECTIVES[coll_seed % IRREGULAR_COLLECTIVES.len()];
+        let algs = irregular_algorithms(collective);
+        let alg = algs[alg_seed % algs.len()];
+        let counts = dist.counts(p, 0);
+        let name = if chunks > 1 {
+            format!("{}+seg{chunks}", alg.name())
+        } else {
+            alg.name().to_string()
+        };
+        let built = catch_unwind(AssertUnwindSafe(|| {
+            build_irregular(collective, &name, p, 0, &counts)
+        }))
+        .ok()
+        .flatten();
+        let Some(sched) = built else { return Ok(()) };
+        prop_assert!(
+            validate_schedule(&sched).is_ok(),
+            "{}v/{name} p={p} dist={}: {:?}",
+            collective.name(), dist.name(), validate_schedule(&sched)
+        );
+    }
+
+    // Sensitivity: dropping any network send from a schedule in which
+    // every send is load-bearing must be caught, and as a *delivery*
+    // failure — a later sender missing its payload, or a rank ending
+    // without its postcondition — never accepted and never misreported as
+    // a structural problem.
+    #[test]
+    fn dropping_a_send_is_diagnosed_as_a_delivery_failure(
+        pick_seed in 0usize..6,
+        s in 1u32..=5,
+        victim_seed in 0usize..1000,
+    ) {
+        let picks = [
+            (Collective::Allreduce, "recursive-doubling"),
+            (Collective::Allreduce, "bine-large"),
+            (Collective::Allreduce, "bine-small"),
+            (Collective::Broadcast, "binomial-dd"),
+            (Collective::Broadcast, "bine-tree"),
+            (Collective::Allgather, "ring"),
+        ];
+        let (collective, name) = picks[pick_seed % picks.len()];
+        let p = 1usize << s;
+        let Some(mut sched) = try_build(collective, name, p, 0) else {
+            return Ok(());
+        };
+        let total: usize = sched.steps.iter().map(|st| st.messages.len()).sum();
+        let mut victim = victim_seed % total;
+        for step in &mut sched.steps {
+            if victim < step.messages.len() {
+                step.messages.remove(victim);
+                break;
+            }
+            victim -= step.messages.len();
+        }
+        let err = validate_schedule(&sched);
+        prop_assert!(
+            matches!(
+                err,
+                Err(ValidationError::MissingBlock { .. })
+                    | Err(ValidationError::Incomplete { .. })
+            ),
+            "{}/{name} p={p}: dropped send #{} gave {err:?}",
+            collective.name(), victim_seed % total
+        );
+    }
+
+    // Sensitivity: reversing the steps of a dissemination tree makes
+    // ranks forward data before they have received it — the validator
+    // must pin that on the sender's missing block.
+    #[test]
+    fn reversed_tree_steps_are_diagnosed_as_missing_blocks(
+        name in prop::sample::select(vec!["binomial-dd", "bine-tree"]),
+        s in 2u32..=5,
+        root_seed in 0usize..1000,
+    ) {
+        let p = 1usize << s;
+        let Some(mut sched) = try_build(Collective::Broadcast, name, p, root_seed % p) else {
+            return Ok(());
+        };
+        sched.steps.reverse();
+        let err = validate_schedule(&sched);
+        prop_assert!(
+            matches!(err, Err(ValidationError::MissingBlock { .. })),
+            "broadcast/{name} p={p}: reversed steps gave {err:?}"
+        );
+    }
+
+    // Sensitivity: a count vector covering the wrong number of ranks is a
+    // well-formedness failure with the exact mismatch in the diagnosis.
+    #[test]
+    fn corrupted_irregular_counts_are_diagnosed_as_a_mismatch(
+        coll_seed in 0usize..4,
+        s in 1u32..=4,
+        shrink in 1usize..=2,
+    ) {
+        let collective = IRREGULAR_COLLECTIVES[coll_seed % IRREGULAR_COLLECTIVES.len()];
+        let p = 1usize << s;
+        if p <= shrink {
+            return Ok(());
+        }
+        let counts = SizeDist::Linear.counts(p, 0);
+        let algs = irregular_algorithms(collective);
+        let built = algs.iter().find_map(|alg| {
+            catch_unwind(AssertUnwindSafe(|| {
+                build_irregular(collective, alg.name(), p, 0, &counts)
+            }))
+            .ok()
+            .flatten()
+        });
+        let Some(mut sched) = built else { return Ok(()) };
+        sched.counts = Some(SizeDist::Linear.counts(p - shrink, 0));
+        let err = validate_schedule(&sched);
+        prop_assert!(
+            matches!(
+                err,
+                Err(ValidationError::CountsMismatch { counts, ranks })
+                    if counts == p - shrink && ranks == p
+            ),
+            "{}v p={p}: shrunk counts gave {err:?}", collective.name()
+        );
+    }
+}

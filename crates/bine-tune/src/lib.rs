@@ -71,7 +71,7 @@ pub use adapt::{AdaptPolicy, AdaptiveOverlay, CandidatesFn, OverlayEntry, Reeval
 pub use gate::{drift, DriftOutcome, DriftRow};
 pub use selector::{available_systems, default_tuning_dir, Selector, SelectorIndex, Tuned};
 pub use service::{
-    fallback_pick, CompileAttempt, CompileHook, DegradePolicy, ServiceSelector,
+    fallback_pick, CompileAttempt, CompileHook, DegradePolicy, Recovery, Served, ServiceSelector,
     FALLBACK_SMALL_VECTOR_THRESHOLD,
 };
 pub use table::{slug, DecisionTable, Entry, ScoreModel};

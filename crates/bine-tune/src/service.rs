@@ -31,7 +31,16 @@
 //! * **shared execution** — [`ServiceSelector::execute`] runs the resolved
 //!   schedule on the process-wide [`bine_exec::ExecutorPool`], turning a
 //!   `(system, collective, nodes, bytes, data)` request into finished block
-//!   stores without the caller touching schedules at all.
+//!   stores without the caller touching schedules at all;
+//! * **shrink-and-retry crash recovery** —
+//!   [`ServiceSelector::try_execute_recovering_on`] turns a dead-rank stall
+//!   ([`ExecError::RankDead`]) into a ULFM-style recovery: the communicator
+//!   shrinks to the dense survivor renumbering, the pick is rebuilt and
+//!   compiled at the shrunk size under a distinguished cache slot, and the
+//!   collective re-runs over the survivors — observable through the
+//!   [`ServiceSelector::stalls`]/[`ServiceSelector::recoveries`] counters
+//!   and pinned bit-identical to a direct shrunk run by the `crash_chaos`
+//!   harness.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
@@ -39,9 +48,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
-use bine_exec::{BlockStore, ExecError, ExecutorPool};
+use bine_exec::{BlockStore, ExecError, ExecutorPool, Workload};
 use bine_net::feedback::{LogHistogram, ObservedTiming};
-use bine_sched::{binomial_default, build, Collective, CompiledSchedule};
+use bine_sched::{binomial_default, build, Collective, CompiledSchedule, RankMap, Schedule};
 
 use crate::adapt::{AdaptPolicy, AdaptiveOverlay, OverlayEntry, Reevaluator};
 use crate::selector::{SelectorIndex, Tuned, DEFAULT_CACHE_CAPACITY};
@@ -68,12 +77,73 @@ pub const FALLBACK_SMALL_VECTOR_THRESHOLD: u64 = 32 * 1024;
 const FALLBACK_SLOT_SMALL: u32 = u32::MAX;
 const FALLBACK_SLOT_LARGE: u32 = u32::MAX - 1;
 
+/// Base of the distinguished cache slots for shrink-and-retry recovery
+/// compiles: the recovery of table slot `i` caches under slot
+/// `RECOVERY_SLOT_BASE - 2i - size_class`, keyed together with the
+/// *shrunk* rank count. Real slots count up from 0 and the fallback slots
+/// sit at `u32::MAX` and `u32::MAX - 1`, so the families can never collide
+/// for any table the tuner emits.
+const RECOVERY_SLOT_BASE: u32 = u32::MAX - 2;
+
 /// The binomial-baseline algorithm served while an entry's circuit breaker
 /// is open: [`bine_sched::binomial_default`] at the harness's small-vector
 /// switch point. Always buildable at the rank counts the tables cover, so
 /// a degraded request gets the textbook MPI default instead of an error.
 pub fn fallback_pick(collective: Collective, bytes: u64) -> &'static str {
     binomial_default(collective, bytes <= FALLBACK_SMALL_VECTOR_THRESHOLD)
+}
+
+/// How a crash-tolerant request (see
+/// [`ServiceSelector::try_execute_recovering_on`]) was answered.
+#[derive(Debug)]
+pub enum Served {
+    /// No dead rank stalled the tuned pick: final block stores of every
+    /// rank of the full communicator.
+    Full(Vec<BlockStore>),
+    /// A dead rank stalled the run mid-collective; the service shrank the
+    /// communicator to the survivors and re-executed there.
+    Recovered(Recovery),
+}
+
+impl Served {
+    /// The final block stores, indexed by rank of whichever communicator
+    /// actually completed (the full one, or the shrunk one after a
+    /// recovery — see [`Recovery::map`] to translate).
+    pub fn finals(&self) -> &[BlockStore] {
+        match self {
+            Served::Full(finals) => finals,
+            Served::Recovered(r) => &r.finals,
+        }
+    }
+
+    /// Whether this answer came from the shrink-and-retry ladder.
+    pub fn is_recovered(&self) -> bool {
+        matches!(self, Served::Recovered(_))
+    }
+}
+
+/// A successful shrink-and-retry: the ULFM-style recovery the service runs
+/// when a dead rank stalls the tuned pick. The collective was re-invoked
+/// over the dense survivor communicator, with every survivor
+/// re-contributing its input under its new rank — so `finals[new]` is
+/// exactly what a fresh run of `schedule` at `map.num_survivors()` ranks
+/// produces, bit for bit.
+#[derive(Debug)]
+pub struct Recovery {
+    /// Final block stores of the shrunk run, indexed by **new** (dense)
+    /// rank; translate with [`Recovery::map`].
+    pub finals: Vec<BlockStore>,
+    /// The order-preserving survivor bijection (old rank ↔ new rank).
+    pub map: RankMap,
+    /// The schedule rebuilt over the survivors (for validation, traffic
+    /// accounting, or building matching initial states).
+    pub schedule: Schedule,
+    /// The pick actually built at the shrunk size: the slot's own pick
+    /// when it builds there, otherwise the binomial [`fallback_pick`] or
+    /// the collective's linear any-rank-count algorithm.
+    pub pick: String,
+    /// The typed stall that triggered the recovery.
+    pub error: ExecError,
 }
 
 /// Knobs of the degradation ladder in [`ServiceSelector::compiled`]:
@@ -371,6 +441,8 @@ struct ShardState {
     overrides: u64,
     reverts: u64,
     reevals: u64,
+    stalls: u64,
+    recoveries: u64,
 }
 
 impl ShardState {
@@ -390,6 +462,8 @@ impl ShardState {
             overrides: 0,
             reverts: 0,
             reevals: 0,
+            stalls: 0,
+            recoveries: 0,
         })
     }
 
@@ -1254,6 +1328,216 @@ impl ServiceSelector {
         )
     }
 
+    /// Crash-tolerant execution with shrink-and-retry recovery: resolves
+    /// the tuned pick, builds its schedule and the deterministic workload
+    /// (`elems_per_block` elements per block, root 0), injects `dead` as
+    /// ranks crashed before the collective starts, and runs on `pool`.
+    ///
+    /// * When no surviving rank blocks on a dead one, the run completes
+    ///   over the full communicator: [`Served::Full`].
+    /// * When the executor reports [`ExecError::RankDead`], the service
+    ///   shrinks the communicator to the dense survivor renumbering
+    ///   ([`RankMap::dense`]) and rebuilds a schedule at the shrunk size —
+    ///   the pick itself, the binomial [`fallback_pick`], or the
+    ///   collective's linear any-rank-count algorithm (ring/pairwise),
+    ///   whichever builds first — compiles it under a distinguished
+    ///   recovery cache slot, and re-executes the collective with every
+    ///   survivor re-contributing its input under its new rank:
+    ///   [`Served::Recovered`]. The recovered finals are bit identical to
+    ///   a direct run of the same collective at the shrunk size — pinned
+    ///   by the `crash_chaos` harness.
+    /// * Two stalls are unrecoverable and surface as the original typed
+    ///   error: a rooted collective whose **source data** lived on a dead
+    ///   root (broadcast or scatter from a crashed root 0 — no survivor
+    ///   holds the payload), and a collective with no catalog algorithm at
+    ///   the survivor count (the rooted collectives build only at
+    ///   power-of-two sizes).
+    ///
+    /// `None` when the query resolves to no table entry or the pick is not
+    /// buildable at `nodes` ranks. The [`ServiceSelector::stalls`] and
+    /// [`ServiceSelector::recoveries`] counters make the ladder observable.
+    ///
+    /// # Panics
+    /// Panics if a dead rank is `>= nodes` or all ranks are dead.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_execute_recovering_on(
+        &self,
+        pool: &ExecutorPool,
+        system: &str,
+        collective: Collective,
+        nodes: usize,
+        bytes: u64,
+        elems_per_block: usize,
+        dead: &[usize],
+    ) -> Option<Result<Served, ExecError>> {
+        let sys = self.system_index(system)?;
+        let index = self.systems.get(sys)?;
+        let slot = index.slot_index(collective, nodes, bytes)?;
+        let pick = index.slot(slot).pick.clone();
+        // Some builders panic rather than return `None` on an unsupported
+        // rank count (off-grid queries can land there); both are "not
+        // buildable" here.
+        let sched = catch_unwind(AssertUnwindSafe(|| build(collective, &pick, nodes, 0)))
+            .ok()
+            .flatten()?;
+        let key: Key = (sys as u32, collective, nodes, slot);
+        let compiled = self.cached_or_compile(key, || Arc::new(sched.compile()));
+        let w = Workload::for_schedule(&sched, elems_per_block);
+        match pool.try_run_with_dead(&compiled, w.initial_state(&sched), dead) {
+            Ok(finals) => Some(Ok(Served::Full(finals))),
+            Err(error @ ExecError::RankDead { .. }) => {
+                lock_any(&self.shards[self.shard_of(&key)]).stalls += 1;
+                Some(self.shrink_and_retry(
+                    pool,
+                    sys,
+                    collective,
+                    nodes,
+                    bytes,
+                    elems_per_block,
+                    dead,
+                    slot,
+                    &pick,
+                    error,
+                ))
+            }
+            Err(other) => Some(Err(other)),
+        }
+    }
+
+    /// [`ServiceSelector::try_execute_recovering_on`] over the process-wide
+    /// [`ExecutorPool::global`].
+    pub fn try_execute_recovering(
+        &self,
+        system: &str,
+        collective: Collective,
+        nodes: usize,
+        bytes: u64,
+        elems_per_block: usize,
+        dead: &[usize],
+    ) -> Option<Result<Served, ExecError>> {
+        self.try_execute_recovering_on(
+            ExecutorPool::global(),
+            system,
+            collective,
+            nodes,
+            bytes,
+            elems_per_block,
+            dead,
+        )
+    }
+
+    /// The shrink half of the recovery ladder: dense survivor renumbering,
+    /// pick rebuilt at the shrunk size (binomial fallback when it does not
+    /// build there), re-execution over fresh survivor contributions.
+    #[allow(clippy::too_many_arguments)]
+    fn shrink_and_retry(
+        &self,
+        pool: &ExecutorPool,
+        sys: usize,
+        collective: Collective,
+        nodes: usize,
+        bytes: u64,
+        elems_per_block: usize,
+        dead: &[usize],
+        slot: u32,
+        pick: &str,
+        error: ExecError,
+    ) -> Result<Served, ExecError> {
+        // A dead root's payload (broadcast/scatter source data) exists
+        // nowhere else: shrinking cannot recover it. The reduction and
+        // gather families re-contribute from every survivor, so they
+        // recover whoever died.
+        let root_holds_source = matches!(collective, Collective::Broadcast | Collective::Scatter);
+        if root_holds_source && dead.contains(&0) {
+            return Err(error);
+        }
+        let map = RankMap::dense(nodes, dead);
+        let survivors = map.num_survivors();
+        // Candidate picks for the shrunk size, in preference order: the
+        // slot's own pick, the binomial fallback, then the linear any-p
+        // algorithm of the collective (the butterfly/tree algorithms only
+        // build at power-of-two rank counts, and a shrink almost always
+        // lands off it). `build` panics (rather than returning `None`) on
+        // an unsupported rank count for some builders, so every probe runs
+        // under `catch_unwind`.
+        let mut candidates: Vec<&str> = vec![pick, fallback_pick(collective, bytes)];
+        match collective {
+            Collective::Allreduce | Collective::Allgather | Collective::ReduceScatter => {
+                candidates.push("ring");
+            }
+            Collective::Alltoall => candidates.push("pairwise"),
+            _ => {}
+        }
+        let built = candidates.iter().find_map(|cand| {
+            catch_unwind(AssertUnwindSafe(|| build(collective, cand, survivors, 0)))
+                .ok()
+                .flatten()
+                .map(|sched| (cand.to_string(), sched))
+        });
+        let Some((rec_pick, rec_sched)) = built else {
+            // No catalog algorithm builds over this survivor count — the
+            // rooted collectives have no non-pow2 builder — so the stall
+            // is unrecoverable and surfaces as the original typed error.
+            return Err(error);
+        };
+        // The winning candidate is a pure function of (slot pick,
+        // collective, survivor count, fallback size class), so the
+        // recovery cache slot folds in the size class next to the slot.
+        let large = u32::from(bytes > FALLBACK_SMALL_VECTOR_THRESHOLD);
+        let rkey: Key = (
+            sys as u32,
+            collective,
+            survivors,
+            RECOVERY_SLOT_BASE - 2 * slot - large,
+        );
+        let rec_compiled = self.cached_or_compile(rkey, || Arc::new(rec_sched.compile()));
+        let w = Workload::for_schedule(&rec_sched, elems_per_block);
+        let finals = pool.try_run(&rec_compiled, w.initial_state(&rec_sched))?;
+        lock_any(&self.shards[self.shard_of(&rkey)]).recoveries += 1;
+        Ok(Served::Recovered(Recovery {
+            finals,
+            map,
+            schedule: rec_sched,
+            pick: rec_pick,
+            error,
+        }))
+    }
+
+    /// Fetches `key` from the sharded cache, or compiles and publishes it.
+    /// Used by the recovery path, whose callers have already built the
+    /// `Schedule` (the expensive half) in this call anyway — so a rare
+    /// duplicate compile under a cold-cache race costs less than the
+    /// flight machinery, and either winner is correct (the compile is a
+    /// pure function of the key).
+    fn cached_or_compile(
+        &self,
+        key: Key,
+        compile: impl FnOnce() -> Arc<CompiledSchedule>,
+    ) -> Arc<CompiledSchedule> {
+        let shard = &self.shards[self.shard_of(&key)];
+        {
+            let mut state = lock_any(shard);
+            state.clock += 1;
+            let clock = state.clock;
+            if let Some(pos) = state.lines.iter().position(|l| l.key == key) {
+                state.lines[pos].last_used = clock;
+                state.hits += 1;
+                return state.lines[pos].compiled.clone();
+            }
+            state.misses += 1;
+        }
+        let compiled = compile();
+        let mut state = lock_any(shard);
+        state.compilations += 1;
+        if let Some(pos) = state.lines.iter().position(|l| l.key == key) {
+            // Lost a cold-cache race: serve the published line so repeat
+            // callers keep getting pointer-identical schedules.
+            return state.lines[pos].compiled.clone();
+        }
+        state.insert(key, Arc::clone(&compiled), self.shard_capacity);
+        compiled
+    }
+
     /// Resolves the tuned pick, compiles (or fetches) its schedule and
     /// executes it over `initial` block stores on `pool`. `None` when the
     /// query resolves to no table entry or the pick is not buildable at
@@ -1361,6 +1645,19 @@ impl ServiceSelector {
     /// first try of each leadership is not a retry).
     pub fn retries(&self) -> u64 {
         self.shards.iter().map(|s| lock_any(s).retries).sum()
+    }
+
+    /// Dead-rank stalls ([`ExecError::RankDead`]) the crash-tolerant
+    /// execution path has hit so far, across all shards. Zero on a service
+    /// that never saw a crash.
+    pub fn stalls(&self) -> u64 {
+        self.shards.iter().map(|s| lock_any(s).stalls).sum()
+    }
+
+    /// Successful shrink-and-retry recoveries, across all shards. Equals
+    /// [`ServiceSelector::stalls`] when every stall was recoverable.
+    pub fn recoveries(&self) -> u64 {
+        self.shards.iter().map(|s| lock_any(s).recoveries).sum()
     }
 
     /// A point-in-time dump of every active adaptive override, ordered by
@@ -1671,6 +1968,83 @@ mod tests {
             .expect("cached answer");
         assert!(Arc::ptr_eq(&probe, &hit));
         assert_eq!(service.fallbacks(), 2, "no further degradation");
+    }
+
+    #[test]
+    fn a_dead_rank_triggers_shrink_and_retry_bit_identical_to_a_direct_run() {
+        use bine_exec::Workload;
+        use bine_sched::build;
+
+        let service = ServiceSelector::from_tables(&[table("Testbox")]);
+        // (allreduce, 16, 32) resolves to recursive-doubling; kill rank 5.
+        let served = service
+            .try_execute_recovering("Testbox", Collective::Allreduce, 16, 32, 2, &[5])
+            .expect("query resolves")
+            .expect("the stall recovers");
+        assert_eq!(service.stalls(), 1);
+        assert_eq!(service.recoveries(), 1);
+        let Served::Recovered(rec) = served else {
+            panic!("a dead exchange partner must stall recursive doubling");
+        };
+        assert!(matches!(rec.error, ExecError::RankDead { src: 5, .. }));
+        assert_eq!(rec.map.num_survivors(), 15);
+        assert_eq!(rec.map.new_rank(5), None);
+        assert_eq!(rec.map.new_rank(6), Some(5));
+        assert_eq!(rec.schedule.num_ranks, 15);
+        // Bit-identity against a direct run of the same pick at 15 ranks.
+        let direct = build(Collective::Allreduce, &rec.pick, 15, 0).unwrap();
+        let w = Workload::for_schedule(&direct, 2);
+        let expected = bine_exec::sequential::run_reference(&direct, w.initial_state(&direct));
+        assert_eq!(rec.finals, expected);
+    }
+
+    #[test]
+    fn a_harmless_dead_rank_completes_over_the_full_communicator() {
+        // Rank 3 is a leaf of the broadcast tree at (broadcast, 16, 32):
+        // nobody receives from it, so the run completes without shrinking.
+        let service = ServiceSelector::from_tables(&[table("Testbox")]);
+        let sched = bine_sched::build(Collective::Broadcast, "bine-tree", 16, 0).unwrap();
+        let leaf = (0..16)
+            .find(|r| sched.messages().all(|(_, m)| m.src != *r))
+            .expect("a broadcast tree has leaves");
+        let served = service
+            .try_execute_recovering("Testbox", Collective::Broadcast, 16, 32, 2, &[leaf])
+            .expect("query resolves")
+            .expect("a dead leaf stalls nobody");
+        assert!(!served.is_recovered());
+        assert_eq!(served.finals().len(), 16);
+        assert_eq!(service.stalls(), 0);
+        assert_eq!(service.recoveries(), 0);
+    }
+
+    #[test]
+    fn a_dead_broadcast_root_is_unrecoverable() {
+        // Root 0's payload exists nowhere else: the stall must surface as
+        // the original RankDead, and no recovery may be counted.
+        let service = ServiceSelector::from_tables(&[table("Testbox")]);
+        let err = service
+            .try_execute_recovering("Testbox", Collective::Broadcast, 16, 32, 2, &[0])
+            .expect("query resolves")
+            .expect_err("the source data died with the root");
+        assert!(matches!(err, ExecError::RankDead { src: 0, .. }));
+        assert_eq!(service.stalls(), 1);
+        assert_eq!(service.recoveries(), 0);
+    }
+
+    #[test]
+    fn repeated_recoveries_reuse_the_recovery_cache_slot() {
+        let service = ServiceSelector::from_tables(&[table("Testbox")]);
+        for _ in 0..3 {
+            let served = service
+                .try_execute_recovering("Testbox", Collective::Allreduce, 16, 32, 2, &[5])
+                .unwrap()
+                .unwrap();
+            assert!(served.is_recovered());
+        }
+        assert_eq!(service.recoveries(), 3);
+        // One compile of the 16-rank pick, one of the 15-rank recovery
+        // schedule; the repeats are cache hits.
+        assert_eq!(service.compilations(), 2);
     }
 
     #[test]

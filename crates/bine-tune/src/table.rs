@@ -274,6 +274,22 @@ fn parse_entry(line: &str) -> Result<Entry, String> {
     let time_us: f64 = field(line, "time_us")?
         .parse()
         .map_err(|e| format!("bad time_us: {e}"))?;
+    // Value sanity, not just syntax: a NaN score would poison every
+    // comparison the selector and the adaptive layer run against it, a
+    // negative one would always win a sweep, and a zero node count can
+    // never resolve a rank. The tuner never emits these, so any of them
+    // means a corrupt or hand-edited table — fail loudly at load.
+    if time_us.is_nan() {
+        return Err("time_us is NaN; scores must be comparable".into());
+    }
+    if time_us < 0.0 {
+        return Err(format!(
+            "time_us is negative ({time_us}); scores are durations"
+        ));
+    }
+    if nodes == 0 {
+        return Err("nodes is 0; a grid point needs at least one rank".into());
+    }
     Ok(Entry {
         collective,
         dist,
@@ -446,6 +462,34 @@ mod tests {
         );
         let bad = sample().to_json().replace("allreduce", "allred");
         assert!(DecisionTable::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn corrupt_scores_and_rank_counts_are_rejected_with_line_numbers() {
+        // A NaN score: every comparison against it is false, so the
+        // selector's floor lookups and the adaptive divergence test would
+        // silently misbehave. Entry objects start on line 4 of the format.
+        let bad = sample().to_json().replace("12.250000", "NaN");
+        let err = DecisionTable::from_json(&bad).unwrap_err();
+        assert!(err.contains("NaN"), "{err}");
+        assert!(err.contains("line 4"), "{err}");
+
+        // A negative score would win every sweep it appears in.
+        let bad = sample().to_json().replace("31337.500000", "-1.5");
+        let err = DecisionTable::from_json(&bad).unwrap_err();
+        assert!(err.contains("negative"), "{err}");
+        assert!(err.contains("line 5"), "{err}");
+
+        // Zero nodes can never resolve a rank.
+        let bad = sample().to_json().replace("\"nodes\": 16", "\"nodes\": 0");
+        let err = DecisionTable::from_json(&bad).unwrap_err();
+        assert!(err.contains("nodes is 0"), "{err}");
+        assert!(err.contains("line 4"), "{err}");
+
+        // Infinity stays loadable: the tuner emits it for unbuildable
+        // picks it still has to rank, and it compares correctly.
+        let inf = sample().to_json().replace("12.250000", "inf");
+        assert!(DecisionTable::from_json(&inf).is_ok());
     }
 
     #[test]

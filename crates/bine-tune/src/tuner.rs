@@ -361,7 +361,7 @@ impl Tuner {
                 .arena(&mut self.arena)
                 .time_only()
                 .run()
-                .makespan_us
+                .makespan_us()
             }
         }
     }

@@ -69,10 +69,10 @@ fn main() {
         let sched = allreduce(p, alg);
         let flat = SimRequest::new(&model, &sched.compile(), n, &topo, &alloc)
             .run()
-            .makespan_us;
+            .makespan_us();
         let piped = SimRequest::new(&model, &sched.segmented(8).compile(), n, &topo, &alloc)
             .run()
-            .makespan_us;
+            .makespan_us();
         println!("  {name:<34} DES: {flat:>9.0}   DES + 8 chunks: {piped:>9.0}");
     }
 
