@@ -33,8 +33,8 @@ fn bench_bine_vs_baselines(c: &mut Criterion) {
     let mut group = c.benchmark_group("allreduce-generation-by-algorithm");
     let p = 256;
     for alg in algorithms(Collective::Allreduce) {
-        group.bench_function(alg.name, |b| {
-            b.iter(|| build(Collective::Allreduce, alg.name, p, 0).unwrap())
+        group.bench_function(alg.name(), |b| {
+            b.iter(|| build(Collective::Allreduce, alg.name(), p, 0).unwrap())
         });
     }
     group.finish();

@@ -151,10 +151,17 @@ fn catalog_winner(
     let mut best: Option<(String, f64)> = None;
     for alg in algorithms(collective) {
         if let Some(cost) = des_cost(
-            alg.name, collective, nodes, bytes, model, topo, alloc, faults,
+            alg.name(),
+            collective,
+            nodes,
+            bytes,
+            model,
+            topo,
+            alloc,
+            faults,
         ) {
             if best.as_ref().is_none_or(|(_, b)| cost < *b) {
-                best = Some((alg.name.to_string(), cost));
+                best = Some((alg.name().to_string(), cost));
             }
         }
     }

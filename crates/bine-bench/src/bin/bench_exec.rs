@@ -4,7 +4,10 @@
 //! p ∈ {64, 256, 1024} (the same configurations as `benches/execution.rs`),
 //! plus the post-seed collective surfaces at p = 256 — dual-root pipelined
 //! allreduce and two irregular v-variant schedules, each with a gated
-//! `/compiled/` entry — plus the discrete-event simulator — optimized fast path (`/sim/`, gated
+//! `/compiled/` entry — plus the synthesized data plane (multilevel
+//! provider allreduce on the heterogeneous island view: gated `/compiled/`
+//! and `/sim/` entries, ungated `/synthesize/` build cost) — plus the
+//! discrete-event simulator — optimized fast path (`/sim/`, gated
 //! by `perf_gate`) against the from-scratch reference (`/sim-reference/`,
 //! context only) at p ∈ {64, 256} — plus the selection serving layer
 //! at `available_parallelism` workers (gated `/serve/` aggregate
@@ -155,6 +158,59 @@ fn bench_new_paths(records: &mut Vec<Record>, p: usize, iters: usize) {
     }
 }
 
+/// The synthesized data plane: the multilevel provider's allreduce on the
+/// heterogeneous island fabric's serving-layer view. Synthesized schedules
+/// reach production through exactly the compiled executor and the DES the
+/// catalog schedules use, but their shape is different — tier-crossing
+/// trees with island-local fan-out — so each surface gets its own gated
+/// entry (`/compiled/`, `/sim/`) plus ungated context (`/sequential/`,
+/// `/synthesize/` — the provider's build cost, which serving pays on every
+/// cache miss of a `synth:` pick).
+fn bench_synth(records: &mut Vec<Record>, p: usize, iters: usize) {
+    let view = bine_net::view::system_view("heterofat", p).expect("heterofat view");
+    let spec = bine_sched::SynthSpec::parse("synth:multilevel:tiers=2").expect("canonical name");
+    let sched = spec
+        .synthesize(bine_sched::Collective::Allreduce, &view, 0)
+        .expect("multilevel allreduce synthesizes");
+    let record = |records: &mut Vec<Record>, variant: &str, ns: f64| {
+        let name = format!("allreduce-synth-multilevel/{variant}/{p}");
+        println!("{name:<48} {ns:>14.0} ns/op");
+        records.push(Record {
+            name,
+            ns_per_op: ns,
+        });
+    };
+    let ns = measure(iters, || {
+        spec.synthesize(bine_sched::Collective::Allreduce, &view, 0)
+            .unwrap();
+    });
+    record(records, "synthesize", ns);
+    let workload = Workload::for_schedule(&sched, bine_bench::exec_bench_elems(p));
+    let initial = workload.initial_state(&sched);
+    let compiled_sched = Arc::new(sched.compile());
+    let ns = measure(iters, || {
+        sequential::run(&sched, initial.clone());
+    });
+    record(records, "sequential", ns);
+    let ns = measure(iters, || {
+        compiled::run(&compiled_sched, initial.clone());
+    });
+    record(records, "compiled", ns);
+    // The same schedule under the DES, on the fabric it was derived for.
+    let model = CostModel::default();
+    let system = bine_bench::systems::System::heterofat();
+    let topo = system.topology(p);
+    let alloc = bine_bench::runner::sample_allocation(&system, topo.as_ref(), p, 42);
+    let mut arena = sim::SimArena::new();
+    let ns = measure(iters, || {
+        sim::SimRequest::new(&model, &compiled_sched, 1u64 << 20, topo.as_ref(), &alloc)
+            .arena(&mut arena)
+            .time_only()
+            .run();
+    });
+    record(records, "sim", ns);
+}
+
 /// DES ns/op on the tuner's workload shape: the optimized arena-backed
 /// simulator (`/sim/`, hard-gated by `perf_gate` like the compiled
 /// executors) and the from-scratch reference (`/sim-reference/`, an ungated
@@ -278,6 +334,7 @@ fn main() {
         bench_all_executors(&mut records, &sched, p, iters);
     }
     bench_new_paths(&mut records, 256, iters);
+    bench_synth(&mut records, 256, iters);
     for p in [64usize, 256] {
         bench_sim(&mut records, p, iters);
     }

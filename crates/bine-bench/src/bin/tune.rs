@@ -62,7 +62,7 @@ fn main() {
     std::fs::create_dir_all(&out_dir)
         .unwrap_or_else(|e| panic!("cannot create {}: {e}", out_dir.display()));
 
-    let systems: Vec<System> = System::all()
+    let systems: Vec<System> = System::tuned()
         .into_iter()
         .filter(|system| {
             only_system
@@ -142,7 +142,7 @@ fn main() {
         );
     }
     if tuned == 0 {
-        let known: Vec<String> = System::all().iter().map(|s| slug(s.name)).collect();
+        let known: Vec<String> = System::tuned().iter().map(|s| slug(s.name)).collect();
         panic!(
             "--system {} matches no system; known: {}",
             only_system.as_deref().unwrap_or(""),

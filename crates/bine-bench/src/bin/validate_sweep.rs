@@ -62,7 +62,7 @@ fn main() {
                 };
                 for &root in roots {
                     let built = catch_unwind(AssertUnwindSafe(|| {
-                        build(collective, alg.name, p, root % p)
+                        build(collective, alg.name(), p, root % p)
                     }))
                     .ok()
                     .flatten();
@@ -77,7 +77,7 @@ fn main() {
                             failures.push(format!(
                                 "{}/{} p={p} root={} chunks={chunks}: {e}",
                                 collective.name(),
-                                alg.name,
+                                alg.name(),
                                 root % p
                             ));
                         }

@@ -26,14 +26,15 @@
 //!
 //! [`TrafficReport`]: bine_net::traffic::TrafficReport
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
 
 use bine_exec::{ExecError, Workload};
 use bine_net::allocation::Allocation;
 use bine_net::traffic;
-use bine_sched::{build, validate_schedule, Collective, Schedule};
-use bine_tune::{slug, tuned_name, Served, ServiceSelector};
+use bine_sched::{validate_schedule, Collective, ProviderSet, Schedule};
+use bine_tune::{fallback_pick, slug, tuned_name, Served, ServiceSelector};
 
 use crate::systems::System;
 
@@ -189,7 +190,19 @@ fn is_leaf(sched: &Schedule, rank: usize) -> bool {
 /// a dead root's payload is lost, a dead leaf stalls nobody, and a dead
 /// interior rank leaves a survivor count no tree builder supports — the
 /// contract there is a *typed* error, not a hang.
+/// The provider set of one loaded system's index — tuned picks can be
+/// synthesized (`synth:` names), which the bare catalog cannot build.
+fn providers_of(service: &ServiceSelector, sys: usize) -> ProviderSet {
+    service
+        .index(sys)
+        .map(|i| i.providers().clone())
+        .unwrap_or_default()
+}
+
 fn scenarios(service: &ServiceSelector, sys: usize, seed: u64) -> Result<Vec<Scenario>, String> {
+    // Tuned picks can be synthesized (`synth:` names), so they are built
+    // through the index's provider set, never the bare catalog.
+    let providers = providers_of(service, sys);
     let mut out = Vec::new();
     for (j, &(collective, nodes, bytes)) in queries().iter().enumerate() {
         let tuned = service
@@ -201,7 +214,8 @@ fn scenarios(service: &ServiceSelector, sys: usize, seed: u64) -> Result<Vec<Sce
                 )
             })?;
         let pick = tuned_name(tuned.algorithm, tuned.segments);
-        let sched = build(collective, &pick, nodes, 0)
+        let sched = providers
+            .build(collective, &pick, nodes, 0)
             .ok_or_else(|| format!("tuned pick {pick} unbuildable at {nodes} ranks"))?;
         out.push(Scenario {
             collective,
@@ -213,7 +227,30 @@ fn scenarios(service: &ServiceSelector, sys: usize, seed: u64) -> Result<Vec<Sce
         let victim = 1 + (splitmix64(seed ^ j as u64) as usize) % (nodes - 1);
         let expect = match collective {
             Collective::Broadcast if is_leaf(&sched, victim) => Expect::Full,
-            Collective::Broadcast => Expect::Unrecoverable,
+            Collective::Broadcast => {
+                // Mirrors shrink_and_retry's candidate probe — the slot
+                // pick, then the binomial fallback, on the survivor
+                // communicator. A synthesized pick builds at any rank
+                // count its view covers, so an interior-victim broadcast
+                // that used to be unrecoverable (no non-pow2 catalog
+                // builder) now shrinks and recovers.
+                let survivors = nodes - 1;
+                let recoverable = [pick.as_str(), fallback_pick(collective, bytes)]
+                    .iter()
+                    .any(|cand| {
+                        catch_unwind(AssertUnwindSafe(|| {
+                            providers.build(collective, cand, survivors, 0)
+                        }))
+                        .ok()
+                        .flatten()
+                        .is_some()
+                    });
+                if recoverable {
+                    Expect::Recovered
+                } else {
+                    Expect::Unrecoverable
+                }
+            }
             _ => Expect::Recovered,
         };
         out.push(Scenario {
@@ -336,7 +373,8 @@ pub fn run(opts: &CrashOptions) -> Result<CrashReport, String> {
                     .choose_at(sys, s.collective, s.nodes, s.bytes)
                     .ok_or_else(|| format!("{label}: tuned pick vanished"))?;
                 let pick = tuned_name(tuned.algorithm, tuned.segments);
-                let sched = build(s.collective, &pick, s.nodes, 0)
+                let sched = providers_of(&service, sys)
+                    .build(s.collective, &pick, s.nodes, 0)
                     .ok_or_else(|| format!("{label}: {pick} unbuildable"))?;
                 let w = Workload::for_schedule(&sched, elems);
                 let expected =
@@ -368,12 +406,14 @@ pub fn run(opts: &CrashOptions) -> Result<CrashReport, String> {
                 }
                 // Bit-identity against a direct run of the recovery pick
                 // built straight on the survivor communicator.
-                let direct = build(s.collective, &rec.pick, survivors, 0).ok_or_else(|| {
-                    format!(
-                        "{label}: recovery pick {} unbuildable at {survivors}",
-                        rec.pick
-                    )
-                })?;
+                let direct = providers_of(&service, sys)
+                    .build(s.collective, &rec.pick, survivors, 0)
+                    .ok_or_else(|| {
+                        format!(
+                            "{label}: recovery pick {} unbuildable at {survivors}",
+                            rec.pick
+                        )
+                    })?;
                 let w = Workload::for_schedule(&direct, elems);
                 let expected =
                     bine_exec::sequential::run_reference(&direct, w.initial_state(&direct));

@@ -7,14 +7,10 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use bine_net::allocation::Allocation;
 use bine_net::cost::{CostModel, CostSummary, LowerBounds};
 use bine_net::sim;
 use bine_net::topology::Topology;
-use bine_net::trace::JobTraceGenerator;
 use bine_net::traffic;
 use bine_sched::{bine_default, binomial_default, build, Collective, CompiledSchedule, Schedule};
 use bine_tune::{Selector, Target, TunePoint, Tuned};
@@ -66,15 +62,9 @@ pub fn sample_allocation(
     nodes: usize,
     seed: u64,
 ) -> Allocation {
-    match system.kind {
-        SystemKind::Fugaku => Allocation::block(nodes),
-        _ => {
-            let mut rng = StdRng::seed_from_u64(seed ^ nodes as u64);
-            let generator = JobTraceGenerator::with_occupancy(0.9);
-            let sample = &generator.sample(topo, nodes, 1, &mut rng)[0];
-            sample.allocation()
-        }
-    }
+    // Delegates to the bine-net factory so the serving layer's view
+    // derivation (bine_net::view::system_view) places ranks identically.
+    bine_net::view::system_allocation(&system.slug(), topo, nodes, seed)
 }
 
 /// Builds the `bine-tune` tuning target for one system: the same node
@@ -493,13 +483,13 @@ pub fn heatmap(eval: &mut Evaluator, collective: Collective) -> Vec<HeatmapCell>
             let lbs = eval.lower_bounds(nodes);
             let cands = bine_tune::candidates(collective, nodes, n, &lbs, MAX_LINEAR_NODES);
             let cell = bine_tune::pruned_best(&cands, true, |alg| {
-                eval.evaluate_time(collective, alg.name, nodes, n)
+                eval.evaluate_time(collective, alg.name(), nodes, n)
             });
             let (best, time) = cell.best;
             cells.push(HeatmapCell {
                 nodes,
                 vector_bytes: n,
-                best_algorithm: best.name.to_string(),
+                best_algorithm: best.name().to_string(),
                 bine_advantage: if best.is_bine {
                     cell.best_non_bine.map(|(_, o)| o / time)
                 } else {

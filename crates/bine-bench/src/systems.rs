@@ -1,8 +1,11 @@
-//! Models of the four systems used in the paper's evaluation (Table 2).
+//! Models of the four systems used in the paper's evaluation (Table 2),
+//! plus the heterogeneous island fat tree the schedule-synthesis layer is
+//! exercised on.
 
-use bine_net::topology::{Dragonfly, FatTree, Topology, Torus};
+use bine_net::topology::Topology;
 
-/// Which of the paper's four systems a configuration models.
+/// Which modelled system a configuration targets: the paper's four plus
+/// the synthetic heterogeneous island fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SystemKind {
     /// LUMI: 24-group Slingshot Dragonfly, 124 nodes per group (Sec. 5.1).
@@ -13,6 +16,10 @@ pub enum SystemKind {
     MareNostrum5,
     /// Fugaku: 6D torus, evaluated on 3D sub-tori (Sec. 5.4).
     Fugaku,
+    /// HeteroFat: 16-node islands with thin shared uplinks
+    /// ([`bine_net::topology::FatTree::hetero_island`]) — the committed
+    /// heterogeneous target of the schedule synthesizers.
+    HeteroFat,
 }
 
 /// An evaluation target: node counts, vector sizes and a topology factory.
@@ -91,7 +98,21 @@ impl System {
         }
     }
 
-    /// All four systems.
+    /// The heterogeneous island fat tree the schedule synthesizers target:
+    /// small jobs on a fabric whose 20:1 local/global bandwidth gap the
+    /// fixed catalog cannot see. Kept out of [`System::all`] (the paper
+    /// sweeps iterate that); tuning and the synthesis smoke sweep use
+    /// [`System::tuned`].
+    pub fn heterofat() -> Self {
+        Self {
+            name: "HeteroFat",
+            kind: SystemKind::HeteroFat,
+            node_counts: vec![16, 32, 64],
+            vector_sizes: paper_vector_sizes(),
+        }
+    }
+
+    /// The paper's four evaluation systems.
     pub fn all() -> Vec<System> {
         vec![
             Self::lumi(),
@@ -101,46 +122,39 @@ impl System {
         ]
     }
 
+    /// Every system with a committed decision table: the paper's four plus
+    /// the heterogeneous synthesis target. This is the list the tuner and
+    /// the drift gate sweep.
+    pub fn tuned() -> Vec<System> {
+        let mut systems = Self::all();
+        systems.push(Self::heterofat());
+        systems
+    }
+
     /// The torus shape used for a Fugaku job of `nodes` nodes.
     pub fn fugaku_dims(nodes: usize) -> Vec<usize> {
-        match nodes {
-            8 => vec![2, 2, 2],
-            64 => vec![4, 4, 4],
-            512 => vec![8, 8, 8],
-            4096 => vec![64, 64],
-            8192 => vec![32, 256],
-            _ => {
-                // Fall back to a balanced 3D factorisation for other counts.
-                let mut dims = vec![1usize; 3];
-                let mut rest = nodes;
-                let mut d = 0;
-                while rest > 1 {
-                    dims[d % 3] *= 2;
-                    rest /= 2;
-                    d += 1;
-                }
-                dims
-            }
-        }
+        bine_net::view::fugaku_dims(nodes)
+    }
+
+    /// File-name slug of this system (`"MareNostrum 5"` → `"marenostrum5"`),
+    /// the key of [`bine_net::view::system_topology`] and of the committed
+    /// `tuning/{slug}.json` table.
+    pub fn slug(&self) -> String {
+        self.name
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .map(|c| c.to_ascii_lowercase())
+            .collect()
     }
 
     /// Builds the topology model hosting a job of `nodes` nodes.
     ///
-    /// For the group-based systems the topology is the full machine (the job
-    /// occupies its first `nodes` nodes under a block allocation); for the
-    /// torus the job gets its own sub-torus, as on the real machine.
+    /// Delegates to [`bine_net::view::system_topology`] — the same factory
+    /// the serving layer's view derivation uses, so benches and the tuner
+    /// can never disagree with serving about what a system looks like.
     pub fn topology(&self, nodes: usize) -> Box<dyn Topology + Send + Sync> {
-        match self.kind {
-            SystemKind::Lumi => Box::new(Dragonfly::lumi()),
-            SystemKind::Leonardo => Box::new(Dragonfly::leonardo()),
-            SystemKind::MareNostrum5 => {
-                // The ACC partition is modelled as 8 full-bandwidth 160-node
-                // subtrees: the paper's 4–64-node jobs spanned between one
-                // and eight subtrees (Sec. 5.3.1).
-                Box::new(FatTree::marenostrum5(1280.max(nodes.next_multiple_of(160))))
-            }
-            SystemKind::Fugaku => Box::new(Torus::new(Self::fugaku_dims(nodes))),
-        }
+        bine_net::view::system_topology(&self.slug(), nodes)
+            .unwrap_or_else(|| panic!("no topology factory for {}", self.name))
     }
 }
 
@@ -169,6 +183,27 @@ mod tests {
         assert_eq!(System::fugaku_dims(512), vec![8, 8, 8]);
         assert_eq!(System::fugaku_dims(8192), vec![32, 256]);
         assert_eq!(System::fugaku_dims(128).iter().product::<usize>(), 128);
+    }
+
+    #[test]
+    fn heterofat_rides_along_for_tuning_but_not_the_paper_sweeps() {
+        assert!(System::all()
+            .iter()
+            .all(|s| s.kind != SystemKind::HeteroFat));
+        let tuned = System::tuned();
+        assert!(tuned.iter().any(|s| s.kind == SystemKind::HeteroFat));
+        assert_eq!(tuned.len(), System::all().len() + 1);
+        let hf = System::heterofat();
+        assert_eq!(hf.slug(), "heterofat");
+        for &nodes in &hf.node_counts {
+            assert!(hf.topology(nodes).num_nodes() >= nodes);
+        }
+        // The fabric is genuinely heterogeneous: distinct link bandwidths.
+        let topo = hf.topology(32);
+        let bws: std::collections::BTreeSet<u64> = (0..topo.num_links())
+            .map(|l| topo.link(l).bandwidth_gib_s.to_bits())
+            .collect();
+        assert!(bws.len() >= 2, "expected >1 distinct link bandwidth");
     }
 
     #[test]

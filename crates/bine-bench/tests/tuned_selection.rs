@@ -118,7 +118,8 @@ fn tuned_pick_reproduces_the_ring_to_bine_large_crossover_shift() {
         let mut tuner = Tuner::new(target, TunerConfig::default());
         let cell = tuner.sync_cell(Collective::Allreduce, 64, 64 << 20);
         assert_eq!(
-            cell.best.0.name, "ring",
+            cell.best.0.name(),
+            "ring",
             "{}: expected the sync model to pick the ring at 64 MiB",
             system.name
         );

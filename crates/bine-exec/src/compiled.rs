@@ -225,12 +225,13 @@ mod tests {
     fn compiled_execution_matches_the_reference_for_every_algorithm() {
         for collective in Collective::ALL {
             for alg in algorithms(collective) {
-                let sched = build(collective, alg.name, 16, 5).expect(alg.name);
+                let sched = build(collective, alg.name(), 16, 5)
+                    .unwrap_or_else(|| panic!("{}", alg.name()));
                 let compiled = sched.compile();
                 let w = Workload::for_schedule(&sched, 2);
                 let fast = run(&compiled, w.initial_state(&sched));
                 let reference = sequential::run_reference(&sched, w.initial_state(&sched));
-                assert_eq!(fast, reference, "{:?}/{}", collective, alg.name);
+                assert_eq!(fast, reference, "{:?}/{}", collective, alg.name());
             }
         }
     }

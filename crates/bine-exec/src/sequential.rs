@@ -146,11 +146,12 @@ mod tests {
     fn zero_copy_interpreter_matches_the_reference_exactly() {
         for collective in Collective::ALL {
             for alg in algorithms(collective) {
-                let sched = build(collective, alg.name, 16, 3).expect(alg.name);
+                let sched = build(collective, alg.name(), 16, 3)
+                    .unwrap_or_else(|| panic!("{}", alg.name()));
                 let w = Workload::for_schedule(&sched, 2);
                 let fast = run(&sched, w.initial_state(&sched));
                 let reference = run_reference(&sched, w.initial_state(&sched));
-                assert_eq!(fast, reference, "{:?}/{}", collective, alg.name);
+                assert_eq!(fast, reference, "{:?}/{}", collective, alg.name());
             }
         }
     }

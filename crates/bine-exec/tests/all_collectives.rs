@@ -18,11 +18,12 @@ fn every_algorithm_is_correct_on_the_sequential_executor() {
         for alg in algorithms(collective) {
             for p in [2usize, 4, 8, 32, 64] {
                 for root in [0, p - 1, p / 3] {
-                    let sched = build(collective, alg.name, p, root).expect(alg.name);
+                    let sched = build(collective, alg.name(), p, root)
+                        .unwrap_or_else(|| panic!("{}", alg.name()));
                     let workload = Workload::for_schedule(&sched, 3);
                     let finals = sequential::run(&sched, workload.initial_state(&sched));
                     if let Err(e) = verify::verify(&workload, &finals) {
-                        panic!("{:?}/{} p={p} root={root}: {e}", collective, alg.name);
+                        panic!("{:?}/{} p={p} root={root}: {e}", collective, alg.name());
                     }
                     if !collective.is_rooted() {
                         break; // the root is irrelevant, no need to repeat
@@ -38,11 +39,12 @@ fn every_algorithm_is_correct_on_the_threaded_executor() {
     for collective in Collective::ALL {
         for alg in algorithms(collective) {
             let p = 16;
-            let sched = build(collective, alg.name, p, 5).expect(alg.name);
+            let sched =
+                build(collective, alg.name(), p, 5).unwrap_or_else(|| panic!("{}", alg.name()));
             let workload = Workload::for_schedule(&sched, 2);
             let finals = threaded::run(&sched, workload.initial_state(&sched));
             if let Err(e) = verify::verify(&workload, &finals) {
-                panic!("{:?}/{} (threaded): {e}", collective, alg.name);
+                panic!("{:?}/{} (threaded): {e}", collective, alg.name());
             }
         }
     }
@@ -53,19 +55,22 @@ fn all_four_executors_agree_exactly_with_the_reference() {
     for collective in Collective::ALL {
         for alg in algorithms(collective) {
             let p = 32;
-            let sched = build(collective, alg.name, p, 7).expect(alg.name);
+            let sched =
+                build(collective, alg.name(), p, 7).unwrap_or_else(|| panic!("{}", alg.name()));
             let workload = Workload::for_schedule(&sched, 2);
             let reference = sequential::run_reference(&sched, workload.initial_state(&sched));
             let seq = sequential::run(&sched, workload.initial_state(&sched));
             assert_eq!(
-                seq, reference,
+                seq,
+                reference,
                 "zero-copy sequential: {:?}/{}",
-                collective, alg.name
+                collective,
+                alg.name()
             );
             let comp = compiled::run(&sched.compile(), workload.initial_state(&sched));
-            assert_eq!(comp, reference, "compiled: {:?}/{}", collective, alg.name);
+            assert_eq!(comp, reference, "compiled: {:?}/{}", collective, alg.name());
             let thr = threaded::run(&sched, workload.initial_state(&sched));
-            assert_eq!(thr, reference, "pool: {:?}/{}", collective, alg.name);
+            assert_eq!(thr, reference, "pool: {:?}/{}", collective, alg.name());
         }
     }
 }
@@ -73,12 +78,13 @@ fn all_four_executors_agree_exactly_with_the_reference() {
 #[test]
 fn legacy_thread_per_rank_executor_agrees_with_the_pool() {
     for collective in Collective::ALL {
-        let alg = algorithms(collective)[0];
-        let sched = build(collective, alg.name, 16, 3).expect(alg.name);
+        let alg = algorithms(collective)[0].clone();
+        let sched =
+            build(collective, alg.name(), 16, 3).unwrap_or_else(|| panic!("{}", alg.name()));
         let workload = Workload::for_schedule(&sched, 2);
         let legacy = threaded::run_thread_per_rank(&sched, workload.initial_state(&sched));
         let pooled = threaded::run(&sched, workload.initial_state(&sched));
-        assert_eq!(legacy, pooled, "{:?}/{}", collective, alg.name);
+        assert_eq!(legacy, pooled, "{:?}/{}", collective, alg.name());
     }
 }
 

@@ -46,12 +46,12 @@ proptest! {
         let algs = algorithms(collective);
         let alg = &algs[alg_seed % algs.len()];
         let root = root_seed % p;
-        let sched = build(collective, alg.name, p, root).expect(alg.name);
+        let sched = build(collective, alg.name(), p, root).unwrap_or_else(|| panic!("{}", alg.name()));
         prop_assert!(sched.validate().is_ok());
         let workload = Workload::for_schedule(&sched, elems);
         let finals = sequential::run(&sched, workload.initial_state(&sched));
         if let Err(e) = verify::verify(&workload, &finals) {
-            return Err(TestCaseError::fail(format!("{:?}/{}: {e}", collective, alg.name)));
+            return Err(TestCaseError::fail(format!("{:?}/{}: {e}", collective, alg.name())));
         }
     }
 
@@ -64,8 +64,8 @@ proptest! {
         let p = 1usize << s;
         let algs = algorithms(collective);
         let alg = &algs[alg_seed % algs.len()];
-        let sched = build(collective, alg.name, p, 0).expect(alg.name);
-        prop_assert!(sched.validate().is_ok(), "{}", alg.name);
+        let sched = build(collective, alg.name(), p, 0).unwrap_or_else(|| panic!("{}", alg.name()));
+        prop_assert!(sched.validate().is_ok(), "{}", alg.name());
     }
 
     #[test]
@@ -83,7 +83,7 @@ proptest! {
         // restriction); a build panic at a non-pow2 count skips this case,
         // everything that builds must execute identically on every executor.
         let built: Option<Schedule> = catch_unwind(AssertUnwindSafe(|| {
-            build(collective, alg.name, p, root)
+            build(collective, alg.name(), p, root)
         })).ok().flatten();
         let Some(sched) = built else { return Ok(()) };
         if sched.validate().is_err() {
@@ -105,16 +105,16 @@ proptest! {
                 ("compiled", catch_unwind(AssertUnwindSafe(|| compiled::run(&sched.compile(), workload.initial_state(&sched))))),
                 ("pool", catch_unwind(AssertUnwindSafe(|| threaded::run(&sched, workload.initial_state(&sched))))),
             ] {
-                prop_assert!(outcome.is_err(), "{name} accepted a schedule the reference rejects ({:?}/{} p={p})", collective, alg.name);
+                prop_assert!(outcome.is_err(), "{name} accepted a schedule the reference rejects ({:?}/{} p={p})", collective, alg.name());
             }
             return Ok(());
         };
         let seq = sequential::run(&sched, workload.initial_state(&sched));
-        prop_assert_eq!(&seq, &reference, "sequential: {:?}/{} p={} root={}", collective, alg.name, p, root);
+        prop_assert_eq!(&seq, &reference, "sequential: {:?}/{} p={} root={}", collective, alg.name(), p, root);
         let comp = compiled::run(&sched.compile(), workload.initial_state(&sched));
-        prop_assert_eq!(&comp, &reference, "compiled: {:?}/{} p={} root={}", collective, alg.name, p, root);
+        prop_assert_eq!(&comp, &reference, "compiled: {:?}/{} p={} root={}", collective, alg.name(), p, root);
         let pooled = threaded::run(&sched, workload.initial_state(&sched));
-        prop_assert_eq!(&pooled, &reference, "pool: {:?}/{} p={} root={}", collective, alg.name, p, root);
+        prop_assert_eq!(&pooled, &reference, "pool: {:?}/{} p={} root={}", collective, alg.name(), p, root);
     }
 
     // The pipelining transform (`bine_sched::segment`) must be a semantic
@@ -135,9 +135,9 @@ proptest! {
         let algs = algorithms(collective);
         let alg = &algs[alg_seed % algs.len()];
         let root = root_seed % p;
-        let sched = build(collective, alg.name, p, root).expect(alg.name);
+        let sched = build(collective, alg.name(), p, root).unwrap_or_else(|| panic!("{}", alg.name()));
         let seg = sched.segmented(chunks);
-        prop_assert!(seg.validate().is_ok(), "{}+seg{chunks}", alg.name);
+        prop_assert!(seg.validate().is_ok(), "{}+seg{chunks}", alg.name());
         let workload = Workload::for_schedule(&sched, elems);
         let reference = sequential::run_reference(&sched, workload.initial_state(&sched));
         for (name, finals) in [
@@ -148,11 +148,11 @@ proptest! {
         ] {
             prop_assert_eq!(
                 &finals, &reference,
-                "{} on {}+seg{}: p={} root={}", name, alg.name, chunks, p, root
+                "{} on {}+seg{}: p={} root={}", name, alg.name(), chunks, p, root
             );
         }
         if let Err(e) = verify::verify(&workload, &reference) {
-            return Err(TestCaseError::fail(format!("{:?}/{}: {e}", collective, alg.name)));
+            return Err(TestCaseError::fail(format!("{:?}/{}: {e}", collective, alg.name())));
         }
     }
 
@@ -259,6 +259,63 @@ proptest! {
         }
         if let Err(e) = verify::verify(&workload, &reference) {
             return Err(TestCaseError::fail(format!("dual-root p={p}: {e}")));
+        }
+    }
+
+    // Synthesized schedules enter production through the same executors as
+    // the catalog, but their dataflow is derived from a topology view
+    // instead of a closed form — so executor equivalence (and the
+    // collective post-condition) is asserted over random views too:
+    // random island structure, power-of-two and non-power-of-two rank
+    // counts, random bandwidth hierarchy, random root, with and without
+    // segmentation.
+    #[test]
+    fn synthesized_schedules_execute_bit_identically_on_all_executors(
+        groups in prop::collection::vec(1usize..7, 1..5).prop_map(|mut g| { g[0] += 1; g }),
+        local_seed in 0usize..3,
+        global_seed in 0usize..3,
+        collective_seed in 0usize..3,
+        root_seed in 0usize..1000,
+        chunks in 1usize..=4,
+        elems in 1usize..4,
+    ) {
+        let local = [12.5f64, 100.0, 400.0][local_seed];
+        let global = [2.5f64, 25.0, 100.0][global_seed];
+        let view = bine_sched::TopologyView::clustered(&groups, (local, 0.3), (global, 25.0))
+            .expect("non-empty groups build");
+        let collective = [Collective::Broadcast, Collective::Reduce, Collective::Allreduce]
+            [collective_seed];
+        let p = view.num_ranks();
+        let root = root_seed % p;
+        for id in bine_sched::synth_algorithms(collective, &view) {
+            let spec = bine_sched::SynthSpec::parse(id.name()).expect("canonical name");
+            // ForestColl's rate-optimal tree count is root-dependent: a k
+            // enumerated for root 0 may admit no k edge-disjoint spanning
+            // trees from another root. The provider returns None there and
+            // serving falls back; only the tuned root must always build.
+            let Some(sched) = spec.synthesize(collective, &view, root) else {
+                prop_assert!(root != 0, "{} p={p}: unbuildable at the tuned root", id.name());
+                continue;
+            };
+            prop_assert!(sched.validate().is_ok(), "{} p={p} root={root}", id.name());
+            let seg = sched.segmented(chunks);
+            let workload = Workload::for_schedule(&seg, elems);
+            let reference = sequential::run_reference(&seg, workload.initial_state(&seg));
+            for (exec, finals) in [
+                ("sequential", sequential::run(&seg, workload.initial_state(&seg))),
+                ("compiled", compiled::run(&seg.compile(), workload.initial_state(&seg))),
+                ("pool", threaded::run(&seg, workload.initial_state(&seg))),
+            ] {
+                prop_assert_eq!(
+                    &finals, &reference,
+                    "{} on {}+seg{}: p={} root={}", exec, id.name(), chunks, p, root
+                );
+            }
+            if let Err(e) = verify::verify(&workload, &reference) {
+                return Err(TestCaseError::fail(format!(
+                    "{}/{:?} p={p} root={root} chunks={chunks}: {e}", id.name(), collective
+                )));
+            }
         }
     }
 }

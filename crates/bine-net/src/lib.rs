@@ -39,6 +39,7 @@ pub mod sim;
 pub mod topology;
 pub mod trace;
 pub mod traffic;
+pub mod view;
 
 pub use allocation::Allocation;
 pub use cost::{CostBreakdown, CostModel, CostSummary, LowerBounds};
@@ -56,3 +57,6 @@ pub use topology::{
 };
 pub use trace::{JobSample, JobTraceGenerator};
 pub use traffic::{global_bytes, global_traffic_reduction, measure, TrafficReport};
+pub use view::{
+    fugaku_dims, synth_view, system_allocation, system_topology, system_view, TUNING_PLACEMENT_SEED,
+};

@@ -127,16 +127,40 @@ pub struct FatTree {
     nodes_per_group: usize,
     uplinks_per_group: usize,
     num_nodes: usize,
+    local: LinkInfo,
+    global: LinkInfo,
 }
 
 impl FatTree {
-    /// Creates an oversubscribed fat tree with the given shape.
+    /// Creates an oversubscribed fat tree with the given shape and the
+    /// default 200 Gb/s-class link parameters.
     pub fn new(num_nodes: usize, nodes_per_group: usize, uplinks_per_group: usize) -> Self {
+        Self::with_links(
+            num_nodes,
+            nodes_per_group,
+            uplinks_per_group,
+            local_link(),
+            global_link(),
+        )
+    }
+
+    /// Creates an oversubscribed fat tree with explicit per-class link
+    /// parameters — the knob that models *heterogeneous* fabrics (fast
+    /// islands behind slow, long uplinks) the uniform presets cannot.
+    pub fn with_links(
+        num_nodes: usize,
+        nodes_per_group: usize,
+        uplinks_per_group: usize,
+        local: LinkInfo,
+        global: LinkInfo,
+    ) -> Self {
         assert!(nodes_per_group >= 1 && uplinks_per_group >= 1 && num_nodes >= 1);
         Self {
             nodes_per_group,
             uplinks_per_group,
             num_nodes,
+            local,
+            global,
         }
     }
 
@@ -149,6 +173,31 @@ impl FatTree {
     /// The 8-node, 2 nodes-per-switch, single-uplink example of Fig. 1.
     pub fn figure1() -> Self {
         Self::new(8, 2, 1)
+    }
+
+    /// A heterogeneous "accelerator island" fat tree: 16-node islands with
+    /// NVLink-class intra-island bandwidth, joined by two heavily
+    /// oversubscribed, long-haul uplinks per island. The 20:1 bandwidth
+    /// gap and the ~80:1 latency gap between the tiers is the regime the
+    /// fixed catalog cannot express and topology-aware synthesis exists
+    /// for; `bine-bench` commits a tuned decision table for this fabric
+    /// (`tuning/heterofat.json`).
+    pub fn hetero_island(num_nodes: usize) -> Self {
+        Self::with_links(
+            num_nodes,
+            16,
+            2,
+            LinkInfo {
+                class: LinkClass::Local,
+                bandwidth_gib_s: 100.0,
+                latency_us: 0.3,
+            },
+            LinkInfo {
+                class: LinkClass::Global,
+                bandwidth_gib_s: 5.0,
+                latency_us: 25.0,
+            },
+        )
     }
 
     fn injection(&self, node: NodeId) -> LinkId {
@@ -175,9 +224,9 @@ impl Topology for FatTree {
     }
     fn link(&self, link: LinkId) -> LinkInfo {
         if link < self.num_nodes {
-            local_link()
+            self.local
         } else {
-            global_link()
+            self.global
         }
     }
     fn route(&self, a: NodeId, b: NodeId) -> Vec<LinkId> {

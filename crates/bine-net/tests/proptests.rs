@@ -48,7 +48,7 @@ fn any_vector_bytes() -> impl Strategy<Value = u64> {
 
 fn pick_algorithm(collective: Collective, seed: usize) -> AlgorithmId {
     let algs = algorithms(collective);
-    algs[seed % algs.len()]
+    algs[seed % algs.len()].clone()
 }
 
 /// Algorithms whose ranks legitimately run ahead of the global barrier even
@@ -93,10 +93,10 @@ proptest! {
     ) {
         let p = 1usize << s;
         let alg = pick_algorithm(collective, alg_seed);
-        if overlaps_even_without_congestion(collective, alg.name) {
+        if overlaps_even_without_congestion(collective, alg.name()) {
             return Ok(());
         }
-        let sched = build(collective, alg.name, p, root_seed % p).expect(alg.name);
+        let sched = build(collective, alg.name(), p, root_seed % p).unwrap_or_else(|| panic!("{}", alg.name()));
         let topo = IdealFullMesh::new(p);
         let alloc = Allocation::block(p);
         let model = CostModel::default();
@@ -107,7 +107,7 @@ proptest! {
             .makespan_us();
         prop_assert!(
             (des - sync).abs() <= 1e-9 * sync.max(1e-12),
-            "{:?}/{} p={p} n={n}: DES {des} vs sync {sync}", collective, alg.name
+            "{:?}/{} p={p} n={n}: DES {des} vs sync {sync}", collective, alg.name()
         );
     }
 
@@ -127,8 +127,8 @@ proptest! {
         use bine_net::cost::CostSummary;
         let p = 1usize << s;
         let alg = pick_algorithm(collective, alg_seed);
-        let sched = build(collective, alg.name, p, root_seed % p)
-            .expect(alg.name)
+        let sched = build(collective, alg.name(), p, root_seed % p)
+            .unwrap_or_else(|| panic!("{}", alg.name()))
             .segmented(chunks);
         let model = CostModel::default();
         for topo in [
@@ -158,7 +158,7 @@ proptest! {
     ) {
         let p = 1usize << s;
         let alg = pick_algorithm(collective, alg_seed);
-        let sched = build(collective, alg.name, p, 0).expect(alg.name).segmented(chunks);
+        let sched = build(collective, alg.name(), p, 0).unwrap_or_else(|| panic!("{}", alg.name())).segmented(chunks);
         let topo = IdealFullMesh::new(p);
         let alloc = Allocation::block(p);
         let model = CostModel::default();
@@ -169,7 +169,7 @@ proptest! {
             .makespan_us();
         prop_assert!(
             des <= sync * (1.0 + 1e-9),
-            "{:?}/{} p={p} n={n} chunks={chunks}: DES {des} > sync {sync}", collective, alg.name
+            "{:?}/{} p={p} n={n} chunks={chunks}: DES {des} > sync {sync}", collective, alg.name()
         );
     }
 
@@ -191,8 +191,8 @@ proptest! {
     ) {
         let p = 1usize << s;
         let alg = pick_algorithm(collective, alg_seed);
-        let compiled = build(collective, alg.name, p, root_seed % p)
-            .expect(alg.name)
+        let compiled = build(collective, alg.name(), p, root_seed % p)
+            .unwrap_or_else(|| panic!("{}", alg.name()))
             .segmented(chunks)
             .compile();
         let model = CostModel::default();
@@ -214,7 +214,7 @@ proptest! {
             prop_assert_eq!(
                 reference.makespan_us.to_bits(), fast.makespan_us.to_bits(),
                 "{:?}/{} p={p} n={n} chunks={chunks} on {}: reference {} vs fast {}",
-                collective, alg.name, topo.name(), reference.makespan_us, fast.makespan_us
+                collective, alg.name(), topo.name(), reference.makespan_us, fast.makespan_us
             );
             prop_assert_eq!(reference.network_messages, fast.network_messages);
             // The satellite invariance check: overlap accounting is not
@@ -224,7 +224,7 @@ proptest! {
                 prop_assert_eq!(
                     a.to_bits(), b.to_bits(),
                     "{:?}/{} rank {r} finish: reference {} vs fast {}",
-                    collective, alg.name, a, b
+                    collective, alg.name(), a, b
                 );
             }
         }
@@ -247,8 +247,8 @@ proptest! {
     ) {
         let p = 1usize << s;
         let alg = pick_algorithm(collective, alg_seed);
-        let compiled = build(collective, alg.name, p, root_seed % p)
-            .expect(alg.name)
+        let compiled = build(collective, alg.name(), p, root_seed % p)
+            .unwrap_or_else(|| panic!("{}", alg.name()))
             .segmented(chunks)
             .compile();
         let model = CostModel::default();
@@ -282,7 +282,7 @@ proptest! {
             prop_assert_eq!(
                 bare.makespan_us.to_bits(), faulted.makespan_us.to_bits(),
                 "{:?}/{} p={p} n={n} chunks={chunks} on {}: bare {} vs zero-fault {}",
-                collective, alg.name, topo.name(), bare.makespan_us, faulted.makespan_us
+                collective, alg.name(), topo.name(), bare.makespan_us, faulted.makespan_us
             );
             prop_assert_eq!(bare.network_messages, faulted.network_messages);
             prop_assert_eq!(bare.peak_active_flows, faulted.peak_active_flows);
@@ -290,7 +290,7 @@ proptest! {
                 prop_assert_eq!(
                     a.to_bits(), b.to_bits(),
                     "{:?}/{} rank {r} finish: bare {} vs zero-fault {}",
-                    collective, alg.name, a, b
+                    collective, alg.name(), a, b
                 );
             }
             // The reference agrees under the same zero plan.
@@ -319,8 +319,8 @@ proptest! {
     ) {
         let p = 1usize << s;
         let alg = pick_algorithm(collective, alg_seed);
-        let compiled = build(collective, alg.name, p, 0)
-            .expect(alg.name)
+        let compiled = build(collective, alg.name(), p, 0)
+            .unwrap_or_else(|| panic!("{}", alg.name()))
             .segmented(chunks)
             .compile();
         let model = CostModel::default();
@@ -356,7 +356,7 @@ proptest! {
                 reference.makespan_us.to_bits(), fast.makespan_us.to_bits(),
                 "{:?}/{} p={p} n={n} chunks={chunks} seed={fault_seed} on {}: \
                  reference {} vs fast {}",
-                collective, alg.name, topo.name(), reference.makespan_us, fast.makespan_us
+                collective, alg.name(), topo.name(), reference.makespan_us, fast.makespan_us
             );
             prop_assert_eq!(reference.network_messages, fast.network_messages);
             prop_assert_eq!(reference.peak_active_flows, fast.peak_active_flows);
@@ -364,7 +364,7 @@ proptest! {
                 prop_assert_eq!(
                     a.to_bits(), b.to_bits(),
                     "{:?}/{} rank {r} finish under faults: reference {} vs fast {}",
-                    collective, alg.name, a, b
+                    collective, alg.name(), a, b
                 );
             }
         }
@@ -383,7 +383,7 @@ proptest! {
     ) {
         let p = 1usize << s;
         let alg = pick_algorithm(collective, alg_seed);
-        let compiled = build(collective, alg.name, p, 0).expect(alg.name).compile();
+        let compiled = build(collective, alg.name(), p, 0).unwrap_or_else(|| panic!("{}", alg.name())).compile();
         let model = CostModel::default();
         let alloc = Allocation::block(p);
         let spec = FaultSpec {
@@ -428,7 +428,7 @@ proptest! {
                 prop_assert_eq!(
                     &a.1, &b.1,
                     "{:?}/{} p={p} n={n} faulted event {i} at t={}: rates diverged",
-                    collective, alg.name, f64::from_bits(a.0)
+                    collective, alg.name(), f64::from_bits(a.0)
                 );
             }
         }
@@ -448,8 +448,8 @@ proptest! {
     ) {
         let p = 1usize << s;
         let alg = pick_algorithm(collective, alg_seed);
-        let compiled = build(collective, alg.name, p, 0)
-            .expect(alg.name)
+        let compiled = build(collective, alg.name(), p, 0)
+            .unwrap_or_else(|| panic!("{}", alg.name()))
             .segmented(chunks)
             .compile();
         let model = CostModel::default();
@@ -484,14 +484,14 @@ proptest! {
             prop_assert_eq!(
                 ref_trace.len(), fast_trace.len(),
                 "{:?}/{} p={p}: {} reference rate events vs {} incremental",
-                collective, alg.name, ref_trace.len(), fast_trace.len()
+                collective, alg.name(), ref_trace.len(), fast_trace.len()
             );
             for (i, (a, b)) in ref_trace.iter().zip(&fast_trace).enumerate() {
                 prop_assert_eq!(a.0, b.0, "event {i}: time diverged");
                 prop_assert_eq!(
                     &a.1, &b.1,
                     "{:?}/{} p={p} n={n} event {i} at t={}: rates diverged",
-                    collective, alg.name, f64::from_bits(a.0)
+                    collective, alg.name(), f64::from_bits(a.0)
                 );
             }
         }
@@ -509,7 +509,7 @@ proptest! {
     ) {
         let p = 16;
         let alg = pick_algorithm(collective, alg_seed);
-        let sched = build(collective, alg.name, p, 3).expect(alg.name);
+        let sched = build(collective, alg.name(), p, 3).unwrap_or_else(|| panic!("{}", alg.name()));
         let topo = FatTree::new(p, 4, 1);
         let alloc = Allocation::block(p);
         let model = CostModel::default();
@@ -522,7 +522,7 @@ proptest! {
             .time_only()
             .run()
             .makespan_us();
-        prop_assert_eq!(a.to_bits(), b.to_bits(), "{}", alg.name);
+        prop_assert_eq!(a.to_bits(), b.to_bits(), "{}", alg.name());
     }
 
     // Synchronous-model time is monotone in the vector size on every
@@ -538,7 +538,7 @@ proptest! {
         let p = 16;
         let (lo, hi) = (n1.min(n2), n1.max(n2));
         let alg = pick_algorithm(collective, alg_seed);
-        let sched = build(collective, alg.name, p, 0).expect(alg.name);
+        let sched = build(collective, alg.name(), p, 0).unwrap_or_else(|| panic!("{}", alg.name()));
         let topo: Box<dyn Topology> = match topo_seed {
             0 => Box::new(Dragonfly::lumi()),
             1 => Box::new(FatTree::marenostrum5(320)),
@@ -550,7 +550,7 @@ proptest! {
         let t_hi = model.time_us(&sched, hi, topo.as_ref(), &alloc);
         prop_assert!(
             t_lo <= t_hi * (1.0 + 1e-12),
-            "{}: time({lo}) = {t_lo} > time({hi}) = {t_hi}", alg.name
+            "{}: time({lo}) = {t_lo} > time({hi}) = {t_hi}", alg.name()
         );
     }
 
@@ -567,7 +567,7 @@ proptest! {
     ) {
         let p = 32;
         let alg = pick_algorithm(collective, alg_seed);
-        let sched = build(collective, alg.name, p, 0).expect(alg.name);
+        let sched = build(collective, alg.name(), p, 0).unwrap_or_else(|| panic!("{}", alg.name()));
         let seg = sched.segmented(chunks);
         let topo: Box<dyn Topology> = match topo_seed {
             0 => Box::new(Dragonfly::leonardo()),
@@ -576,13 +576,13 @@ proptest! {
         let alloc = Allocation::block(p);
         let base = traffic::measure(&sched, n, topo.as_ref(), &alloc);
         let piped = traffic::measure(&seg, n, topo.as_ref(), &alloc);
-        prop_assert_eq!(base.total_bytes, piped.total_bytes, "{}", alg.name);
-        prop_assert_eq!(base.global_bytes, piped.global_bytes, "{}", alg.name);
-        prop_assert_eq!(base.local_link_bytes, piped.local_link_bytes, "{}", alg.name);
-        prop_assert_eq!(base.global_link_bytes, piped.global_link_bytes, "{}", alg.name);
-        prop_assert_eq!(base.max_link_bytes, piped.max_link_bytes, "{}", alg.name);
-        prop_assert!(piped.messages >= base.messages, "{}", alg.name);
-        prop_assert!(piped.global_messages >= base.global_messages, "{}", alg.name);
+        prop_assert_eq!(base.total_bytes, piped.total_bytes, "{}", alg.name());
+        prop_assert_eq!(base.global_bytes, piped.global_bytes, "{}", alg.name());
+        prop_assert_eq!(base.local_link_bytes, piped.local_link_bytes, "{}", alg.name());
+        prop_assert_eq!(base.global_link_bytes, piped.global_link_bytes, "{}", alg.name());
+        prop_assert_eq!(base.max_link_bytes, piped.max_link_bytes, "{}", alg.name());
+        prop_assert!(piped.messages >= base.messages, "{}", alg.name());
+        prop_assert!(piped.global_messages >= base.global_messages, "{}", alg.name());
     }
 }
 
@@ -629,7 +629,7 @@ mod wrapper_parity {
 
         let p = 1usize << s;
         let alg = pick_algorithm(collective, alg_seed);
-        let sched = build(collective, alg.name, p, 0).expect(alg.name);
+        let sched = build(collective, alg.name(), p, 0).unwrap_or_else(|| panic!("{}", alg.name()));
         let compiled = sched.segmented(chunks).compile();
         let model = CostModel::default();
         let topo = FatTree::new(p, 4, 1);
@@ -772,6 +772,59 @@ mod wrapper_parity {
             .run()
             .makespan_us();
         prop_assert_eq!(wrapped.to_bits(), via_builder.to_bits());
+    }
+
+    // Synthesized schedules are tuned *by* the DES (the tuner's refinement
+    // stage ranks them against the catalog), so the optimized simulator
+    // must stay bit-identical to the reference on their tier-crossing,
+    // irregular-fan-out shapes too — on the very fabric they are derived
+    // for: the serving-layer view of the heterogeneous island fat tree.
+    #[test]
+    fn optimized_des_is_bit_identical_on_synthesized_schedules(
+        nodes in prop::sample::select(vec![16usize, 24, 32]),
+        collective_seed in 0usize..3,
+        chunks in 1usize..=4,
+        n in any_vector_bytes(),
+    ) {
+        let collective = [Collective::Broadcast, Collective::Reduce, Collective::Allreduce]
+            [collective_seed];
+        let view = bine_net::view::system_view("heterofat", nodes).expect("heterofat view");
+        let topo = bine_net::view::system_topology("heterofat", nodes).expect("heterofat");
+        let alloc = bine_net::view::system_allocation(
+            "heterofat", topo.as_ref(), nodes, bine_net::view::TUNING_PLACEMENT_SEED,
+        );
+        let model = CostModel::default();
+        let mut arena = SimArena::new();
+        for id in bine_sched::synth_algorithms(collective, &view) {
+            let spec = bine_sched::SynthSpec::parse(id.name()).expect("canonical name");
+            let compiled = spec
+                .synthesize(collective, &view, 0)
+                .unwrap_or_else(|| panic!("{}", id.name()))
+                .segmented(chunks)
+                .compile();
+            let reference = SimRequest::new(&model, &compiled, n, topo.as_ref(), &alloc)
+                .reference()
+                .run()
+                .into_report();
+            let fast = SimRequest::new(&model, &compiled, n, topo.as_ref(), &alloc)
+                .arena(&mut arena)
+                .run()
+                .into_report();
+            prop_assert_eq!(
+                reference.makespan_us.to_bits(), fast.makespan_us.to_bits(),
+                "{:?}/{} p={nodes} n={n} chunks={chunks}: reference {} vs fast {}",
+                collective, id.name(), reference.makespan_us, fast.makespan_us
+            );
+            prop_assert_eq!(reference.network_messages, fast.network_messages);
+            prop_assert_eq!(reference.peak_active_flows, fast.peak_active_flows);
+            for (r, (a, b)) in reference.rank_finish_us.iter().zip(&fast.rank_finish_us).enumerate() {
+                prop_assert_eq!(
+                    a.to_bits(), b.to_bits(),
+                    "{:?}/{} rank {r} finish: reference {} vs fast {}",
+                    collective, id.name(), a, b
+                );
+            }
+        }
     }
     }
 }

@@ -7,16 +7,27 @@ use crate::collectives::{
     AllgatherAlg, AllreduceAlg, AlltoallAlg, BroadcastAlg, GatherAlg, ReduceAlg, ReduceScatterAlg,
     ScatterAlg,
 };
+use std::sync::Arc;
+
 use crate::noncontig::NonContigStrategy;
 use crate::schedule::{Collective, Schedule};
+use crate::synth;
 
 /// A named algorithm for a given collective.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// The name is an *open* identity: catalog algorithms use their enum names
+/// (`"bine-large"`), topology-synthesized schedules use the parameterized
+/// `synth:` grammar (`"synth:forestcoll:k=2"`), and either may carry a
+/// `+seg{S}` pipelining suffix. Identities are owned (`Arc<str>`), so ids
+/// minted at runtime by a [`crate::provider::ScheduleProvider`] are
+/// first-class citizens of the tuner, the decision tables and the serving
+/// layer alongside the static catalog.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AlgorithmId {
     /// The collective the algorithm implements.
     pub collective: Collective,
-    /// The algorithm name (matches the per-collective enum names).
-    pub name: &'static str,
+    /// The algorithm name (catalog enum name or `synth:` grammar).
+    name: Arc<str>,
     /// Whether this is one of the paper's Bine algorithms.
     pub is_bine: bool,
     /// Whether this algorithm plays the role of the *binomial-tree /
@@ -29,6 +40,32 @@ pub struct AlgorithmId {
 }
 
 impl AlgorithmId {
+    /// Mints an id for `name`. The `is_bine` / `is_binomial_baseline` flags
+    /// default to `false` (the catalog sets them for its own entries);
+    /// `is_linear` is derived from the base name, since only the catalog's
+    /// `ring`/`pairwise` chains take Θ(p) steps — every synthesized schedule
+    /// is tree-shaped and logarithmic.
+    pub fn new(collective: Collective, name: impl Into<Arc<str>>) -> Self {
+        let name = name.into();
+        let is_linear = matches!(split_segments(&name).0, "ring" | "pairwise");
+        Self {
+            collective,
+            name,
+            is_bine: false,
+            is_binomial_baseline: false,
+            is_linear,
+        }
+    }
+
+    /// The algorithm name (including any `+seg{S}` suffix).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether this id names a topology-synthesized schedule (`synth:` …).
+    pub fn is_synthesized(&self) -> bool {
+        synth::is_synth_name(&self.name)
+    }
     /// Conservative lower bound on the number of nonempty *network* steps of
     /// the schedule this algorithm builds for `p` ranks: `p − 1` for the
     /// linear algorithms (which are chains by construction), otherwise the
@@ -78,25 +115,55 @@ impl AlgorithmId {
 }
 
 /// Splits a (possibly tuned) algorithm name into its base name and pipeline
-/// chunk count: `"bine-large+seg8"` → `("bine-large", 8)`, a bare name →
-/// `(name, 1)`. This is the inverse of the `alg+segS` naming convention the
-/// catalog, the benchmark harness and the `bine-tune` decision tables share;
-/// a malformed suffix (`+seg0`, `+seg1`, `+segX`) is returned unsplit so
-/// that `build` rejects it rather than silently dropping the suffix.
+/// chunk count: `"bine-large+seg8"` → `("bine-large", 8)`,
+/// `"synth:forestcoll:k=2+seg8"` → `("synth:forestcoll:k=2", 8)`, a bare
+/// name → `(name, 1)`. This is the inverse of the `alg+segS` naming
+/// convention the catalog, the benchmark harness and the `bine-tune`
+/// decision tables share, so it only accepts the *canonical* spelling that
+/// `{base}+seg{chunks}` formatting produces: a non-empty base and a plain
+/// decimal count ≥ 2 with no sign and no leading zeros. Anything else
+/// (`+seg0`, `+seg1`, `+segX`, `+seg08`, `+seg+2`) is returned unsplit so
+/// that `build` rejects it rather than silently normalizing it into a name
+/// that would not round-trip.
 pub fn split_segments(name: &str) -> (&str, usize) {
     if let Some((base, chunks)) = name.rsplit_once("+seg") {
-        if let Some(chunks) = chunks.parse().ok().filter(|&c| c >= 2) {
-            return (base, chunks);
+        let canonical = !base.is_empty()
+            && !chunks.is_empty()
+            && chunks.bytes().all(|b| b.is_ascii_digit())
+            && !chunks.starts_with('0');
+        if canonical {
+            if let Some(chunks) = chunks.parse().ok().filter(|&c| c >= 2) {
+                return (base, chunks);
+            }
         }
     }
     (name, 1)
+}
+
+/// Whether `name` (base name or `+seg{S}`-suffixed) is a name the *catalog*
+/// can build for `collective`, without building it. Synthesized `synth:`
+/// names are not catalog names; check them with
+/// [`crate::synth::SynthSpec::parse`]. Decision-table loading uses this to
+/// reject stale picks at parse time instead of deep in the serve path.
+pub fn has_algorithm(collective: Collective, name: &str) -> bool {
+    let (base, _) = split_segments(name);
+    match collective {
+        Collective::Broadcast => BroadcastAlg::ALL.iter().any(|a| a.name() == base),
+        Collective::Reduce => ReduceAlg::ALL.iter().any(|a| a.name() == base),
+        Collective::Gather => GatherAlg::ALL.iter().any(|a| a.name() == base),
+        Collective::Scatter => ScatterAlg::ALL.iter().any(|a| a.name() == base),
+        Collective::Allgather => AllgatherAlg::ALL.iter().any(|a| a.name() == base),
+        Collective::ReduceScatter => rs_by_name(base).is_some(),
+        Collective::Allreduce => AllreduceAlg::ALL.iter().any(|a| a.name() == base),
+        Collective::Alltoall => AlltoallAlg::ALL.iter().any(|a| a.name() == base),
+    }
 }
 
 /// Lists every algorithm available for `collective`.
 pub fn algorithms(collective: Collective) -> Vec<AlgorithmId> {
     let mk = |name: &'static str, is_bine, is_binomial_baseline| AlgorithmId {
         collective,
-        name,
+        name: Arc::from(name),
         is_bine,
         is_binomial_baseline,
         is_linear: matches!(name, "ring" | "pairwise"),
@@ -287,9 +354,11 @@ mod tests {
             let algs = algorithms(collective);
             assert!(!algs.is_empty());
             for alg in algs {
-                let sched = build(collective, alg.name, 32, 3).expect(alg.name);
+                let sched = build(collective, alg.name(), 32, 3)
+                    .unwrap_or_else(|| panic!("{}", alg.name()));
                 assert_eq!(sched.collective, collective);
-                assert!(sched.validate().is_ok(), "{}", alg.name);
+                assert!(sched.validate().is_ok(), "{}", alg.name());
+                assert!(has_algorithm(collective, alg.name()), "{}", alg.name());
             }
         }
     }
@@ -340,6 +409,75 @@ mod tests {
     }
 
     #[test]
+    fn split_segments_round_trips_parameterized_names() {
+        // The synth grammar embeds `:` and `=`; the suffix split must not
+        // care.
+        assert_eq!(
+            split_segments("synth:forestcoll:k=2+seg8"),
+            ("synth:forestcoll:k=2", 8)
+        );
+        assert_eq!(
+            split_segments("synth:multilevel:tiers=2"),
+            ("synth:multilevel:tiers=2", 1)
+        );
+        // Round-trip: split then re-format must reproduce the input
+        // byte-for-byte for every split that succeeds.
+        for name in [
+            "bine-large+seg8",
+            "synth:forestcoll:k=2+seg16",
+            "synth:multilevel:tiers=2+seg4",
+        ] {
+            let (base, chunks) = split_segments(name);
+            assert!(chunks > 1, "{name}");
+            assert_eq!(format!("{base}+seg{chunks}"), name);
+        }
+    }
+
+    #[test]
+    fn split_segments_rejects_non_canonical_suffixes() {
+        // Each of these would parse as a number but does not round-trip
+        // through `{base}+seg{chunks}` formatting, so it must come back
+        // unsplit (and `build` must reject it).
+        for name in [
+            "bine-large+seg08", // leading zero
+            "bine-large+seg+2", // sign accepted by usize::parse
+            "bine-large+seg 2", // whitespace
+            "synth:forestcoll:k=2+seg02",
+            "+seg4", // empty base
+        ] {
+            assert_eq!(split_segments(name), (name, 1), "{name}");
+            assert!(
+                build(Collective::Allreduce, name, 16, 0).is_none(),
+                "{name}"
+            );
+        }
+        // But a canonical suffix after a weird-looking base still splits.
+        assert_eq!(split_segments("a+seg2+seg4"), ("a+seg2", 4));
+    }
+
+    #[test]
+    fn has_algorithm_matches_build() {
+        for collective in Collective::ALL {
+            for name in [
+                "bine-large",
+                "ring",
+                "nonsense",
+                "bine-large+seg4",
+                "bine-large+seg0",
+                "synth:forestcoll:k=2",
+                "binomial-dd",
+                "bine-block-by-block",
+            ] {
+                assert_eq!(
+                    has_algorithm(collective, name),
+                    build(collective, name, 16, 0).is_some(),
+                    "{collective:?} {name}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn metadata_bounds_are_true_lower_bounds() {
         // The autotuner prunes candidates on these closed forms without
         // building their schedules, so an over-estimate would silently
@@ -350,7 +488,8 @@ mod tests {
         for collective in Collective::ALL {
             for p in [2usize, 4, 8, 16, 32, 64] {
                 for alg in algorithms(collective) {
-                    let sched = build(collective, alg.name, p, 0).expect(alg.name);
+                    let sched = build(collective, alg.name(), p, 0)
+                        .unwrap_or_else(|| panic!("{}", alg.name()));
                     let network_steps = sched
                         .steps
                         .iter()
@@ -359,14 +498,14 @@ mod tests {
                     assert!(
                         alg.min_steps(p) <= network_steps,
                         "{} p={p}: min_steps {} > actual {network_steps}",
-                        alg.name,
+                        alg.name(),
                         alg.min_steps(p)
                     );
                     for n in [32u64, 1000, 65536, (1 << 20) + 13] {
                         assert!(
                             alg.min_rank_bytes(n, p) <= sched.max_bytes_sent_by_rank(n),
                             "{} p={p} n={n}: min_rank_bytes {} > actual {}",
-                            alg.name,
+                            alg.name(),
                             alg.min_rank_bytes(n, p),
                             sched.max_bytes_sent_by_rank(n)
                         );
@@ -382,9 +521,9 @@ mod tests {
             for alg in algorithms(collective) {
                 assert_eq!(
                     alg.is_linear,
-                    alg.name == "ring" || alg.name == "pairwise",
+                    alg.name() == "ring" || alg.name() == "pairwise",
                     "{}",
-                    alg.name
+                    alg.name()
                 );
             }
         }

@@ -35,18 +35,24 @@ pub mod catalog;
 pub mod collectives;
 pub mod compile;
 pub mod noncontig;
+pub mod provider;
 pub mod schedule;
 pub mod segment;
+pub mod synth;
 pub mod validate;
 
-pub use catalog::{algorithms, bine_default, binomial_default, build, split_segments, AlgorithmId};
+pub use catalog::{
+    algorithms, bine_default, binomial_default, build, has_algorithm, split_segments, AlgorithmId,
+};
 pub use collectives::{
     build_irregular, irregular_algorithms, IrregularAlg, SizeDist, IRREGULAR_COLLECTIVES,
 };
 pub use compile::{BlockInterner, CompiledSchedule, CompiledSend};
 pub use noncontig::NonContigStrategy;
+pub use provider::{CatalogProvider, ProviderSet, ScheduleProvider, SynthProvider, ViewSource};
 pub use schedule::{BlockId, Collective, Counts, Message, Schedule, Step, TransferKind};
 pub use segment::segment_schedule;
+pub use synth::{is_synth_name, synth_algorithms, SynthSpec, TopoEdge, TopologyView, SYNTH_PREFIX};
 pub use validate::{
     validate_schedule, CompletionReport, PendingRecv, RankMap, ScheduleValidator, StallReason,
     ValidationError,

@@ -309,7 +309,7 @@ impl Step {
 }
 
 /// A complete communication schedule for one collective invocation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schedule {
     /// Number of participating ranks.
     pub num_ranks: usize,

@@ -1,0 +1,235 @@
+//! The link-capacity/tier view of a topology that schedule synthesis
+//! consumes.
+//!
+//! `bine-net` owns the physical topology models (Dragonfly, fat tree,
+//! torus) but depends on this crate, so synthesis cannot consume a
+//! `Topology` directly. Instead the synthesizers work on a
+//! [`TopologyView`]: an undirected weighted graph over the *ranks of one
+//! allocation*, where each edge carries the bottleneck bandwidth and total
+//! latency of the route between two ranks plus a locality tier. `bine-net`
+//! derives a view from any `(Topology, Allocation)` pair
+//! (`bine_net::synth_view`); tests build synthetic views directly.
+
+/// One undirected edge of a [`TopologyView`], with `a < b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopoEdge {
+    /// Lower-numbered endpoint rank.
+    pub a: usize,
+    /// Higher-numbered endpoint rank.
+    pub b: usize,
+    /// Bottleneck bandwidth of the route between the endpoints, GiB/s.
+    pub bandwidth_gib_s: f64,
+    /// End-to-end latency of the route, microseconds.
+    pub latency_us: f64,
+    /// Locality tier: 0 for intra-group routes, 1 for routes that cross a
+    /// group (island) boundary. Synthesis prefers lower tiers on ties.
+    pub tier: usize,
+}
+
+/// An undirected capacity/tier graph over the ranks of one allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyView {
+    num_ranks: usize,
+    group_of: Vec<usize>,
+    edges: Vec<TopoEdge>,
+}
+
+impl TopologyView {
+    /// Builds a view and checks its invariants: every edge has `a < b <
+    /// num_ranks` and positive finite bandwidth, no duplicate edges, and
+    /// the graph is connected (a disconnected fabric cannot host a
+    /// collective at all).
+    pub fn new(group_of: Vec<usize>, edges: Vec<TopoEdge>) -> Result<Self, String> {
+        let num_ranks = group_of.len();
+        if num_ranks == 0 {
+            return Err("view has no ranks".into());
+        }
+        let mut seen = std::collections::HashSet::new();
+        for e in &edges {
+            if e.a >= e.b || e.b >= num_ranks {
+                return Err(format!(
+                    "edge ({}, {}) is not a < b < {num_ranks}",
+                    e.a, e.b
+                ));
+            }
+            if !(e.bandwidth_gib_s > 0.0 && e.bandwidth_gib_s.is_finite()) {
+                return Err(format!(
+                    "edge ({}, {}) has non-positive bandwidth {}",
+                    e.a, e.b, e.bandwidth_gib_s
+                ));
+            }
+            if !(e.latency_us >= 0.0 && e.latency_us.is_finite()) {
+                return Err(format!(
+                    "edge ({}, {}) has invalid latency {}",
+                    e.a, e.b, e.latency_us
+                ));
+            }
+            if !seen.insert((e.a, e.b)) {
+                return Err(format!("duplicate edge ({}, {})", e.a, e.b));
+            }
+        }
+        let view = Self {
+            num_ranks,
+            group_of,
+            edges,
+        };
+        if num_ranks > 1 && !view.is_connected() {
+            return Err("view is not connected".into());
+        }
+        Ok(view)
+    }
+
+    /// A uniform full mesh — the view of an ideal (topology-oblivious)
+    /// fabric, and the smallest useful synthetic test fixture.
+    pub fn full_mesh(num_ranks: usize, bandwidth_gib_s: f64, latency_us: f64) -> Self {
+        let mut edges = Vec::new();
+        for a in 0..num_ranks {
+            for b in a + 1..num_ranks {
+                edges.push(TopoEdge {
+                    a,
+                    b,
+                    bandwidth_gib_s,
+                    latency_us,
+                    tier: 0,
+                });
+            }
+        }
+        Self::new(vec![0; num_ranks], edges).expect("full mesh is always valid")
+    }
+
+    /// A clustered (islands-of-ranks) view: full mesh at `(local_bw,
+    /// local_lat)` inside each group, and `(global_bw, global_lat)` tier-1
+    /// edges between every cross-group rank pair — the shape `bine-net`
+    /// derives for a fat tree or Dragonfly allocation.
+    pub fn clustered(
+        group_sizes: &[usize],
+        local: (f64, f64),
+        global: (f64, f64),
+    ) -> Result<Self, String> {
+        let mut group_of = Vec::new();
+        for (g, &size) in group_sizes.iter().enumerate() {
+            if size == 0 {
+                return Err(format!("group {g} is empty"));
+            }
+            group_of.extend(std::iter::repeat_n(g, size));
+        }
+        let num_ranks = group_of.len();
+        let mut edges = Vec::new();
+        for a in 0..num_ranks {
+            for b in a + 1..num_ranks {
+                let (bw, lat, tier) = if group_of[a] == group_of[b] {
+                    (local.0, local.1, 0)
+                } else {
+                    (global.0, global.1, 1)
+                };
+                edges.push(TopoEdge {
+                    a,
+                    b,
+                    bandwidth_gib_s: bw,
+                    latency_us: lat,
+                    tier,
+                });
+            }
+        }
+        Self::new(group_of, edges)
+    }
+
+    /// Number of ranks in the view.
+    pub fn num_ranks(&self) -> usize {
+        self.num_ranks
+    }
+
+    /// The group (island) a rank belongs to.
+    pub fn group_of(&self, rank: usize) -> usize {
+        self.group_of[rank]
+    }
+
+    /// Number of distinct groups.
+    pub fn num_groups(&self) -> usize {
+        let mut groups: Vec<usize> = self.group_of.clone();
+        groups.sort_unstable();
+        groups.dedup();
+        groups.len()
+    }
+
+    /// The undirected edges.
+    pub fn edges(&self) -> &[TopoEdge] {
+        &self.edges
+    }
+
+    /// Edge indices incident to each rank.
+    pub fn adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.num_ranks];
+        for (i, e) in self.edges.iter().enumerate() {
+            adj[e.a].push(i);
+            adj[e.b].push(i);
+        }
+        adj
+    }
+
+    fn is_connected(&self) -> bool {
+        let adj = self.adjacency();
+        let mut seen = vec![false; self.num_ranks];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(r) = stack.pop() {
+            for &ei in &adj[r] {
+                let e = &self.edges[ei];
+                let other = if e.a == r { e.b } else { e.a };
+                if !seen[other] {
+                    seen[other] = true;
+                    stack.push(other);
+                }
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_malformed_views() {
+        assert!(TopologyView::new(vec![], vec![]).is_err());
+        // a >= b
+        assert!(TopologyView::new(
+            vec![0, 0],
+            vec![TopoEdge {
+                a: 1,
+                b: 1,
+                bandwidth_gib_s: 1.0,
+                latency_us: 1.0,
+                tier: 0
+            }]
+        )
+        .is_err());
+        // disconnected
+        assert!(TopologyView::new(vec![0, 0, 0], vec![]).is_err());
+        // zero bandwidth
+        assert!(TopologyView::new(
+            vec![0, 0],
+            vec![TopoEdge {
+                a: 0,
+                b: 1,
+                bandwidth_gib_s: 0.0,
+                latency_us: 1.0,
+                tier: 0
+            }]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn clustered_shape() {
+        let v = TopologyView::clustered(&[4, 4, 4], (100.0, 0.3), (5.0, 25.0)).unwrap();
+        assert_eq!(v.num_ranks(), 12);
+        assert_eq!(v.num_groups(), 3);
+        assert_eq!(v.edges().len(), 12 * 11 / 2);
+        let cross = v.edges().iter().filter(|e| e.tier == 1).count();
+        assert_eq!(cross, 3 * 4 * 4);
+        assert_eq!(v.group_of(0), 0);
+        assert_eq!(v.group_of(11), 2);
+    }
+}

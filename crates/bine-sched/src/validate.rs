@@ -1049,12 +1049,13 @@ mod tests {
     fn every_catalog_algorithm_validates() {
         for collective in Collective::ALL {
             for alg in crate::catalog::algorithms(collective) {
-                let sched = build(collective, alg.name, 16, 3).expect(alg.name);
+                let sched = build(collective, alg.name(), 16, 3)
+                    .unwrap_or_else(|| panic!("{}", alg.name()));
                 assert_eq!(
                     validate_schedule(&sched),
                     Ok(()),
                     "{collective:?} {}",
-                    alg.name
+                    alg.name()
                 );
             }
         }

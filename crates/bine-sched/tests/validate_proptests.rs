@@ -52,15 +52,15 @@ proptest! {
         root_seed in 0usize..1000,
     ) {
         let algs = algorithms(collective);
-        let alg = algs[alg_seed % algs.len()];
-        let Some(sched) = try_build(collective, alg.name, p, root_seed % p) else {
+        let alg = algs[alg_seed % algs.len()].clone();
+        let Some(sched) = try_build(collective, alg.name(), p, root_seed % p) else {
             return Ok(());
         };
         let sched = sched.segmented(chunks);
         prop_assert!(
             validate_schedule(&sched).is_ok(),
             "{}/{} p={p} chunks={chunks}: {:?}",
-            collective.name(), alg.name, validate_schedule(&sched)
+            collective.name(), alg.name(), validate_schedule(&sched)
         );
     }
 

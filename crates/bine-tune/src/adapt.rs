@@ -94,7 +94,7 @@ impl Reevaluator {
                 algorithms(collective)
                     .into_iter()
                     .filter(|a| !a.is_linear || nodes <= max_linear_nodes)
-                    .map(|a| a.name.to_string())
+                    .map(|a| a.name().to_string())
                     .collect()
             }),
             score,

@@ -12,7 +12,7 @@ use std::ffi::OsString;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use bine_sched::{build, Collective, CompiledSchedule, SizeDist};
+use bine_sched::{Collective, CompiledSchedule, ProviderSet, SizeDist};
 
 use crate::table::{slug, DecisionTable, Entry};
 
@@ -60,6 +60,7 @@ pub struct SelectorIndex {
     system: String,
     slots: Vec<Slot>,
     index: Vec<((Collective, Option<SizeDist>), NodeIndex)>,
+    providers: ProviderSet,
 }
 
 impl SelectorIndex {
@@ -101,16 +102,27 @@ impl SelectorIndex {
                 _ => coll.push((e.nodes, vec![(e.vector_bytes, slot)])),
             }
         }
+        let providers = system_providers(&sorted.system);
         SelectorIndex {
             system: sorted.system,
             slots,
             index,
+            providers,
         }
     }
 
     /// The system this index was tuned for.
     pub fn system(&self) -> &str {
         &self.system
+    }
+
+    /// The provider set every schedule build of this index routes through:
+    /// the static catalog plus, for systems with a known topology model,
+    /// the topology-aware synthesizers fed by
+    /// [`bine_net::view::system_view`]. Committed `synth:` picks rebuild
+    /// through the same pinned view derivation the tuner scored them with.
+    pub fn providers(&self) -> &ProviderSet {
+        &self.providers
     }
 
     /// The tuned `(algorithm, segments)` for a configuration, by floor
@@ -195,7 +207,7 @@ impl SelectorIndex {
         slot_idx: u32,
     ) -> Option<Arc<CompiledSchedule>> {
         let slot = &self.slots[slot_idx as usize];
-        let sched = build(collective, &slot.pick, nodes, 0)?;
+        let sched = self.providers.build(collective, &slot.pick, nodes, 0)?;
         Some(Arc::new(sched.compile()))
     }
 
@@ -378,6 +390,21 @@ impl Selector {
     pub fn cached_schedules(&self) -> usize {
         self.cache.len()
     }
+}
+
+/// The provider set for a system display name or slug: catalog plus the
+/// synthesizers when the slug names a modelled topology
+/// ([`bine_net::view::system_topology`]), catalog only otherwise. A
+/// synthesized pick in a table for an unmodelled system simply fails to
+/// build (`None`), exactly like any other unbuildable pick.
+pub fn system_providers(system: &str) -> ProviderSet {
+    let slug = slug(system);
+    if bine_net::view::system_topology(&slug, 2).is_none() {
+        return ProviderSet::catalog_only();
+    }
+    ProviderSet::with_synth(Arc::new(move |nodes| {
+        bine_net::view::system_view(&slug, nodes)
+    }))
 }
 
 fn push_slot(slots: &mut Vec<Slot>, e: &Entry) -> u32 {

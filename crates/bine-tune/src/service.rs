@@ -1212,7 +1212,10 @@ impl ServiceSelector {
         let grid_bytes = slot.vector_bytes;
         let modelled = slot.time_us;
         // Score challengers at the committed grid point's vector size and
-        // pre-compile a non-incumbent winner, all outside any lock.
+        // pre-compile a non-incumbent winner, all outside any lock. The
+        // provider set lets a challenger enumeration include synthesized
+        // names, not just catalog ones.
+        let providers = index.providers().clone();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let (winner, score) = cfg
                 .reevaluator
@@ -1220,7 +1223,7 @@ impl ServiceSelector {
             if winner == committed {
                 Some((winner, score, None))
             } else {
-                let compiled = Arc::new(build(collective, &winner, nodes, 0)?.compile());
+                let compiled = Arc::new(providers.build(collective, &winner, nodes, 0)?.compile());
                 Some((winner, score, Some(compiled)))
             }
         }));
@@ -1376,10 +1379,14 @@ impl ServiceSelector {
         let pick = index.slot(slot).pick.clone();
         // Some builders panic rather than return `None` on an unsupported
         // rank count (off-grid queries can land there); both are "not
-        // buildable" here.
-        let sched = catch_unwind(AssertUnwindSafe(|| build(collective, &pick, nodes, 0)))
-            .ok()
-            .flatten()?;
+        // buildable" here. Routed through the index's provider set so
+        // committed synthesized picks rebuild exactly like catalog ones.
+        let providers = index.providers().clone();
+        let sched = catch_unwind(AssertUnwindSafe(|| {
+            providers.build(collective, &pick, nodes, 0)
+        }))
+        .ok()
+        .flatten()?;
         let key: Key = (sys as u32, collective, nodes, slot);
         let compiled = self.cached_or_compile(key, || Arc::new(sched.compile()));
         let w = Workload::for_schedule(&sched, elems_per_block);
@@ -1468,11 +1475,21 @@ impl ServiceSelector {
             Collective::Alltoall => candidates.push("pairwise"),
             _ => {}
         }
+        // Probe through the system's provider set: a synthesized slot pick
+        // recovers to itself when a view exists at the survivor count, and
+        // falls through to the catalog candidates otherwise.
+        let providers = self
+            .systems
+            .get(sys)
+            .map(|i| i.providers().clone())
+            .unwrap_or_default();
         let built = candidates.iter().find_map(|cand| {
-            catch_unwind(AssertUnwindSafe(|| build(collective, cand, survivors, 0)))
-                .ok()
-                .flatten()
-                .map(|sched| (cand.to_string(), sched))
+            catch_unwind(AssertUnwindSafe(|| {
+                providers.build(collective, cand, survivors, 0)
+            }))
+            .ok()
+            .flatten()
+            .map(|sched| (cand.to_string(), sched))
         });
         let Some((rec_pick, rec_sched)) = built else {
             // No catalog algorithm builds over this survivor count — the

@@ -14,7 +14,10 @@
 //! strict format is what makes the CI drift gate's diff trivial and the
 //! committed files merge-friendly.
 
-use bine_sched::{split_segments, Collective, SizeDist};
+use bine_sched::{
+    algorithms, has_algorithm, irregular_algorithms, is_synth_name, split_segments, Collective,
+    SizeDist, SynthSpec,
+};
 
 /// Which time model produced a winning score.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -290,6 +293,44 @@ fn parse_entry(line: &str) -> Result<Entry, String> {
     if nodes == 0 {
         return Err("nodes is 0; a grid point needs at least one rank".into());
     }
+    // The pick must name something the serving layer can actually build:
+    // a catalog algorithm of this collective, a parseable synthesized name
+    // it supports, or (for dist-keyed rows) an irregular v-variant. A typo
+    // here would otherwise surface only as a panic at first request.
+    let base = split_segments(&pick).0;
+    let known = if is_synth_name(base) {
+        dist.is_none() && SynthSpec::parse(base).is_some_and(|s| s.supports(collective))
+    } else {
+        // Dist-keyed rows may also name a v-variant on top of the regular
+        // catalog (an irregular grid can still pick a regular algorithm
+        // when the counts happen to be equal).
+        has_algorithm(collective, base)
+            || (dist.is_some()
+                && irregular_algorithms(collective)
+                    .iter()
+                    .any(|a| a.name() == base))
+    };
+    if !known {
+        let mut available: Vec<String> = algorithms(collective)
+            .iter()
+            .map(|a| a.name().to_string())
+            .collect();
+        if dist.is_some() {
+            available.extend(
+                irregular_algorithms(collective)
+                    .iter()
+                    .map(|a| format!("{} (v-variant)", a.name())),
+            );
+        } else {
+            available.push("synth:forestcoll:k=K".to_string());
+            available.push("synth:multilevel:tiers=T".to_string());
+        }
+        return Err(format!(
+            "unknown pick \"{pick}\" for {}; available: {}",
+            collective.name(),
+            available.join(", ")
+        ));
+    }
     Ok(Entry {
         collective,
         dist,
@@ -514,6 +555,93 @@ mod tests {
         assert!(DecisionTable::from_json(&table.to_json())
             .unwrap_err()
             .contains("duplicate entry"));
+    }
+
+    #[test]
+    fn unknown_picks_are_rejected_with_the_available_names() {
+        // A typo'd catalog name fails at load, names the line, and lists
+        // what would have been accepted.
+        let bad = sample()
+            .to_json()
+            .replace("recursive-doubling", "recursiv-doubling");
+        let err = DecisionTable::from_json(&bad).unwrap_err();
+        assert!(err.contains("unknown pick \"recursiv-doubling\""), "{err}");
+        assert!(err.contains("line 4"), "{err}");
+        assert!(err.contains("recursive-doubling"), "{err}");
+        assert!(err.contains("synth:forestcoll"), "{err}");
+
+        // A valid name for the *wrong* collective is just as unbuildable.
+        let bad = sample().to_json().replace(
+            "\"pick\": \"recursive-doubling\"",
+            "\"pick\": \"bine-tree\"",
+        );
+        assert!(DecisionTable::from_json(&bad)
+            .unwrap_err()
+            .contains("unknown pick"));
+
+        // Segment suffixes are split off before the name check, malformed
+        // ones (leading zero) are not and fail as a whole.
+        let ok = sample().to_json().replace(
+            "\"pick\": \"recursive-doubling\"",
+            "\"pick\": \"recursive-doubling+seg4\"",
+        );
+        assert!(DecisionTable::from_json(&ok).is_ok());
+        let bad = sample().to_json().replace(
+            "\"pick\": \"recursive-doubling\"",
+            "\"pick\": \"recursive-doubling+seg04\"",
+        );
+        assert!(DecisionTable::from_json(&bad)
+            .unwrap_err()
+            .contains("unknown pick"));
+    }
+
+    #[test]
+    fn synthesized_picks_parse_when_canonical_and_supported() {
+        let base = sample().to_json();
+        for (pick, ok) in [
+            ("synth:multilevel:tiers=2", true),
+            ("synth:multilevel:tiers=2+seg8", true),
+            ("synth:multilevel:tiers=0", false),  // out of range
+            ("synth:multilevel:tiers=02", false), // non-canonical
+            ("synth:forestcoll:k=2", false),      // broadcast-only, row is allreduce
+            ("synth:unknown:x=1", false),
+        ] {
+            let json = base.replace(
+                "\"pick\": \"recursive-doubling\"",
+                &format!("\"pick\": \"{pick}\""),
+            );
+            assert_eq!(DecisionTable::from_json(&json).is_ok(), ok, "{pick}");
+        }
+    }
+
+    #[test]
+    fn irregular_picks_validate_against_the_v_variant_names() {
+        let mut table = sample();
+        table.entries.push(Entry {
+            collective: Collective::Gather,
+            dist: Some(SizeDist::Linear),
+            nodes: 16,
+            vector_bytes: 32,
+            pick: "traff".into(),
+            model: ScoreModel::Sync,
+            time_us: 3.5,
+        });
+        let json = table.to_json();
+        assert!(DecisionTable::from_json(&json).is_ok(), "{json}");
+        let bad = json.replace("\"pick\": \"traff\"", "\"pick\": \"no-such-v\"");
+        let err = DecisionTable::from_json(&bad).unwrap_err();
+        assert!(err.contains("unknown pick"), "{err}");
+        assert!(
+            err.contains("traff (v-variant)"),
+            "should list v-variants: {err}"
+        );
+        // The v-variant name is only valid on dist-keyed rows.
+        let bad = sample()
+            .to_json()
+            .replace("\"pick\": \"recursive-doubling\"", "\"pick\": \"traff\"");
+        assert!(DecisionTable::from_json(&bad)
+            .unwrap_err()
+            .contains("unknown pick"));
     }
 
     #[test]

@@ -33,15 +33,17 @@
 //! grid point before their O(p²)-message schedules are ever constructed.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use bine_net::allocation::Allocation;
 use bine_net::cost::{CostModel, CostSummary, LowerBounds};
 use bine_net::sim;
 use bine_net::topology::Topology;
+use bine_net::view::synth_view;
 use bine_sched::{
-    algorithms, binomial_default, build, build_irregular, irregular_algorithms, split_segments,
-    AlgorithmId, Collective, CompiledSchedule, IrregularAlg, Schedule, SizeDist,
-    IRREGULAR_COLLECTIVES,
+    algorithms, binomial_default, build, build_irregular, irregular_algorithms, is_synth_name,
+    split_segments, synth_algorithms, AlgorithmId, Collective, CompiledSchedule, IrregularAlg,
+    Schedule, SizeDist, SynthSpec, TopologyView, IRREGULAR_COLLECTIVES,
 };
 
 use crate::table::{DecisionTable, Entry, ScoreModel};
@@ -139,14 +141,15 @@ impl Default for TunerConfig {
     }
 }
 
-/// A stage-1 candidate: a catalog algorithm with its cheap lower bound and
-/// its catalog position (the tie-breaker, so pruned sweeps pick the same
-/// winner as an unpruned catalog-order scan).
-#[derive(Debug, Clone, Copy)]
+/// A stage-1 candidate: an algorithm with its cheap lower bound and its
+/// enumeration position (the tie-breaker, so pruned sweeps pick the same
+/// winner as an unpruned enumeration-order scan).
+#[derive(Debug, Clone)]
 pub struct Candidate {
     /// The algorithm.
     pub alg: AlgorithmId,
-    /// Position in `algorithms(collective)` (tie-break key).
+    /// Position in the enumeration: catalog order, with synthesized
+    /// candidates after the whole catalog (tie-break key).
     pub idx: usize,
     /// Cheap lower bound on this candidate's score (microseconds).
     pub lower_bound: f64,
@@ -163,17 +166,36 @@ pub fn candidates(
     lbs: &LowerBounds,
     max_linear_nodes: usize,
 ) -> Vec<Candidate> {
+    candidates_with(collective, nodes, vector_bytes, lbs, max_linear_nodes, &[])
+}
+
+/// [`candidates`] plus provider-supplied (synthesized) algorithms, which
+/// enumerate after the whole catalog. The closed-form lower bounds are
+/// universal per-collective semantics bounds, so they apply to synthesized
+/// schedules unchanged.
+pub fn candidates_with(
+    collective: Collective,
+    nodes: usize,
+    vector_bytes: u64,
+    lbs: &LowerBounds,
+    max_linear_nodes: usize,
+    extra: &[AlgorithmId],
+) -> Vec<Candidate> {
     let mut out: Vec<Candidate> = algorithms(collective)
         .into_iter()
+        .chain(extra.iter().cloned())
         .enumerate()
         .filter(|(_, a)| !a.is_linear || nodes <= max_linear_nodes)
-        .map(|(idx, alg)| Candidate {
-            alg,
-            idx,
-            lower_bound: lbs.sync_time_us(
+        .map(|(idx, alg)| {
+            let lower_bound = lbs.sync_time_us(
                 alg.min_steps(nodes),
                 alg.min_rank_bytes(vector_bytes, nodes),
-            ),
+            );
+            Candidate {
+                alg,
+                idx,
+                lower_bound,
+            }
         })
         .collect();
     out.sort_by(|a, b| {
@@ -185,7 +207,7 @@ pub fn candidates(
 }
 
 /// Outcome of a pruned single-point sweep.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct CellBest {
     /// The overall winner and its score.
     pub best: (AlgorithmId, f64),
@@ -209,29 +231,29 @@ pub struct CellBest {
 pub fn pruned_best(
     cands: &[Candidate],
     prune: bool,
-    mut score: impl FnMut(AlgorithmId) -> f64,
+    mut score: impl FnMut(&AlgorithmId) -> f64,
 ) -> CellBest {
-    let mut best: Option<(AlgorithmId, f64, usize)> = None;
-    let mut best_other: Option<(AlgorithmId, f64, usize)> = None;
-    for c in cands {
-        let may_win = best.is_none_or(|(_, t, _)| c.lower_bound <= t);
-        let may_lead_others =
-            !c.alg.is_bine && best_other.is_none_or(|(_, t, _)| c.lower_bound <= t);
+    // Track winners by index into `cands` (ids are owned, not `Copy`).
+    let mut best: Option<(usize, f64)> = None;
+    let mut best_other: Option<(usize, f64)> = None;
+    for (i, c) in cands.iter().enumerate() {
+        let may_win = best.is_none_or(|(_, t)| c.lower_bound <= t);
+        let may_lead_others = !c.alg.is_bine && best_other.is_none_or(|(_, t)| c.lower_bound <= t);
         if prune && !may_win && !may_lead_others {
             continue;
         }
-        let t = score(c.alg);
-        if best.is_none_or(|(_, bt, bi)| (t, c.idx) < (bt, bi)) {
-            best = Some((c.alg, t, c.idx));
+        let t = score(&c.alg);
+        if best.is_none_or(|(bi, bt)| (t, c.idx) < (bt, cands[bi].idx)) {
+            best = Some((i, t));
         }
-        if !c.alg.is_bine && best_other.is_none_or(|(_, bt, bi)| (t, c.idx) < (bt, bi)) {
-            best_other = Some((c.alg, t, c.idx));
+        if !c.alg.is_bine && best_other.is_none_or(|(bi, bt)| (t, c.idx) < (bt, cands[bi].idx)) {
+            best_other = Some((i, t));
         }
     }
-    let (alg, t, _) = best.expect("at least one candidate per grid point");
+    let (bi, t) = best.expect("at least one candidate per grid point");
     CellBest {
-        best: (alg, t),
-        best_non_bine: best_other.map(|(a, t, _)| (a, t)),
+        best: (cands[bi].alg.clone(), t),
+        best_non_bine: best_other.map(|(i, t)| (cands[i].alg.clone(), t)),
     }
 }
 
@@ -252,6 +274,15 @@ pub struct Tuner {
     summaries: HashMap<(Collective, String, usize), CostSummary>,
     compiled: HashMap<(Collective, String, usize, usize), CompiledSchedule>,
     arena: sim::SimArena,
+    /// Per-node-count topology view the synthesizers consume, derived once
+    /// from the grid point's `(topology, allocation)` pair — the same
+    /// derivation the serving layer uses, so tuned synth picks rebuild
+    /// identically at serve time.
+    views: HashMap<usize, Option<Arc<TopologyView>>>,
+    /// Per-(collective, nodes) synthesized candidate ids. The ForestColl
+    /// tree-count search is not free, so it runs once per grid column, not
+    /// once per vector size.
+    synth_ids: HashMap<(Collective, usize), Vec<AlgorithmId>>,
 }
 
 impl Tuner {
@@ -264,6 +295,8 @@ impl Tuner {
             summaries: HashMap::new(),
             compiled: HashMap::new(),
             arena: sim::SimArena::new(),
+            views: HashMap::new(),
+            synth_ids: HashMap::new(),
         }
     }
 
@@ -300,12 +333,91 @@ impl Tuner {
             .unwrap_or(1)
     }
 
+    /// The (cached) topology view for one grid column, consumed by the
+    /// synthesizers. Only derived for node counts inside the DES horizon:
+    /// synthesized schedules are only trusted where the DES can judge them
+    /// (and the O(p²) pairwise-route derivation stays affordable).
+    pub fn view_for(&mut self, nodes: usize) -> Option<Arc<TopologyView>> {
+        if nodes > self.config.des_max_nodes {
+            return None;
+        }
+        if let Some(v) = self.views.get(&nodes) {
+            return v.clone();
+        }
+        let point = self.target.point(nodes);
+        let view = synth_view(point.topology.as_ref(), &point.allocation)
+            .ok()
+            .map(Arc::new);
+        self.views.insert(nodes, view.clone());
+        view
+    }
+
+    /// The synthesized candidates for one grid column (cached; the
+    /// ForestColl tree-count search binary-searches bottleneck capacities,
+    /// which is worth doing once per column, not once per vector size).
+    fn synth_candidates(&mut self, collective: Collective, nodes: usize) -> Vec<AlgorithmId> {
+        if !matches!(
+            collective,
+            Collective::Broadcast | Collective::Reduce | Collective::Allreduce
+        ) {
+            return Vec::new();
+        }
+        if let Some(ids) = self.synth_ids.get(&(collective, nodes)) {
+            return ids.clone();
+        }
+        let ids = match self.view_for(nodes) {
+            Some(view) => synth_algorithms(collective, &view),
+            None => Vec::new(),
+        };
+        self.synth_ids.insert((collective, nodes), ids.clone());
+        ids
+    }
+
+    /// The full candidate list for one grid point: the catalog plus the
+    /// synthesized candidates for this column, lower-bound-sorted.
+    fn point_candidates(
+        &mut self,
+        collective: Collective,
+        nodes: usize,
+        vector_bytes: u64,
+        lbs: &LowerBounds,
+    ) -> Vec<Candidate> {
+        let extra = self.synth_candidates(collective, nodes);
+        candidates_with(
+            collective,
+            nodes,
+            vector_bytes,
+            lbs,
+            self.config.max_linear_nodes,
+            &extra,
+        )
+    }
+
     fn ensure_schedule(&mut self, collective: Collective, name: &str, nodes: usize) {
         let key = (collective, name.to_string(), nodes);
-        self.schedules.entry(key).or_insert_with(|| {
+        if self.schedules.contains_key(&key) {
+            return;
+        }
+        let sched = if is_synth_name(split_segments(name).0) {
+            let (base, chunks) = split_segments(name);
+            let spec = SynthSpec::parse(base)
+                .unwrap_or_else(|| panic!("malformed synthesized name {name}"));
+            let view = self
+                .view_for(nodes)
+                .unwrap_or_else(|| panic!("no topology view for {name} at {nodes} nodes"));
+            let sched = spec.synthesize(collective, &view, 0).unwrap_or_else(|| {
+                panic!("{name} cannot be synthesized for {collective:?} at {nodes} nodes")
+            });
+            if chunks > 1 {
+                sched.segmented(chunks)
+            } else {
+                sched
+            }
+        } else {
             build(collective, name, nodes, 0)
                 .unwrap_or_else(|| panic!("unknown algorithm {name} for {collective:?}"))
-        });
+        };
+        self.schedules.insert(key, sched);
     }
 
     /// Scores one candidate (full tuned name, `+segS` suffix honoured)
@@ -375,16 +487,16 @@ impl Tuner {
         vector_bytes: u64,
     ) -> CellBest {
         let lbs = self.lower_bounds(nodes);
-        let cands = candidates(
-            collective,
-            nodes,
-            vector_bytes,
-            &lbs,
-            self.config.max_linear_nodes,
-        );
+        let cands = self.point_candidates(collective, nodes, vector_bytes, &lbs);
         let prune = self.config.prune;
         pruned_best(&cands, prune, |alg| {
-            self.score(collective, alg.name, nodes, vector_bytes, ScoreModel::Sync)
+            self.score(
+                collective,
+                alg.name(),
+                nodes,
+                vector_bytes,
+                ScoreModel::Sync,
+            )
         })
     }
 
@@ -404,13 +516,7 @@ impl Tuner {
     /// Tunes one grid point into its decision-table entry.
     pub fn tune_point(&mut self, collective: Collective, nodes: usize, vector_bytes: u64) -> Entry {
         let lbs = self.lower_bounds(nodes);
-        let cands = candidates(
-            collective,
-            nodes,
-            vector_bytes,
-            &lbs,
-            self.config.max_linear_nodes,
-        );
+        let cands = self.point_candidates(collective, nodes, vector_bytes, &lbs);
         let prune = self.config.prune;
 
         // Stage 1: synchronous sweep over the whole catalog (records every
@@ -420,10 +526,10 @@ impl Tuner {
         // stage-2 top-K, and pruning must never change what stage 2 sees —
         // that is what keeps pruned and exhaustive runs byte-identical.
         let des_eligible = nodes <= self.des_node_cap(collective);
-        let mut scored: Vec<(AlgorithmId, f64, usize)> = Vec::new();
+        let mut scored: Vec<(usize, f64)> = Vec::new(); // (cands index, score)
         let mut top_scores: Vec<f64> = Vec::new();
-        let mut best: Option<(AlgorithmId, f64, usize)> = None;
-        for c in &cands {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, c) in cands.iter().enumerate() {
             let threshold = if des_eligible {
                 if top_scores.len() < self.config.des_top_k {
                     f64::INFINITY
@@ -431,7 +537,7 @@ impl Tuner {
                     top_scores[self.config.des_top_k - 1]
                 }
             } else {
-                best.map_or(f64::INFINITY, |(_, t, _)| t)
+                best.map_or(f64::INFINITY, |(_, t)| t)
             };
             if prune && c.lower_bound > threshold {
                 // Candidates are lower-bound-sorted and the threshold only
@@ -440,20 +546,21 @@ impl Tuner {
             }
             let t = self.score(
                 collective,
-                c.alg.name,
+                c.alg.name(),
                 nodes,
                 vector_bytes,
                 ScoreModel::Sync,
             );
-            scored.push((c.alg, t, c.idx));
+            scored.push((i, t));
             let pos = top_scores.partition_point(|&s| s <= t);
             top_scores.insert(pos, t);
             top_scores.truncate(self.config.des_top_k);
-            if best.is_none_or(|(_, bt, bi)| (t, c.idx) < (bt, bi)) {
-                best = Some((c.alg, t, c.idx));
+            if best.is_none_or(|(bi, bt)| (t, c.idx) < (bt, cands[bi].idx)) {
+                best = Some((i, t));
             }
         }
-        let (sync_winner, sync_time, _) = best.expect("at least one candidate per grid point");
+        let (best_i, sync_time) = best.expect("at least one candidate per grid point");
+        let sync_winner = &cands[best_i].alg;
 
         if !des_eligible {
             return Entry {
@@ -461,7 +568,7 @@ impl Tuner {
                 dist: None,
                 nodes,
                 vector_bytes,
-                pick: sync_winner.name.to_string(),
+                pick: sync_winner.name().to_string(),
                 model: ScoreModel::Sync,
                 time_us: sync_time,
             };
@@ -469,33 +576,44 @@ impl Tuner {
 
         // Stage 2: DES refinement. Candidate algorithms: the stage-1
         // winner, both binomial-baseline flavours (so the selector's pick
-        // is never worse than the baseline by construction), and the
-        // stage-1 top K.
-        let mut names: Vec<&'static str> = vec![sync_winner.name];
+        // is never worse than the baseline by construction), the stage-1
+        // top K, and — like the baselines — every synthesized candidate:
+        // synthesis exists precisely for effects the synchronous model
+        // cannot see, so the DES always gets to judge it. The forced set
+        // does not depend on which candidates stage-1 pruning scored, so
+        // pruned and exhaustive runs still refine the same list.
+        let mut names: Vec<String> = vec![sync_winner.name().to_string()];
+        let push_unique = |names: &mut Vec<String>, name: &str| {
+            if !names.iter().any(|n| n == name) {
+                names.push(name.to_string());
+            }
+        };
         for flavour in [
             binomial_default(collective, true),
             binomial_default(collective, false),
         ] {
-            if !names.contains(&flavour) {
-                names.push(flavour);
-            }
+            push_unique(&mut names, flavour);
         }
-        scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.2.cmp(&b.2)));
-        for (alg, _, _) in scored.iter().take(self.config.des_top_k) {
-            if !names.contains(&alg.name) {
-                names.push(alg.name);
+        scored.sort_by(|a, b| {
+            a.1.total_cmp(&b.1)
+                .then(cands[a.0].idx.cmp(&cands[b.0].idx))
+        });
+        for &(i, _) in scored.iter().take(self.config.des_top_k) {
+            push_unique(&mut names, cands[i].alg.name());
+        }
+        for c in &cands {
+            if c.alg.is_synthesized() {
+                push_unique(&mut names, c.alg.name());
             }
         }
 
-        let by_name: HashMap<&str, AlgorithmId> = algorithms(collective)
-            .into_iter()
-            .map(|a| (a.name, a))
-            .collect();
-        let mut des_cands: Vec<(f64, &'static str, usize, usize)> = Vec::new();
+        let by_name: HashMap<&str, &AlgorithmId> =
+            cands.iter().map(|c| (c.alg.name(), &c.alg)).collect();
+        let mut des_cands: Vec<(f64, usize, usize)> = Vec::new(); // (lb, name idx, seg)
         for (order, name) in names.iter().enumerate() {
-            let alg = by_name[name];
+            let alg = by_name[name.as_str()];
             let lb = lbs.des_time_us(alg.min_rank_bytes(vector_bytes, nodes));
-            des_cands.push((lb, name, 1, order));
+            des_cands.push((lb, order, 1));
             if vector_bytes < self.config.min_segment_bytes {
                 continue;
             }
@@ -514,29 +632,29 @@ impl Tuner {
             effective.sort_unstable();
             effective.dedup();
             for seg in effective {
-                des_cands.push((lb, name, seg, order));
+                des_cands.push((lb, order, seg));
             }
         }
-        des_cands.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.3.cmp(&b.3)));
+        des_cands.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
 
-        let mut best_des: Option<(&'static str, usize, f64, usize)> = None;
-        for &(lb, name, seg, order) in &des_cands {
-            if prune && best_des.is_some_and(|(_, _, t, _)| lb > t) {
+        let mut best_des: Option<(usize, usize, f64)> = None; // (name idx, seg, score)
+        for &(lb, order, seg) in &des_cands {
+            if prune && best_des.is_some_and(|(_, _, t)| lb > t) {
                 break;
             }
-            let full = tuned_name(name, seg);
+            let full = tuned_name(&names[order], seg);
             let t = self.score(collective, &full, nodes, vector_bytes, ScoreModel::Des);
-            if best_des.is_none_or(|(_, _, bt, bo)| (t, order) < (bt, bo)) {
-                best_des = Some((name, seg, t, order));
+            if best_des.is_none_or(|(bo, _, bt)| (t, order) < (bt, bo)) {
+                best_des = Some((order, seg, t));
             }
         }
-        let (name, seg, t, _) = best_des.expect("DES stage always has candidates");
+        let (order, seg, t) = best_des.expect("DES stage always has candidates");
         Entry {
             collective,
             dist: None,
             nodes,
             vector_bytes,
-            pick: tuned_name(name, seg),
+            pick: tuned_name(&names[order], seg),
             model: ScoreModel::Des,
             time_us: t,
         }

@@ -96,9 +96,14 @@ fn every_algorithm_has_a_finite_cost_on_every_system() {
         let alloc = Allocation::block(nodes);
         for collective in Collective::ALL {
             for alg in algorithms(collective) {
-                let sched = build(collective, alg.name, nodes, 0).unwrap();
+                let sched = build(collective, alg.name(), nodes, 0).unwrap();
                 let t = model.time_us(&sched, 64 * 1024, topo.as_ref(), &alloc);
-                assert!(t.is_finite() && t > 0.0, "{} on {}", alg.name, system.name);
+                assert!(
+                    t.is_finite() && t > 0.0,
+                    "{} on {}",
+                    alg.name(),
+                    system.name
+                );
             }
         }
     }
